@@ -1,0 +1,45 @@
+// Ablation of the partitioning policy (Section 5.2 configures the
+// Cartesian vertex-cut "which performs well at scale"): replication factor,
+// edge balance, communication volume and modeled time for MRBC under each
+// Gluon partitioning policy.
+
+#include <cstdio>
+
+#include "core/mrbc.h"
+#include "report.h"
+#include "util/stats.h"
+#include "workloads.h"
+
+namespace mrbc::bench {
+namespace {
+
+void run() {
+  Report report("Ablation: partitioning policy (MRBC, 16 sim hosts)",
+                "ablation_partition.csv",
+                {"input", "policy", "replication", "edge_bal", "volume", "exec_s"}, 17);
+  const partition::Policy policies[] = {
+      partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
+      partition::Policy::kCartesianVertexCut, partition::Policy::kGeneralVertexCut,
+      partition::Policy::kRandomEdge};
+  for (const Workload& w : large_workloads()) {
+    for (partition::Policy policy : policies) {
+      partition::Partition part(w.graph, 16, policy);
+      core::MrbcOptions opts;
+      opts.batch_size = 16;
+      auto run = core::mrbc_bc(part, w.sources, opts);
+      report.add({w.name, partition::to_string(policy),
+                  util::fmt(part.replication_factor(), 2), util::fmt(part.edge_balance(), 2),
+                  util::fmt_bytes(run.total().bytes),
+                  util::fmt(run.total().total_seconds(), 4)});
+    }
+  }
+  report.finish();
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main() {
+  mrbc::bench::run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Google-benchmark microbenchmarks for the communication substrate and the
+// end-to-end algorithms on a fixed small input: sync throughput as a
+// function of flagged fraction, and whole-algorithm per-source cost.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/sbbc.h"
+#include "comm/substrate.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace mrbc {
+namespace {
+
+using partition::Partition;
+using partition::Policy;
+
+const graph::Graph& bench_graph() {
+  static graph::Graph g = graph::rmat({.scale = 11, .edge_factor = 8.0, .seed = 42});
+  return g;
+}
+
+struct SumAccessor {
+  using Value = double;
+  std::vector<std::vector<double>>& labels;
+  Value get(partition::HostId h, graph::VertexId lid) { return labels[h][lid]; }
+  void reduce(partition::HostId h, graph::VertexId lid, Value v) { labels[h][lid] += v; }
+  void set(partition::HostId h, graph::VertexId lid, Value v) { labels[h][lid] = v; }
+  void reset(partition::HostId h, graph::VertexId lid) { labels[h][lid] = 0.0; }
+};
+
+void BM_SubstrateSync(benchmark::State& state) {
+  static Partition part(bench_graph(), 8, Policy::kCartesianVertexCut);
+  comm::Substrate sub(part);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (partition::HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 1.0);
+  }
+  const int stride = static_cast<int>(state.range(0));  // flag every stride-th proxy
+  SumAccessor acc{labels};
+  std::size_t values = 0;
+  for (auto _ : state) {
+    for (partition::HostId h = 0; h < part.num_hosts(); ++h) {
+      for (graph::VertexId l = 0; l < part.host(h).num_proxies();
+           l += static_cast<graph::VertexId>(stride)) {
+        sub.flag_reduce(h, l);
+      }
+    }
+    auto stats = sub.sync(acc);
+    values += stats.values;
+    benchmark::DoNotOptimize(stats.bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(values));
+}
+BENCHMARK(BM_SubstrateSync)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_MrbcPerSource(benchmark::State& state) {
+  static Partition part(bench_graph(), 8, Policy::kCartesianVertexCut);
+  const auto sources = graph::sample_sources(bench_graph(), 16, 3);
+  core::MrbcOptions opts;
+  opts.batch_size = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto run = core::mrbc_bc(part, sources, opts);
+    benchmark::DoNotOptimize(run.result.bc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sources.size()));
+}
+BENCHMARK(BM_MrbcPerSource)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SbbcPerSource(benchmark::State& state) {
+  static Partition part(bench_graph(), 8, Policy::kCartesianVertexCut);
+  const auto sources = graph::sample_sources(bench_graph(), 16, 3);
+  for (auto _ : state) {
+    auto run = baselines::sbbc_bc(part, sources, {});
+    benchmark::DoNotOptimize(run.result.bc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sources.size()));
+}
+BENCHMARK(BM_SbbcPerSource)->Unit(benchmark::kMillisecond);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto& g = bench_graph();
+  graph::VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfs_distances(g, s).data());
+    s = (s + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_Bfs);
+
+}  // namespace
+}  // namespace mrbc
+
+BENCHMARK_MAIN();

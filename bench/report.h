@@ -1,0 +1,72 @@
+#pragma once
+// Console table + CSV emission shared by the per-table/figure drivers.
+// Each driver prints a paper-style table to stdout and writes the same rows
+// to a CSV next to the binary (mirroring the paper artifact's workflow).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace mrbc::bench {
+
+/// Fixed-width console table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header, int col_width = 14)
+      : header_(std::move(header)), width_(col_width) {}
+
+  void print_header() const {
+    rule();
+    row_raw(header_);
+    rule();
+  }
+
+  void print_row(const std::vector<std::string>& cells) const { row_raw(cells); }
+
+  void print_footer() const { rule(); }
+
+ private:
+  void rule() const {
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      std::printf("+%s", std::string(static_cast<std::size_t>(width_), '-').c_str());
+    }
+    std::printf("+\n");
+  }
+
+  void row_raw(const std::vector<std::string>& cells) const {
+    for (const auto& cell : cells) {
+      std::printf("|%*s", width_, cell.c_str());
+    }
+    std::printf("|\n");
+  }
+
+  std::vector<std::string> header_;
+  int width_;
+};
+
+/// A table that tees every row into a CSV file.
+class Report {
+ public:
+  Report(const std::string& title, const std::string& csv_path,
+         std::vector<std::string> header, int col_width = 14)
+      : table_(header, col_width), csv_(csv_path, header) {
+    std::printf("\n== %s ==\n", title.c_str());
+    if (!csv_path.empty()) std::printf("(csv: %s)\n", csv_path.c_str());
+    table_.print_header();
+  }
+
+  void add(const std::vector<std::string>& cells) {
+    table_.print_row(cells);
+    csv_.add_row(cells);
+  }
+
+  void finish() { table_.print_footer(); }
+
+ private:
+  Table table_;
+  util::CsvWriter csv_;
+};
+
+}  // namespace mrbc::bench

@@ -1,0 +1,74 @@
+// Sensitivity of the reproduction's conclusions to the modeled network
+// constants. Network time is the one *modeled* (not measured) quantity in
+// this repository, so the headline comparison — MRBC vs SBBC on a
+// non-trivial-diameter graph and on a trivial-diameter graph — is swept
+// across two orders of magnitude of per-round barrier cost (kappa) and
+// bandwidth (beta).
+//
+// Expected: the MRBC-wins-on-web / SBBC-wins-on-kron split holds for every
+// realistic setting; slower networks (higher kappa, lower beta) amplify
+// MRBC's advantage because per-round costs dominate, which is the paper's
+// own scaling argument.
+
+#include <cstdio>
+
+#include "baselines/sbbc.h"
+#include "core/mrbc.h"
+#include "report.h"
+#include "util/stats.h"
+#include "workloads.h"
+
+namespace mrbc::bench {
+namespace {
+
+void run() {
+  Report report("Sensitivity: MRBC/SBBC speedup vs network model constants (16 hosts)",
+                "sensitivity_network.csv",
+                {"input", "kappa_us", "beta_gbps", "sbbc_s", "mrbc_s", "speedup"}, 12);
+  auto workloads = large_workloads();
+  const Workload& kron = workloads[0];   // trivial diameter
+  const Workload& web = workloads[2];    // non-trivial diameter (clueweb-like)
+
+  for (const Workload* w : {&kron, &web}) {
+    partition::Partition part(w->graph, 16, partition::Policy::kCartesianVertexCut);
+    for (double kappa_us : {2.0, 20.0, 200.0}) {
+      for (double beta_gbps : {100.0, 10.0, 1.0}) {
+        sim::NetworkModel net;
+        net.kappa_barrier = kappa_us * 1e-6;
+        net.beta_bytes_per_sec = beta_gbps * 1e9 / 8.0;
+
+        baselines::SbbcOptions sopts;
+        sopts.cluster.network = net;
+        auto sbbc = baselines::sbbc_bc(part, w->sources, sopts);
+
+        core::MrbcOptions mopts;
+        mopts.batch_size = 16;
+        mopts.cluster.network = net;
+        auto mrbc = core::mrbc_bc(part, w->sources, mopts);
+
+        report.add({w->name, util::fmt(kappa_us, 0), util::fmt(beta_gbps, 0),
+                    util::fmt(sbbc.total().total_seconds(), 4),
+                    util::fmt(mrbc.total().total_seconds(), 4),
+                    util::fmt(sbbc.total().total_seconds() / mrbc.total().total_seconds(), 2) +
+                        "x"});
+      }
+    }
+  }
+  report.finish();
+  std::printf(
+      "Expected: speedup < 1 on %s (trivial diameter) in every row; on %s\n"
+      "(long-tail diameter) MRBC wins for any realistic barrier cost (kappa >=\n"
+      "20us) and the advantage grows as the network slows. At an unrealistically\n"
+      "cheap kappa ~ 2us, computation dominates and SBBC edges ahead even here —\n"
+      "precisely the paper's point that MRBC trades computation for rounds and\n"
+      "wins because distributed execution is communication-bound.\n",
+      kron.name.c_str(), web.name.c_str());
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main() {
+  mrbc::bench::run();
+  return 0;
+}

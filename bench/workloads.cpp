@@ -1,0 +1,67 @@
+#include "workloads.h"
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace mrbc::bench {
+
+namespace {
+
+Workload make(std::string name, std::string paper_name, Graph g, VertexId num_sources,
+              bool large) {
+  Workload w;
+  w.name = std::move(name);
+  w.paper_name = std::move(paper_name);
+  w.graph = std::move(g);
+  w.sources = graph::sample_sources(w.graph, num_sources, /*seed=*/0xC0FFEE, /*contiguous=*/true);
+  w.estimated_diameter = graph::estimated_diameter(w.graph, w.sources);
+  w.large = large;
+  return w;
+}
+
+}  // namespace
+
+std::vector<Workload> small_workloads() {
+  std::vector<Workload> w;
+  // Social network: power-law, low diameter (paper: 4.8M/69M, est. diam 17).
+  w.push_back(make("livejournal-s", "livejournal",
+                   graph::rmat({.scale = 12, .edge_factor = 8.0, .seed = 101}), 32, false));
+  // Web crawl with moderate diameter (paper: 7.4M/194M, est. diam 45).
+  w.push_back(make("indochina-s", "indochina04",
+                   graph::web_crawl_like(11, 8.0, 6, 16, 102), 32, false));
+  // Synthetic RMAT, very low diameter (paper: 17M/268M, est. diam 9).
+  w.push_back(make("rmat24-s", "rmat24",
+                   graph::rmat({.scale = 12, .edge_factor = 16.0, .seed = 103}), 32, false));
+  // Road network: tiny degree, huge diameter (paper: 174M/348M, diam 22541).
+  w.push_back(make("road-s", "road-europe", graph::road_grid(90, 40, 0.05, 104), 8, false));
+  // Larger social network (paper: 66M/3.6B, est. diam 25).
+  w.push_back(make("friendster-s", "friendster",
+                   graph::rmat({.scale = 13, .edge_factor = 12.0, .seed = 105}), 32, false));
+  return w;
+}
+
+std::vector<Workload> large_workloads() {
+  std::vector<Workload> w;
+  // Kronecker: extreme skew, trivial diameter (paper: 1073M/17B, diam 9).
+  w.push_back(make("kron30-s", "kron30",
+                   graph::kronecker(14, 16.0, 201), 32, true));
+  // Web crawls with long tails => non-trivial diameter (paper diam 103/501).
+  w.push_back(make("gsh15-s", "gsh15",
+                   graph::web_crawl_like(13, 8.0, 12, 60, 202), 16, true));
+  w.push_back(make("clueweb12-s", "clueweb12",
+                   graph::web_crawl_like(13, 10.0, 16, 150, 203), 16, true));
+  return w;
+}
+
+std::vector<Workload> all_workloads() {
+  auto w = small_workloads();
+  auto l = large_workloads();
+  for (auto& x : l) w.push_back(std::move(x));
+  return w;
+}
+
+std::uint32_t sim_hosts(std::uint32_t paper_hosts) {
+  return paper_hosts >= 8 ? paper_hosts / 8 : 1;
+}
+
+}  // namespace mrbc::bench

@@ -1,0 +1,48 @@
+#pragma once
+// Scaled-down stand-ins for the paper's evaluation inputs (Table 1).
+//
+// The paper's graphs range up to 1B vertices / 42.6B edges on a 256-host
+// Stampede2 allocation; this repository simulates hosts in-process, so each
+// input is replaced by a synthetic graph (from src/graph/generators.h) that
+// preserves the property the evaluation keys on:
+//   - degree skew (drives load imbalance): RMAT/Kronecker for the social /
+//     synthetic power-law inputs,
+//   - estimated diameter (drives round counts): long-tail web-crawl
+//     generator for gsh15/clueweb12, near-planar grid for road-europe.
+// Host counts scale by 8x: paper 32/64/128/256 -> simulated 4/8/16/32.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::bench {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct Workload {
+  std::string name;        ///< stand-in name, e.g. "livejournal-s"
+  std::string paper_name;  ///< the paper input it models
+  Graph graph;
+  std::vector<VertexId> sources;  ///< pre-sampled contiguous chunk (Section 5.1)
+  std::uint32_t estimated_diameter = 0;
+  bool large = false;  ///< paper's large class (kron30/gsh15/clueweb12)
+};
+
+/// The paper's "small" inputs: livejournal, indochina04, rmat24,
+/// road-europe, friendster (evaluated at 1 and 32 hosts -> 1 and 4 here).
+std::vector<Workload> small_workloads();
+
+/// The paper's "large" inputs: kron30, gsh15, clueweb12 (evaluated at
+/// 64-256 hosts -> 8-32 here).
+std::vector<Workload> large_workloads();
+
+/// All eight.
+std::vector<Workload> all_workloads();
+
+/// Simulated host count standing in for a paper host count (divide by 8).
+std::uint32_t sim_hosts(std::uint32_t paper_hosts);
+
+}  // namespace mrbc::bench

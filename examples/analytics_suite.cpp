@@ -1,0 +1,74 @@
+// Scenario: the simulated D-Galois stack is a general graph-analytics
+// system, not a single-algorithm harness — run three vertex programs
+// (connected components, PageRank, betweenness centrality) over ONE
+// partitioned graph and compare their communication profiles. BC is by far
+// the most round- and communication-hungry of the three, which is why the
+// paper's round-reduction matters.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "analytics/connected_components.h"
+#include "analytics/kcore.h"
+#include "analytics/pagerank.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace mrbc;
+
+  graph::Graph g = graph::web_crawl_like(11, 6.0, 6, 25, 77);
+  partition::Partition part(g, 8, partition::Policy::kCartesianVertexCut);
+  std::printf("graph: %u vertices, %llu edges over 8 hosts (replication %.2f)\n\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              part.replication_factor());
+
+  // 1. Weakly connected components.
+  auto cc = analytics::connected_components(part);
+  std::size_t num_components = 0;
+  {
+    auto labels = cc.component;
+    std::sort(labels.begin(), labels.end());
+    num_components = static_cast<std::size_t>(
+        std::unique(labels.begin(), labels.end()) - labels.begin());
+  }
+  std::printf("connected components: %zu components\n", num_components);
+
+  // 2. k-core: the dense engagement core of the crawl.
+  auto core8 = analytics::kcore(part, 8);
+  std::printf("8-core: %zu of %u pages survive peeling\n", core8.core_size, g.num_vertices());
+
+  // 2b. PageRank.
+  analytics::PagerankOptions pr_opts;
+  pr_opts.tolerance = 1e-10;
+  auto pr = analytics::pagerank(part, pr_opts);
+  const auto top_pr = static_cast<graph::VertexId>(
+      std::max_element(pr.rank.begin(), pr.rank.end()) - pr.rank.begin());
+  std::printf("pagerank: converged in %u iterations; top page %u (rank %.5f)\n", pr.iterations,
+              top_pr, pr.rank[top_pr]);
+
+  // 3. Betweenness centrality (MRBC, 32 sampled sources).
+  const auto sources = graph::sample_sources(g, 32, 5);
+  core::MrbcOptions bc_opts;
+  bc_opts.batch_size = 16;
+  auto bc = core::mrbc_bc(part, sources, bc_opts);
+  const auto top_bc = static_cast<graph::VertexId>(
+      std::max_element(bc.result.bc.begin(), bc.result.bc.end()) - bc.result.bc.begin());
+  std::printf("betweenness:  top broker %u (bc %.1f)\n\n", top_bc, bc.result.bc[top_bc]);
+
+  std::printf("communication profile on the same partition:\n");
+  std::printf("  %-22s %8s %12s %14s\n", "program", "rounds", "messages", "volume");
+  auto row = [](const char* name, const sim::RunStats& s) {
+    std::printf("  %-22s %8zu %12zu %14s\n", name, s.rounds, s.messages,
+                util::fmt_bytes(s.bytes).c_str());
+  };
+  row("connected components", cc.stats);
+  row("k-core (k=8)", core8.stats);
+  row("pagerank", pr.stats);
+  row("betweenness (MRBC)", bc.total());
+  std::printf("\nBC dominates both — every source is its own traversal — which is\n");
+  std::printf("why a round-efficient BC algorithm is worth a paper.\n");
+  return 0;
+}

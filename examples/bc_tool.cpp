@@ -1,0 +1,297 @@
+// bc_tool: command-line driver mirroring the paper artifact's bc_level /
+// bc_mr executables — run any of the five BC implementations on an
+// edge-list file or a generated graph, with the knobs the evaluation
+// sweeps (hosts, partition policy, batch size, source count).
+//
+//   bc_tool --algo mrbc --input graph.txt --hosts 8 --sources 64
+//   bc_tool --algo sbbc --gen rmat --scale 12 --sources 32 --csv out.csv
+//
+// Prints the sanity-check aggregates the artifact uses to verify runs
+// across algorithms (max BC, sum of BC, number of nonzero vertices) plus
+// the execution profile.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/abbc.h"
+#include "baselines/brandes_seq.h"
+#include "baselines/mfbc.h"
+#include "baselines/sbbc.h"
+#include "baselines/weighted_bc.h"
+#include "core/congest_mrbc.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/csv.h"
+#include "util/stats_registry.h"
+
+namespace {
+
+using namespace mrbc;
+
+struct Args {
+  std::string algo = "mrbc";  // mrbc | congest | sbbc | abbc | mfbc | brandes
+  std::string input;          // edge-list path; empty => generate
+  std::string gen = "rmat";   // rmat | kron | er | road | web
+  int scale = 11;
+  double edge_factor = 8.0;
+  std::uint32_t hosts = 4;
+  std::uint32_t sources = 32;
+  std::uint32_t batch = 32;
+  std::uint64_t seed = 1;
+  std::string policy = "cvc";  // cvc | ec-src | ec-dst | gvc | random
+  std::string csv;             // per-vertex BC dump path
+  bool no_delayed_sync = false;
+  bool weighted = false;       // run the weighted variants instead
+  std::uint32_t max_weight = 10;
+  std::string stats_file;      // Galois-style key=value statistics dump
+};
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --algo <mrbc|congest|sbbc|abbc|mfbc|brandes>   algorithm (default mrbc)\n"
+      "  --input <file>        edge-list file ('src dst' per line)\n"
+      "  --gen <rmat|kron|er|road|web>  generator when no input (default rmat)\n"
+      "  --scale <n>           generator scale, 2^n vertices (default 11)\n"
+      "  --edge-factor <f>     edges per vertex (default 8)\n"
+      "  --hosts <n>           simulated hosts (default 4)\n"
+      "  --sources <k>         sampled sources, 0 = all vertices (default 32)\n"
+      "  --batch <k>           MRBC/MFBC batch size (default 32)\n"
+      "  --policy <cvc|ec-src|ec-dst|gvc|random>  partition policy\n"
+      "  --seed <s>            RNG seed (default 1)\n"
+      "  --no-delayed-sync     disable the Section 4.3 optimization\n"
+      "  --weighted            random weights in [1, max-weight]; algo must be\n"
+      "                        brandes, abbc, or mfbc (weighted variants)\n"
+      "  --max-weight <w>      weight range for --weighted (default 10)\n"
+      "  --csv <file>          write per-vertex BC scores\n"
+      "  --stats-file <file>   write key=value run statistics (artifact format)\n",
+      prog);
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--algo")) args.algo = next("--algo");
+    else if (!std::strcmp(argv[i], "--input")) args.input = next("--input");
+    else if (!std::strcmp(argv[i], "--gen")) args.gen = next("--gen");
+    else if (!std::strcmp(argv[i], "--scale")) args.scale = std::atoi(next("--scale"));
+    else if (!std::strcmp(argv[i], "--edge-factor")) args.edge_factor = std::atof(next("--edge-factor"));
+    else if (!std::strcmp(argv[i], "--hosts")) args.hosts = static_cast<std::uint32_t>(std::atoi(next("--hosts")));
+    else if (!std::strcmp(argv[i], "--sources")) args.sources = static_cast<std::uint32_t>(std::atoi(next("--sources")));
+    else if (!std::strcmp(argv[i], "--batch")) args.batch = static_cast<std::uint32_t>(std::atoi(next("--batch")));
+    else if (!std::strcmp(argv[i], "--policy")) args.policy = next("--policy");
+    else if (!std::strcmp(argv[i], "--seed")) args.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--no-delayed-sync")) args.no_delayed_sync = true;
+    else if (!std::strcmp(argv[i], "--weighted")) args.weighted = true;
+    else if (!std::strcmp(argv[i], "--max-weight")) args.max_weight = static_cast<std::uint32_t>(std::atoi(next("--max-weight")));
+    else if (!std::strcmp(argv[i], "--csv")) args.csv = next("--csv");
+    else if (!std::strcmp(argv[i], "--stats-file")) args.stats_file = next("--stats-file");
+    else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+partition::Policy parse_policy(const std::string& name) {
+  if (name == "cvc") return partition::Policy::kCartesianVertexCut;
+  if (name == "ec-src") return partition::Policy::kEdgeCutSrc;
+  if (name == "ec-dst") return partition::Policy::kEdgeCutDst;
+  if (name == "gvc") return partition::Policy::kGeneralVertexCut;
+  if (name == "random") return partition::Policy::kRandomEdge;
+  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+graph::Graph load_graph(const Args& args) {
+  if (!args.input.empty()) return graph::read_edge_list(args.input);
+  if (args.gen == "rmat") {
+    return graph::rmat({.scale = args.scale, .edge_factor = args.edge_factor, .seed = args.seed});
+  }
+  if (args.gen == "kron") return graph::kronecker(args.scale, args.edge_factor, args.seed);
+  if (args.gen == "er") {
+    const auto n = graph::VertexId{1} << args.scale;
+    return graph::erdos_renyi(n, args.edge_factor / static_cast<double>(n), args.seed);
+  }
+  if (args.gen == "road") {
+    const auto side = graph::VertexId{1} << (args.scale / 2);
+    return graph::road_grid(side, side, 0.05, args.seed);
+  }
+  if (args.gen == "web") {
+    return graph::web_crawl_like(args.scale, args.edge_factor, 8, 40, args.seed);
+  }
+  std::fprintf(stderr, "unknown generator '%s'\n", args.gen.c_str());
+  std::exit(2);
+}
+
+void print_sanity(const core::BcScores& bc) {
+  // The artifact's sanity-check output: aggregates that must agree across
+  // algorithm implementations for the same sources.
+  double max_bc = 0, sum_bc = 0;
+  std::size_t nonzero = 0;
+  for (double b : bc) {
+    max_bc = std::max(max_bc, b);
+    sum_bc += b;
+    if (b > 0) ++nonzero;
+  }
+  std::printf("sanity: max_bc=%.6f sum_bc=%.6f nonzero=%zu\n", max_bc, sum_bc, nonzero);
+}
+
+void print_profile(const char* what, const sim::RunStats& stats) {
+  std::printf("%s: rounds=%zu msgs=%zu bytes=%zu compute=%.4fs network=%.4fs imbalance=%.2f\n",
+              what, stats.rounds, stats.messages, stats.bytes, stats.compute_seconds,
+              stats.network_seconds, stats.mean_imbalance());
+}
+
+util::StatsRegistry g_stats;
+
+void record_profile(const char* phase, const sim::RunStats& stats) {
+  const std::string p(phase);
+  g_stats.set_counter(p + ".rounds", stats.rounds);
+  g_stats.set_counter(p + ".messages", stats.messages);
+  g_stats.set_counter(p + ".bytes", stats.bytes);
+  g_stats.set_value(p + ".compute_seconds", stats.compute_seconds);
+  g_stats.set_value(p + ".network_seconds", stats.network_seconds);
+  g_stats.set_value(p + ".load_imbalance", stats.mean_imbalance());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage(argv[0]);
+    return 2;
+  }
+  graph::Graph g = load_graph(args);
+  std::printf("graph: n=%u m=%llu maxout=%zu maxin=%zu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), g.max_out_degree(),
+              g.max_in_degree());
+  if (g.num_vertices() == 0) {
+    std::fprintf(stderr, "empty graph\n");
+    return 1;
+  }
+
+  std::vector<graph::VertexId> sources;
+  if (args.sources == 0) {
+    sources.resize(g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) sources[v] = v;
+  } else {
+    sources = graph::sample_sources(g, args.sources, args.seed);
+  }
+  std::printf("sources: %zu (estimated diameter %u)\n", sources.size(),
+              graph::estimated_diameter(g, sources));
+
+  core::BcScores bc;
+  if (args.weighted) {
+    graph::WeightedGraph wg = graph::with_random_weights(
+        graph::Graph(g.out_offsets(), g.out_targets()), 1, args.max_weight, args.seed + 7);
+    if (args.algo == "brandes") {
+      bc = baselines::brandes_weighted_bc(wg, sources).bc;
+    } else if (args.algo == "abbc") {
+      auto run = baselines::abbc_weighted_bc(wg, sources, {});
+      std::printf("abbc-weighted: seconds=%.4f pushes=%zu\n", run.seconds, run.worklist_pushes);
+      bc = std::move(run.result.bc);
+    } else if (args.algo == "mfbc") {
+      baselines::MfbcWeightedOptions opts;
+      opts.num_hosts = args.hosts;
+      opts.batch_size = args.batch;
+      auto run = baselines::mfbc_weighted_bc(wg, sources, opts);
+      print_profile("forward", run.forward);
+      print_profile("backward", run.backward);
+      bc = std::move(run.result.bc);
+    } else {
+      std::fprintf(stderr, "--weighted supports brandes, abbc, mfbc (got '%s')\n",
+                   args.algo.c_str());
+      return 2;
+    }
+    print_sanity(bc);
+    if (!args.csv.empty()) {
+      util::CsvWriter csv(args.csv, {"vertex", "bc"});
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        csv.add_row({std::to_string(v), std::to_string(bc[v])});
+      }
+    }
+    return 0;
+  }
+  if (args.algo == "mrbc") {
+    core::MrbcOptions opts;
+    opts.num_hosts = args.hosts;
+    opts.policy = parse_policy(args.policy);
+    opts.batch_size = args.batch;
+    opts.delayed_sync = !args.no_delayed_sync;
+    auto run = core::mrbc_bc(g, sources, opts);
+    print_profile("forward", run.forward);
+    print_profile("backward", run.backward);
+    record_profile("forward", run.forward);
+    record_profile("backward", run.backward);
+    g_stats.set_value("replication_factor", run.replication_factor);
+    if (run.anomalies) std::printf("WARNING: %zu pipelining anomalies\n", run.anomalies);
+    bc = std::move(run.result.bc);
+  } else if (args.algo == "congest") {
+    auto run = core::congest_mrbc(g, sources);
+    std::printf("congest: fwd_rounds=%zu acc_rounds=%zu apsp_msgs=%zu acc_msgs=%zu\n",
+                run.metrics.forward_rounds, run.metrics.accumulation_rounds,
+                run.metrics.apsp_messages, run.metrics.accumulation_messages);
+    bc = std::move(run.result.bc);
+  } else if (args.algo == "sbbc") {
+    baselines::SbbcOptions opts;
+    opts.num_hosts = args.hosts;
+    opts.policy = parse_policy(args.policy);
+    auto run = baselines::sbbc_bc(g, sources, opts);
+    print_profile("forward", run.forward);
+    print_profile("backward", run.backward);
+    record_profile("forward", run.forward);
+    record_profile("backward", run.backward);
+    bc = std::move(run.result.bc);
+  } else if (args.algo == "abbc") {
+    auto run = baselines::abbc_bc(g, sources, {});
+    std::printf("abbc: seconds=%.4f worklist_pushes=%zu\n", run.seconds, run.worklist_pushes);
+    bc = std::move(run.result.bc);
+  } else if (args.algo == "mfbc") {
+    baselines::MfbcOptions opts;
+    opts.num_hosts = args.hosts;
+    opts.batch_size = args.batch;
+    auto run = baselines::mfbc_bc(g, sources, opts);
+    print_profile("forward", run.forward);
+    print_profile("backward", run.backward);
+    bc = std::move(run.result.bc);
+  } else if (args.algo == "brandes") {
+    bc = baselines::brandes_bc_sources(g, sources).bc;
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", args.algo.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+
+  print_sanity(bc);
+  if (!args.csv.empty()) {
+    util::CsvWriter csv(args.csv, {"vertex", "bc"});
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      csv.add_row({std::to_string(v), std::to_string(bc[v])});
+    }
+    std::printf("wrote %s\n", args.csv.c_str());
+  }
+  if (!args.stats_file.empty()) {
+    g_stats.set_counter("graph.vertices", g.num_vertices());
+    g_stats.set_counter("graph.edges", g.num_edges());
+    g_stats.set_counter("sources", sources.size());
+    g_stats.write_file(args.stats_file);
+    std::printf("wrote %s\n", args.stats_file.c_str());
+  }
+  return 0;
+}

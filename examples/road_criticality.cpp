@@ -1,0 +1,64 @@
+// Scenario: rank the critical intersections of a road network — high-BC
+// junctions are the ones whose failure degrades the most routes (the power
+// grid / transport analysis use case cited in the paper's introduction).
+//
+// Road networks are the adversarial case for bulk-synchronous BC: tiny
+// degrees and a huge diameter mean SBBC executes tens of thousands of
+// nearly-empty rounds. This example shows the full Table-2 dynamic on one
+// input: asynchronous Brandes wins outright, and among the BSP algorithms
+// MRBC's pipelining cuts rounds by an order of magnitude.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/abbc.h"
+#include "baselines/sbbc.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace mrbc;
+
+  // A city-scale arterial grid with occasional diagonal connectors.
+  graph::Graph g = graph::road_grid(120, 40, 0.04, 11);
+  const auto sources = graph::sample_sources(g, 16, 5);
+  std::printf("road network: %u intersections, %llu road segments, est. diameter %u\n\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              graph::estimated_diameter(g, sources));
+
+  partition::Partition part(g, 4, partition::Policy::kCartesianVertexCut);
+
+  baselines::AbbcOptions aopts;
+  aopts.chunk_size = 64;  // the paper's road-network tuning
+  const auto abbc = baselines::abbc_bc(g, sources, aopts);
+  const auto sbbc = baselines::sbbc_bc(part, sources, {});
+  core::MrbcOptions mopts;
+  mopts.batch_size = 16;
+  const auto mrbc = core::mrbc_bc(part, sources, mopts);
+
+  std::vector<graph::VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](graph::VertexId a, graph::VertexId b) {
+    return mrbc.result.bc[a] > mrbc.result.bc[b];
+  });
+  std::printf("most critical intersections (x, y, bc):\n");
+  for (int i = 0; i < 5; ++i) {
+    const auto v = order[i];
+    std::printf("  (%3u, %3u)  bc = %.1f\n", v % 120, v / 120, mrbc.result.bc[v]);
+  }
+
+  std::printf("\nalgorithm comparison (16 sources):\n");
+  std::printf("  %-24s rounds %8zu   time %8.4f s\n", "Synchronous Brandes",
+              sbbc.total().rounds, sbbc.total().total_seconds());
+  std::printf("  %-24s rounds %8zu   time %8.4f s\n", "Min-Rounds BC", mrbc.total().rounds,
+              mrbc.total().total_seconds());
+  std::printf("  %-24s rounds %8s   time %8.4f s  (shared-memory)\n", "Asynchronous Brandes",
+              "-", abbc.seconds);
+  std::printf("\nMRBC vs SBBC round reduction: %.1fx — but the asynchronous\n",
+              static_cast<double>(sbbc.total().rounds) / static_cast<double>(mrbc.total().rounds));
+  std::printf("algorithm avoids the per-level barriers entirely, which is why the\n");
+  std::printf("paper reports ABBC as the fastest option on road networks.\n");
+  return 0;
+}

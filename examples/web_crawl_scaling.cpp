@@ -1,0 +1,53 @@
+// Scenario: centrality over a web crawl with long tail chains — the graph
+// class where the paper's headline result lives (gsh15/clueweb12: MRBC is
+// 2.1x faster than Brandes BC at 256 hosts). This example sweeps simulated
+// host counts and batch sizes, reproducing the two effects that compound in
+// MRBC's favor on such graphs:
+//   1. fewer rounds => the per-round barrier/latency cost shrinks, so MRBC
+//      scales with hosts while SBBC flattens;
+//   2. larger source batches amortize the graph's diameter across the
+//      pipelined sources (Figure 1).
+
+#include <cstdio>
+
+#include "baselines/sbbc.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace mrbc;
+
+  graph::Graph g = graph::web_crawl_like(12, 8.0, 12, 100, 33);
+  const auto sources = graph::sample_sources(g, 32, 13);
+  std::printf("web crawl: %u pages, %llu links, est. diameter %u (long-tail)\n\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              graph::estimated_diameter(g, sources));
+
+  std::printf("host scaling (batch k=16):\n");
+  std::printf("  %6s %16s %16s %10s\n", "hosts", "SBBC time", "MRBC time", "speedup");
+  for (std::uint32_t hosts : {2u, 4u, 8u, 16u}) {
+    partition::Partition part(g, hosts, partition::Policy::kCartesianVertexCut);
+    const auto sbbc = baselines::sbbc_bc(part, sources, {});
+    core::MrbcOptions mopts;
+    mopts.batch_size = 16;
+    const auto mrbc = core::mrbc_bc(part, sources, mopts);
+    std::printf("  %6u %14.4f s %14.4f s %9.2fx\n", hosts, sbbc.total().total_seconds(),
+                mrbc.total().total_seconds(),
+                sbbc.total().total_seconds() / mrbc.total().total_seconds());
+  }
+
+  std::printf("\nbatch-size sweep (8 hosts):\n");
+  std::printf("  %6s %10s %16s\n", "k", "rounds", "MRBC time");
+  partition::Partition part(g, 8, partition::Policy::kCartesianVertexCut);
+  for (std::uint32_t k : {4u, 8u, 16u, 32u}) {
+    core::MrbcOptions mopts;
+    mopts.batch_size = k;
+    const auto mrbc = core::mrbc_bc(part, sources, mopts);
+    std::printf("  %6u %10zu %14.4f s\n", k, mrbc.total().rounds,
+                mrbc.total().total_seconds());
+  }
+  std::printf("\nLarger batches pipeline more sources through the same diameter,\n");
+  std::printf("cutting rounds per source — the effect in the paper's Figure 1.\n");
+  return 0;
+}

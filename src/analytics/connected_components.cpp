@@ -1,0 +1,98 @@
+#include "analytics/connected_components.h"
+
+#include "comm/substrate.h"
+
+namespace mrbc::analytics {
+
+using graph::VertexId;
+using partition::HostId;
+using partition::Partition;
+
+namespace {
+
+struct CcAccessor {
+  using Value = VertexId;
+  std::vector<std::vector<VertexId>>& labels;
+  std::vector<std::vector<VertexId>>& worklist;
+
+  Value get(HostId h, VertexId lid) { return labels[h][lid]; }
+  void reduce(HostId h, VertexId lid, Value v) {
+    // An improved master must re-propagate over its local edges too.
+    if (v < labels[h][lid]) {
+      labels[h][lid] = v;
+      worklist[h].push_back(lid);
+    }
+  }
+  void set(HostId h, VertexId lid, Value v) {
+    if (v < labels[h][lid]) {
+      labels[h][lid] = v;
+      worklist[h].push_back(lid);
+    }
+  }
+  void reset(HostId h, VertexId lid) { labels[h][lid] = graph::kInvalidVertex; }
+};
+
+}  // namespace
+
+CcResult connected_components(const Partition& part, const sim::ClusterOptions& options) {
+  const HostId H = part.num_hosts();
+  comm::Substrate substrate(part);
+  std::vector<std::vector<VertexId>> labels(H);
+  std::vector<std::vector<VertexId>> worklist(H);
+  for (HostId h = 0; h < H; ++h) {
+    const auto& hg = part.host(h);
+    labels[h].resize(hg.num_proxies());
+    worklist[h].reserve(hg.num_proxies());
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      labels[h][l] = hg.local_to_global[l];
+      worklist[h].push_back(l);  // everyone active in round 1
+    }
+  }
+  CcAccessor acc{labels, worklist};
+
+  auto compute = [&](HostId h, std::size_t) {
+    const auto& hg = part.host(h);
+    sim::HostWork w;
+    std::vector<VertexId> frontier = std::move(worklist[h]);
+    worklist[h].clear();
+    for (VertexId lid : frontier) {
+      const VertexId label = labels[h][lid];
+      // Labels flow both ways: weak connectivity.
+      auto push = [&](VertexId tl) {
+        ++w.work_items;
+        if (label < labels[h][tl]) {
+          labels[h][tl] = label;
+          worklist[h].push_back(tl);
+          if (!hg.is_master[tl]) substrate.flag_reduce(h, tl);
+          else substrate.flag_broadcast(h, tl);
+        }
+      };
+      for (VertexId tl : hg.local.out_neighbors(lid)) push(tl);
+      for (VertexId tl : hg.local.in_neighbors(lid)) push(tl);
+    }
+    w.active = !worklist[h].empty();
+    return w;
+  };
+
+  sim::BspLoop loop(H, options);
+  CcResult result;
+  result.stats = loop.run([&](std::size_t) { return substrate.sync(acc); }, compute,
+                          [&] { return substrate.any_pending(); });
+
+  result.component.assign(part.num_global_vertices(), graph::kInvalidVertex);
+  for (HostId h = 0; h < H; ++h) {
+    const auto& hg = part.host(h);
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      if (hg.is_master[l]) result.component[hg.local_to_global[l]] = labels[h][l];
+    }
+  }
+  return result;
+}
+
+CcResult connected_components(const graph::Graph& g, HostId num_hosts, partition::Policy policy,
+                              const sim::ClusterOptions& options) {
+  Partition part(g, num_hosts, policy);
+  return connected_components(part, options);
+}
+
+}  // namespace mrbc::analytics

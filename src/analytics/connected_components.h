@@ -1,0 +1,32 @@
+#pragma once
+// Distributed connected components on the Gluon-style substrate — a second
+// vertex program (besides BC) demonstrating that the simulated D-Galois
+// stack is a general graph-analytics system, exactly as the paper's host
+// system is. Label-propagation with min-reduction: every vertex starts
+// with its own id; labels flow across edges (both directions — weak
+// connectivity) until global quiescence.
+
+#include <vector>
+
+#include "engine/cluster.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace mrbc::analytics {
+
+struct CcResult {
+  /// Per-vertex component label (the smallest vertex id in the component).
+  std::vector<graph::VertexId> component;
+  sim::RunStats stats;
+};
+
+/// Weakly connected components over a pre-built partition.
+CcResult connected_components(const partition::Partition& part,
+                              const sim::ClusterOptions& options = {});
+
+/// Convenience overload: partitions internally.
+CcResult connected_components(const graph::Graph& g, partition::HostId num_hosts,
+                              partition::Policy policy = partition::Policy::kCartesianVertexCut,
+                              const sim::ClusterOptions& options = {});
+
+}  // namespace mrbc::analytics

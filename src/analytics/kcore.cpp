@@ -1,0 +1,187 @@
+#include "analytics/kcore.h"
+
+#include <deque>
+
+#include "comm/substrate.h"
+
+namespace mrbc::analytics {
+
+using graph::VertexId;
+using partition::HostId;
+using partition::Partition;
+
+namespace {
+
+/// Reduce-phase label: degree decrements accumulated on mirror proxies.
+struct DecAccessor {
+  using Value = std::uint32_t;
+  std::vector<std::vector<std::uint32_t>>& pending;
+  std::vector<std::vector<VertexId>>& touched;
+
+  Value get(HostId h, VertexId lid) { return pending[h][lid]; }
+  void reduce(HostId h, VertexId lid, Value v) {
+    if (v > 0 && pending[h][lid] == 0) touched[h].push_back(lid);
+    pending[h][lid] += v;
+  }
+  void set(HostId, VertexId, Value) {}  // decrements are never broadcast
+  void reset(HostId h, VertexId lid) { pending[h][lid] = 0; }
+};
+
+/// Broadcast-phase label: the removal bit of a peeled vertex.
+struct RemovalAccessor {
+  using Value = std::uint8_t;
+  std::vector<std::vector<std::uint8_t>>& removed;
+  std::vector<std::vector<VertexId>>& newly_removed;
+
+  Value get(HostId h, VertexId lid) { return removed[h][lid]; }
+  void reduce(HostId, VertexId, Value) {}  // removals originate at masters only
+  void set(HostId h, VertexId lid, Value v) {
+    if (v != 0 && removed[h][lid] == 0) {
+      removed[h][lid] = 1;
+      newly_removed[h].push_back(lid);
+    }
+  }
+  void reset(HostId, VertexId) {}
+};
+
+}  // namespace
+
+KcoreResult kcore(const Partition& part, std::uint32_t k, const sim::ClusterOptions& options) {
+  const HostId H = part.num_hosts();
+  const VertexId n = part.num_global_vertices();
+  comm::Substrate substrate(part);
+
+  // Global undirected degrees, assembled once (a preprocessing all-reduce
+  // in a real system; only masters consult them afterwards).
+  std::vector<std::uint32_t> degree(n, 0);
+  for (HostId h = 0; h < H; ++h) {
+    const auto& hg = part.host(h);
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      degree[hg.local_to_global[l]] +=
+          static_cast<std::uint32_t>(hg.local.out_degree(l) + hg.local.in_degree(l));
+    }
+  }
+
+  std::vector<std::vector<std::uint32_t>> pending(H);
+  std::vector<std::vector<std::uint8_t>> removed(H);
+  std::vector<std::vector<VertexId>> touched(H);        // proxies with pending > 0
+  std::vector<std::vector<VertexId>> newly_removed(H);  // peels to propagate locally
+  for (HostId h = 0; h < H; ++h) {
+    pending[h].assign(part.host(h).num_proxies(), 0);
+    removed[h].assign(part.host(h).num_proxies(), 0);
+  }
+  DecAccessor dec_acc{pending, touched};
+  RemovalAccessor rem_acc{removed, newly_removed};
+
+  // Seed: initially under-k vertices peel at their masters.
+  for (VertexId v = 0; v < n; ++v) {
+    if (degree[v] < k) {
+      const HostId mh = part.master_host(v);
+      const VertexId lid = part.local_id(mh, v);
+      removed[mh][lid] = 1;
+      newly_removed[mh].push_back(lid);
+      substrate.flag_broadcast(mh, lid);
+    }
+  }
+
+  auto compute = [&](HostId h, std::size_t) {
+    const auto& hg = part.host(h);
+    sim::HostWork w;
+    // 1. Propagate this round's peels over the host's local edges.
+    std::vector<VertexId> peels = std::move(newly_removed[h]);
+    newly_removed[h].clear();
+    for (VertexId lid : peels) {
+      auto bump = [&](VertexId tl) {
+        if (removed[h][tl]) return;
+        if (pending[h][tl] == 0) touched[h].push_back(tl);
+        ++pending[h][tl];
+        if (!hg.is_master[tl]) substrate.flag_reduce(h, tl);
+        ++w.work_items;
+      };
+      for (VertexId tl : hg.local.out_neighbors(lid)) bump(tl);
+      for (VertexId tl : hg.local.in_neighbors(lid)) bump(tl);
+    }
+    // 2. Masters consume accumulated decrements and peel when under k.
+    std::vector<VertexId> dirty = std::move(touched[h]);
+    touched[h].clear();
+    for (VertexId lid : dirty) {
+      // Mirror pendings are shipped (and reset) by the reduce phase — only
+      // masters consume them here.
+      if (!hg.is_master[lid]) continue;
+      const std::uint32_t dec = pending[h][lid];
+      pending[h][lid] = 0;
+      if (removed[h][lid] || dec == 0) continue;
+      const VertexId gv = hg.local_to_global[lid];
+      degree[gv] = degree[gv] >= dec ? degree[gv] - dec : 0;
+      ++w.work_items;
+      if (degree[gv] < k) {
+        removed[h][lid] = 1;
+        newly_removed[h].push_back(lid);
+        substrate.flag_broadcast(h, lid);
+      }
+    }
+    w.active = !newly_removed[h].empty() || !touched[h].empty();
+    return w;
+  };
+
+  sim::BspLoop loop(H, options);
+  KcoreResult result;
+  result.stats = loop.run(
+      [&](std::size_t) {
+        // Decrements flow mirror -> master, removals master -> mirrors.
+        comm::SyncStats s = substrate.reduce(dec_acc);
+        s += substrate.broadcast(rem_acc);
+        return s;
+      },
+      compute, [&] { return substrate.any_pending(); });
+
+  result.in_core.assign(n, false);
+  for (HostId h = 0; h < H; ++h) {
+    const auto& hg = part.host(h);
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      if (hg.is_master[l] && !removed[h][l]) {
+        result.in_core[hg.local_to_global[l]] = true;
+        ++result.core_size;
+      }
+    }
+  }
+  return result;
+}
+
+KcoreResult kcore(const graph::Graph& g, std::uint32_t k, HostId num_hosts,
+                  const sim::ClusterOptions& options) {
+  Partition part(g, num_hosts, partition::Policy::kCartesianVertexCut);
+  return kcore(part, k, options);
+}
+
+std::vector<bool> kcore_reference(const graph::Graph& g, std::uint32_t k) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n);
+  std::vector<bool> removed(n, false);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.out_degree(v) + g.in_degree(v));
+    if (degree[v] < k) {
+      removed[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    auto bump = [&](VertexId w) {
+      if (removed[w]) return;
+      if (--degree[w] < k) {
+        removed[w] = true;
+        queue.push_back(w);
+      }
+    };
+    for (VertexId w : g.out_neighbors(v)) bump(w);
+    for (VertexId w : g.in_neighbors(v)) bump(w);
+  }
+  std::vector<bool> in_core(n);
+  for (VertexId v = 0; v < n; ++v) in_core[v] = !removed[v];
+  return in_core;
+}
+
+}  // namespace mrbc::analytics

@@ -1,0 +1,35 @@
+#pragma once
+// Distributed k-core decomposition on the Gluon-style substrate: iterative
+// peeling over the undirected degree. A vertex whose remaining degree drops
+// below k is removed; removals propagate degree decrements to neighbors
+// until a fixpoint. A third reduction pattern for the substrate (summed
+// decrements with reduce-reset), alongside min-label CC and summed-rank
+// PageRank.
+
+#include <vector>
+
+#include "engine/cluster.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace mrbc::analytics {
+
+struct KcoreResult {
+  /// Per-vertex flag: true if the vertex survives in the k-core.
+  std::vector<bool> in_core;
+  std::size_t core_size = 0;
+  sim::RunStats stats;
+};
+
+/// Vertices of the k-core of the undirected closure of the partitioned
+/// graph (degree = in-degree + out-degree of the directed graph).
+KcoreResult kcore(const partition::Partition& part, std::uint32_t k,
+                  const sim::ClusterOptions& options = {});
+
+KcoreResult kcore(const graph::Graph& g, std::uint32_t k, partition::HostId num_hosts,
+                  const sim::ClusterOptions& options = {});
+
+/// Sequential peeling reference for validation.
+std::vector<bool> kcore_reference(const graph::Graph& g, std::uint32_t k);
+
+}  // namespace mrbc::analytics

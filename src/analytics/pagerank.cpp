@@ -1,0 +1,157 @@
+#include "analytics/pagerank.h"
+
+#include <cmath>
+
+#include "comm/substrate.h"
+
+namespace mrbc::analytics {
+
+using graph::VertexId;
+using partition::HostId;
+using partition::Partition;
+
+namespace {
+
+/// Proxy label: the partial contribution sum accumulated this iteration.
+struct PrAccessor {
+  using Value = double;
+  std::vector<std::vector<double>>& contrib;
+
+  Value get(HostId h, VertexId lid) { return contrib[h][lid]; }
+  void reduce(HostId h, VertexId lid, Value v) { contrib[h][lid] += v; }
+  void set(HostId h, VertexId lid, Value v) { contrib[h][lid] = v; }
+  void reset(HostId h, VertexId lid) { contrib[h][lid] = 0.0; }
+};
+
+/// Rank broadcast after the master update.
+struct RankAccessor {
+  using Value = double;
+  std::vector<std::vector<double>>& rank;
+
+  Value get(HostId h, VertexId lid) { return rank[h][lid]; }
+  void reduce(HostId h, VertexId lid, Value v) { rank[h][lid] = v; }  // unused
+  void set(HostId h, VertexId lid, Value v) { rank[h][lid] = v; }
+  void reset(HostId, VertexId) {}
+};
+
+}  // namespace
+
+PagerankResult pagerank(const Partition& part, const PagerankOptions& options) {
+  const HostId H = part.num_hosts();
+  const double n = static_cast<double>(part.num_global_vertices());
+  comm::Substrate substrate(part);
+  std::vector<std::vector<double>> rank(H), contrib(H);
+  // Global out-degrees: each host knows only its local slice of a vertex's
+  // edges, so degrees are assembled once up front (a preprocessing
+  // all-reduce in a real system).
+  std::vector<double> out_degree(part.num_global_vertices(), 0.0);
+  for (HostId h = 0; h < H; ++h) {
+    const auto& hg = part.host(h);
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      out_degree[hg.local_to_global[l]] += static_cast<double>(hg.local.out_degree(l));
+    }
+    rank[h].assign(hg.num_proxies(), 1.0 / n);
+    contrib[h].assign(hg.num_proxies(), 0.0);
+  }
+
+  PagerankResult result;
+  PrAccessor contrib_acc{contrib};
+  RankAccessor rank_acc{rank};
+  double l1_change = 1.0;
+
+  for (std::uint32_t iter = 0; iter < options.max_iterations && l1_change > options.tolerance;
+       ++iter) {
+    ++result.iterations;
+    // Phase 1 (compute): push rank/deg along local out-edges into contrib.
+    util::Timer timer;
+    std::vector<double> host_work(H, 0.0);
+    for (HostId h = 0; h < H; ++h) {
+      util::Timer host_timer;
+      const auto& hg = part.host(h);
+      for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+        const VertexId gv = hg.local_to_global[l];
+        if (out_degree[gv] == 0) continue;
+        const double share = rank[h][l] / out_degree[gv];
+        for (VertexId t : hg.local.out_neighbors(l)) {
+          contrib[h][t] += share;
+          ++host_work[h];
+        }
+      }
+      for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+        if (contrib[h][l] != 0.0 && !hg.is_master[l]) substrate.flag_reduce(h, l);
+      }
+      const double sec = host_timer.seconds();
+      result.stats.per_host_compute_seconds.resize(H, 0.0);
+      result.stats.per_host_compute_seconds[h] += sec;
+    }
+    result.stats.compute_seconds += timer.seconds();
+    result.stats.imbalance_sum += util::imbalance(host_work);
+
+    // Phase 2 (comm): partial contributions to masters.
+    comm::SyncStats reduce_stats = substrate.reduce(contrib_acc);
+
+    // Phase 3: master update + convergence metric.
+    l1_change = 0.0;
+    for (HostId h = 0; h < H; ++h) {
+      const auto& hg = part.host(h);
+      for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+        if (!hg.is_master[l]) continue;
+        const double updated = (1.0 - options.damping) / n + options.damping * contrib[h][l];
+        l1_change += std::abs(updated - rank[h][l]);
+        rank[h][l] = updated;
+        substrate.flag_broadcast(h, l);
+      }
+    }
+    // Phase 4 (comm): new ranks to mirrors; reset contributions.
+    comm::SyncStats bcast_stats = substrate.broadcast(rank_acc);
+    for (HostId h = 0; h < H; ++h) {
+      std::fill(contrib[h].begin(), contrib[h].end(), 0.0);
+    }
+
+    comm::SyncStats round = reduce_stats;
+    round += bcast_stats;
+    std::size_t max_egress = 0, max_msgs = 0;
+    for (std::size_t b : round.bytes_per_host) max_egress = std::max(max_egress, b);
+    for (std::size_t m : round.msgs_per_host) max_msgs = std::max(max_msgs, m);
+    result.stats.network_seconds +=
+        options.cluster.network.round_seconds(max_msgs, max_egress);
+    result.stats.messages += round.messages;
+    result.stats.bytes += round.bytes;
+    result.stats.values += round.values;
+    ++result.stats.rounds;
+  }
+
+  result.rank.assign(part.num_global_vertices(), 0.0);
+  for (HostId h = 0; h < H; ++h) {
+    const auto& hg = part.host(h);
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      if (hg.is_master[l]) result.rank[hg.local_to_global[l]] = rank[h][l];
+    }
+  }
+  return result;
+}
+
+PagerankResult pagerank(const graph::Graph& g, HostId num_hosts, const PagerankOptions& options) {
+  Partition part(g, num_hosts, partition::Policy::kCartesianVertexCut);
+  return pagerank(part, options);
+}
+
+std::vector<double> pagerank_reference(const graph::Graph& g, double damping,
+                                       std::uint32_t iterations) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / static_cast<double>(n));
+    for (VertexId u = 0; u < n; ++u) {
+      const std::size_t deg = g.out_degree(u);
+      if (deg == 0) continue;
+      const double share = damping * rank[u] / static_cast<double>(deg);
+      for (VertexId v : g.out_neighbors(u)) next[v] += share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace mrbc::analytics

@@ -1,0 +1,40 @@
+#pragma once
+// Distributed PageRank on the Gluon-style substrate (topology-driven,
+// synchronous iterations): each round every vertex pushes rank/out_degree
+// along its local out-edges, partial sums are reduce(+)-ed to masters,
+// masters apply the damping update and broadcast the new rank. A third
+// vertex program exercising the substrate with a different reduction
+// (sum) and a dense per-round update pattern.
+
+#include <vector>
+
+#include "engine/cluster.h"
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace mrbc::analytics {
+
+struct PagerankOptions {
+  double damping = 0.85;
+  std::uint32_t max_iterations = 50;
+  /// Stop when the L1 change of the rank vector falls below this.
+  double tolerance = 1e-9;
+  sim::ClusterOptions cluster;
+};
+
+struct PagerankResult {
+  std::vector<double> rank;  ///< sums to ~1 over vertices
+  std::uint32_t iterations = 0;
+  sim::RunStats stats;
+};
+
+PagerankResult pagerank(const partition::Partition& part, const PagerankOptions& options = {});
+
+PagerankResult pagerank(const graph::Graph& g, partition::HostId num_hosts,
+                        const PagerankOptions& options = {});
+
+/// Sequential reference (power iteration) for validation.
+std::vector<double> pagerank_reference(const graph::Graph& g, double damping,
+                                       std::uint32_t iterations);
+
+}  // namespace mrbc::analytics

@@ -1,0 +1,37 @@
+#pragma once
+// Asynchronous-Brandes BC (ABBC): the Lonestar-style shared-memory
+// asynchronous BC of Prountzos & Pingali (PPoPP'13). There are no BSP
+// rounds and no communication: work is driven by a chunked worklist, which
+// is why ABBC wins on high-diameter graphs (road networks) in Table 2 —
+// synchronous algorithms pay a barrier per BFS level there — but loses or
+// runs out of memory on large power-law graphs (single host only).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bc_common.h"
+#include "graph/graph.h"
+
+namespace mrbc::baselines {
+
+using core::BcResult;
+using graph::Graph;
+using graph::VertexId;
+
+struct AbbcOptions {
+  /// Worklist chunk size (the paper tunes 8 for power-law inputs, 64 for
+  /// the road network).
+  std::size_t chunk_size = 8;
+  bool collect_tables = false;
+};
+
+struct AbbcRun {
+  BcResult result;
+  double seconds = 0.0;            ///< measured wall-clock (no modeled network)
+  std::size_t worklist_pushes = 0; ///< total scheduler activity
+};
+
+AbbcRun abbc_bc(const Graph& g, const std::vector<VertexId>& sources,
+                const AbbcOptions& options = {});
+
+}  // namespace mrbc::baselines

@@ -1,0 +1,83 @@
+#include "baselines/brandes_seq.h"
+
+#include <queue>
+
+#include "graph/algorithms.h"
+
+namespace mrbc::baselines {
+
+using graph::kInfDist;
+
+namespace {
+
+/// One source's forward BFS + reverse accumulation (Alg. 1 body + Alg. 2).
+void accumulate_source(const Graph& g, VertexId s, BcScores& bc,
+                       std::vector<std::uint32_t>* dist_out, std::vector<double>* sigma_out,
+                       std::vector<double>* delta_out) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, kInfDist);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<std::vector<VertexId>> preds(n);
+  std::vector<VertexId> order;  // vertices in non-decreasing distance (the stack S)
+  order.reserve(n);
+
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  std::queue<VertexId> queue;
+  queue.push(s);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (VertexId v : g.out_neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+      if (dist[v] == dist[u] + 1) {
+        sigma[v] += sigma[u];
+        preds[v].push_back(u);
+      }
+    }
+  }
+
+  // Algorithm 2: pop in non-increasing distance, push dependencies to preds.
+  std::vector<double> delta(n, 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId w = *it;
+    for (VertexId v : preds[w]) {
+      delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    }
+    if (w != s) bc[w] += delta[w];
+  }
+
+  if (dist_out) *dist_out = std::move(dist);
+  if (sigma_out) *sigma_out = std::move(sigma);
+  if (delta_out) *delta_out = std::move(delta);
+}
+
+}  // namespace
+
+BcScores brandes_bc(const Graph& g) {
+  BcScores bc(g.num_vertices(), 0.0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    accumulate_source(g, s, bc, nullptr, nullptr, nullptr);
+  }
+  return bc;
+}
+
+BcResult brandes_bc_sources(const Graph& g, const std::vector<VertexId>& sources) {
+  BcResult result;
+  result.sources = sources;
+  result.bc.assign(g.num_vertices(), 0.0);
+  result.dist.resize(sources.size());
+  result.sigma.resize(sources.size());
+  result.delta.resize(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    accumulate_source(g, sources[i], result.bc, &result.dist[i], &result.sigma[i],
+                      &result.delta[i]);
+  }
+  return result;
+}
+
+}  // namespace mrbc::baselines

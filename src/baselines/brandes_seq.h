@@ -1,0 +1,26 @@
+#pragma once
+// Sequential Brandes betweenness centrality (Algorithms 1-2 of the paper;
+// Brandes 2001). This is the golden reference every distributed
+// implementation in this repository is validated against, and the ABBC /
+// SBBC baselines build on its structure.
+
+#include <vector>
+
+#include "core/bc_common.h"
+#include "graph/graph.h"
+
+namespace mrbc::baselines {
+
+using core::BcResult;
+using core::BcScores;
+using graph::Graph;
+using graph::VertexId;
+
+/// Exact BC of every vertex (all n sources). O(n(n+m)).
+BcScores brandes_bc(const Graph& g);
+
+/// BC contributions from the given source set only (the standard sampled
+/// approximation), with full per-source dist/sigma/delta retained.
+BcResult brandes_bc_sources(const Graph& g, const std::vector<VertexId>& sources);
+
+}  // namespace mrbc::baselines

@@ -1,0 +1,93 @@
+#include "baselines/lenzen_peleg.h"
+
+#include <algorithm>
+
+#include "engine/congest.h"
+
+namespace mrbc::baselines {
+
+using graph::kInfDist;
+using graph::VertexId;
+
+namespace {
+
+struct Msg {
+  std::uint32_t source;
+  std::uint32_t dist;
+};
+
+enum class Status : std::uint8_t { kReady, kSent };
+
+struct VertexState {
+  // Sorted list of (dist, source) with a status flag per entry.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> list;
+  std::vector<Status> status;  // parallel to list
+  std::vector<std::uint32_t> dist;  // per source, for O(1) updates
+
+  void upsert(std::uint32_t source, std::uint32_t d) {
+    const auto entry = std::make_pair(d, source);
+    if (dist[source] != kInfDist) {
+      // Remove the old (worse) entry.
+      const auto old_entry = std::make_pair(dist[source], source);
+      const auto it = std::lower_bound(list.begin(), list.end(), old_entry);
+      const auto idx = static_cast<std::size_t>(it - list.begin());
+      list.erase(it);
+      status.erase(status.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    const auto it = std::lower_bound(list.begin(), list.end(), entry);
+    const auto idx = static_cast<std::size_t>(it - list.begin());
+    list.insert(it, entry);
+    // An inserted or improved entry becomes ready (to be re-sent).
+    status.insert(status.begin() + static_cast<std::ptrdiff_t>(idx), Status::kReady);
+    dist[source] = d;
+  }
+};
+
+}  // namespace
+
+LenzenPelegRun lenzen_peleg_apsp(const graph::Graph& g) {
+  const VertexId n = g.num_vertices();
+  LenzenPelegRun run;
+  run.dist.assign(n, std::vector<std::uint32_t>(n, kInfDist));
+  if (n == 0) return run;
+
+  congest::Network<Msg> net(g);
+  std::vector<VertexState> state(n);
+  for (VertexId v = 0; v < n; ++v) {
+    state[v].dist.assign(n, kInfDist);
+    state[v].upsert(v, 0);
+  }
+
+  // 2n rounds (the directed-graph cap the paper cites).
+  for (std::uint32_t r = 1; r <= 2 * n; ++r) {
+    net.advance_round();
+    for (VertexId v = 0; v < n; ++v) {
+      for (const auto& [from, m] : net.inbox(v)) {
+        (void)from;
+        if (m.dist + 1 < state[v].dist[m.source]) {
+          state[v].upsert(m.source, m.dist + 1);
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      auto& vs = state[v];
+      // Transmit the smallest-index ready entry; mark it sent.
+      for (std::size_t i = 0; i < vs.list.size(); ++i) {
+        if (vs.status[i] == Status::kReady) {
+          vs.status[i] = Status::kSent;
+          net.send_to_out_neighbors(v, Msg{vs.list[i].second, vs.list[i].first});
+          run.metrics.messages += g.out_degree(v);
+          break;
+        }
+      }
+    }
+  }
+  run.metrics.rounds = 2 * static_cast<std::size_t>(n);
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId s = 0; s < n; ++s) run.dist[s][v] = state[v].dist[s];
+  }
+  return run;
+}
+
+}  // namespace mrbc::baselines

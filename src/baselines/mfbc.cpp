@@ -1,0 +1,253 @@
+#include "baselines/mfbc.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "matrix/csr_matrix.h"
+#include "matrix/semiring.h"
+#include "partition/partition.h"
+#include "util/timer.h"
+
+namespace mrbc::baselines {
+
+using graph::kInfDist;
+using matrix::DistSigma;
+
+namespace {
+
+/// Wire sizes of one frontier entry in the allgather (vertex, source,
+/// dist, value) — what CTF would ship per nonzero.
+constexpr std::size_t kFwdEntryBytes = 4 + 4 + 4 + 8;
+constexpr std::size_t kBwdEntryBytes = 4 + 4 + 4 + 8;
+
+struct FwdEntry {
+  VertexId v;
+  std::uint32_t sidx;
+  DistSigma val;
+};
+
+struct BwdEntry {
+  VertexId v;
+  std::uint32_t sidx;
+  std::uint32_t dist;
+  double m;  // (1 + delta)/sigma of the firing vertex
+};
+
+/// Accounts one allgather iteration: every host ships its produced frontier
+/// part to every other host.
+void account_allgather(sim::RunStats& stats, const sim::NetworkModel& net,
+                       const std::vector<std::size_t>& part_bytes, std::uint32_t H) {
+  std::size_t max_egress = 0;
+  std::size_t total = 0;
+  for (std::size_t b : part_bytes) {
+    const std::size_t egress = b * (H - 1);
+    max_egress = std::max(max_egress, egress);
+    total += egress;
+  }
+  if (H > 1) stats.messages += static_cast<std::size_t>(H) * (H - 1);
+  stats.bytes += total;
+  // Hosts ship their frontier parts concurrently: the round is paced by
+  // the busiest host's (H-1) peer messages and its egress bytes.
+  stats.network_seconds += net.round_seconds(H > 1 ? H - 1 : 0, max_egress);
+}
+
+class MfbcRunner {
+ public:
+  MfbcRunner(const Graph& g, const MfbcOptions& opts) : g_(g), opts_(opts) {
+    H_ = std::max<std::uint32_t>(opts.num_hosts, 1);
+    // 1D row partition: host h owns destination rows in its block; build
+    // per-host sub-adjacency (each edge appears in exactly one sub-graph).
+    std::vector<std::vector<graph::Edge>> per_host(H_);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId w : g.out_neighbors(u)) {
+        per_host[partition::block_owner(w, g.num_vertices(), H_)].push_back({u, w});
+      }
+    }
+    sub_.reserve(H_);
+    for (std::uint32_t h = 0; h < H_; ++h) {
+      sub_.push_back(graph::build_graph(g.num_vertices(), std::move(per_host[h])));
+    }
+  }
+
+  void run_batch(const std::vector<VertexId>& batch, MfbcRun& run, std::size_t base) {
+    const std::size_t k = batch.size();
+    k_ = k;
+    const VertexId n = g_.num_vertices();
+    table_.assign(static_cast<std::size_t>(n) * k, DistSigma{});
+    delta_.assign(static_cast<std::size_t>(n) * k, 0.0);
+
+    // ---- Forward: Bellman-Ford with maximal frontiers -----------------
+    std::vector<FwdEntry> frontier;
+    for (std::size_t sidx = 0; sidx < k; ++sidx) {
+      at(batch[sidx], sidx) = {0, 1.0};
+      frontier.push_back({batch[sidx], static_cast<std::uint32_t>(sidx), {0, 1.0}});
+    }
+    std::uint32_t max_level = 0;
+    // changed_mark_ tracks (vertex, source) cells already queued for the
+    // next frontier this iteration, so sigma merges update in place.
+    changed_mark_.assign(static_cast<std::size_t>(n) * k, 0);
+    while (!frontier.empty()) {
+      ++run.forward.rounds;
+      std::vector<std::size_t> part_bytes(H_, 0);
+      std::vector<double> host_work(H_, 0.0);
+      std::vector<std::pair<VertexId, std::uint32_t>> changed;
+      double max_host_seconds = 0.0;
+      for (std::uint32_t h = 0; h < H_; ++h) {
+        util::Timer timer;
+        // A^T (x) frontier restricted to rows owned by h.
+        for (const FwdEntry& e : frontier) {
+          for (VertexId w : sub_[h].out_neighbors(e.v)) {
+            DistSigma& cur = at(w, e.sidx);
+            const DistSigma cand{e.val.dist + 1, e.val.sigma};
+            host_work[h] += 1.0;
+            if (cand.dist < cur.dist) {
+              cur = cand;
+            } else if (cand.dist == cur.dist) {
+              cur.sigma += cand.sigma;
+            } else {
+              continue;
+            }
+            std::uint8_t& mark = changed_mark_[static_cast<std::size_t>(w) * k + e.sidx];
+            if (!mark) {
+              mark = 1;
+              changed.emplace_back(w, e.sidx);
+            }
+          }
+        }
+        const double sec = timer.seconds();
+        max_host_seconds = std::max(max_host_seconds, sec);
+        run.forward.per_host_compute_seconds.resize(H_, 0.0);
+        run.forward.per_host_compute_seconds[h] += sec;
+      }
+      std::vector<FwdEntry> next;
+      next.reserve(changed.size());
+      for (const auto& [w, sidx] : changed) {
+        changed_mark_[static_cast<std::size_t>(w) * k + sidx] = 0;
+        next.push_back({w, sidx, at(w, sidx)});
+        part_bytes[partition::block_owner(w, n, H_)] += kFwdEntryBytes;
+        max_level = std::max(max_level, at(w, sidx).dist);
+      }
+      run.forward.compute_seconds += max_host_seconds;
+      run.forward.imbalance_sum += util::imbalance(host_work);
+      account_allgather(run.forward, opts_.network, part_bytes, H_);
+      frontier = std::move(next);
+    }
+
+    // ---- Backward: dependency products by decreasing level -------------
+    for (std::uint32_t level = max_level; level >= 1; --level) {
+      ++run.backward.rounds;
+      std::vector<BwdEntry> frontier_b;
+      for (VertexId v = 0; v < n; ++v) {
+        for (std::size_t sidx = 0; sidx < k; ++sidx) {
+          const DistSigma& t = at(v, sidx);
+          if (t.dist == level) {
+            frontier_b.push_back({v, static_cast<std::uint32_t>(sidx), t.dist,
+                                  (1.0 + d_at(v, sidx)) / t.sigma});
+          }
+        }
+      }
+      std::vector<std::size_t> part_bytes(H_, 0);
+      for (const BwdEntry& e : frontier_b) {
+        part_bytes[partition::block_owner(e.v, n, H_)] += kBwdEntryBytes;
+      }
+      std::vector<double> host_work(H_, 0.0);
+      double max_host_seconds = 0.0;
+      for (std::uint32_t h = 0; h < H_; ++h) {
+        util::Timer timer;
+        // A (x) frontier: contributions flow to in-neighbors owned by h.
+        for (const BwdEntry& e : frontier_b) {
+          for (VertexId v : sub_in(h).out_neighbors(e.v)) {
+            host_work[h] += 1.0;
+            const DistSigma& tv = at(v, e.sidx);
+            if (tv.dist != kInfDist && tv.dist + 1 == e.dist) {
+              d_at(v, e.sidx) += tv.sigma * e.m;
+            }
+          }
+        }
+        const double sec = timer.seconds();
+        max_host_seconds = std::max(max_host_seconds, sec);
+        run.backward.per_host_compute_seconds.resize(H_, 0.0);
+        run.backward.per_host_compute_seconds[h] += sec;
+      }
+      run.backward.compute_seconds += max_host_seconds;
+      run.backward.imbalance_sum += util::imbalance(host_work);
+      account_allgather(run.backward, opts_.network, part_bytes, H_);
+    }
+
+    // ---- Fold into the result ------------------------------------------
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::size_t sidx = 0; sidx < k; ++sidx) {
+        if (batch[sidx] != v && at(v, sidx).dist != kInfDist) {
+          run.result.bc[v] += d_at(v, sidx);
+        }
+        if (opts_.collect_tables) {
+          run.result.dist[base + sidx][v] = at(v, sidx).dist;
+          run.result.sigma[base + sidx][v] = at(v, sidx).sigma;
+          run.result.delta[base + sidx][v] = d_at(v, sidx);
+        }
+      }
+    }
+  }
+
+ private:
+  DistSigma& at(VertexId v, std::size_t sidx) {
+    return table_[static_cast<std::size_t>(v) * k_ + sidx];
+  }
+  double& d_at(VertexId v, std::size_t sidx) {
+    return delta_[static_cast<std::size_t>(v) * k_ + sidx];
+  }
+
+  /// Per-host graph of reversed edges, built lazily for the backward phase:
+  /// edge (w, v) of sub_in(h) exists when (v, w) in E and owner(v) == h.
+  const Graph& sub_in(std::uint32_t h) {
+    if (sub_in_.empty()) {
+      std::vector<std::vector<graph::Edge>> per_host(H_);
+      for (VertexId u = 0; u < g_.num_vertices(); ++u) {
+        for (VertexId w : g_.out_neighbors(u)) {
+          per_host[partition::block_owner(u, g_.num_vertices(), H_)].push_back({w, u});
+        }
+      }
+      sub_in_.reserve(H_);
+      for (std::uint32_t i = 0; i < H_; ++i) {
+        sub_in_.push_back(graph::build_graph(g_.num_vertices(), std::move(per_host[i])));
+      }
+    }
+    return sub_in_[h];
+  }
+
+  const Graph& g_;
+  MfbcOptions opts_;
+  std::uint32_t H_ = 1;
+  std::vector<Graph> sub_;      // forward: edges grouped by destination owner
+  std::vector<Graph> sub_in_;   // backward: reversed edges grouped by source owner
+  std::vector<DistSigma> table_;
+  std::vector<double> delta_;
+  std::vector<std::uint8_t> changed_mark_;
+  std::size_t k_ = 0;
+};
+
+}  // namespace
+
+MfbcRun mfbc_bc(const Graph& g, const std::vector<VertexId>& sources, const MfbcOptions& options) {
+  MfbcRun run;
+  run.result.sources = sources;
+  run.result.bc.assign(g.num_vertices(), 0.0);
+  if (options.collect_tables) {
+    run.result.dist.assign(sources.size(),
+                           std::vector<std::uint32_t>(g.num_vertices(), kInfDist));
+    run.result.sigma.assign(sources.size(), std::vector<double>(g.num_vertices(), 0.0));
+    run.result.delta.assign(sources.size(), std::vector<double>(g.num_vertices(), 0.0));
+  }
+  if (g.num_vertices() == 0 || sources.empty()) return run;
+  MfbcRunner runner(g, options);
+  const std::uint32_t k = std::max<std::uint32_t>(options.batch_size, 1);
+  for (std::size_t begin = 0; begin < sources.size(); begin += k) {
+    const std::size_t end = std::min(sources.size(), begin + k);
+    std::vector<VertexId> batch(sources.begin() + begin, sources.begin() + end);
+    runner.run_batch(batch, run, begin);
+  }
+  return run;
+}
+
+}  // namespace mrbc::baselines

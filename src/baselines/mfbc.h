@@ -1,0 +1,47 @@
+#pragma once
+// Maximal-Frontier BC (MFBC, Solomonik et al., SC'17): betweenness
+// centrality formulated as sparse-matrix operations over a (min,+)-style
+// semiring, with Bellman-Ford shortest paths — the "maximal frontier"
+// carries only entries that changed in the previous iteration. The paper's
+// implementation runs on the Cyclops Tensor Framework; ours runs the same
+// algorithm over the matrix/ semiring layer with a 1D row-partitioned
+// distributed product whose frontier allgather is what makes MFBC
+// communication-heavy relative to MRBC/SBBC (Table 2).
+
+#include <vector>
+
+#include "core/bc_common.h"
+#include "engine/cluster.h"
+#include "graph/graph.h"
+
+namespace mrbc::baselines {
+
+using core::BcResult;
+using graph::Graph;
+using graph::VertexId;
+
+struct MfbcOptions {
+  std::uint32_t num_hosts = 4;
+  /// Sources processed simultaneously; MFBC favors the largest batch that
+  /// fits in memory (Section 5.2).
+  std::uint32_t batch_size = 32;
+  bool collect_tables = false;
+  sim::NetworkModel network;
+};
+
+struct MfbcRun {
+  BcResult result;
+  sim::RunStats forward;   ///< per-iteration allgather accounting
+  sim::RunStats backward;
+
+  sim::RunStats total() const {
+    sim::RunStats t = forward;
+    t += backward;
+    return t;
+  }
+};
+
+MfbcRun mfbc_bc(const Graph& g, const std::vector<VertexId>& sources,
+                const MfbcOptions& options = {});
+
+}  // namespace mrbc::baselines

@@ -1,0 +1,260 @@
+#include "baselines/sbbc.h"
+
+#include <algorithm>
+
+#include "comm/substrate.h"
+#include "graph/algorithms.h"
+
+namespace mrbc::baselines {
+
+using comm::Substrate;
+using graph::kInfDist;
+using partition::HostId;
+using partition::Partition;
+
+namespace {
+
+/// Forward-phase proxy label.
+struct DistSigma {
+  std::uint32_t dist = kInfDist;
+  double sigma = 0.0;
+};
+
+/// One source's level-synchronous execution over the partition.
+class SourceRunner {
+ public:
+  SourceRunner(const Partition& part, VertexId source, const SbbcOptions& opts)
+      : part_(part), source_(source), opts_(opts), substrate_(part) {
+    const HostId H = part.num_hosts();
+    labels_.resize(H);
+    delta_.resize(H);
+    worklist_.resize(H);
+    self_sched_.resize(H);
+    in_frontier_.resize(H);
+    masters_by_level_.resize(H);
+    for (HostId h = 0; h < H; ++h) {
+      const auto np = part.host(h).num_proxies();
+      labels_[h].assign(np, {});
+      delta_[h].assign(np, 0.0);
+      in_frontier_[h].resize(np);
+    }
+  }
+
+  sim::RunStats run_forward() {
+    const HostId mh = part_.master_host(source_);
+    const VertexId lid = part_.local_id(mh, source_);
+    labels_[mh][lid] = {0, 1.0};
+    in_frontier_[mh].set(lid);
+    self_sched_[mh].push_back(lid);
+    substrate_.flag_broadcast(mh, lid);
+
+    ForwardAccessor acc{*this};
+    sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
+    return loop.run(
+        [&](std::size_t) { return substrate_.sync(acc); },
+        [&](HostId h, std::size_t) { return compute_forward(h); },
+        [&] { return substrate_.any_pending(); });
+  }
+
+  sim::RunStats run_backward() {
+    // Bucket master vertices by BFS level; the backward sweep fires levels
+    // from the deepest down, one level per round.
+    max_level_ = 0;
+    for (HostId h = 0; h < part_.num_hosts(); ++h) {
+      const auto& hg = part_.host(h);
+      for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+        if (hg.is_master[l] && labels_[h][l].dist != kInfDist) {
+          max_level_ = std::max(max_level_, labels_[h][l].dist);
+        }
+      }
+    }
+    for (HostId h = 0; h < part_.num_hosts(); ++h) {
+      const auto& hg = part_.host(h);
+      masters_by_level_[h].assign(max_level_ + 1, {});
+      for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+        if (hg.is_master[l] && labels_[h][l].dist != kInfDist) {
+          masters_by_level_[h][labels_[h][l].dist].push_back(l);
+        }
+      }
+      schedule_backward(h, 1);
+    }
+    BackwardAccessor acc{*this};
+    sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
+    return loop.run(
+        [&](std::size_t) { return substrate_.sync(acc); },
+        [&](HostId h, std::size_t round) {
+          return compute_backward(h, static_cast<std::uint32_t>(round));
+        },
+        [&] { return substrate_.any_pending(); });
+  }
+
+  void harvest(BcResult& out, std::size_t source_idx) const {
+    for (HostId h = 0; h < part_.num_hosts(); ++h) {
+      const auto& hg = part_.host(h);
+      for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+        if (!hg.is_master[l]) continue;
+        const VertexId gv = hg.local_to_global[l];
+        if (gv != source_ && labels_[h][l].dist != kInfDist) out.bc[gv] += delta_[h][l];
+        if (opts_.collect_tables) {
+          out.dist[source_idx][gv] = labels_[h][l].dist;
+          out.sigma[source_idx][gv] = labels_[h][l].sigma;
+          out.delta[source_idx][gv] = delta_[h][l];
+        }
+      }
+    }
+  }
+
+ private:
+  void combine_forward(HostId h, VertexId lid, std::uint32_t d, double sigma) {
+    DistSigma& s = labels_[h][lid];
+    if (d > s.dist) return;
+    if (d < s.dist) {
+      s.dist = d;
+      s.sigma = sigma;
+      if (part_.host(h).is_master[lid]) {
+        // The master joins the next round's frontier.
+        if (!in_frontier_[h].test(lid)) {
+          in_frontier_[h].set(lid);
+          self_sched_[h].push_back(lid);
+          substrate_.flag_broadcast(h, lid);
+        }
+      }
+    } else {
+      s.sigma += sigma;
+    }
+    if (!part_.host(h).is_master[lid]) substrate_.flag_reduce(h, lid);
+  }
+
+  sim::HostWork compute_forward(HostId h) {
+    const auto& hg = part_.host(h);
+    sim::HostWork w;
+    // Take ownership of this round's frontier first: combine_forward may
+    // schedule masters into self_sched_ for the NEXT round while we drain.
+    std::vector<VertexId> wl = std::move(worklist_[h]);
+    worklist_[h].clear();
+    std::vector<VertexId> ss = std::move(self_sched_[h]);
+    self_sched_[h].clear();
+    auto drain = [&](const std::vector<VertexId>& list) {
+      for (VertexId lid : list) {
+        const DistSigma s = labels_[h][lid];
+        for (VertexId tl : hg.local.out_neighbors(lid)) {
+          combine_forward(h, tl, s.dist + 1, s.sigma);
+          ++w.work_items;
+        }
+      }
+    };
+    drain(wl);
+    drain(ss);
+    w.active = false;  // all progress is flag-driven
+    return w;
+  }
+
+  void schedule_backward(HostId h, std::uint32_t round) {
+    // Backward round t finalizes level max_level - t + 1.
+    if (round > max_level_ + 1) return;
+    const std::uint32_t level = max_level_ + 1 - round;
+    if (level == 0) return;  // the source contributes no dependency upward
+    for (VertexId lid : masters_by_level_[h][level]) {
+      self_sched_[h].push_back(lid);
+      substrate_.flag_broadcast(h, lid);
+    }
+  }
+
+  sim::HostWork compute_backward(HostId h, std::uint32_t round) {
+    const auto& hg = part_.host(h);
+    sim::HostWork w;
+    auto drain = [&](const std::vector<VertexId>& list) {
+      for (VertexId lid : list) {
+        const DistSigma& sv = labels_[h][lid];
+        if (sv.dist == kInfDist || sv.dist == 0) continue;
+        const double m = (1.0 + delta_[h][lid]) / sv.sigma;
+        for (VertexId wl : hg.local.in_neighbors(lid)) {
+          const DistSigma& sw = labels_[h][wl];
+          if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
+            delta_[h][wl] += sw.sigma * m;
+            if (!hg.is_master[wl]) substrate_.flag_reduce(h, wl);
+          }
+          ++w.work_items;
+        }
+      }
+    };
+    drain(worklist_[h]);
+    drain(self_sched_[h]);
+    worklist_[h].clear();
+    self_sched_[h].clear();
+    schedule_backward(h, round + 1);
+    // Active while deeper levels remain to fire.
+    w.active = round <= max_level_;
+    return w;
+  }
+
+  struct ForwardAccessor {
+    using Value = DistSigma;
+    SourceRunner& r;
+
+    Value get(HostId h, VertexId lid) { return r.labels_[h][lid]; }
+    void reduce(HostId h, VertexId lid, Value v) { r.combine_forward(h, lid, v.dist, v.sigma); }
+    void set(HostId h, VertexId lid, Value v) {
+      r.labels_[h][lid] = v;
+      r.worklist_[h].push_back(lid);
+    }
+    void reset(HostId h, VertexId lid) { r.labels_[h][lid] = {}; }
+  };
+
+  struct BackwardAccessor {
+    using Value = double;
+    SourceRunner& r;
+
+    Value get(HostId h, VertexId lid) { return r.delta_[h][lid]; }
+    void reduce(HostId h, VertexId lid, Value v) { r.delta_[h][lid] += v; }
+    void set(HostId h, VertexId lid, Value v) {
+      r.delta_[h][lid] = v;
+      r.worklist_[h].push_back(lid);
+    }
+    void reset(HostId h, VertexId lid) { r.delta_[h][lid] = 0.0; }
+  };
+
+  const Partition& part_;
+  VertexId source_;
+  SbbcOptions opts_;
+  Substrate substrate_;
+  std::vector<std::vector<DistSigma>> labels_;
+  std::vector<std::vector<double>> delta_;
+  std::vector<std::vector<VertexId>> worklist_;
+  std::vector<std::vector<VertexId>> self_sched_;
+  std::vector<util::DynamicBitset> in_frontier_;
+  std::vector<std::vector<std::vector<VertexId>>> masters_by_level_;
+  std::uint32_t max_level_ = 0;
+};
+
+}  // namespace
+
+SbbcRun sbbc_bc(const Partition& part, const std::vector<VertexId>& sources,
+                const SbbcOptions& options) {
+  SbbcRun run;
+  run.result.sources = sources;
+  run.result.bc.assign(part.num_global_vertices(), 0.0);
+  if (options.collect_tables) {
+    run.result.dist.assign(sources.size(),
+                           std::vector<std::uint32_t>(part.num_global_vertices(), kInfDist));
+    run.result.sigma.assign(sources.size(),
+                            std::vector<double>(part.num_global_vertices(), 0.0));
+    run.result.delta.assign(sources.size(),
+                            std::vector<double>(part.num_global_vertices(), 0.0));
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    SourceRunner runner(part, sources[i], options);
+    run.forward += runner.run_forward();
+    run.backward += runner.run_backward();
+    runner.harvest(run.result, i);
+  }
+  return run;
+}
+
+SbbcRun sbbc_bc(const Graph& g, const std::vector<VertexId>& sources,
+                const SbbcOptions& options) {
+  Partition part(g, options.num_hosts, options.policy);
+  return sbbc_bc(part, sources, options);
+}
+
+}  // namespace mrbc::baselines

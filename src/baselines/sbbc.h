@@ -1,0 +1,53 @@
+#pragma once
+// Synchronous-Brandes BC (SBBC, Section 5 of the paper): the Brandes
+// algorithm expressed as level-by-level breadth-first search in the
+// D-Galois model — the main baseline MRBC is compared against. One source
+// is processed at a time; each BFS level (forward) and each dependency
+// level (backward) costs one BSP round, so a source of eccentricity L
+// executes ~2L rounds versus MRBC's pipelined batch.
+
+#include <vector>
+
+#include "core/bc_common.h"
+#include "core/mrbc.h"  // reuse MrbcOptions/MrbcRun-style option & stats types
+#include "engine/cluster.h"
+#include "partition/partition.h"
+
+namespace mrbc::baselines {
+
+using core::BcResult;
+using graph::Graph;
+using graph::VertexId;
+
+struct SbbcOptions {
+  partition::HostId num_hosts = 4;
+  partition::Policy policy = partition::Policy::kCartesianVertexCut;
+  bool collect_tables = false;
+  sim::ClusterOptions cluster;
+};
+
+struct SbbcRun {
+  BcResult result;
+  sim::RunStats forward;
+  sim::RunStats backward;
+
+  sim::RunStats total() const {
+    sim::RunStats t = forward;
+    t += backward;
+    return t;
+  }
+  double rounds_per_source() const {
+    return result.sources.empty()
+               ? 0.0
+               : static_cast<double>(forward.rounds + backward.rounds) /
+                     static_cast<double>(result.sources.size());
+  }
+};
+
+SbbcRun sbbc_bc(const Graph& g, const std::vector<VertexId>& sources,
+                const SbbcOptions& options = {});
+
+SbbcRun sbbc_bc(const partition::Partition& part, const std::vector<VertexId>& sources,
+                const SbbcOptions& options = {});
+
+}  // namespace mrbc::baselines

@@ -1,0 +1,40 @@
+#pragma once
+// Chunked FIFO worklist in the Galois style, shared by the asynchronous
+// Brandes variants: work items are pushed and popped in chunks, which keeps
+// the scheduler overhead of data-driven execution low.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::baselines {
+
+class ChunkedWorklist {
+ public:
+  explicit ChunkedWorklist(std::size_t chunk_size) : chunk_size_(chunk_size) {}
+
+  void push(graph::VertexId v) {
+    if (chunks_.empty() || chunks_.back().size() >= chunk_size_) chunks_.emplace_back();
+    chunks_.back().push_back(v);
+    ++pushes_;
+  }
+
+  bool pop_chunk(std::vector<graph::VertexId>& out) {
+    if (chunks_.empty()) return false;
+    out = std::move(chunks_.front());
+    chunks_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return chunks_.empty(); }
+  std::size_t pushes() const { return pushes_; }
+
+ private:
+  std::size_t chunk_size_;
+  std::deque<std::vector<graph::VertexId>> chunks_;
+  std::size_t pushes_ = 0;
+};
+
+}  // namespace mrbc::baselines

@@ -1,0 +1,47 @@
+#include "comm/substrate.h"
+
+namespace mrbc::comm {
+
+SyncStats& SyncStats::operator+=(const SyncStats& other) {
+  messages += other.messages;
+  bytes += other.bytes;
+  values += other.values;
+  if (bytes_per_host.size() < other.bytes_per_host.size()) {
+    bytes_per_host.resize(other.bytes_per_host.size(), 0);
+  }
+  for (std::size_t h = 0; h < other.bytes_per_host.size(); ++h) {
+    bytes_per_host[h] += other.bytes_per_host[h];
+  }
+  if (msgs_per_host.size() < other.msgs_per_host.size()) {
+    msgs_per_host.resize(other.msgs_per_host.size(), 0);
+  }
+  for (std::size_t h = 0; h < other.msgs_per_host.size(); ++h) {
+    msgs_per_host[h] += other.msgs_per_host[h];
+  }
+  return *this;
+}
+
+Substrate::Substrate(const Partition& part) : part_(&part), H_(part.num_hosts()) {
+  reduce_flags_.resize(H_);
+  broadcast_flags_.resize(H_);
+  for (HostId h = 0; h < H_; ++h) {
+    reduce_flags_[h].resize(part.host(h).num_proxies());
+    broadcast_flags_[h].resize(part.host(h).num_proxies());
+  }
+}
+
+bool Substrate::any_pending() const {
+  for (HostId h = 0; h < H_; ++h) {
+    if (reduce_flags_[h].any() || broadcast_flags_[h].any()) return true;
+  }
+  return false;
+}
+
+void Substrate::clear_flags() {
+  for (HostId h = 0; h < H_; ++h) {
+    reduce_flags_[h].reset_all();
+    broadcast_flags_[h].reset_all();
+  }
+}
+
+}  // namespace mrbc::comm

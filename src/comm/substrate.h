@@ -1,0 +1,324 @@
+#pragma once
+// Gluon-style communication substrate over a Partition (Dathathri et al.,
+// PLDI'18 — the layer the paper's D-Galois implementation runs on).
+//
+// Proxy labels are reconciled in two phases:
+//   reduce:    mirrors send their (flagged) values to the master, which
+//              combines them with an application reduction; mirror values
+//              are reset to the reduction identity after sending (Gluon's
+//              reduce-reset semantics, which is what makes partial sigma /
+//              delta sums safe to add).
+//   broadcast: masters send their (flagged) final values to all mirrors.
+//
+// Update tracking: the application sets per-proxy flags; only flagged
+// entries are serialized. Metadata compression is modelled exactly as in
+// Gluon: each host-pair message carries a bitset over the exchange list
+// marking which entries are present, plus the packed values.
+//
+// All traffic flows through real serialization buffers so byte counts are
+// measured, not estimated.
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition.h"
+#include "util/bitset.h"
+#include "util/serialize.h"
+
+namespace mrbc::comm {
+
+using partition::HostId;
+using partition::Partition;
+using partition::VertexId;
+
+/// Gluon metadata compression: the presence set of a host-pair message is
+/// encoded either as a bitset over the exchange list or as an explicit
+/// offset list, whichever is smaller on the wire (dense rounds favor the
+/// bitset, sparse rounds the offsets).
+namespace detail {
+
+inline void write_presence(util::SendBuffer& buf, const util::DynamicBitset& present,
+                           std::size_t count) {
+  const std::size_t bitset_bytes = 8 + present.byte_size();
+  const std::size_t offsets_bytes = 8 + count * sizeof(std::uint32_t);
+  if (bitset_bytes <= offsets_bytes) {
+    buf.write<std::uint8_t>(0);
+    buf.write_bitset(present);
+  } else {
+    buf.write<std::uint8_t>(1);
+    std::vector<std::uint32_t> offsets;
+    offsets.reserve(count);
+    present.for_each_set([&](std::size_t i) { offsets.push_back(static_cast<std::uint32_t>(i)); });
+    buf.write_vector(offsets);
+  }
+}
+
+/// Invokes fn(index) for each present exchange-list position, in order.
+template <typename Fn>
+void read_presence(util::RecvBuffer& buf, Fn&& fn) {
+  const auto tag = buf.read<std::uint8_t>();
+  if (tag == 0) {
+    util::DynamicBitset present = buf.read_bitset();
+    present.for_each_set(fn);
+  } else {
+    for (std::uint32_t i : buf.read_vector<std::uint32_t>()) fn(i);
+  }
+}
+
+}  // namespace detail
+
+/// Accounting for one or more sync phases.
+struct SyncStats {
+  std::size_t messages = 0;  ///< aggregated host-pair messages (Gluon sends one per pair per phase)
+  std::size_t bytes = 0;     ///< serialized payload + metadata bytes
+  std::size_t values = 0;    ///< proxy labels moved
+  std::vector<std::size_t> bytes_per_host;  ///< egress bytes per host (network model input)
+  std::vector<std::size_t> msgs_per_host;   ///< egress messages per host
+
+  SyncStats& operator+=(const SyncStats& other);
+};
+
+/// Per-host flag sets plus the reduce/broadcast engine.
+///
+/// The Accessor type parameter of sync/reduce/broadcast supplies the
+/// label semantics:
+///   using Value = <trivially copyable>;
+///   Value get(HostId h, VertexId lid);                 // read proxy label
+///   void reduce(HostId h, VertexId lid, Value v);      // combine into master
+///   void set(HostId h, VertexId lid, Value v);         // overwrite mirror
+///   void reset(HostId h, VertexId lid);                // mirror -> identity
+class Substrate {
+ public:
+  explicit Substrate(const Partition& part);
+
+  const Partition& partition() const { return *part_; }
+
+  /// Flags a proxy for the next reduce (mirror side) / broadcast (master
+  /// side). The MRBC delayed-synchronization rule is implemented by the
+  /// application flagging a vertex only in its prescribed round.
+  void flag_reduce(HostId h, VertexId lid) { reduce_flags_[h].set(lid); }
+  void flag_broadcast(HostId h, VertexId lid) { broadcast_flags_[h].set(lid); }
+
+  bool any_pending() const;
+  void clear_flags();
+
+  /// reduce phase: flagged mirrors -> masters. Masters whose value received
+  /// a contribution (or that were themselves reduce-flagged) become
+  /// broadcast-flagged. Reduce flags are consumed.
+  template <typename Accessor>
+  SyncStats reduce(Accessor& acc) {
+    SyncStats stats;
+    stats.bytes_per_host.assign(H_, 0);
+    stats.msgs_per_host.assign(H_, 0);
+    const Partition& p = *part_;
+    for (HostId mh = 0; mh < H_; ++mh) {
+      for (HostId oh = 0; oh < H_; ++oh) {
+        if (mh == oh) continue;
+        const auto& mirrors = p.mirror_lids(mh, oh);
+        if (mirrors.empty()) continue;
+        // Serialize flagged entries: presence bitset over the exchange
+        // list + packed values.
+        util::DynamicBitset present(mirrors.size());
+        std::vector<typename Accessor::Value> payload;
+        for (std::size_t i = 0; i < mirrors.size(); ++i) {
+          const VertexId lid = mirrors[i];
+          if (reduce_flags_[mh].test(lid)) {
+            present.set(i);
+            payload.push_back(acc.get(mh, lid));
+            acc.reset(mh, lid);
+          }
+        }
+        if (payload.empty()) continue;
+        util::SendBuffer buf;
+        detail::write_presence(buf, present, payload.size());
+        buf.write_vector(payload);
+        stats.messages += 1;
+        stats.msgs_per_host[mh] += 1;
+        stats.bytes += buf.size();
+        stats.bytes_per_host[mh] += buf.size();
+        stats.values += payload.size();
+        // "Transmit" and apply at the master host.
+        util::RecvBuffer rbuf(buf.take());
+        std::vector<std::size_t> indices;
+        detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
+        auto rvalues = rbuf.read_vector<typename Accessor::Value>();
+        const auto& masters = p.master_lids(mh, oh);
+        std::size_t next = 0;
+        for (std::size_t i : indices) {
+          const VertexId master_lid = masters[i];
+          acc.reduce(oh, master_lid, rvalues[next++]);
+          broadcast_flags_[oh].set(master_lid);
+        }
+      }
+      // Masters flagged locally (their own host updated them) broadcast too.
+      const auto& hg = p.host(mh);
+      reduce_flags_[mh].for_each_set([&](std::size_t lid) {
+        if (hg.is_master[lid]) broadcast_flags_[mh].set(lid);
+      });
+      reduce_flags_[mh].reset_all();
+    }
+    return stats;
+  }
+
+  /// broadcast phase: flagged masters -> all their mirrors. Broadcast flags
+  /// are consumed.
+  template <typename Accessor>
+  SyncStats broadcast(Accessor& acc) {
+    SyncStats stats;
+    stats.bytes_per_host.assign(H_, 0);
+    stats.msgs_per_host.assign(H_, 0);
+    const Partition& p = *part_;
+    for (HostId oh = 0; oh < H_; ++oh) {
+      for (HostId mh = 0; mh < H_; ++mh) {
+        if (mh == oh) continue;
+        const auto& masters = p.master_lids(mh, oh);
+        if (masters.empty()) continue;
+        util::DynamicBitset present(masters.size());
+        std::vector<typename Accessor::Value> payload;
+        for (std::size_t i = 0; i < masters.size(); ++i) {
+          const VertexId lid = masters[i];
+          if (broadcast_flags_[oh].test(lid)) {
+            present.set(i);
+            payload.push_back(acc.get(oh, lid));
+          }
+        }
+        if (payload.empty()) continue;
+        util::SendBuffer buf;
+        detail::write_presence(buf, present, payload.size());
+        buf.write_vector(payload);
+        stats.messages += 1;
+        stats.msgs_per_host[oh] += 1;
+        stats.bytes += buf.size();
+        stats.bytes_per_host[oh] += buf.size();
+        stats.values += payload.size();
+        util::RecvBuffer rbuf(buf.take());
+        std::vector<std::size_t> indices;
+        detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
+        auto rvalues = rbuf.read_vector<typename Accessor::Value>();
+        const auto& mirrors = p.mirror_lids(mh, oh);
+        std::size_t next = 0;
+        for (std::size_t i : indices) {
+          acc.set(mh, mirrors[i], rvalues[next++]);
+        }
+      }
+    }
+    for (HostId oh = 0; oh < H_; ++oh) broadcast_flags_[oh].reset_all();
+    return stats;
+  }
+
+  /// Full sync: reduce then broadcast, as at the start of each BSP round.
+  template <typename Accessor>
+  SyncStats sync(Accessor& acc) {
+    SyncStats stats = reduce(acc);
+    stats += broadcast(acc);
+    return stats;
+  }
+
+  /// Variable-length flavor of reduce, for labels whose per-vertex payload
+  /// is a list (MRBC syncs the set of (source, dist, sigma) entries that
+  /// finalized, which differs per vertex and round). The accessor owns the
+  /// wire format:
+  ///   void serialize_reduce(HostId h, VertexId lid, util::SendBuffer&);
+  ///       (must also reset the mirror's contribution — reduce-reset)
+  ///   void apply_reduce(HostId h, VertexId lid, util::RecvBuffer&);
+  ///   void serialize_broadcast(HostId h, VertexId lid, util::SendBuffer&);
+  ///       (called once per mirror host; must not mutate)
+  ///   void apply_broadcast(HostId h, VertexId lid, util::RecvBuffer&);
+  template <typename VarAccessor>
+  SyncStats reduce_var(VarAccessor& acc) {
+    SyncStats stats;
+    stats.bytes_per_host.assign(H_, 0);
+    stats.msgs_per_host.assign(H_, 0);
+    const Partition& p = *part_;
+    for (HostId mh = 0; mh < H_; ++mh) {
+      for (HostId oh = 0; oh < H_; ++oh) {
+        if (mh == oh) continue;
+        const auto& mirrors = p.mirror_lids(mh, oh);
+        if (mirrors.empty()) continue;
+        util::DynamicBitset present(mirrors.size());
+        util::SendBuffer payload;
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < mirrors.size(); ++i) {
+          if (reduce_flags_[mh].test(mirrors[i])) {
+            present.set(i);
+            acc.serialize_reduce(mh, mirrors[i], payload);
+            ++count;
+          }
+        }
+        if (count == 0) continue;
+        util::SendBuffer buf;
+        detail::write_presence(buf, present, count);
+        const std::size_t total = buf.size() + payload.size();
+        stats.messages += 1;
+        stats.msgs_per_host[mh] += 1;
+        stats.bytes += total;
+        stats.bytes_per_host[mh] += total;
+        stats.values += count;
+        util::RecvBuffer header(buf.take());
+        util::RecvBuffer body(payload.take());
+        const auto& masters = p.master_lids(mh, oh);
+        detail::read_presence(header, [&](std::size_t i) {
+          acc.apply_reduce(oh, masters[i], body);
+          broadcast_flags_[oh].set(masters[i]);
+        });
+      }
+      const auto& hg = p.host(mh);
+      reduce_flags_[mh].for_each_set([&](std::size_t lid) {
+        if (hg.is_master[lid]) broadcast_flags_[mh].set(lid);
+      });
+      reduce_flags_[mh].reset_all();
+    }
+    return stats;
+  }
+
+  /// Variable-length flavor of broadcast; see reduce_var.
+  template <typename VarAccessor>
+  SyncStats broadcast_var(VarAccessor& acc) {
+    SyncStats stats;
+    stats.bytes_per_host.assign(H_, 0);
+    stats.msgs_per_host.assign(H_, 0);
+    const Partition& p = *part_;
+    for (HostId oh = 0; oh < H_; ++oh) {
+      for (HostId mh = 0; mh < H_; ++mh) {
+        if (mh == oh) continue;
+        const auto& masters = p.master_lids(mh, oh);
+        if (masters.empty()) continue;
+        util::DynamicBitset present(masters.size());
+        util::SendBuffer payload;
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < masters.size(); ++i) {
+          if (broadcast_flags_[oh].test(masters[i])) {
+            present.set(i);
+            acc.serialize_broadcast(oh, masters[i], payload);
+            ++count;
+          }
+        }
+        if (count == 0) continue;
+        util::SendBuffer buf;
+        detail::write_presence(buf, present, count);
+        const std::size_t total = buf.size() + payload.size();
+        stats.messages += 1;
+        stats.msgs_per_host[oh] += 1;
+        stats.bytes += total;
+        stats.bytes_per_host[oh] += total;
+        stats.values += count;
+        util::RecvBuffer header(buf.take());
+        util::RecvBuffer body(payload.take());
+        const auto& mirrors = p.mirror_lids(mh, oh);
+        detail::read_presence(header, [&](std::size_t i) {
+          acc.apply_broadcast(mh, mirrors[i], body);
+        });
+      }
+    }
+    for (HostId oh = 0; oh < H_; ++oh) broadcast_flags_[oh].reset_all();
+    return stats;
+  }
+
+ private:
+  const Partition* part_;
+  HostId H_;
+  std::vector<util::DynamicBitset> reduce_flags_;
+  std::vector<util::DynamicBitset> broadcast_flags_;
+};
+
+}  // namespace mrbc::comm

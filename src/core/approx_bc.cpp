@@ -1,0 +1,68 @@
+#include "core/approx_bc.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace mrbc::core {
+
+BcScores sampled_bc(const Graph& g, const SampledBcOptions& options) {
+  const graph::VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  const auto k = std::min<std::uint32_t>(options.num_samples, n);
+  const auto sources =
+      graph::sample_sources(g, k, options.seed, /*contiguous=*/false);
+  MrbcRun run = mrbc_bc(g, sources, options.mrbc);
+  const double scale = static_cast<double>(n) / static_cast<double>(k);
+  for (double& b : run.result.bc) b *= scale;
+  return std::move(run.result.bc);
+}
+
+AdaptiveBcResult adaptive_bc_vertex(const Graph& g, graph::VertexId v,
+                                    const AdaptiveBcOptions& options) {
+  const graph::VertexId n = g.num_vertices();
+  AdaptiveBcResult result;
+  if (n == 0) return result;
+  const std::uint32_t max_samples =
+      options.max_samples == 0 ? n : std::min<std::uint32_t>(options.max_samples, n);
+  const double threshold = options.c * static_cast<double>(n);
+  const auto order = graph::sample_sources(g, n, options.seed, /*contiguous=*/false);
+
+  double accumulated = 0.0;
+  for (std::uint32_t i = 0; i < max_samples; ++i) {
+    const graph::VertexId s = order[i];
+    ++result.samples;
+    if (s == v) continue;
+    // One Brandes dependency pass from s; only delta_s(v) is consumed.
+    const auto bfs = graph::bfs(g, s);
+    if (bfs.dist[v] == graph::kInfDist) continue;
+    // Reverse sweep in non-increasing distance.
+    std::vector<graph::VertexId> by_dist;
+    by_dist.reserve(n);
+    for (graph::VertexId u = 0; u < n; ++u) {
+      if (bfs.dist[u] != graph::kInfDist) by_dist.push_back(u);
+    }
+    std::sort(by_dist.begin(), by_dist.end(), [&bfs](graph::VertexId a, graph::VertexId b) {
+      return bfs.dist[a] > bfs.dist[b];
+    });
+    std::vector<double> delta(n, 0.0);
+    for (graph::VertexId w : by_dist) {
+      for (graph::VertexId p : bfs.preds[w]) {
+        delta[p] += bfs.sigma[p] / bfs.sigma[w] * (1.0 + delta[w]);
+      }
+    }
+    accumulated += delta[v];
+    if (accumulated >= threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Estimator: n * (mean dependency per sampled source).
+  result.estimate = result.samples > 0
+                        ? static_cast<double>(n) * accumulated / static_cast<double>(result.samples)
+                        : 0.0;
+  return result;
+}
+
+}  // namespace mrbc::core

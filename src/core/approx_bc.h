@@ -1,0 +1,49 @@
+#pragma once
+// Approximate betweenness centrality by source sampling — the estimator the
+// paper's evaluation relies on ("The BC of a vertex can be approximated by
+// summing the betweenness scores of that vertex for randomly sampled
+// sources", citing Bader, Kintali, Madduri & Mihail, WAW'07).
+//
+// Two estimators:
+//   * sampled_bc — unbiased n/k-scaled estimate of every vertex's BC from
+//     k uniformly sampled sources, computed with the distributed MRBC path.
+//   * adaptive_bc_vertex — Bader et al.'s adaptive scheme for a single
+//     vertex: sample sources one at a time and stop once the accumulated
+//     dependency exceeds c*n, giving a (1/c)-relative-error style estimate
+//     for high-centrality vertices with far fewer samples.
+
+#include <cstdint>
+
+#include "core/mrbc.h"
+#include "graph/graph.h"
+
+namespace mrbc::core {
+
+struct SampledBcOptions {
+  std::uint32_t num_samples = 64;
+  std::uint64_t seed = 1;
+  MrbcOptions mrbc;  ///< distributed execution configuration
+};
+
+/// n/k-scaled BC estimate for every vertex from uniformly sampled sources
+/// (without replacement). With num_samples >= n this is exact BC.
+BcScores sampled_bc(const Graph& g, const SampledBcOptions& options = {});
+
+struct AdaptiveBcResult {
+  double estimate = 0.0;       ///< estimated BC(v)
+  std::uint32_t samples = 0;   ///< sources consumed before the stop rule
+  bool converged = false;      ///< accumulated dependency reached c*n
+};
+
+struct AdaptiveBcOptions {
+  double c = 5.0;              ///< stop once sum of delta_s(v) >= c * n
+  std::uint32_t max_samples = 0;  ///< 0 => n samples (exact fallback)
+  std::uint64_t seed = 1;
+};
+
+/// Bader et al. adaptive estimator for one vertex. Runs single-source
+/// dependency computations (shared-memory) until the stopping rule fires.
+AdaptiveBcResult adaptive_bc_vertex(const Graph& g, graph::VertexId v,
+                                    const AdaptiveBcOptions& options = {});
+
+}  // namespace mrbc::core

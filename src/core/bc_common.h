@@ -1,0 +1,34 @@
+#pragma once
+// Shared result types for all betweenness-centrality implementations
+// (MRBC core and the baselines), so tests and benchmarks can compare them
+// uniformly.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Per-vertex betweenness scores, summed over the processed sources.
+/// With all n vertices as sources this is exact BC; with a sampled source
+/// set it is the standard approximation (Bader et al. [6] in the paper).
+using BcScores = std::vector<double>;
+
+/// Full per-source data from a forward+backward execution. Indexed
+/// [source_index][vertex]; source_index follows the `sources` vector.
+struct BcResult {
+  BcScores bc;
+  std::vector<VertexId> sources;
+  std::vector<std::vector<std::uint32_t>> dist;  ///< kInfDist when unreachable
+  std::vector<std::vector<double>> sigma;
+  std::vector<std::vector<double>> delta;
+};
+
+/// Maximum finite distance in a distance table ("H" in Lemma 8).
+std::uint32_t max_finite_distance(const std::vector<std::vector<std::uint32_t>>& dist);
+
+}  // namespace mrbc::core

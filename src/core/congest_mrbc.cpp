@@ -1,0 +1,496 @@
+#include "core/congest_mrbc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "engine/congest.h"
+#include "graph/algorithms.h"
+
+namespace mrbc::core {
+
+using graph::kInfDist;
+using graph::kInvalidVertex;
+
+namespace {
+
+/// All CONGEST traffic uses one small POD message type; `kind` selects the
+/// payload interpretation. Every field is O(log n) bits except sigma/m,
+/// which are doubles per the paper's implementation note (Section 5.2).
+struct Msg {
+  enum Kind : std::uint8_t {
+    kApsp,         ///< a=source idx, b=dist, x=sigma        (Alg. 3 step 9)
+    kBfsExplore,   ///< a=depth                              (Alg. 3 step 1)
+    kBfsAdopt,     ///< child -> parent tree registration    (Alg. 3 step 1)
+    kConvDstar,    ///< a=d* convergecast                    (Alg. 4 steps 4/8)
+    kBcastDiam,    ///< a=D, b=global final round R          (Alg. 4 steps 1/9)
+    kAcc,          ///< a=source idx, x=m=(1+delta)/sigma    (Alg. 5 step 7)
+    kCountExplore, ///< UG BFS for the n-computation          (Alg. 3 step 6)
+    kCountAdopt,   ///< child -> parent registration (n-computation tree)
+    kCountSubtree, ///< a=subtree vertex count convergecast
+    kCountN,       ///< a=n broadcast down the tree
+  };
+  std::uint8_t kind;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double x = 0.0;
+};
+
+/// Per-vertex processor state for Algorithms 3-5.
+struct VertexState {
+  // --- Algorithm 3: the list L_v and per-source data ------------------
+  // (dist, source index) pairs in lexicographic order; `sent` is the count
+  // of leading entries already transmitted (sends happen in list order, and
+  // no insertion can land before a sent entry — Lemma 2/3).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> list;
+  std::size_t sent = 0;
+  std::vector<std::uint32_t> dist;   // per source idx; kInfDist if absent
+  std::vector<double> sigma;
+  std::vector<std::uint32_t> tau;    // send timestamp; 0 = not sent
+  std::vector<std::vector<graph::VertexId>> preds;
+  std::vector<double> delta;
+
+  // --- Algorithm 4: BFS tree + convergecast ---------------------------
+  graph::VertexId parent = kInvalidVertex;
+  std::uint32_t depth = 0;
+  bool explored = false;             // sent own BFS explore
+  std::uint32_t children_final_round = 0;
+  std::vector<graph::VertexId> children;
+  std::uint32_t child_reports = 0;
+  std::uint32_t dstar_children = 0;
+  bool fv = false;                   // Alg. 4 once-only flag
+
+  // --- Alg. 3 steps 5-6: n-computation over UG (Theorem 1, part I.3) ---
+  graph::VertexId ug_parent = kInvalidVertex;
+  bool ug_explored = false;
+  std::uint32_t ug_children_final_round = 0;
+  std::vector<graph::VertexId> ug_children;
+  std::uint32_t ug_reports = 0;
+  std::uint32_t ug_subtotal = 0;  // vertices counted below (and incl.) v
+  bool ug_sent = false;
+  std::uint32_t known_n = 0;
+
+  // --- Algorithm 5: accumulation schedule ------------------------------
+  // Source indices ordered by decreasing tau (increasing A_sv); cursor
+  // walks it as rounds fire.
+  std::vector<std::uint32_t> acc_order;
+  std::size_t acc_cursor = 0;
+};
+
+struct Runner {
+  const Graph& g;
+  const std::vector<graph::VertexId>& sources;
+  bool all_sources;  // full APSP (enables Alg. 4)
+  CongestOptions options;
+  congest::Network<Msg> net;
+  std::vector<VertexState> state;
+  CongestMetrics metrics;
+
+  // Set once v1 (vertex 0) computes the diameter: the round after which
+  // every vertex has received the broadcast.
+  std::uint32_t final_round = 0;
+
+  Runner(const Graph& graph, const std::vector<graph::VertexId>& srcs, bool all)
+      : g(graph), sources(srcs), all_sources(all), net(graph) {
+    const graph::VertexId n = g.num_vertices();
+    const std::size_t k = sources.size();
+    state.resize(n);
+    for (auto& vs : state) {
+      vs.dist.assign(k, kInfDist);
+      vs.sigma.assign(k, 0.0);
+      vs.tau.assign(k, 0);
+      vs.preds.assign(k, {});
+      vs.delta.assign(k, 0.0);
+    }
+    for (std::size_t sidx = 0; sidx < k; ++sidx) {
+      auto& vs = state[sources[sidx]];
+      vs.list.emplace_back(0u, static_cast<std::uint32_t>(sidx));
+      vs.dist[sidx] = 0;
+      vs.sigma[sidx] = 1.0;
+    }
+  }
+
+  // ----- Algorithm 3 steps 11-17: apply a received APSP message --------
+  void apply_apsp(graph::VertexId v, graph::VertexId from, const Msg& m) {
+    auto& vs = state[v];
+    const std::uint32_t sidx = m.a;
+    const std::uint32_t d_new = m.b + 1;
+    const std::uint32_t d_old = vs.dist[sidx];
+    if (d_old == kInfDist) {
+      insert_entry(vs, d_new, sidx);
+      vs.dist[sidx] = d_new;
+      vs.sigma[sidx] = m.x;
+      vs.preds[sidx] = {from};
+    } else if (d_old == d_new) {
+      if (vs.tau[sidx] != 0) ++metrics.anomalies;  // update after finalization
+      vs.sigma[sidx] += m.x;
+      vs.preds[sidx].push_back(from);
+    } else if (d_old > d_new) {
+      if (vs.tau[sidx] != 0) ++metrics.anomalies;
+      remove_entry(vs, d_old, sidx);
+      insert_entry(vs, d_new, sidx);
+      vs.dist[sidx] = d_new;
+      vs.sigma[sidx] = m.x;
+      vs.preds[sidx] = {from};
+    }
+    // d_old < d_new: stale message, ignored.
+  }
+
+  static void insert_entry(VertexState& vs, std::uint32_t d, std::uint32_t sidx) {
+    const auto entry = std::make_pair(d, sidx);
+    auto it = std::lower_bound(vs.list.begin(), vs.list.end(), entry);
+    vs.list.insert(it, entry);
+  }
+
+  static void remove_entry(VertexState& vs, std::uint32_t d, std::uint32_t sidx) {
+    const auto entry = std::make_pair(d, sidx);
+    auto it = std::lower_bound(vs.list.begin(), vs.list.end(), entry);
+    assert(it != vs.list.end() && *it == entry);
+    vs.list.erase(it);
+  }
+
+  // ----- Algorithm 3 steps 8-9: transmit entries whose round arrived ---
+  void send_due_entries(graph::VertexId v, std::uint32_t r) {
+    auto& vs = state[v];
+    while (vs.sent < vs.list.size()) {
+      const auto [d, sidx] = vs.list[vs.sent];
+      const std::uint32_t pos = static_cast<std::uint32_t>(vs.sent) + 1;  // 1-based l(d,s)
+      if (d + pos > r) break;
+      if (d + pos < r) ++metrics.anomalies;  // a send round was skipped
+      vs.tau[sidx] = r;
+      Msg m{Msg::kApsp, sidx, d, vs.sigma[sidx]};
+      net.send_to_out_neighbors(v, m);
+      metrics.apsp_messages += g.out_degree(v);
+      ++vs.sent;
+    }
+  }
+
+  // ----- Algorithm 4 helpers -------------------------------------------
+  void bfs_round(std::uint32_t r) {
+    const graph::VertexId n = g.num_vertices();
+    if (r == 1) {
+      auto& root = state[0];
+      root.parent = 0;
+      root.depth = 0;
+      root.explored = true;
+      root.children_final_round = 3;  // adopts from depth-1 children arrive in round 3
+      net.send_to_out_neighbors(0, Msg{Msg::kBfsExplore, 0, 0, 0.0});
+      metrics.aux_messages += g.out_degree(0);
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      auto& vs = state[v];
+      if (vs.parent != kInvalidVertex && !vs.explored) {
+        vs.explored = true;
+        vs.children_final_round = r + 2;
+        net.send(v, vs.parent, Msg{Msg::kBfsAdopt, 0, 0, 0.0});
+        net.send_to_out_neighbors(v, Msg{Msg::kBfsExplore, vs.depth, 0, 0.0});
+        metrics.aux_messages += 1 + g.out_degree(v);
+      }
+    }
+  }
+
+  void finalizer_round(std::uint32_t r) {
+    const graph::VertexId n = g.num_vertices();
+    for (graph::VertexId v = 0; v < n; ++v) {
+      auto& vs = state[v];
+      if (vs.fv || !vs.explored || r < vs.children_final_round) continue;
+      if (vs.list.size() != n) continue;                   // Alg. 4 step 2
+      if (vs.sent != vs.list.size()) continue;             // r >= max_s(d + l)
+      if (vs.child_reports != vs.children.size()) continue;
+      // d*_v: the largest shortest-path distance into v, max'd with the
+      // subtree maxima reported by children (Alg. 4 steps 7-8).
+      std::uint32_t dstar = 0;
+      for (const auto& [d, sidx] : vs.list) dstar = std::max(dstar, d);
+      dstar = std::max(dstar, vs.dstar_children);
+      vs.fv = true;
+      if (v != 0) {
+        net.send(v, vs.parent, Msg{Msg::kConvDstar, dstar, 0, 0.0});
+        ++metrics.aux_messages;
+      } else {
+        // v1 knows the diameter; broadcast (D, R_final) down the tree.
+        metrics.diameter = dstar;
+        metrics.finalizer_triggered = true;
+        final_round = r + std::max<std::uint32_t>(dstar, 1);
+        for (graph::VertexId c : vs.children) {
+          net.send(0, c, Msg{Msg::kBcastDiam, dstar, final_round, 0.0});
+          ++metrics.aux_messages;
+        }
+      }
+    }
+  }
+
+  void handle_aux(graph::VertexId v, graph::VertexId from, const Msg& m) {
+    auto& vs = state[v];
+    switch (m.kind) {
+      case Msg::kBfsExplore:
+        if (vs.parent == kInvalidVertex || (!vs.explored && from < vs.parent)) {
+          vs.parent = from;
+          vs.depth = m.a + 1;
+        }
+        break;
+      case Msg::kBfsAdopt:
+        vs.children.push_back(from);
+        break;
+      case Msg::kConvDstar:
+        ++vs.child_reports;
+        vs.dstar_children = std::max(vs.dstar_children, m.a);
+        break;
+      case Msg::kBcastDiam:
+        if (final_round == 0) final_round = m.b;
+        metrics.diameter = m.a;
+        for (graph::VertexId c : vs.children) {
+          net.send(v, c, Msg{Msg::kBcastDiam, m.a, m.b, 0.0});
+          ++metrics.aux_messages;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ----- Alg. 3 steps 5-6: compute and broadcast n over UG --------------
+  // A BFS tree over the undirected closure (channels are bidirectional),
+  // subtree-count convergecast to the root, then a broadcast of the total.
+  // Completes in O(Du) rounds and O(m + n) messages.
+  void run_count_phase() {
+    const graph::VertexId n = g.num_vertices();
+    const std::size_t messages_before = net.total_messages();
+    auto send_ug = [this](graph::VertexId from, const Msg& m) {
+      net.send_to_out_neighbors(from, m);
+      net.send_to_in_neighbors(from, m);
+    };
+    std::uint32_t r = 0;
+    while (true) {
+      ++r;
+      net.advance_round();
+      for (graph::VertexId v = 0; v < n; ++v) {
+        for (const auto& [from, m] : net.inbox(v)) {
+          auto& vs = state[v];
+          switch (m.kind) {
+            case Msg::kCountExplore:
+              if (vs.ug_parent == kInvalidVertex || (!vs.ug_explored && from < vs.ug_parent)) {
+                vs.ug_parent = from;
+              }
+              break;
+            case Msg::kCountAdopt:
+              vs.ug_children.push_back(from);
+              break;
+            case Msg::kCountSubtree:
+              ++vs.ug_reports;
+              vs.ug_subtotal += m.a;
+              break;
+            case Msg::kCountN:
+              if (vs.known_n == 0) {
+                vs.known_n = m.a;
+                for (graph::VertexId c : vs.ug_children) {
+                  net.send(v, c, Msg{Msg::kCountN, m.a, 0, 0.0});
+                }
+              }
+              break;
+            default:
+              break;
+          }
+        }
+      }
+      // Send phase.
+      if (r == 1) {
+        auto& root = state[0];
+        root.ug_parent = 0;
+        root.ug_explored = true;
+        root.ug_children_final_round = 3;
+        send_ug(0, Msg{Msg::kCountExplore, 0, 0, 0.0});
+      }
+      bool all_known = true;
+      for (graph::VertexId v = 0; v < n; ++v) {
+        auto& vs = state[v];
+        if (vs.ug_parent != kInvalidVertex && !vs.ug_explored) {
+          vs.ug_explored = true;
+          vs.ug_children_final_round = r + 2;
+          net.send(v, vs.ug_parent, Msg{Msg::kCountAdopt, 0, 0, 0.0});
+          send_ug(v, Msg{Msg::kCountExplore, 0, 0, 0.0});
+        }
+        if (vs.ug_explored && !vs.ug_sent && r >= vs.ug_children_final_round &&
+            vs.ug_reports == vs.ug_children.size()) {
+          vs.ug_sent = true;
+          const std::uint32_t subtree = vs.ug_subtotal + 1;
+          if (v != 0) {
+            net.send(v, vs.ug_parent, Msg{Msg::kCountSubtree, subtree, 0, 0.0});
+          } else {
+            vs.known_n = subtree;
+            for (graph::VertexId c : vs.ug_children) {
+              net.send(0, c, Msg{Msg::kCountN, subtree, 0, 0.0});
+            }
+          }
+        }
+        all_known = all_known && state[v].known_n != 0;
+      }
+      if (all_known && !net.messages_in_flight()) break;
+      if (r > 6 * static_cast<std::uint32_t>(n) + 16) break;  // not weakly connected
+    }
+    metrics.count_rounds = r;
+    metrics.count_messages = net.total_messages() - messages_before;
+    // The computed count must equal the true n on weakly connected inputs.
+    if (state[0].known_n != g.num_vertices()) ++metrics.anomalies;
+  }
+
+  // ----- Forward phase driver ------------------------------------------
+  std::uint32_t run_forward() {
+    const graph::VertexId n = g.num_vertices();
+    const std::uint32_t cap = 2 * n;
+    const bool use_finalizer =
+        all_sources && options.termination == Termination::kFinalizer;
+    const bool detect = options.termination == Termination::kGlobalDetection;
+
+    std::uint32_t r = 0;
+    while (true) {
+      ++r;
+      net.advance_round();  // deliver messages sent in round r-1
+      // Receive phase (steps 11-17 + Alg. 4 traffic).
+      for (graph::VertexId v = 0; v < n; ++v) {
+        for (const auto& [from, m] : net.inbox(v)) {
+          if (m.kind == Msg::kApsp) {
+            apply_apsp(v, from, m);
+          } else {
+            handle_aux(v, from, m);
+          }
+        }
+      }
+      // Send phase (steps 8-9; Alg. 4 runs alongside in the same rounds).
+      std::size_t sends_before = net.total_messages();
+      for (graph::VertexId v = 0; v < n; ++v) send_due_entries(v, r);
+      if (use_finalizer) {
+        bfs_round(r);
+        finalizer_round(r);
+      }
+      const bool sent_any = net.total_messages() != sends_before;
+
+      if (use_finalizer && final_round != 0 && r >= final_round) break;
+      if (r >= cap && !detect) break;
+      if (detect && !sent_any && !net.messages_in_flight()) {
+        bool pending = false;
+        for (graph::VertexId v = 0; v < n && !pending; ++v) {
+          pending = state[v].sent < state[v].list.size();
+        }
+        if (!pending) break;
+      }
+      if (r >= 4 * n + 16) break;  // safety net; unreachable in correct runs
+    }
+    metrics.forward_rounds = r;
+    return r;
+  }
+
+  // ----- Algorithm 5: accumulation phase -------------------------------
+  void run_accumulation(std::uint32_t R) {
+    const graph::VertexId n = g.num_vertices();
+    // Precompute each vertex's send schedule: source indices by decreasing
+    // tau (A_sv = R - tau_sv is increasing along acc_order).
+    for (graph::VertexId v = 0; v < n; ++v) {
+      auto& vs = state[v];
+      for (std::size_t sidx = 0; sidx < sources.size(); ++sidx) {
+        if (vs.tau[sidx] != 0) vs.acc_order.push_back(static_cast<std::uint32_t>(sidx));
+      }
+      std::sort(vs.acc_order.begin(), vs.acc_order.end(),
+                [&vs](std::uint32_t a, std::uint32_t b) { return vs.tau[a] > vs.tau[b]; });
+    }
+    // Fresh message flow on the same network; rounds r = 0..R (Alg. 5 step 6).
+    std::size_t rounds = 0;
+    for (std::uint32_t r = 0; r <= R; ++r) {
+      net.advance_round();
+      ++rounds;
+      bool any_activity = net.messages_in_flight();
+      for (graph::VertexId v = 0; v < n; ++v) {
+        auto& vs = state[v];
+        for (const auto& [from, m] : net.inbox(v)) {
+          (void)from;
+          // Leftover Alg. 4 broadcasts from the last forward round may
+          // still be in flight; only accumulation payloads matter here.
+          if (m.kind != Msg::kAcc) continue;
+          vs.delta[m.a] += vs.sigma[m.a] * m.x;
+        }
+        if (!net.inbox(v).empty()) any_activity = true;
+        // Fire A_sv = R - tau_sv (step 7). Timestamps are distinct per
+        // vertex, so at most one source fires per round.
+        while (vs.acc_cursor < vs.acc_order.size()) {
+          const std::uint32_t sidx = vs.acc_order[vs.acc_cursor];
+          const std::uint32_t a_sv = R - vs.tau[sidx];
+          if (a_sv != r) break;
+          const double m_val = (1.0 + vs.delta[sidx]) / vs.sigma[sidx];
+          for (graph::VertexId p : vs.preds[sidx]) {
+            net.send(v, p, Msg{Msg::kAcc, sidx, 0, m_val});
+            ++metrics.accumulation_messages;
+          }
+          ++vs.acc_cursor;
+          any_activity = true;
+        }
+      }
+      if (!any_activity && !net.messages_in_flight()) {
+        bool pending = false;
+        for (graph::VertexId v = 0; v < n && !pending; ++v) {
+          pending = state[v].acc_cursor < state[v].acc_order.size();
+        }
+        if (!pending) break;
+      }
+    }
+    metrics.accumulation_rounds = rounds;
+  }
+
+  CongestRun collect() {
+    const graph::VertexId n = g.num_vertices();
+    const std::size_t k = sources.size();
+    CongestRun run;
+    run.result.sources = sources;
+    run.result.dist.assign(k, std::vector<std::uint32_t>(n, kInfDist));
+    run.result.sigma.assign(k, std::vector<double>(n, 0.0));
+    run.result.delta.assign(k, std::vector<double>(n, 0.0));
+    run.result.bc.assign(n, 0.0);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const auto& vs = state[v];
+      for (std::size_t sidx = 0; sidx < k; ++sidx) {
+        run.result.dist[sidx][v] = vs.dist[sidx];
+        run.result.sigma[sidx][v] = vs.sigma[sidx];
+        run.result.delta[sidx][v] = vs.delta[sidx];
+        if (sources[sidx] != v) run.result.bc[v] += vs.delta[sidx];
+      }
+    }
+    metrics.max_channel_congestion = net.max_channel_congestion();
+    run.metrics = metrics;
+    return run;
+  }
+};
+
+CongestRun run_congest(const Graph& g, const std::vector<graph::VertexId>& sources,
+                       bool all_sources, const CongestOptions& options) {
+  if (g.num_vertices() == 0) return {};
+  Runner runner(g, sources, all_sources);
+  runner.options = options;
+  if (!options.n_known && all_sources) runner.run_count_phase();
+  const std::uint32_t R = runner.run_forward();
+  runner.run_accumulation(R);
+  return runner.collect();
+}
+
+}  // namespace
+
+CongestRun congest_mrbc_all_sources(const Graph& g, const CongestOptions& options) {
+  std::vector<graph::VertexId> sources(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) sources[v] = v;
+  return run_congest(g, sources, /*all_sources=*/true, options);
+}
+
+CongestRun congest_mrbc(const Graph& g, const std::vector<graph::VertexId>& sources,
+                        const CongestOptions& options) {
+  CongestOptions opts = options;
+  opts.termination = Termination::kGlobalDetection;
+  return run_congest(g, sources, /*all_sources=*/false, opts);
+}
+
+std::uint32_t max_finite_distance(const std::vector<std::vector<std::uint32_t>>& dist) {
+  std::uint32_t h = 0;
+  for (const auto& row : dist) {
+    for (std::uint32_t d : row) {
+      if (d != kInfDist) h = std::max(h, d);
+    }
+  }
+  return h;
+}
+
+}  // namespace mrbc::core

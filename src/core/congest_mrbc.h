@@ -1,0 +1,70 @@
+#pragma once
+// Reference implementation of Min-Rounds BC in the CONGEST model:
+// Algorithm 3 (Directed-APSP with pipelined source detection),
+// Algorithm 4 (APSP-Finalizer: BFS-tree convergecast of the directed
+// diameter, cutting termination from 2n to n + O(D) rounds), and
+// Algorithm 5 (timestamp-reversal accumulation phase).
+//
+// This implementation runs one processor per vertex on congest::Network and
+// is deliberately literal — it exists to validate Theorem 1's round and
+// message bounds and to serve as the golden model for the production
+// D-Galois-style implementation in mrbc.h.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bc_common.h"
+#include "graph/graph.h"
+
+namespace mrbc::core {
+
+/// How the forward (APSP) phase decides to stop.
+enum class Termination {
+  kFixed2n,          ///< Theorem 1, part I.2: exactly 2n rounds, <= mn messages
+  kFinalizer,        ///< Theorem 1, part I.1: Alg. 4, min{2n, n+O(D)} rounds
+  kGlobalDetection,  ///< Lemma 8: system-level quiescence detection (D-Galois)
+};
+
+struct CongestOptions {
+  Termination termination = Termination::kGlobalDetection;
+  /// Theorem 1, part I.3: when false, the vertices first compute n with a
+  /// BFS-tree convergecast over the undirected closure UG (Alg. 3 steps
+  /// 5-6, O(Du) rounds) before the 2n-round cap can be applied. Requires a
+  /// weakly connected graph; applies to the all-sources mode only.
+  bool n_known = true;
+};
+
+/// Execution record of one CONGEST run, including the accounting needed to
+/// check Theorem 1 and Lemma 8.
+struct CongestMetrics {
+  std::size_t forward_rounds = 0;
+  std::size_t accumulation_rounds = 0;
+  std::size_t apsp_messages = 0;      ///< Alg. 3 step 9 payloads (bound: mn, or mk for k-SSP)
+  std::size_t aux_messages = 0;       ///< Alg. 4 BFS/convergecast/broadcast (bound: O(m))
+  std::size_t accumulation_messages = 0;  ///< Alg. 5 payloads
+  std::uint32_t diameter = 0;         ///< D broadcast by Alg. 4 (0 if unused)
+  bool finalizer_triggered = false;   ///< Alg. 4 actually cut the execution
+  std::size_t anomalies = 0;          ///< invariant violations (must be 0):
+                                      ///< skipped sends, post-send updates
+  std::size_t count_rounds = 0;       ///< rounds spent computing n (part I.3)
+  std::size_t count_messages = 0;     ///< messages of the n-computation
+  std::size_t max_channel_congestion = 0;  ///< per-edge-per-round max (O(1) required)
+};
+
+struct CongestRun {
+  BcResult result;
+  CongestMetrics metrics;
+};
+
+/// Full MRBC: APSP from every vertex + BC of every vertex (Alg. 5).
+/// For Termination::kFinalizer the graph should be strongly connected for
+/// the n+O(D) bound to apply; otherwise execution falls back to 2n rounds.
+CongestRun congest_mrbc_all_sources(const Graph& g, const CongestOptions& options = {});
+
+/// k-SSP variant (Lemma 8): shortest paths / BC contributions from the
+/// given sources only. Always uses global termination detection.
+CongestRun congest_mrbc(const Graph& g, const std::vector<VertexId>& sources,
+                        const CongestOptions& options = {});
+
+}  // namespace mrbc::core

@@ -1,0 +1,492 @@
+#include "core/mrbc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "comm/substrate.h"
+#include "core/mrbc_state.h"
+#include "graph/algorithms.h"
+
+namespace mrbc::core {
+
+using graph::kInfDist;
+using partition::HostId;
+using partition::Partition;
+
+namespace {
+
+// Per-slot status bits (SourceSlot::flags is not wide enough to matter; we
+// keep them in side bitsets inside the runner to keep SourceSlot pure data).
+constexpr std::uint8_t kFwdFinal = 1;    // forward label finalized on this proxy
+constexpr std::uint8_t kAccFinal = 2;    // dependency finalized on this proxy
+constexpr std::uint8_t kEagerStaged = 4; // staged for eager (non-final) broadcast
+
+/// One batch's distributed execution: forward APSP then accumulation.
+class BatchRunner {
+ public:
+  BatchRunner(const Partition& part, std::vector<graph::VertexId> batch,
+              const MrbcOptions& opts)
+      : part_(part), batch_(std::move(batch)), opts_(opts), substrate_(part) {
+    const HostId H = part_.num_hosts();
+    const auto k = static_cast<std::uint32_t>(batch_.size());
+    state_.reserve(H);
+    masters_.resize(H);
+    worklist_.resize(H);
+    self_sched_.resize(H);
+    staged_lids_.resize(H);
+    anomalies_.assign(H, 0);
+    host_active_.assign(H, 0);
+    flags_.resize(H);
+    for (HostId h = 0; h < H; ++h) {
+      const auto& hg = part_.host(h);
+      state_.emplace_back(hg.num_proxies(), k);
+      flags_[h].assign(static_cast<std::size_t>(hg.num_proxies()) * k, 0);
+      for (graph::VertexId l = 0; l < hg.num_proxies(); ++l) {
+        if (hg.is_master[l]) masters_[h].push_back(l);
+      }
+    }
+  }
+
+  sim::RunStats run_forward() {
+    // Step 3 of Alg. 3, restricted to the batch sources (Lemma 8): each
+    // source's master proxy starts with (0, s) and sigma 1.
+    for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
+      const graph::VertexId gv = batch_[sidx];
+      const HostId h = part_.master_host(gv);
+      const graph::VertexId lid = part_.local_id(h, gv);
+      state_[h].update_distance(lid, sidx, 0);
+      state_[h].slot(lid, sidx).sigma = 1.0;
+    }
+    ForwardAccessor acc{*this};
+    sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
+    sim::RunStats stats = loop.run(
+        [&](std::size_t round) {
+          current_round_ = static_cast<std::uint32_t>(round);
+          // Reduce first: every mirror contribution of this round must be
+          // at the master BEFORE the delayed-sync rule is evaluated, or an
+          // entry could fire with an incomplete position or sigma.
+          comm::SyncStats s = substrate_.reduce_var(acc);
+          for (HostId h = 0; h < part_.num_hosts(); ++h) {
+            schedule_forward(h, current_round_);
+          }
+          s += substrate_.broadcast_var(acc);
+          return s;
+        },
+        [&](HostId h, std::size_t round) {
+          return compute_forward(h, static_cast<std::uint32_t>(round));
+        },
+        [&] { return substrate_.any_pending(); });
+    forward_rounds_ = static_cast<std::uint32_t>(stats.rounds);
+    return stats;
+  }
+
+  sim::RunStats run_backward() {
+    const std::uint32_t R = forward_rounds_;
+    for (HostId h = 0; h < part_.num_hosts(); ++h) schedule_backward(h, 1, R);
+    BackwardAccessor acc{*this};
+    sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
+    return loop.run(
+        [&](std::size_t) {
+          comm::SyncStats s = substrate_.reduce_var(acc);
+          s += substrate_.broadcast_var(acc);
+          return s;
+        },
+        [&](HostId h, std::size_t round) {
+          return compute_backward(h, static_cast<std::uint32_t>(round), R);
+        },
+        [&] { return substrate_.any_pending(); });
+  }
+
+  /// Adds this batch's dependencies into the global result.
+  void harvest(BcResult& out) const {
+    const std::size_t base = out.sources.size();
+    out.sources.insert(out.sources.end(), batch_.begin(), batch_.end());
+    if (opts_.collect_tables) {
+      out.dist.resize(base + batch_.size(),
+                      std::vector<std::uint32_t>(part_.num_global_vertices(), kInfDist));
+      out.sigma.resize(base + batch_.size(),
+                       std::vector<double>(part_.num_global_vertices(), 0.0));
+      out.delta.resize(base + batch_.size(),
+                       std::vector<double>(part_.num_global_vertices(), 0.0));
+    }
+    for (HostId h = 0; h < part_.num_hosts(); ++h) {
+      const auto& hg = part_.host(h);
+      for (graph::VertexId lid : masters_[h]) {
+        const graph::VertexId gv = hg.local_to_global[lid];
+        for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
+          const SourceSlot& s = state_[h].slot(lid, sidx);
+          if (batch_[sidx] != gv && s.dist != kInfDist) out.bc[gv] += s.delta;
+          if (opts_.collect_tables) {
+            out.dist[base + sidx][gv] = s.dist;
+            out.sigma[base + sidx][gv] = s.sigma;
+            out.delta[base + sidx][gv] = s.delta;
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t anomalies() const {
+    std::size_t total = 0;
+    for (std::size_t a : anomalies_) total += a;
+    return total;
+  }
+
+ private:
+  std::uint8_t& flags(HostId h, graph::VertexId lid, std::uint32_t sidx) {
+    return flags_[h][static_cast<std::size_t>(lid) * batch_.size() + sidx];
+  }
+
+  // ---- Forward phase ----------------------------------------------------
+
+  /// Applies one incoming (dist, sigma) contribution to a proxy — the
+  /// lines 11-17 update rules of Alg. 3 in proxy form.
+  void combine_forward(HostId h, graph::VertexId lid, std::uint32_t sidx, std::uint32_t d,
+                       double sigma) {
+    HostState& st = state_[h];
+    SourceSlot& s = st.slot(lid, sidx);
+    if (d > s.dist) return;  // stale
+    if (flags(h, lid, sidx) & kFwdFinal) {
+      ++anomalies_[h];  // update after finalization: forbidden by Lemmas 2-5
+      return;
+    }
+    if (d < s.dist) {
+      st.update_distance(lid, sidx, d);
+      s.sigma = sigma;
+    } else {
+      s.sigma += sigma;
+    }
+    if (part_.host(h).is_master[lid]) {
+      if (!opts_.delayed_sync) stage_eager(h, lid, sidx);
+    } else {
+      st.mark_dirty(lid, sidx);
+      substrate_.flag_reduce(h, lid);
+    }
+  }
+
+  void stage_eager(HostId h, graph::VertexId lid, std::uint32_t sidx) {
+    if (flags(h, lid, sidx) & kEagerStaged) return;
+    flags(h, lid, sidx) |= kEagerStaged;
+    if (state_[h].to_broadcast[lid].empty()) staged_lids_[h].push_back(lid);
+    state_[h].to_broadcast[lid].push_back({sidx, false});
+    substrate_.flag_broadcast(h, lid);
+  }
+
+  /// Flushes the entries of one master vertex whose pipelined send round
+  /// has arrived (the delayed-synchronization rule, Section 4.3). The BSP
+  /// fire round is d + l_v(d, s) + 1: one round later than the CONGEST
+  /// schedule because a contribution computed on a mirror host reaches the
+  /// master via the next round's reduce, whereas CONGEST processors receive
+  /// within the sending round. The uniform +1 shift preserves every
+  /// pipelining invariant (arrival f_x + 2 <= fire f_v + 1 follows from the
+  /// CONGEST guarantee f_x < f_v). Entries fire in lexicographic order, so
+  /// the next unsent entry is always at index fwd_sent.
+  void flush_due_forward(HostId h, graph::VertexId lid, std::uint32_t round) {
+    HostState& st = state_[h];
+    while (st.fwd_sent[lid] < st.entry_count(lid)) {
+      const auto [d, sidx] = st.nth_entry(lid, st.fwd_sent[lid]);
+      const std::uint32_t pos = st.fwd_sent[lid] + 2;  // l_v(d,s) + 1
+      if (d + pos > round) break;
+      if (d + pos < round) ++anomalies_[h];  // a send round was skipped
+      if (st.to_broadcast[lid].empty()) staged_lids_[h].push_back(lid);
+      st.to_broadcast[lid].push_back({sidx, true});
+      substrate_.flag_broadcast(h, lid);
+      self_sched_[h].push_back({lid, sidx});
+      ++st.fwd_sent[lid];
+    }
+  }
+
+  /// Per-round pass over all masters, run between the reduce and broadcast
+  /// phases of round `round`'s sync: with every contribution of the round
+  /// already reduced, fire everything due. This is where the paper's rule
+  /// "synchronize d and sigma in round r = d + l(d,s)" is evaluated.
+  void schedule_forward(HostId h, std::uint32_t round) {
+    HostState& st = state_[h];
+    bool active = false;
+    for (graph::VertexId lid : masters_[h]) {
+      flush_due_forward(h, lid, round);
+      active = active || st.fwd_sent[lid] < st.entry_count(lid);
+    }
+    host_active_[h] = active;
+  }
+
+  sim::HostWork compute_forward(HostId h, std::uint32_t round) {
+    HostState& st = state_[h];
+    const auto& hg = part_.host(h);
+    sim::HostWork w;
+    // Drain finalized labels delivered this round (broadcast arrivals on
+    // mirrors + the master's own scheduled entries): each is the CONGEST
+    // "send along all out-edges", performed as local proxy updates.
+    auto drain = [&](const std::vector<std::pair<graph::VertexId, std::uint32_t>>& list) {
+      for (const auto& [lid, sidx] : list) {
+        flags(h, lid, sidx) |= kFwdFinal;
+        const SourceSlot s = st.slot(lid, sidx);
+        for (graph::VertexId tl : hg.local.out_neighbors(lid)) {
+          combine_forward(h, tl, sidx, s.dist + 1, s.sigma);
+          ++w.work_items;
+        }
+      }
+    };
+    drain(worklist_[h]);
+    drain(self_sched_[h]);
+    worklist_[h].clear();
+    self_sched_[h].clear();
+    for (graph::VertexId lid : staged_lids_[h]) {
+      st.to_broadcast[lid].clear();
+      // clear eager-staging marks
+      for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
+        flags(h, lid, sidx) &= static_cast<std::uint8_t>(~kEagerStaged);
+      }
+    }
+    staged_lids_[h].clear();
+    (void)round;
+    // Re-evaluate after the drain: local pushes can seed brand-new entries
+    // at same-host masters without setting any sync flag, and the loop
+    // must not quiesce while any master still has unsent entries.
+    bool active = false;
+    for (graph::VertexId lid : masters_[h]) {
+      if (st.fwd_sent[lid] < st.entry_count(lid)) {
+        active = true;
+        break;
+      }
+    }
+    w.active = active;
+    return w;
+  }
+
+  // ---- Accumulation phase -------------------------------------------------
+
+  /// tau_sv is re-derived from the final list (Section 4.3: "we can derive
+  /// the round in which sigma was sent using d_sv in the map ... and the
+  /// number of already sent dependencies"). Entries fire in reverse
+  /// lexicographic order: A_sv = R - tau_sv + 1.
+  void schedule_backward(HostId h, std::uint32_t next_round, std::uint32_t R) {
+    HostState& st = state_[h];
+    bool active = false;
+    for (graph::VertexId lid : masters_[h]) {
+      const std::size_t count = st.entry_count(lid);
+      while (st.acc_sent[lid] < count) {
+        const std::size_t idx = count - 1 - st.acc_sent[lid];
+        const auto [d, sidx] = st.nth_entry(lid, idx);
+        // tau matches the shifted forward fire round: d + position + 1.
+        const std::uint32_t tau = d + static_cast<std::uint32_t>(idx) + 2;
+        const std::uint32_t fire = (R >= tau ? R - tau : 0) + 1;
+        if (fire > next_round) break;
+        if (fire < next_round) ++anomalies_[h];
+        if (st.to_broadcast[lid].empty()) staged_lids_[h].push_back(lid);
+        st.to_broadcast[lid].push_back({sidx, true});
+        substrate_.flag_broadcast(h, lid);
+        self_sched_[h].push_back({lid, sidx});
+        ++st.acc_sent[lid];
+      }
+      active = active || st.acc_sent[lid] < count;
+    }
+    host_active_[h] = active;
+  }
+
+  void combine_backward(HostId h, graph::VertexId lid, std::uint32_t sidx, double contribution) {
+    HostState& st = state_[h];
+    if (flags(h, lid, sidx) & kAccFinal) {
+      ++anomalies_[h];  // dependency arrived after its vertex fired
+      return;
+    }
+    st.slot(lid, sidx).delta += contribution;
+    if (part_.host(h).is_master[lid]) {
+      if (!opts_.delayed_sync) stage_eager(h, lid, sidx);
+    } else {
+      st.mark_dirty(lid, sidx);
+      substrate_.flag_reduce(h, lid);
+    }
+  }
+
+  sim::HostWork compute_backward(HostId h, std::uint32_t round, std::uint32_t R) {
+    HostState& st = state_[h];
+    const auto& hg = part_.host(h);
+    sim::HostWork w;
+    // A finalized dependency delta_sv turns into m = (1 + delta)/sigma sent
+    // to the predecessors of v in s's SP DAG; predecessors are recognized
+    // on each host by dist(w) + 1 == dist(v) (Alg. 5 step 7).
+    auto drain = [&](const std::vector<std::pair<graph::VertexId, std::uint32_t>>& list) {
+      for (const auto& [lid, sidx] : list) {
+        flags(h, lid, sidx) |= kAccFinal;
+        const SourceSlot& sv = st.slot(lid, sidx);
+        if (sv.dist == kInfDist || sv.dist == 0 || sv.sigma == 0.0) continue;
+        const double m = (1.0 + sv.delta) / sv.sigma;
+        for (graph::VertexId wl : hg.local.in_neighbors(lid)) {
+          const SourceSlot& sw = st.slot(wl, sidx);
+          if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
+            combine_backward(h, wl, sidx, sw.sigma * m);
+          }
+          ++w.work_items;
+        }
+      }
+    };
+    drain(worklist_[h]);
+    drain(self_sched_[h]);
+    worklist_[h].clear();
+    self_sched_[h].clear();
+    for (graph::VertexId lid : staged_lids_[h]) {
+      st.to_broadcast[lid].clear();
+      for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
+        flags(h, lid, sidx) &= static_cast<std::uint8_t>(~kEagerStaged);
+      }
+    }
+    staged_lids_[h].clear();
+    schedule_backward(h, round + 1, R);
+    w.active = host_active_[h];
+    return w;
+  }
+
+  // ---- Sync accessors -----------------------------------------------------
+
+  struct ForwardAccessor {
+    BatchRunner& r;
+
+    void serialize_reduce(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+      HostState& st = r.state_[h];
+      auto& dirty = st.dirty_sources(lid);
+      buf.write<std::uint32_t>(static_cast<std::uint32_t>(dirty.size()));
+      for (std::uint32_t sidx : dirty) {
+        const SourceSlot s = st.slot(lid, sidx);
+        buf.write<std::uint32_t>(sidx);
+        buf.write<std::uint32_t>(s.dist);
+        buf.write<double>(s.sigma);
+        // Gluon reduce-reset: the mirror's partial returns to identity.
+        st.clear_distance(lid, sidx);
+        st.slot(lid, sidx).sigma = 0.0;
+      }
+      st.clear_dirty(lid);
+    }
+
+    void apply_reduce(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
+      const auto n = buf.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto sidx = buf.read<std::uint32_t>();
+        const auto d = buf.read<std::uint32_t>();
+        const auto sigma = buf.read<double>();
+        r.combine_forward(h, lid, sidx, d, sigma);
+      }
+    }
+
+    void serialize_broadcast(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+      const HostState& st = r.state_[h];
+      const auto& staged = st.to_broadcast[lid];
+      buf.write<std::uint32_t>(static_cast<std::uint32_t>(staged.size()));
+      for (const auto& [sidx, is_final] : staged) {
+        const SourceSlot& s = st.slot(lid, sidx);
+        buf.write<std::uint32_t>(sidx);
+        buf.write<std::uint32_t>(s.dist);
+        buf.write<double>(s.sigma);
+        buf.write<std::uint8_t>(is_final ? 1 : 0);
+      }
+    }
+
+    void apply_broadcast(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
+      HostState& st = r.state_[h];
+      const auto n = buf.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto sidx = buf.read<std::uint32_t>();
+        const auto d = buf.read<std::uint32_t>();
+        const auto sigma = buf.read<double>();
+        const auto is_final = buf.read<std::uint8_t>();
+        if (!is_final) continue;  // eager-mode traffic only
+        st.update_distance(lid, sidx, d);
+        st.slot(lid, sidx).sigma = sigma;
+        r.worklist_[h].push_back({lid, sidx});
+      }
+    }
+  };
+
+  struct BackwardAccessor {
+    BatchRunner& r;
+
+    void serialize_reduce(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+      HostState& st = r.state_[h];
+      auto& dirty = st.dirty_sources(lid);
+      buf.write<std::uint32_t>(static_cast<std::uint32_t>(dirty.size()));
+      for (std::uint32_t sidx : dirty) {
+        buf.write<std::uint32_t>(sidx);
+        buf.write<double>(st.slot(lid, sidx).delta);
+        st.slot(lid, sidx).delta = 0.0;  // reduce-reset
+      }
+      st.clear_dirty(lid);
+    }
+
+    void apply_reduce(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
+      const auto n = buf.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto sidx = buf.read<std::uint32_t>();
+        const auto contribution = buf.read<double>();
+        r.combine_backward(h, lid, sidx, contribution);
+      }
+    }
+
+    void serialize_broadcast(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+      const HostState& st = r.state_[h];
+      const auto& staged = st.to_broadcast[lid];
+      buf.write<std::uint32_t>(static_cast<std::uint32_t>(staged.size()));
+      for (const auto& [sidx, is_final] : staged) {
+        buf.write<std::uint32_t>(sidx);
+        buf.write<double>(st.slot(lid, sidx).delta);
+        buf.write<std::uint8_t>(is_final ? 1 : 0);
+      }
+    }
+
+    void apply_broadcast(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
+      HostState& st = r.state_[h];
+      const auto n = buf.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto sidx = buf.read<std::uint32_t>();
+        const auto delta = buf.read<double>();
+        const auto is_final = buf.read<std::uint8_t>();
+        if (!is_final) continue;
+        st.slot(lid, sidx).delta = delta;
+        r.worklist_[h].push_back({lid, sidx});
+      }
+    }
+  };
+
+  const Partition& part_;
+  std::vector<graph::VertexId> batch_;
+  MrbcOptions opts_;
+  comm::Substrate substrate_;
+  std::vector<HostState> state_;
+  std::vector<std::vector<graph::VertexId>> masters_;
+  std::vector<std::vector<std::pair<graph::VertexId, std::uint32_t>>> worklist_;
+  std::vector<std::vector<std::pair<graph::VertexId, std::uint32_t>>> self_sched_;
+  std::vector<std::vector<graph::VertexId>> staged_lids_;
+  std::vector<std::size_t> anomalies_;
+  std::vector<std::vector<std::uint8_t>> flags_;
+  std::vector<std::uint8_t> host_active_;  // not vector<bool>: hosts write concurrently
+  std::uint32_t forward_rounds_ = 0;
+  std::uint32_t current_round_ = 0;
+};
+
+}  // namespace
+
+MrbcRun mrbc_bc(const Partition& part, const std::vector<graph::VertexId>& sources,
+                const MrbcOptions& options) {
+  MrbcRun run;
+  run.result.bc.assign(part.num_global_vertices(), 0.0);
+  run.replication_factor = part.replication_factor();
+  const std::uint32_t k = std::max<std::uint32_t>(options.batch_size, 1);
+  for (std::size_t begin = 0; begin < sources.size(); begin += k) {
+    const std::size_t end = std::min(sources.size(), begin + k);
+    std::vector<graph::VertexId> batch(sources.begin() + begin, sources.begin() + end);
+    BatchRunner runner(part, std::move(batch), options);
+    run.forward += runner.run_forward();
+    run.backward += runner.run_backward();
+    runner.harvest(run.result);
+    run.anomalies += runner.anomalies();
+    ++run.num_batches;
+  }
+  return run;
+}
+
+MrbcRun mrbc_bc(const Graph& g, const std::vector<graph::VertexId>& sources,
+                const MrbcOptions& options) {
+  Partition part(g, options.num_hosts, options.policy);
+  return mrbc_bc(part, sources, options);
+}
+
+}  // namespace mrbc::core

@@ -1,0 +1,73 @@
+#pragma once
+// Min-Rounds BC in the D-Galois execution model (Section 4 of the paper):
+// the pipelined APSP forward phase (Alg. 3) and the timestamp-reversal
+// accumulation phase (Alg. 5) expressed as vertex operators over a
+// partitioned graph, with Gluon-style proxy synchronization and the
+// paper's optimizations:
+//
+//   * Section 4.3 data structures: dense per-source array + flat-map
+//     distance index (mrbc_state.h);
+//   * delayed synchronization: a vertex's (dist, sigma) is broadcast to
+//     its proxies only in the round r = d_sv + l_v(d_sv, s) when it is
+//     final, and its dependency only in round A_sv = R - tau_sv + 1;
+//     mirrors reduce partial contributions eagerly with Gluon
+//     reduce-reset semantics, which is what keeps partial sigma / delta
+//     sums exact;
+//   * source batching (Lemma 8): k sources per execution, at most
+//     2(k + H) + O(1) rounds per batch where H is the largest finite
+//     distance from the batch.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bc_common.h"
+#include "engine/cluster.h"
+#include "partition/partition.h"
+
+namespace mrbc::core {
+
+struct MrbcOptions {
+  partition::HostId num_hosts = 4;
+  partition::Policy policy = partition::Policy::kCartesianVertexCut;
+  std::uint32_t batch_size = 32;
+  /// The Section 4.3 delayed-synchronization optimization. When false,
+  /// masters additionally broadcast every intermediate label change
+  /// (Gluon's default update-tracking behavior), modelling the extra
+  /// traffic the optimization removes; algorithm results are identical.
+  bool delayed_sync = true;
+  /// Retain per-source dist/sigma/delta tables in the result (tests).
+  bool collect_tables = false;
+  sim::ClusterOptions cluster;
+};
+
+struct MrbcRun {
+  BcResult result;
+  sim::RunStats forward;   ///< summed over batches
+  sim::RunStats backward;  ///< summed over batches
+  std::size_t num_batches = 0;
+  std::size_t anomalies = 0;  ///< pipelining-invariant violations (must be 0)
+  double replication_factor = 0.0;
+
+  sim::RunStats total() const {
+    sim::RunStats t = forward;
+    t += backward;
+    return t;
+  }
+  /// Rounds per source, the paper's Table 1 normalization.
+  double rounds_per_source() const {
+    return result.sources.empty()
+               ? 0.0
+               : static_cast<double>(forward.rounds + backward.rounds) /
+                     static_cast<double>(result.sources.size());
+  }
+};
+
+/// Runs MRBC over `sources` (partitioning `g` internally).
+MrbcRun mrbc_bc(const Graph& g, const std::vector<graph::VertexId>& sources,
+                const MrbcOptions& options = {});
+
+/// Same, over a pre-built partition (options.num_hosts/policy ignored).
+MrbcRun mrbc_bc(const partition::Partition& part, const std::vector<graph::VertexId>& sources,
+                const MrbcOptions& options = {});
+
+}  // namespace mrbc::core

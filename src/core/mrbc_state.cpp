@@ -1,0 +1,97 @@
+#include "core/mrbc_state.h"
+
+#include <cassert>
+
+namespace mrbc::core {
+
+HostState::HostState(VertexId num_proxies, std::uint32_t num_sources)
+    : num_proxies_(num_proxies), k_(num_sources) {
+  slots_.resize(static_cast<std::size_t>(num_proxies) * k_);
+  dist_map_.resize(num_proxies);
+  entry_counts_.assign(num_proxies, 0);
+  dirty_flags_.resize(num_proxies);
+  for (auto& flags : dirty_flags_) flags.resize(k_);
+  dirty_.resize(num_proxies);
+  fwd_sent.assign(num_proxies, 0);
+  acc_sent.assign(num_proxies, 0);
+  to_broadcast.resize(num_proxies);
+}
+
+void HostState::update_distance(VertexId lid, std::uint32_t sidx, std::uint32_t new_dist) {
+  SourceSlot& s = slot(lid, sidx);
+  auto& map = dist_map_[lid];
+  if (s.dist != graph::kInfDist) {
+    if (s.dist == new_dist) return;
+    auto it = map.find(s.dist);
+    assert(it != map.end());
+    it->second.reset(sidx);
+    if (it->second.none()) map.erase(it);
+    --entry_counts_[lid];
+  }
+  s.dist = new_dist;
+  auto [it, inserted] = map.try_emplace(new_dist);
+  if (inserted) it->second.resize(k_);
+  it->second.set(sidx);
+  ++entry_counts_[lid];
+}
+
+void HostState::clear_distance(VertexId lid, std::uint32_t sidx) {
+  SourceSlot& s = slot(lid, sidx);
+  if (s.dist == graph::kInfDist) return;
+  auto& map = dist_map_[lid];
+  auto it = map.find(s.dist);
+  assert(it != map.end());
+  it->second.reset(sidx);
+  if (it->second.none()) map.erase(it);
+  --entry_counts_[lid];
+  s.dist = graph::kInfDist;
+}
+
+std::pair<std::uint32_t, std::uint32_t> HostState::nth_entry(VertexId lid,
+                                                             std::size_t idx) const {
+  assert(idx < entry_counts_[lid]);
+  for (const auto& [dist, sources] : dist_map_[lid]) {
+    const std::size_t bucket = sources.count();
+    if (idx < bucket) {
+      // Select the idx-th set bit within this distance bucket.
+      std::size_t bit = sources.find_first();
+      while (idx-- > 0) bit = sources.find_first_from(bit + 1);
+      return {dist, static_cast<std::uint32_t>(bit)};
+    }
+    idx -= bucket;
+  }
+  assert(false && "nth_entry out of range");
+  return {graph::kInfDist, 0};
+}
+
+std::size_t HostState::position(VertexId lid, std::uint32_t dist, std::uint32_t sidx) const {
+  std::size_t pos = 0;
+  for (const auto& [d, sources] : dist_map_[lid]) {
+    if (d < dist) {
+      pos += sources.count();
+      continue;
+    }
+    assert(d == dist && sources.test(sidx));
+    for (std::size_t bit = sources.find_first(); bit < sidx;
+         bit = sources.find_first_from(bit + 1)) {
+      ++pos;
+    }
+    return pos + 1;  // 1-based
+  }
+  assert(false && "position: entry not present");
+  return 0;
+}
+
+bool HostState::mark_dirty(VertexId lid, std::uint32_t sidx) {
+  if (dirty_flags_[lid].test(sidx)) return false;
+  dirty_flags_[lid].set(sidx);
+  dirty_[lid].push_back(sidx);
+  return true;
+}
+
+void HostState::clear_dirty(VertexId lid) {
+  for (std::uint32_t sidx : dirty_[lid]) dirty_flags_[lid].reset(sidx);
+  dirty_[lid].clear();
+}
+
+}  // namespace mrbc::core

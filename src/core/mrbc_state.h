@@ -1,0 +1,91 @@
+#pragma once
+// Per-host MRBC labels using the data-structure layout of Section 4.3:
+//   A_v — a dense array of per-source structs {dist, sigma, delta} giving
+//         O(1) access by (vertex, source); the three fields share one
+//         struct for spatial locality, exactly as the paper describes.
+//   M_v — a flat map from current distance to a dense bitvector over the
+//         batch's sources, allowing iteration of the (dist, source) pairs
+//         in lexicographic order (the list L_v of Algorithm 3) and rank
+//         queries for the pipelined send rounds.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+#include "util/flat_map.h"
+
+namespace mrbc::core {
+
+using graph::VertexId;
+
+/// One (vertex, source) label cell of the dense array A_v.
+struct SourceSlot {
+  std::uint32_t dist = graph::kInfDist;
+  double sigma = 0.0;
+  double delta = 0.0;
+};
+
+/// All MRBC labels of one simulated host for a batch of k sources.
+class HostState {
+ public:
+  HostState(VertexId num_proxies, std::uint32_t num_sources);
+
+  std::uint32_t num_sources() const { return k_; }
+  VertexId num_proxies() const { return num_proxies_; }
+
+  SourceSlot& slot(VertexId lid, std::uint32_t sidx) {
+    return slots_[static_cast<std::size_t>(lid) * k_ + sidx];
+  }
+  const SourceSlot& slot(VertexId lid, std::uint32_t sidx) const {
+    return slots_[static_cast<std::size_t>(lid) * k_ + sidx];
+  }
+
+  // --- M_v maintenance --------------------------------------------------
+  // update_distance keeps slot.dist and the map consistent: pass the new
+  // distance; the old one is read from the slot.
+  void update_distance(VertexId lid, std::uint32_t sidx, std::uint32_t new_dist);
+
+  /// Removes (slot.dist, sidx) from the map and resets the slot's dist to
+  /// infinity (mirror reduce-reset).
+  void clear_distance(VertexId lid, std::uint32_t sidx);
+
+  /// Number of (dist, source) entries of vertex `lid` (|L_v|).
+  std::size_t entry_count(VertexId lid) const { return entry_counts_[lid]; }
+
+  /// idx-th (0-based) entry of L_v in lexicographic (dist, source) order.
+  std::pair<std::uint32_t, std::uint32_t> nth_entry(VertexId lid, std::size_t idx) const;
+
+  /// 1-based lexicographic position of (dist, sidx) in L_v — the paper's
+  /// l_v(d, s). The entry must exist.
+  std::size_t position(VertexId lid, std::uint32_t dist, std::uint32_t sidx) const;
+
+  // --- Update tracking for reduce ---------------------------------------
+  /// Marks (lid, sidx) as having a pending contribution for the master;
+  /// idempotent. Returns true if newly marked.
+  bool mark_dirty(VertexId lid, std::uint32_t sidx);
+  std::vector<std::uint32_t>& dirty_sources(VertexId lid) { return dirty_[lid]; }
+  void clear_dirty(VertexId lid);
+
+  // --- Per-vertex pipelining cursors -------------------------------------
+  // Forward phase: number of leading L_v entries already broadcast.
+  std::vector<std::uint32_t> fwd_sent;
+  // Accumulation phase: number of trailing entries already fired.
+  std::vector<std::uint32_t> acc_sent;
+  // Broadcast staging: (sidx, is_final) pairs serialized at the next
+  // broadcast; non-final entries model eager synchronization traffic for
+  // the delayed-sync ablation.
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> to_broadcast;
+
+ private:
+  VertexId num_proxies_;
+  std::uint32_t k_;
+  std::vector<SourceSlot> slots_;
+  std::vector<util::FlatMap<std::uint32_t, util::DynamicBitset>> dist_map_;
+  std::vector<std::size_t> entry_counts_;
+  std::vector<util::DynamicBitset> dirty_flags_;
+  std::vector<std::vector<std::uint32_t>> dirty_;
+};
+
+}  // namespace mrbc::core

@@ -1,0 +1,23 @@
+#include "engine/cluster.h"
+
+namespace mrbc::sim {
+
+RunStats& RunStats::operator+=(const RunStats& other) {
+  rounds += other.rounds;
+  compute_seconds += other.compute_seconds;
+  network_seconds += other.network_seconds;
+  messages += other.messages;
+  bytes += other.bytes;
+  values += other.values;
+  imbalance_sum += other.imbalance_sum;
+  if (per_host_compute_seconds.size() < other.per_host_compute_seconds.size()) {
+    per_host_compute_seconds.resize(other.per_host_compute_seconds.size(), 0.0);
+  }
+  for (std::size_t h = 0; h < other.per_host_compute_seconds.size(); ++h) {
+    per_host_compute_seconds[h] += other.per_host_compute_seconds[h];
+  }
+  round_log.insert(round_log.end(), other.round_log.begin(), other.round_log.end());
+  return *this;
+}
+
+}  // namespace mrbc::sim

@@ -1,0 +1,154 @@
+#pragma once
+// Bulk-synchronous cluster simulator: the D-Galois execution model
+// (Section 4.1 of the paper) on simulated hosts. Each BSP round is
+//   communication (Gluon sync of flagged proxies)  ->  per-host computation
+// matching the paper's "labels are synchronized by calling the Gluon API at
+// the beginning of each BSP round before computation".
+//
+// Per-round accounting mirrors the paper's measurements:
+//   - computation time: measured wall clock per host; the per-round maximum
+//     accumulates into RunStats::compute_seconds
+//   - load imbalance: max/mean of per-host *work units* per round (counters
+//     are used instead of wall time because simulated hosts share one CPU,
+//     making per-round timings too noisy on small rounds)
+//   - communication: exact message/byte/value counts from the substrate,
+//     converted to modeled seconds by NetworkModel.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/substrate.h"
+#include "engine/network_model.h"
+#include "util/stats.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace mrbc::sim {
+
+using comm::SyncStats;
+using partition::HostId;
+
+/// Result of one host's compute phase in one round.
+struct HostWork {
+  bool active = false;        ///< host still has local work pending
+  std::uint64_t work_items = 0;  ///< operator applications (imbalance metric)
+};
+
+/// One row of the optional per-round execution trace.
+struct RoundLogEntry {
+  std::size_t round = 0;
+  double compute_seconds = 0;   ///< max across hosts
+  double network_seconds = 0;   ///< modeled
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t values = 0;
+  std::uint64_t work_items = 0;  ///< total operator applications
+};
+
+/// Aggregated statistics for one BSP execution.
+struct RunStats {
+  std::size_t rounds = 0;
+  double compute_seconds = 0;    ///< sum over rounds of max-host compute time
+  double network_seconds = 0;    ///< modeled communication + barrier time
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t values = 0;
+  double imbalance_sum = 0;      ///< sum over rounds of per-round work imbalance
+  std::vector<double> per_host_compute_seconds;  ///< total per host
+  std::vector<RoundLogEntry> round_log;  ///< filled when record_round_log
+
+  /// Paper's load-imbalance metric: per-round max/mean work, averaged.
+  double mean_imbalance() const { return rounds ? imbalance_sum / static_cast<double>(rounds) : 1.0; }
+
+  /// Modeled execution time (computation + non-overlapped communication).
+  double total_seconds() const { return compute_seconds + network_seconds; }
+
+  /// "Non-overlapped communication" in the paper's breakdown includes wait
+  /// time at barriers induced by imbalance; our network_seconds plays that
+  /// role directly since compute_seconds already takes the per-round max.
+  RunStats& operator+=(const RunStats& other);
+};
+
+/// Options controlling the simulated execution.
+struct ClusterOptions {
+  NetworkModel network;
+  bool parallel_hosts = false;  ///< run host compute phases on threads
+  std::size_t max_rounds = 1u << 22;
+  /// Record a RoundLogEntry per round into RunStats::round_log (off by
+  /// default: traces of long runs are large).
+  bool record_round_log = false;
+};
+
+/// Runs a BSP loop until quiescence.
+///
+///   comm(round)      -> SyncStats   performed at the start of each round
+///   compute(h,round) -> HostWork    per-host operator
+///   pending()        -> bool        substrate flags still set (work queued)
+///
+/// Terminates before executing a round when no host is active, the last
+/// comm moved nothing, and nothing is pending — the "global quiescence
+/// condition" of Lemma 8, which D-Galois detects without extra rounds.
+class BspLoop {
+ public:
+  explicit BspLoop(HostId num_hosts, ClusterOptions options = {})
+      : num_hosts_(num_hosts), options_(options) {}
+
+  template <typename CommFn, typename ComputeFn, typename PendingFn>
+  RunStats run(CommFn&& comm, ComputeFn&& compute, PendingFn&& pending) {
+    RunStats stats;
+    stats.per_host_compute_seconds.assign(num_hosts_, 0.0);
+    bool any_active = true;  // force the first round
+    std::size_t round = 0;
+    while (round < options_.max_rounds && (any_active || pending())) {
+      ++round;
+      const SyncStats comm_stats = comm(round);
+      std::size_t max_egress = 0;
+      for (std::size_t b : comm_stats.bytes_per_host) max_egress = std::max(max_egress, b);
+      std::size_t max_msgs = 0;
+      for (std::size_t m : comm_stats.msgs_per_host) max_msgs = std::max(max_msgs, m);
+      stats.network_seconds += options_.network.round_seconds(max_msgs, max_egress);
+      stats.messages += comm_stats.messages;
+      stats.bytes += comm_stats.bytes;
+      stats.values += comm_stats.values;
+
+      std::vector<HostWork> work(num_hosts_);
+      std::vector<double> host_seconds(num_hosts_, 0.0);
+      util::for_each_index(num_hosts_, options_.parallel_hosts, [&](std::size_t h) {
+        util::Timer timer;
+        work[h] = compute(static_cast<HostId>(h), round);
+        host_seconds[h] = timer.seconds();
+      });
+      any_active = false;
+      std::vector<double> work_units(num_hosts_);
+      double max_seconds = 0.0;
+      for (HostId h = 0; h < num_hosts_; ++h) {
+        any_active = any_active || work[h].active;
+        work_units[h] = static_cast<double>(work[h].work_items);
+        stats.per_host_compute_seconds[h] += host_seconds[h];
+        max_seconds = std::max(max_seconds, host_seconds[h]);
+      }
+      stats.compute_seconds += max_seconds;
+      stats.imbalance_sum += util::imbalance(work_units);
+      stats.rounds = round;
+      if (options_.record_round_log) {
+        RoundLogEntry entry;
+        entry.round = round;
+        entry.compute_seconds = max_seconds;
+        entry.network_seconds = options_.network.round_seconds(max_msgs, max_egress);
+        entry.messages = comm_stats.messages;
+        entry.bytes = comm_stats.bytes;
+        entry.values = comm_stats.values;
+        for (const HostWork& hw : work) entry.work_items += hw.work_items;
+        stats.round_log.push_back(entry);
+      }
+    }
+    return stats;
+  }
+
+ private:
+  HostId num_hosts_;
+  ClusterOptions options_;
+};
+
+}  // namespace mrbc::sim

@@ -1,0 +1,4 @@
+// congest.h is header-only (class template); this translation unit exists to
+// give the engine library a home for future non-template CONGEST helpers
+// and to keep the build graph uniform.
+#include "engine/congest.h"

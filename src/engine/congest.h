@@ -1,0 +1,110 @@
+#pragma once
+// Faithful CONGEST-model simulator (Section 2.2 of the paper): a network of
+// per-vertex processors exchanging small messages along graph edges in
+// synchronous rounds. The reference implementations of Algorithms 3-5 run
+// on this simulator so Theorem 1's round and message bounds can be checked
+// exactly, independent of the D-Galois-style production path.
+//
+// Semantics:
+//   - Communication channels are bidirectional even on directed graphs
+//     (messages may flow to out-neighbors and in-neighbors).
+//   - A message sent in round r is delivered at the start of round r+1.
+//   - Message counting: every (sender, receiver) payload is one message,
+//     matching the paper's "mn + O(m) messages" accounting.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::congest {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Synchronous message transport for one CONGEST execution.
+/// Msg must be trivially copyable and small (O(log n)-bit in the model;
+/// sigma values use double per the paper's implementation note).
+template <typename Msg>
+class Network {
+ public:
+  explicit Network(const Graph& g) : graph_(&g) {
+    inboxes_.resize(g.num_vertices());
+    staged_.resize(g.num_vertices());
+  }
+
+  const Graph& graph() const { return *graph_; }
+  std::size_t round() const { return round_; }
+  std::size_t total_messages() const { return total_messages_; }
+  std::size_t messages_last_round() const { return messages_last_round_; }
+
+  /// Queues a message for delivery to `to` at the start of the next round.
+  void send(VertexId from, VertexId to, const Msg& msg) {
+    staged_[to].emplace_back(from, msg);
+    ++staged_count_;
+  }
+
+  /// Largest number of messages any single (sender, receiver) channel
+  /// carried in one round, over the whole execution. The CONGEST model
+  /// allows one O(log n)-bit message per channel per round; algorithms may
+  /// combine a constant number of values into one message (Alg. 3's
+  /// "combine all these values into a single O(B)-bit message"), so this
+  /// must stay O(1) — checked by the test suite.
+  std::size_t max_channel_congestion() const { return max_channel_congestion_; }
+
+  /// Sends `msg` along every outgoing edge of `from` (one message per edge).
+  void send_to_out_neighbors(VertexId from, const Msg& msg) {
+    for (VertexId to : graph_->out_neighbors(from)) send(from, to, msg);
+  }
+
+  /// Sends `msg` along every incoming edge of `from`, i.e. against edge
+  /// direction (channels are bidirectional).
+  void send_to_in_neighbors(VertexId from, const Msg& msg) {
+    for (VertexId to : graph_->in_neighbors(from)) send(from, to, msg);
+  }
+
+  /// Messages delivered to `v` this round (sent during the previous round).
+  const std::vector<std::pair<VertexId, Msg>>& inbox(VertexId v) const { return inboxes_[v]; }
+
+  /// Ends the current round: staged messages become next round's inboxes.
+  void advance_round() {
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      inboxes_[v].clear();
+      std::swap(inboxes_[v], staged_[v]);
+      // Congestion audit: count per-sender multiplicities on v's channel.
+      if (!inboxes_[v].empty()) {
+        senders_scratch_.clear();
+        for (const auto& [from, msg] : inboxes_[v]) senders_scratch_.push_back(from);
+        std::sort(senders_scratch_.begin(), senders_scratch_.end());
+        std::size_t run = 1;
+        for (std::size_t i = 1; i < senders_scratch_.size(); ++i) {
+          run = senders_scratch_[i] == senders_scratch_[i - 1] ? run + 1 : 1;
+          max_channel_congestion_ = std::max(max_channel_congestion_, run);
+        }
+        max_channel_congestion_ = std::max<std::size_t>(max_channel_congestion_, 1);
+      }
+    }
+    messages_last_round_ = staged_count_;
+    total_messages_ += staged_count_;
+    staged_count_ = 0;
+    ++round_;
+  }
+
+  /// True if any message is awaiting delivery.
+  bool messages_in_flight() const { return staged_count_ > 0; }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::vector<std::pair<VertexId, Msg>>> inboxes_;
+  std::vector<std::vector<std::pair<VertexId, Msg>>> staged_;
+  std::size_t round_ = 0;
+  std::size_t total_messages_ = 0;
+  std::size_t messages_last_round_ = 0;
+  std::size_t staged_count_ = 0;
+  std::size_t max_channel_congestion_ = 0;
+  std::vector<VertexId> senders_scratch_;
+};
+
+}  // namespace mrbc::congest

@@ -1,0 +1,16 @@
+#include "engine/network_model.h"
+
+namespace mrbc::sim {
+
+double NetworkModel::phase_seconds(std::size_t max_host_messages,
+                                   std::size_t max_host_egress_bytes) const {
+  return alpha_per_message * static_cast<double>(max_host_messages) +
+         static_cast<double>(max_host_egress_bytes) / beta_bytes_per_sec;
+}
+
+double NetworkModel::round_seconds(std::size_t max_host_messages,
+                                   std::size_t max_host_egress_bytes) const {
+  return kappa_barrier + phase_seconds(max_host_messages, max_host_egress_bytes);
+}
+
+}  // namespace mrbc::sim

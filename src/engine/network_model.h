@@ -1,0 +1,36 @@
+#pragma once
+// Analytical network cost model for the cluster simulator.
+//
+// The paper's testbed is Stampede2 (Intel Omni-Path, 100 Gbps). We do not
+// have a cluster, so per-round network time is *modeled* while computation
+// time is *measured*:
+//
+// Host pairs communicate in parallel, so the per-round cost is driven by
+// the busiest host, not the total traffic:
+//
+//   round_network_time = kappa                          (BSP barrier)
+//                      + alpha * max_host_messages      (per-peer latency)
+//                      + max_host_egress_bytes / beta   (bandwidth term)
+//
+// The paper's qualitative conclusions (communication dominates at scale;
+// fewer rounds => less communication time) hold for any realistic
+// (alpha, beta, kappa); defaults approximate an Omni-Path-class fabric.
+
+#include <cstddef>
+
+namespace mrbc::sim {
+
+struct NetworkModel {
+  double alpha_per_message = 2e-6;   ///< seconds per aggregated message
+  double beta_bytes_per_sec = 10e9;  ///< ~100 Gbps
+  double kappa_barrier = 20e-6;      ///< per-round barrier/synchronization cost
+
+  /// Modeled network seconds for one communication phase; both arguments
+  /// are per-host maxima.
+  double phase_seconds(std::size_t max_host_messages, std::size_t max_host_egress_bytes) const;
+
+  /// Modeled cost of one full BSP round's communication (includes barrier).
+  double round_seconds(std::size_t max_host_messages, std::size_t max_host_egress_bytes) const;
+};
+
+}  // namespace mrbc::sim

@@ -1,0 +1,196 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace mrbc::graph {
+
+BfsResult bfs(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  BfsResult r;
+  r.dist.assign(n, kInfDist);
+  r.sigma.assign(n, 0.0);
+  r.preds.assign(n, {});
+  r.dist[source] = 0;
+  r.sigma[source] = 1.0;
+  std::queue<VertexId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : g.out_neighbors(u)) {
+      if (r.dist[v] == kInfDist) {
+        r.dist[v] = r.dist[u] + 1;
+        queue.push(v);
+      }
+      if (r.dist[v] == r.dist[u] + 1) {
+        r.sigma[v] += r.sigma[u];
+        r.preds[v].push_back(u);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, kInfDist);
+  dist[source] = 0;
+  std::queue<VertexId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : g.out_neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+ComponentResult weakly_connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ComponentResult r{std::vector<VertexId>(n, kInvalidVertex), 0};
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (r.component[s] != kInvalidVertex) continue;
+    const VertexId cid = r.num_components++;
+    r.component[s] = cid;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      auto visit = [&](VertexId v) {
+        if (r.component[v] == kInvalidVertex) {
+          r.component[v] = cid;
+          stack.push_back(v);
+        }
+      };
+      for (VertexId v : g.out_neighbors(u)) visit(v);
+      for (VertexId v : g.in_neighbors(u)) visit(v);
+    }
+  }
+  return r;
+}
+
+ComponentResult strongly_connected_components(const Graph& g) {
+  // Iterative Tarjan with an explicit DFS stack.
+  const VertexId n = g.num_vertices();
+  ComponentResult r{std::vector<VertexId>(n, kInvalidVertex), 0};
+  std::vector<VertexId> index(n, kInvalidVertex), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> scc_stack;
+  VertexId next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    std::size_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kInvalidVertex) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const VertexId v = frame.v;
+      auto nbrs = g.out_neighbors(v);
+      if (frame.edge < nbrs.size()) {
+        const VertexId w = nbrs[frame.edge++];
+        if (index[w] == kInvalidVertex) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          const VertexId cid = r.num_components++;
+          VertexId w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            r.component[w] = cid;
+          } while (w != v);
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+bool is_weakly_connected(const Graph& g) {
+  return g.num_vertices() == 0 || weakly_connected_components(g).num_components == 1;
+}
+
+bool is_strongly_connected(const Graph& g) {
+  return g.num_vertices() == 0 || strongly_connected_components(g).num_components == 1;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (std::uint32_t d : bfs_distances(g, s)) {
+      if (d != kInfDist) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+std::uint32_t estimated_diameter(const Graph& g, const std::vector<VertexId>& sources) {
+  std::uint32_t diameter = 0;
+  for (VertexId s : sources) {
+    for (std::uint32_t d : bfs_distances(g, s)) {
+      if (d != kInfDist) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId v) {
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : bfs_distances(g, v)) {
+    if (d != kInfDist) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::vector<VertexId> sample_sources(const Graph& g, VertexId k, std::uint64_t seed,
+                                     bool contiguous) {
+  const VertexId n = g.num_vertices();
+  k = std::min(k, n);
+  util::Xoshiro256 rng(seed);
+  std::vector<VertexId> sources;
+  sources.reserve(k);
+  if (contiguous) {
+    const VertexId start = static_cast<VertexId>(rng.next_bounded(n - k + 1));
+    for (VertexId i = 0; i < k; ++i) sources.push_back(start + i);
+  } else {
+    // Partial Fisher-Yates over the vertex range.
+    std::vector<VertexId> ids(n);
+    std::iota(ids.begin(), ids.end(), 0);
+    for (VertexId i = 0; i < k; ++i) {
+      std::swap(ids[i], ids[i + rng.next_bounded(n - i)]);
+      sources.push_back(ids[i]);
+    }
+  }
+  return sources;
+}
+
+}  // namespace mrbc::graph

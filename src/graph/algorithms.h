@@ -1,0 +1,61 @@
+#pragma once
+// Shared-memory graph algorithms used as golden references and workload
+// characterization: BFS (shortest distances and path counts), connectivity,
+// and diameter estimation (Table 1 reports an "estimated diameter" as the
+// maximum finite shortest-path distance observed from the sampled sources).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::graph {
+
+/// Result of a single-source BFS: distances, shortest-path counts sigma,
+/// and the predecessor sets of the SSSP DAG (Brandes' P_s(v)).
+struct BfsResult {
+  std::vector<std::uint32_t> dist;
+  std::vector<double> sigma;
+  std::vector<std::vector<VertexId>> preds;
+};
+
+/// BFS over out-edges from `source`, computing distances, path counts and
+/// DAG predecessors in O(n + m).
+BfsResult bfs(const Graph& g, VertexId source);
+
+/// Distances only (cheaper; no sigma/preds).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Weakly connected components; returns component id per vertex and the
+/// component count.
+struct ComponentResult {
+  std::vector<VertexId> component;
+  VertexId num_components;
+};
+ComponentResult weakly_connected_components(const Graph& g);
+
+/// Strongly connected components (iterative Tarjan). Component ids are
+/// assigned in reverse topological order of the condensation.
+ComponentResult strongly_connected_components(const Graph& g);
+
+bool is_weakly_connected(const Graph& g);
+bool is_strongly_connected(const Graph& g);
+
+/// Exact directed diameter: max finite d(u,v) over all pairs. O(n(n+m)) —
+/// only for test-sized graphs.
+std::uint32_t exact_diameter(const Graph& g);
+
+/// Paper-style estimated diameter: max finite distance from the given
+/// sources.
+std::uint32_t estimated_diameter(const Graph& g, const std::vector<VertexId>& sources);
+
+/// Eccentricity of `v`: max finite distance from v.
+std::uint32_t eccentricity(const Graph& g, VertexId v);
+
+/// Picks `k` distinct source vertices. `contiguous` mimics the paper's
+/// "random contiguous chunk" sampling (required by MFBC); otherwise sources
+/// are sampled uniformly without replacement.
+std::vector<VertexId> sample_sources(const Graph& g, VertexId k, std::uint64_t seed,
+                                     bool contiguous = true);
+
+}  // namespace mrbc::graph

@@ -1,0 +1,21 @@
+#pragma once
+// Construction of CSR graphs from edge lists. Self-loops and duplicate
+// edges are removed: the paper's graphs are simple unweighted directed
+// graphs, and duplicate edges would corrupt shortest-path counts.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::graph {
+
+/// Builds a Graph over vertices [0, num_vertices) from an arbitrary edge
+/// list. Deduplicates edges and drops self-loops. Edges referencing
+/// vertices >= num_vertices are invalid (asserted in debug builds).
+Graph build_graph(VertexId num_vertices, std::vector<Edge> edges);
+
+/// Same but keeps self-loops/duplicates intact for callers that already
+/// guarantee a clean list (generators use this to skip a sort).
+Graph build_graph_unchecked(VertexId num_vertices, std::vector<Edge> sorted_unique_edges);
+
+}  // namespace mrbc::graph

@@ -1,0 +1,260 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace mrbc::graph {
+
+using util::Xoshiro256;
+
+namespace {
+
+/// One RMAT edge sample: recursively descend the adjacency matrix quadrants.
+Edge rmat_edge(int scale, double a, double b, double c, Xoshiro256& rng, double noise) {
+  VertexId src = 0, dst = 0;
+  for (int level = 0; level < scale; ++level) {
+    double pa = a, pb = b, pc = c;
+    if (noise > 0.0) {
+      // Kronecker-style smoothing: jitter the quadrant probabilities.
+      const double mu = 1.0 + noise * (rng.next_double() - 0.5);
+      pa *= mu;
+      pb *= 1.0 + noise * (rng.next_double() - 0.5);
+      pc *= 1.0 + noise * (rng.next_double() - 0.5);
+      const double total = pa + pb + pc + (1.0 - a - b - c) * mu;
+      pa /= total;
+      pb /= total;
+      pc /= total;
+    }
+    const double r = rng.next_double();
+    src <<= 1;
+    dst <<= 1;
+    if (r < pa) {
+      // top-left quadrant: no bits set
+    } else if (r < pa + pb) {
+      dst |= 1;
+    } else if (r < pa + pb + pc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+Graph rmat_like(int scale, double edge_factor, double a, double b, double c, std::uint64_t seed,
+                double noise) {
+  const VertexId n = VertexId{1} << scale;
+  const auto target_edges = static_cast<std::size_t>(edge_factor * static_cast<double>(n));
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+  for (std::size_t i = 0; i < target_edges; ++i) {
+    edges.push_back(rmat_edge(scale, a, b, c, rng, noise));
+  }
+  return build_graph(n, std::move(edges));
+}
+
+}  // namespace
+
+Graph rmat(const RmatParams& p) {
+  return rmat_like(p.scale, p.edge_factor, p.a, p.b, p.c, p.seed, /*noise=*/0.0);
+}
+
+Graph kronecker(int scale, double edge_factor, std::uint64_t seed) {
+  return rmat_like(scale, edge_factor, 0.57, 0.19, 0.19, seed, /*noise=*/0.2);
+}
+
+Graph erdos_renyi(VertexId n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  // Geometric skipping over the n^2 possible edges: O(m) expected time.
+  if (p > 0.0 && n > 0) {
+    const double log1mp = std::log1p(-p);
+    const auto total = static_cast<std::uint64_t>(n) * n;
+    std::uint64_t idx = 0;
+    while (true) {
+      const double u = std::max(rng.next_double(), 1e-300);
+      const auto skip = p >= 1.0 ? 1 : static_cast<std::uint64_t>(std::log(u) / log1mp) + 1;
+      if (total - idx < skip) break;
+      idx += skip;
+      edges.push_back({static_cast<VertexId>((idx - 1) / n), static_cast<VertexId>((idx - 1) % n)});
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph uniform_random(VertexId n, EdgeId m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.next_bounded(n)),
+                     static_cast<VertexId>(rng.next_bounded(n))});
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph road_grid(VertexId width, VertexId height, double extra_edge_prob, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const VertexId n = width * height;
+  auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 4);
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      const VertexId v = id(x, y);
+      if (x + 1 < width) {
+        edges.push_back({v, id(x + 1, y)});
+        edges.push_back({id(x + 1, y), v});
+      }
+      if (y + 1 < height) {
+        edges.push_back({v, id(x, y + 1)});
+        edges.push_back({id(x, y + 1), v});
+      }
+      if (x + 1 < width && y + 1 < height && rng.next_bool(extra_edge_prob)) {
+        edges.push_back({v, id(x + 1, y + 1)});
+        edges.push_back({id(x + 1, y + 1), v});
+      }
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph web_crawl_like(int core_scale, double edge_factor, VertexId num_tails, VertexId tail_len,
+                     std::uint64_t seed) {
+  const VertexId core_n = VertexId{1} << core_scale;
+  const VertexId n = core_n + num_tails * tail_len;
+  Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Power-law core.
+  const auto target_edges = static_cast<std::size_t>(edge_factor * static_cast<double>(core_n));
+  std::vector<Edge> edges;
+  edges.reserve(target_edges + static_cast<std::size_t>(num_tails) * (tail_len + 1));
+  Xoshiro256 core_rng(seed);
+  for (std::size_t i = 0; i < target_edges; ++i) {
+    edges.push_back(rmat_edge(core_scale, 0.57, 0.19, 0.19, core_rng, 0.0));
+  }
+
+  // Long tails: directed chains leaving the core and re-entering it, so the
+  // estimated diameter grows by ~tail_len while the graph stays (mostly)
+  // one weak component, as in real crawls' long-tail structure.
+  VertexId next = core_n;
+  for (VertexId t = 0; t < num_tails; ++t) {
+    VertexId prev = static_cast<VertexId>(rng.next_bounded(core_n));
+    for (VertexId i = 0; i < tail_len; ++i) {
+      edges.push_back({prev, next});
+      edges.push_back({next, prev});  // crawls can navigate back links
+      prev = next++;
+    }
+    edges.push_back({prev, static_cast<VertexId>(rng.next_bounded(core_n))});
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph path(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return build_graph(n, std::move(edges));
+}
+
+Graph bidirectional_path(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1});
+    edges.push_back({v + 1, v});
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph cycle(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  return build_graph(n, std::move(edges));
+}
+
+Graph complete(VertexId n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph star(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) {
+    edges.push_back({0, v});
+    edges.push_back({v, 0});
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph binary_tree(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) {
+    const VertexId parent = (v - 1) / 2;
+    edges.push_back({parent, v});
+    edges.push_back({v, parent});
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph random_dag(VertexId n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) edges.push_back({u, v});
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph watts_strogatz(VertexId n, VertexId k, double beta, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  // Ring lattice: each vertex to its k/2 clockwise neighbors; each lattice
+  // edge's far endpoint is rewired with probability beta.
+  const VertexId half = std::max<VertexId>(k / 2, 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId j = 1; j <= half; ++j) {
+      VertexId w = (v + j) % n;
+      if (beta > 0.0 && rng.next_bool(beta)) {
+        w = static_cast<VertexId>(rng.next_bounded(n));
+        if (w == v) w = (v + j) % n;  // avoid self loop; keep the lattice edge
+      }
+      edges.push_back({v, w});
+      edges.push_back({w, v});
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph strongly_connected_overlay(const Graph& g, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_bounded(i)]);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges() + n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.out_neighbors(u)) edges.push_back({u, v});
+  }
+  for (VertexId i = 0; i < n; ++i) edges.push_back({perm[i], perm[(i + 1) % n]});
+  return build_graph(n, std::move(edges));
+}
+
+}  // namespace mrbc::graph

@@ -1,0 +1,86 @@
+#pragma once
+// Synthetic graph generators covering the graph families of the paper's
+// evaluation (Table 1):
+//   - RMAT power-law graphs (rmat24, and stand-ins for social networks)
+//   - Kronecker graphs (kron30)
+//   - web-crawl-like graphs: a power-law core with long tail chains, giving
+//     the "non-trivial diameter due to long tails" property of gsh15 and
+//     clueweb12 that MRBC exploits
+//   - road networks: grid with sparse diagonals and near-constant degree,
+//     giving huge diameter (road-europe)
+// plus simple structured graphs (paths, cycles, trees, complete, stars)
+// used heavily by the test suite because their BC values are known in
+// closed form.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mrbc::graph {
+
+/// Parameters for the recursive-matrix (RMAT) generator of Chakrabarti et
+/// al.; defaults are the standard (0.57, 0.19, 0.19, 0.05) skew.
+struct RmatParams {
+  int scale = 10;              ///< 2^scale vertices.
+  double edge_factor = 16.0;   ///< edges = edge_factor * vertices.
+  double a = 0.57, b = 0.19, c = 0.19;
+  std::uint64_t seed = 1;
+};
+
+/// Directed RMAT graph (duplicates and self-loops removed).
+Graph rmat(const RmatParams& params);
+
+/// Kronecker-style power-law graph (Leskovec et al.): like RMAT but with
+/// per-level noise to smooth the degree distribution.
+Graph kronecker(int scale, double edge_factor, std::uint64_t seed);
+
+/// G(n, p) directed Erdos-Renyi graph.
+Graph erdos_renyi(VertexId n, double p, std::uint64_t seed);
+
+/// Directed random graph with exactly ~m edges sampled uniformly.
+Graph uniform_random(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Road-network-like graph: a width x height 4-connected grid (both
+/// directions per road segment) with `extra_edge_prob` diagonal shortcuts;
+/// diameter is Theta(width + height).
+Graph road_grid(VertexId width, VertexId height, double extra_edge_prob, std::uint64_t seed);
+
+/// Web-crawl stand-in: `core_scale` RMAT core plus `num_tails` directed
+/// chains of `tail_len` vertices hanging off the core (entering and leaving
+/// it), reproducing the long-tail diameter structure of real crawls.
+Graph web_crawl_like(int core_scale, double edge_factor, VertexId num_tails, VertexId tail_len,
+                     std::uint64_t seed);
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+Graph path(VertexId n);
+
+/// Bidirectional path (undirected line graph).
+Graph bidirectional_path(VertexId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Graph cycle(VertexId n);
+
+/// Complete directed graph on n vertices (all ordered pairs).
+Graph complete(VertexId n);
+
+/// Star with bidirectional spokes: center 0, leaves 1..n-1.
+Graph star(VertexId n);
+
+/// Complete binary tree with bidirectional edges, vertices in heap order.
+Graph binary_tree(VertexId n);
+
+/// Random DAG: edges only from lower to higher vertex id, each present with
+/// probability p.
+Graph random_dag(VertexId n, double p, std::uint64_t seed);
+
+/// Watts-Strogatz small-world graph (bidirectional edges): a ring lattice
+/// where each vertex connects to its k nearest neighbors, with each edge
+/// rewired to a random endpoint with probability beta. beta=0 gives a
+/// high-diameter ring; beta~0.1 gives the small-world regime.
+Graph watts_strogatz(VertexId n, VertexId k, double beta, std::uint64_t seed);
+
+/// Ensures strong connectivity by adding a directed Hamiltonian cycle over a
+/// random permutation; used when tests need D < infinity.
+Graph strongly_connected_overlay(const Graph& g, std::uint64_t seed);
+
+}  // namespace mrbc::graph

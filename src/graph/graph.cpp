@@ -1,0 +1,70 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/builder.h"
+
+namespace mrbc::graph {
+
+Graph::Graph(std::vector<EdgeId> out_offsets, std::vector<VertexId> out_targets)
+    : out_offsets_(std::move(out_offsets)), out_targets_(std::move(out_targets)) {
+  assert(!out_offsets_.empty());
+  n_ = static_cast<VertexId>(out_offsets_.size() - 1);
+  m_ = static_cast<EdgeId>(out_targets_.size());
+  assert(out_offsets_.back() == m_);
+  build_in_adjacency();
+}
+
+void Graph::build_in_adjacency() {
+  in_offsets_.assign(n_ + 1, 0);
+  for (VertexId t : out_targets_) ++in_offsets_[t + 1];
+  for (VertexId v = 0; v < n_; ++v) in_offsets_[v + 1] += in_offsets_[v];
+  in_sources_.resize(m_);
+  std::vector<EdgeId> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (VertexId u = 0; u < n_; ++u) {
+    for (VertexId v : out_neighbors(u)) {
+      in_sources_[cursor[v]++] = u;
+    }
+  }
+}
+
+std::size_t Graph::max_out_degree() const {
+  std::size_t mx = 0;
+  for (VertexId v = 0; v < n_; ++v) mx = std::max(mx, out_degree(v));
+  return mx;
+}
+
+std::size_t Graph::max_in_degree() const {
+  std::size_t mx = 0;
+  for (VertexId v = 0; v < n_; ++v) mx = std::max(mx, in_degree(v));
+  return mx;
+}
+
+Graph Graph::transposed() const {
+  std::vector<Edge> edges;
+  edges.reserve(m_);
+  for (VertexId u = 0; u < n_; ++u) {
+    for (VertexId v : out_neighbors(u)) edges.push_back({v, u});
+  }
+  return build_graph(n_, std::move(edges));
+}
+
+Graph Graph::undirected() const {
+  std::vector<Edge> edges;
+  edges.reserve(2 * m_);
+  for (VertexId u = 0; u < n_; ++u) {
+    for (VertexId v : out_neighbors(u)) {
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  return build_graph(n_, std::move(edges));
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  auto nbrs = out_neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+}  // namespace mrbc::graph

@@ -1,0 +1,77 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.h"
+
+namespace mrbc::graph {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4d52424347524148ULL;  // "MRBCGRAH"
+}
+
+Graph read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::vector<Edge> edges;
+  auto intern = [&remap](std::uint64_t raw) {
+    auto [it, inserted] = remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t src, dst;
+    if (ls >> src >> dst) {
+      edges.push_back({intern(src), intern(dst)});
+    }
+  }
+  return build_graph(static_cast<VertexId>(remap.size()), std::move(edges));
+}
+
+void write_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) out << u << ' ' << v << '\n';
+  }
+}
+
+void write_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  const std::uint64_t n = g.num_vertices(), m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(g.out_offsets().data()),
+            static_cast<std::streamsize>(g.out_offsets().size() * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(g.out_targets().data()),
+            static_cast<std::streamsize>(g.out_targets().size() * sizeof(VertexId)));
+}
+
+Graph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) throw std::runtime_error("bad magic in binary graph: " + path);
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("truncated binary graph: " + path);
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace mrbc::graph

@@ -1,0 +1,25 @@
+#pragma once
+// Edge-list and binary CSR IO. The paper's artifact consumes on-disk graph
+// files (web crawls, SNAP datasets); these routines provide the equivalent
+// ingestion path for user-supplied data.
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mrbc::graph {
+
+/// Reads a whitespace-separated edge-list text file ("src dst" per line;
+/// '#' and '%' lines are comments). Vertex ids may be sparse: they are
+/// remapped densely in first-appearance order. Throws std::runtime_error on
+/// IO failure.
+Graph read_edge_list(const std::string& path);
+
+/// Writes "src dst" lines for every edge.
+void write_edge_list(const Graph& g, const std::string& path);
+
+/// Binary CSR format: magic, n, m, offsets, targets. Round-trips exactly.
+void write_binary(const Graph& g, const std::string& path);
+Graph read_binary(const std::string& path);
+
+}  // namespace mrbc::graph

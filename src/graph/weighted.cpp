@@ -1,0 +1,86 @@
+#include "graph/weighted.h"
+
+#include <cassert>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace mrbc::graph {
+
+WeightedGraph::WeightedGraph(Graph g, std::vector<Weight> weights)
+    : graph_(std::move(g)), out_weights_(std::move(weights)) {
+  assert(out_weights_.size() == graph_.num_edges());
+  // Mirror weights into the in-adjacency order: for each vertex v, the i-th
+  // in-neighbor entry corresponds to one specific (u, v) edge; rebuild the
+  // correspondence by walking out-edges exactly as Graph::build_in_adjacency
+  // does.
+  const VertexId n = graph_.num_vertices();
+  in_offsets_.assign(n + 1, 0);
+  for (VertexId t : graph_.out_targets()) ++in_offsets_[t + 1];
+  for (VertexId v = 0; v < n; ++v) in_offsets_[v + 1] += in_offsets_[v];
+  in_weights_.resize(graph_.num_edges());
+  std::vector<EdgeId> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    auto nbrs = graph_.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      in_weights_[cursor[nbrs[i]]++] = out_weights_[graph_.out_offsets()[u] + i];
+    }
+  }
+}
+
+WeightedGraph with_random_weights(Graph g, Weight min_weight, Weight max_weight,
+                                  std::uint64_t seed) {
+  assert(min_weight >= 1 && min_weight <= max_weight);
+  util::Xoshiro256 rng(seed);
+  std::vector<Weight> weights(g.num_edges());
+  for (auto& w : weights) {
+    w = min_weight + static_cast<Weight>(rng.next_bounded(max_weight - min_weight + 1));
+  }
+  return WeightedGraph(std::move(g), std::move(weights));
+}
+
+WeightedGraph with_unit_weights(Graph g) {
+  std::vector<Weight> weights(g.num_edges(), 1);
+  return WeightedGraph(std::move(g), std::move(weights));
+}
+
+DijkstraResult dijkstra(const WeightedGraph& wg, VertexId source) {
+  const Graph& g = wg.graph();
+  const VertexId n = g.num_vertices();
+  DijkstraResult r;
+  r.dist.assign(n, kInfWeightedDist);
+  r.sigma.assign(n, 0.0);
+  r.preds.assign(n, {});
+  r.order.reserve(n);
+
+  using Item = std::pair<WeightedDist, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<bool> settled(n, false);
+  r.dist[source] = 0;
+  r.sigma[source] = 1.0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    r.order.push_back(u);
+    auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      const WeightedDist cand = d + wg.out_weight(u, i);
+      if (cand < r.dist[v]) {
+        r.dist[v] = cand;
+        r.sigma[v] = r.sigma[u];
+        r.preds[v] = {u};
+        heap.push({cand, v});
+      } else if (cand == r.dist[v] && !settled[v]) {
+        r.sigma[v] += r.sigma[u];
+        r.preds[v].push_back(u);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace mrbc::graph

@@ -1,0 +1,13 @@
+// csr_matrix.h is header-only (templates); this file anchors the library
+// target and instantiates the common monoid to catch template errors early.
+#include "matrix/csr_matrix.h"
+
+#include "matrix/semiring.h"
+
+namespace mrbc::matrix {
+
+// Explicit check that the shipped monoids satisfy the Monoid concept.
+static_assert(Monoid<MinPlusSigma>);
+static_assert(Monoid<PlusDouble>);
+
+}  // namespace mrbc::matrix

@@ -1,0 +1,84 @@
+#pragma once
+// Pattern sparse matrix (the unweighted adjacency matrix) with semiring
+// SpMSpV — the computational kernel of Maximal-Frontier BC. The "matrix" is
+// a view over a Graph's CSR arrays; products traverse only the rows/columns
+// the sparse operand touches, which is exactly the maximal-frontier
+// optimization (only changed entries propagate).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::matrix {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Sparse vector: (index, value) pairs, indices unique but unordered.
+template <typename Value>
+using SparseVector = std::vector<std::pair<VertexId, Value>>;
+
+/// y = A^T x over a monoid, where A is g's adjacency pattern: for every
+/// nonzero x[v], the edge (v, w) contributes Extend(x[v]) to y[w], combined
+/// with MonoidT::combine. The result is compacted to the touched indices.
+template <typename MonoidT, typename ExtendFn>
+SparseVector<typename MonoidT::Value> spmspv_out(
+    const Graph& g, const SparseVector<typename MonoidT::Value>& x, ExtendFn&& extend,
+    std::vector<typename MonoidT::Value>& scratch, std::vector<std::uint8_t>& touched_scratch) {
+  using Value = typename MonoidT::Value;
+  scratch.assign(g.num_vertices(), MonoidT::identity());
+  touched_scratch.assign(g.num_vertices(), 0);
+  std::vector<VertexId> touched;
+  for (const auto& [v, value] : x) {
+    const Value ext = extend(value);
+    for (VertexId w : g.out_neighbors(v)) {
+      scratch[w] = MonoidT::combine(scratch[w], ext);
+      if (!touched_scratch[w]) {
+        touched_scratch[w] = 1;
+        touched.push_back(w);
+      }
+    }
+  }
+  SparseVector<Value> y;
+  y.reserve(touched.size());
+  for (VertexId w : touched) y.emplace_back(w, scratch[w]);
+  return y;
+}
+
+/// Same but traversing in-edges: y = A x (contributions flow against edge
+/// direction) — the backward-dependency product.
+template <typename MonoidT, typename ExtendFn>
+SparseVector<typename MonoidT::Value> spmspv_in(
+    const Graph& g, const SparseVector<typename MonoidT::Value>& x, ExtendFn&& extend,
+    std::vector<typename MonoidT::Value>& scratch, std::vector<std::uint8_t>& touched_scratch) {
+  using Value = typename MonoidT::Value;
+  scratch.assign(g.num_vertices(), MonoidT::identity());
+  touched_scratch.assign(g.num_vertices(), 0);
+  std::vector<VertexId> touched;
+  for (const auto& [v, value] : x) {
+    const Value ext = extend(value);
+    for (VertexId w : g.in_neighbors(v)) {
+      scratch[w] = MonoidT::combine(scratch[w], ext);
+      if (!touched_scratch[w]) {
+        touched_scratch[w] = 1;
+        touched.push_back(w);
+      }
+    }
+  }
+  SparseVector<Value> y;
+  y.reserve(touched.size());
+  for (VertexId w : touched) y.emplace_back(w, scratch[w]);
+  return y;
+}
+
+/// Dense reference product for tests: y[w] = combine over in-edges (v,w) of
+/// extend(x[v]).
+template <typename MonoidT, typename ExtendFn>
+std::vector<typename MonoidT::Value> spmv_dense_out(
+    const Graph& g, const std::vector<typename MonoidT::Value>& x, ExtendFn&& extend);
+
+}  // namespace mrbc::matrix
+
+#include "matrix/csr_matrix_impl.h"

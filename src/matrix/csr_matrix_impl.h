@@ -1,0 +1,21 @@
+#pragma once
+// Out-of-line template definitions for csr_matrix.h.
+
+namespace mrbc::matrix {
+
+template <typename MonoidT, typename ExtendFn>
+std::vector<typename MonoidT::Value> spmv_dense_out(const Graph& g,
+                                                    const std::vector<typename MonoidT::Value>& x,
+                                                    ExtendFn&& extend) {
+  using Value = typename MonoidT::Value;
+  std::vector<Value> y(g.num_vertices(), MonoidT::identity());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Value ext = extend(x[v]);
+    for (VertexId w : g.out_neighbors(v)) {
+      y[w] = MonoidT::combine(y[w], ext);
+    }
+  }
+  return y;
+}
+
+}  // namespace mrbc::matrix

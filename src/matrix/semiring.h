@@ -1,0 +1,54 @@
+#pragma once
+// Minimal monoid/semiring algebra in the style of the Cyclops Tensor
+// Framework, which Maximal-Frontier BC (Solomonik et al., SC'17) is built
+// on. MFBC expresses Bellman-Ford shortest paths as repeated sparse
+// matrix-vector products over a (min, +)-like semiring whose elements carry
+// (distance, path count) pairs.
+
+#include <concepts>
+#include <cstdint>
+
+namespace mrbc::matrix {
+
+/// A commutative monoid: identity element + associative combine.
+template <typename M>
+concept Monoid = requires(typename M::Value a, typename M::Value b) {
+  { M::identity() } -> std::convertible_to<typename M::Value>;
+  { M::combine(a, b) } -> std::convertible_to<typename M::Value>;
+};
+
+/// The MFBC forward-phase element: tentative distance + number of shortest
+/// paths at that distance.
+struct DistSigma {
+  std::uint32_t dist = static_cast<std::uint32_t>(-1);
+  double sigma = 0.0;
+
+  friend bool operator==(const DistSigma&, const DistSigma&) = default;
+};
+
+/// (min, +) style monoid on DistSigma: smaller distance wins; equal
+/// distances accumulate path counts (the BFS sigma recurrence).
+struct MinPlusSigma {
+  using Value = DistSigma;
+  static Value identity() { return {}; }
+  static Value combine(const Value& a, const Value& b) {
+    if (a.dist < b.dist) return a;
+    if (b.dist < a.dist) return b;
+    if (a.dist == static_cast<std::uint32_t>(-1)) return a;
+    return {a.dist, a.sigma + b.sigma};
+  }
+  /// Edge "multiplication": traversing one unweighted edge.
+  static Value extend(const Value& v) {
+    if (v.dist == static_cast<std::uint32_t>(-1)) return v;
+    return {v.dist + 1, v.sigma};
+  }
+};
+
+/// Additive monoid on doubles (dependency accumulation).
+struct PlusDouble {
+  using Value = double;
+  static Value identity() { return 0.0; }
+  static Value combine(Value a, Value b) { return a + b; }
+};
+
+}  // namespace mrbc::matrix

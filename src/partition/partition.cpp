@@ -1,0 +1,117 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "partition/policies.h"
+#include "util/stats.h"
+
+namespace mrbc::partition {
+
+Partition::Partition(const Graph& g, HostId num_hosts, Policy policy)
+    : n_global_(g.num_vertices()), m_global_(g.num_edges()), policy_(policy) {
+  assert(num_hosts >= 1);
+  hosts_.resize(num_hosts);
+  build(g, policy);
+}
+
+void Partition::build(const Graph& g, Policy policy) {
+  const HostId H = num_hosts();
+  const VertexId n = n_global_;
+
+  // Masters are always block-distributed by vertex id, independent of the
+  // edge policy; this matches Gluon, where the partitioner may place edges
+  // anywhere but each vertex's canonical copy is at its block owner.
+  master_host_.resize(n);
+  for (VertexId v = 0; v < n; ++v) master_host_[v] = block_owner(v, n, H);
+
+  const std::vector<HostId> edge_host = assign_edges(g, H, policy);
+
+  // Pass 1: discover the proxy set of every host. A host gets a proxy for
+  // each endpoint of each of its edges, and the master host always gets one.
+  global_to_local_.assign(H, std::vector<VertexId>(n, graph::kInvalidVertex));
+  auto add_proxy = [this](HostId h, VertexId gv) {
+    if (global_to_local_[h][gv] == graph::kInvalidVertex) {
+      global_to_local_[h][gv] = static_cast<VertexId>(hosts_[h].local_to_global.size());
+      hosts_[h].local_to_global.push_back(gv);
+    }
+  };
+  for (VertexId v = 0; v < n; ++v) add_proxy(master_host_[v], v);
+  {
+    EdgeId e = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : g.out_neighbors(u)) {
+        add_proxy(edge_host[e], u);
+        add_proxy(edge_host[e], v);
+        ++e;
+      }
+    }
+  }
+
+  // Pass 2: per-host local edge lists and local CSR graphs.
+  std::vector<std::vector<graph::Edge>> local_edges(H);
+  {
+    EdgeId e = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : g.out_neighbors(u)) {
+        const HostId h = edge_host[e++];
+        local_edges[h].push_back({global_to_local_[h][u], global_to_local_[h][v]});
+      }
+    }
+  }
+  for (HostId h = 0; h < H; ++h) {
+    auto& hg = hosts_[h];
+    hg.local = graph::build_graph(hg.num_proxies(), std::move(local_edges[h]));
+    hg.is_master.assign(hg.num_proxies(), false);
+    for (VertexId l = 0; l < hg.num_proxies(); ++l) {
+      if (master_host_[hg.local_to_global[l]] == h) {
+        hg.is_master[l] = true;
+        ++hg.num_masters;
+      }
+    }
+  }
+
+  // Pass 3: exchange lists, ascending global-id order for determinism.
+  mirror_lids_.assign(H, std::vector<std::vector<VertexId>>(H));
+  master_lids_.assign(H, std::vector<std::vector<VertexId>>(H));
+  for (HostId mh = 0; mh < H; ++mh) {
+    const auto& hg = hosts_[mh];
+    // local_to_global is in insertion order; sort indices by global id.
+    std::vector<VertexId> order(hg.num_proxies());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&hg](VertexId a, VertexId b) {
+      return hg.local_to_global[a] < hg.local_to_global[b];
+    });
+    for (VertexId l : order) {
+      if (hg.is_master[l]) continue;
+      const VertexId gv = hg.local_to_global[l];
+      const HostId oh = master_host_[gv];
+      mirror_lids_[mh][oh].push_back(l);
+      master_lids_[mh][oh].push_back(global_to_local_[oh][gv]);
+    }
+  }
+}
+
+double Partition::replication_factor() const {
+  std::size_t proxies = 0;
+  for (const auto& hg : hosts_) proxies += hg.num_proxies();
+  return n_global_ ? static_cast<double>(proxies) / static_cast<double>(n_global_) : 0.0;
+}
+
+double Partition::edge_balance() const {
+  std::vector<double> per_host;
+  per_host.reserve(hosts_.size());
+  for (const auto& hg : hosts_) per_host.push_back(static_cast<double>(hg.local.num_edges()));
+  return util::imbalance(per_host);
+}
+
+double Partition::master_balance() const {
+  std::vector<double> per_host;
+  per_host.reserve(hosts_.size());
+  for (const auto& hg : hosts_) per_host.push_back(static_cast<double>(hg.num_masters));
+  return util::imbalance(per_host);
+}
+
+}  // namespace mrbc::partition

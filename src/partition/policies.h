@@ -1,0 +1,17 @@
+#pragma once
+// Edge-assignment policies: given the global graph, produce the host id for
+// every edge. Kept separate from Partition so tests can check assignment
+// properties (coverage, balance, grid structure) without building proxies.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace mrbc::partition {
+
+/// Returns one host id per edge of `g`, in the graph's CSR edge order
+/// (edge i is the i-th entry of out_targets traversed by ascending source).
+std::vector<HostId> assign_edges(const Graph& g, HostId num_hosts, Policy policy);
+
+}  // namespace mrbc::partition

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+namespace mrbc::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (!path.empty()) out_.open(path);
+  emit(header_);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+  emit(cells);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace mrbc::util

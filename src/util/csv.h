@@ -1,0 +1,35 @@
+#pragma once
+// CSV emission for the benchmark harness: each table/figure driver writes a
+// machine-readable CSV next to its human-readable console table, mirroring
+// the paper artifact's CSV outputs.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mrbc::util {
+
+/// Streams rows to a CSV file; also accumulates them in memory for tests.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header. An empty path keeps the
+  /// writer memory-only (useful in tests).
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends a data row. Cells containing commas or quotes are escaped.
+  void add_row(const std::vector<std::string>& cells);
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrbc::util

@@ -1,0 +1,78 @@
+#pragma once
+// Sorted-vector map, standing in for the Boost flat_map the paper's
+// implementation uses for the per-vertex distance -> source-bitvector index
+// (Section 4.3). A sorted vector beats a red-black tree here because the
+// MRBC operators iterate the map in distance order every round and the key
+// count is small (bounded by the number of distinct distances in a batch).
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mrbc::util {
+
+/// Associative container over a contiguous sorted vector.
+/// Keys are unique and ordered by `<`. Iterators are invalidated by
+/// insertion/erasure, exactly like boost::container::flat_map.
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  iterator find(const Key& key) {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  const_iterator find(const Key& key) const {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+
+  bool contains(const Key& key) const { return find(key) != entries_.end(); }
+
+  /// Inserts (key, value) if absent; returns {iterator, inserted}.
+  std::pair<iterator, bool> try_emplace(const Key& key, Value value = Value{}) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return {it, false};
+    it = entries_.insert(it, value_type{key, std::move(value)});
+    return {it, true};
+  }
+
+  Value& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  iterator erase(iterator pos) { return entries_.erase(pos); }
+
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+ private:
+  std::vector<value_type> entries_;
+};
+
+}  // namespace mrbc::util

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logger. Benchmarks and examples log at Info; tests keep
+// the default threshold at Warn so ctest output stays quiet.
+
+#include <sstream>
+#include <string>
+
+namespace mrbc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mrbc::util
+
+#define MRBC_LOG_DEBUG ::mrbc::util::detail::LogStream(::mrbc::util::LogLevel::kDebug)
+#define MRBC_LOG_INFO ::mrbc::util::detail::LogStream(::mrbc::util::LogLevel::kInfo)
+#define MRBC_LOG_WARN ::mrbc::util::detail::LogStream(::mrbc::util::LogLevel::kWarn)
+#define MRBC_LOG_ERROR ::mrbc::util::detail::LogStream(::mrbc::util::LogLevel::kError)

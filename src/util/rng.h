@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for graph generators
+// and randomized tests. All generators in this repository take explicit
+// seeds so every experiment is reproducible bit-for-bit.
+
+#include <cstdint>
+
+namespace mrbc::util {
+
+/// SplitMix64: used to expand a single user seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: the workhorse RNG.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> if needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t next_bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mrbc::util

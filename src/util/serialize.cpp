@@ -1,0 +1,35 @@
+#include "util/serialize.h"
+
+namespace mrbc::util {
+
+void SendBuffer::write_bitset(const DynamicBitset& bits) {
+  write<std::uint64_t>(bits.size());
+  write_vector(bits.words());
+}
+
+void SendBuffer::write_string(const std::string& s) {
+  write<std::uint64_t>(s.size());
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(offset + s.size());
+  if (!s.empty()) std::memcpy(bytes_.data() + offset, s.data(), s.size());
+}
+
+DynamicBitset RecvBuffer::read_bitset() {
+  const auto num_bits = read<std::uint64_t>();
+  auto words = read_vector<DynamicBitset::Word>();
+  DynamicBitset bits(num_bits);
+  bits.words() = std::move(words);
+  return bits;
+}
+
+std::string RecvBuffer::read_string() {
+  const auto n = read<std::uint64_t>();
+  if (n > remaining()) {
+    throw std::out_of_range("RecvBuffer: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + cursor_), n);
+  cursor_ += n;
+  return s;
+}
+
+}  // namespace mrbc::util

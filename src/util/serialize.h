@@ -1,0 +1,103 @@
+#pragma once
+// Byte-oriented serialization buffers, modelling Gluon's message
+// (de)serialization layer. The communication substrate serializes proxy
+// labels into SendBuffers, "transmits" them (the simulator just moves the
+// vector), and deserializes on the receiving host — so per-phase byte
+// counts are exact, not estimated.
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace mrbc::util {
+
+/// Append-only serialization buffer.
+class SendBuffer {
+ public:
+  template <typename T>
+  void write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "write requires a POD type");
+    const std::size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>, "write_vector requires POD elements");
+    write<std::uint64_t>(values.size());
+    const std::size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + offset, values.data(), values.size() * sizeof(T));
+    }
+  }
+
+  void write_bitset(const DynamicBitset& bits);
+  void write_string(const std::string& s);
+
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+
+  std::vector<std::uint8_t>&& take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential deserialization over a received byte vector.
+class RecvBuffer {
+ public:
+  explicit RecvBuffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>, "read requires a POD type");
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> values(n);
+    if (n > 0) {
+      std::memcpy(values.data(), bytes_.data() + cursor_, n * sizeof(T));
+      cursor_ += n * sizeof(T);
+    }
+    return values;
+  }
+
+  DynamicBitset read_bitset();
+  std::string read_string();
+
+  bool exhausted() const { return cursor_ >= bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  /// Truncated or corrupted buffers must fail loudly, not read past the
+  /// end: a real transport surfaces these as deserialization errors.
+  void require(std::size_t bytes) const {
+    if (bytes > remaining()) {
+      throw std::out_of_range("RecvBuffer: truncated message (need " + std::to_string(bytes) +
+                              " bytes, have " + std::to_string(remaining()) + ")");
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace mrbc::util

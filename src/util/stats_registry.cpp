@@ -1,0 +1,62 @@
+#include "util/stats_registry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrbc::util {
+
+void StatsRegistry::add_counter(const std::string& key, std::uint64_t delta) {
+  counters_[key] += delta;
+}
+
+void StatsRegistry::set_counter(const std::string& key, std::uint64_t value) {
+  counters_[key] = value;
+}
+
+void StatsRegistry::set_value(const std::string& key, double value) { values_[key] = value; }
+
+void StatsRegistry::add_seconds(const std::string& key, double seconds) {
+  values_[key] += seconds;
+}
+
+std::uint64_t StatsRegistry::counter(const std::string& key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double StatsRegistry::value(const std::string& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool StatsRegistry::has(const std::string& key) const {
+  return counters_.count(key) > 0 || values_.count(key) > 0;
+}
+
+std::string StatsRegistry::serialize() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : counters_) {
+    out << key << '=' << value << '\n';
+  }
+  for (const auto& [key, value] : values_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out << key << '=' << buf << '\n';
+  }
+  return out.str();
+}
+
+void StatsRegistry::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open stats file: " + path);
+  out << serialize();
+}
+
+void StatsRegistry::clear() {
+  counters_.clear();
+  values_.clear();
+}
+
+}  // namespace mrbc::util

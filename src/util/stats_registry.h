@@ -1,0 +1,44 @@
+#pragma once
+// Named-statistics registry in the style of the Galois runtime: algorithms
+// register counters and timers under string keys; the registry dumps them
+// as "key=value" lines (the paper artifact's skx_results statistics files
+// that its R scripts consume). Used by bc_tool's --stats-file flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mrbc::util {
+
+/// Accumulating key -> value store. Not thread-safe by design: each
+/// simulated run aggregates into its own registry.
+class StatsRegistry {
+ public:
+  /// Adds to a named counter (creates it at zero).
+  void add_counter(const std::string& key, std::uint64_t delta);
+
+  /// Sets/overwrites a named value.
+  void set_counter(const std::string& key, std::uint64_t value);
+  void set_value(const std::string& key, double value);
+
+  /// Accumulates seconds under a named timer.
+  void add_seconds(const std::string& key, double seconds);
+
+  std::uint64_t counter(const std::string& key) const;
+  double value(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// "key=value" lines, keys sorted; counters printed as integers.
+  std::string serialize() const;
+
+  /// Writes serialize() to a file; throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace mrbc::util

@@ -1,0 +1,26 @@
+#include "util/threading.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace mrbc::util {
+
+void for_each_index(std::size_t count, bool parallel, const std::function<void(std::size_t)>& fn) {
+  if (!parallel || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads.emplace_back([&fn, i] { fn(i); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+std::size_t hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace mrbc::util

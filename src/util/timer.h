@@ -1,0 +1,67 @@
+#pragma once
+// Wall-clock timing. The BSP engine measures per-host compute time with
+// these and feeds the maxima into the network cost model, mirroring how the
+// paper separates "computation" from "non-overlapped communication" time.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mrbc::util {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t microseconds() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals (e.g. the total
+/// compute time of one host across all BSP rounds).
+class AccumulatingTimer {
+ public:
+  void start() { timer_.restart(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII guard adding the scope's duration to an AccumulatingTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumulatingTimer& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedTimer() { acc_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumulatingTimer& acc_;
+};
+
+}  // namespace mrbc::util

@@ -1,0 +1,181 @@
+// Tests for the extra vertex programs on the Gluon-style substrate
+// (connected components, PageRank) — validating the substrate's generality
+// against sequential references, across policies and host counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/connected_components.h"
+#include "analytics/kcore.h"
+#include "analytics/pagerank.h"
+#include "graph/algorithms.h"
+#include "test_helpers.h"
+
+namespace mrbc::analytics {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using partition::Policy;
+
+// ---- Connected components ---------------------------------------------------
+
+void expect_cc_matches(const Graph& g, const CcResult& result) {
+  const auto golden = graph::weakly_connected_components(g);
+  ASSERT_EQ(result.component.size(), g.num_vertices());
+  // Same partition into components (labels may differ, grouping must not).
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(golden.component[u] == golden.component[v],
+                result.component[u] == result.component[v])
+          << u << " vs " << v;
+    }
+  }
+  // Min-label propagation: each label is the smallest id in the component.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(result.component[v], v);
+  }
+}
+
+TEST(ConnectedComponents, MatchesSequentialOnCorpus) {
+  for (const auto& [name, g] : testing::structured_corpus()) {
+    if (g.num_vertices() == 0 || g.num_vertices() > 60) continue;
+    SCOPED_TRACE(name);
+    expect_cc_matches(g, connected_components(g, 4));
+  }
+}
+
+class CcPolicySweep : public ::testing::TestWithParam<std::tuple<Policy, int>> {};
+
+TEST_P(CcPolicySweep, ComponentCountInvariant) {
+  const auto [policy, hosts] = GetParam();
+  Graph g = graph::erdos_renyi(120, 0.015, 9);  // several components
+  auto result = connected_components(g, static_cast<partition::HostId>(hosts), policy);
+  const auto golden = graph::weakly_connected_components(g);
+  std::set<VertexId> labels(result.component.begin(), result.component.end());
+  EXPECT_EQ(labels.size(), golden.num_components);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CcPolicySweep,
+                         ::testing::Combine(::testing::Values(Policy::kEdgeCutSrc,
+                                                              Policy::kCartesianVertexCut,
+                                                              Policy::kGeneralVertexCut),
+                                            ::testing::Values(1, 4, 9)));
+
+TEST(ConnectedComponents, RoundsTrackComponentDiameter) {
+  Graph g = graph::bidirectional_path(64);
+  auto result = connected_components(g, 4);
+  // Min label (0) must walk the whole path: ~n rounds of propagation.
+  EXPECT_GE(result.stats.rounds, 32u);
+  EXPECT_LE(result.stats.rounds, 80u);
+}
+
+// ---- PageRank ----------------------------------------------------------------
+
+TEST(Pagerank, MatchesReferenceOnFixedIterations) {
+  Graph g = graph::rmat({.scale = 8, .edge_factor = 6.0, .seed = 13});
+  PagerankOptions opts;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0;  // run all 30 everywhere
+  auto dist = pagerank(g, 6, opts);
+  auto ref = pagerank_reference(g, opts.damping, 30);
+  ASSERT_EQ(dist.rank.size(), ref.size());
+  EXPECT_EQ(dist.iterations, 30u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(dist.rank[v], ref[v], 1e-10) << v;
+  }
+}
+
+TEST(Pagerank, HostCountInvariance) {
+  Graph g = graph::kronecker(7, 5.0, 17);
+  PagerankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0.0;
+  auto r1 = pagerank(g, 1, opts);
+  auto r8 = pagerank(g, 8, opts);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r1.rank[v], r8.rank[v], 1e-10) << v;
+  }
+  EXPECT_GT(r8.stats.bytes, 0u);
+  EXPECT_EQ(r1.stats.bytes, 0u) << "single host should not communicate";
+}
+
+TEST(Pagerank, ToleranceStopsEarly) {
+  Graph g = graph::erdos_renyi(100, 0.08, 21);
+  PagerankOptions loose;
+  loose.tolerance = 1e-3;
+  loose.max_iterations = 100;
+  PagerankOptions tight;
+  tight.tolerance = 1e-12;
+  tight.max_iterations = 100;
+  auto a = pagerank(g, 4, loose);
+  auto b = pagerank(g, 4, tight);
+  EXPECT_LT(a.iterations, b.iterations);
+}
+
+TEST(Pagerank, RanksArePositiveAndBounded) {
+  Graph g = graph::web_crawl_like(7, 5.0, 3, 10, 25);
+  auto result = pagerank(g, 4, {});
+  double sum = 0;
+  for (double r : result.rank) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-9);  // dangling mass leaks, never exceeds 1
+}
+
+// ---- k-core ------------------------------------------------------------------
+
+class KcoreSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KcoreSweep, MatchesSequentialPeeling) {
+  const auto [k, hosts] = GetParam();
+  Graph g = graph::rmat({.scale = 9, .edge_factor = 4.0, .seed = 31});
+  auto dist = kcore(g, static_cast<std::uint32_t>(k), static_cast<partition::HostId>(hosts));
+  auto ref = kcore_reference(g, static_cast<std::uint32_t>(k));
+  ASSERT_EQ(dist.in_core.size(), ref.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dist.in_core[v], ref[v]) << "k=" << k << " hosts=" << hosts << " v=" << v;
+  }
+  std::size_t expected_size = 0;
+  for (bool b : ref) expected_size += b;
+  EXPECT_EQ(dist.core_size, expected_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KcoreSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                                            ::testing::Values(1, 4, 9)));
+
+TEST(Kcore, CoresAreNested) {
+  Graph g = graph::kronecker(8, 6.0, 41);
+  auto k2 = kcore(g, 2, 4);
+  auto k4 = kcore(g, 4, 4);
+  auto k8 = kcore(g, 8, 4);
+  EXPECT_GE(k2.core_size, k4.core_size);
+  EXPECT_GE(k4.core_size, k8.core_size);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (k8.in_core[v]) {
+      EXPECT_TRUE(k4.in_core[v]);
+    }
+    if (k4.in_core[v]) {
+      EXPECT_TRUE(k2.in_core[v]);
+    }
+  }
+}
+
+TEST(Kcore, CompleteGraphSurvivesUpToDegree) {
+  Graph g = graph::complete(8);  // undirected degree 14 everywhere
+  EXPECT_EQ(kcore(g, 14, 3).core_size, 8u);
+  EXPECT_EQ(kcore(g, 15, 3).core_size, 0u);
+}
+
+TEST(Kcore, PathPeelsFromTheEnds) {
+  Graph g = graph::bidirectional_path(20);  // degrees 2 at ends, 4 inside
+  auto result = kcore(g, 3, 4);
+  EXPECT_EQ(result.core_size, 0u) << "peeling the ends cascades through the path";
+}
+
+}  // namespace
+}  // namespace mrbc::analytics

@@ -1,0 +1,102 @@
+// Tests for the sampling-based BC approximations (the Bader et al.
+// estimator the paper's evaluation methodology rests on).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/brandes_seq.h"
+#include "core/approx_bc.h"
+#include "graph/algorithms.h"
+#include "test_helpers.h"
+
+namespace mrbc::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(SampledBc, AllSourcesIsExact) {
+  Graph g = graph::erdos_renyi(40, 0.1, 3);
+  SampledBcOptions opts;
+  opts.num_samples = g.num_vertices();  // clamps to n => exact
+  auto approx = sampled_bc(g, opts);
+  testing::expect_bc_equal(baselines::brandes_bc(g), approx, "all-sources sampling");
+}
+
+TEST(SampledBc, EstimateIsUnbiasedInExpectation) {
+  // Average several independent estimates; each is an unbiased n/k scaling,
+  // so the mean must approach exact BC.
+  Graph g = graph::rmat({.scale = 7, .edge_factor = 6.0, .seed = 5});
+  const auto exact = baselines::brandes_bc(g);
+  std::vector<double> mean(g.num_vertices(), 0.0);
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    SampledBcOptions opts;
+    opts.num_samples = 32;
+    opts.seed = 100 + t;
+    const auto est = sampled_bc(g, opts);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) mean[v] += est[v] / trials;
+  }
+  // Check aggregate behavior: total mass within 20% and the top hub found.
+  double exact_sum = 0, mean_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    exact_sum += exact[v];
+    mean_sum += mean[v];
+  }
+  EXPECT_NEAR(mean_sum, exact_sum, 0.2 * exact_sum);
+  const auto top_exact = std::max_element(exact.begin(), exact.end()) - exact.begin();
+  const auto top_mean = std::max_element(mean.begin(), mean.end()) - mean.begin();
+  EXPECT_EQ(top_exact, top_mean);
+}
+
+TEST(SampledBc, EmptyGraph) {
+  EXPECT_TRUE(sampled_bc(Graph{}, {}).empty());
+}
+
+TEST(AdaptiveBc, ConvergesQuicklyOnHighCentralityVertex) {
+  // The star center has maximal BC: the stop rule should fire after a few
+  // samples, and the estimate should be near the truth.
+  Graph g = graph::star(101);  // center 0, bc = 100*99
+  AdaptiveBcOptions opts;
+  opts.c = 2.0;
+  auto result = adaptive_bc_vertex(g, 0, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.samples, 20u);
+  const double exact = 100.0 * 99.0;
+  EXPECT_NEAR(result.estimate, exact, 0.5 * exact);
+}
+
+TEST(AdaptiveBc, ZeroCentralityVertexNeverConverges) {
+  Graph g = graph::star(40);
+  auto result = adaptive_bc_vertex(g, 1, {});  // a leaf: bc = 0
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.samples, g.num_vertices());
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);
+}
+
+TEST(AdaptiveBc, ExactWhenRunToAllSources) {
+  // With the threshold unreachable, the estimator degenerates to
+  // n * (sum of dependencies) / n = exact BC of the vertex.
+  Graph g = graph::erdos_renyi(30, 0.12, 7);
+  const auto exact = baselines::brandes_bc(g);
+  AdaptiveBcOptions opts;
+  opts.c = 1e18;  // never converge early
+  for (VertexId v : {0u, 7u, 15u}) {
+    auto result = adaptive_bc_vertex(g, v, opts);
+    EXPECT_FALSE(result.converged);
+    EXPECT_NEAR(result.estimate, exact[v], 1e-6 * std::max(1.0, exact[v])) << v;
+  }
+}
+
+TEST(AdaptiveBc, MaxSamplesIsRespected) {
+  Graph g = graph::erdos_renyi(50, 0.1, 9);
+  AdaptiveBcOptions opts;
+  opts.c = 1e18;
+  opts.max_samples = 5;
+  auto result = adaptive_bc_vertex(g, 0, opts);
+  EXPECT_EQ(result.samples, 5u);
+}
+
+}  // namespace
+}  // namespace mrbc::core

@@ -1,0 +1,215 @@
+// Tests for the Gluon-like communication substrate: reduce/broadcast
+// correctness against a direct computation, reduce-reset semantics, update
+// tracking, and exact byte/message accounting.
+
+#include <gtest/gtest.h>
+
+#include "comm/substrate.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+
+namespace mrbc::comm {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using partition::Partition;
+using partition::Policy;
+
+/// A simple "sum across proxies" label: mirrors accumulate partials; the
+/// master holds the total; broadcast pushes the total back.
+struct SumAccessor {
+  using Value = double;
+  std::vector<std::vector<double>>& labels;
+
+  Value get(HostId h, VertexId lid) { return labels[h][lid]; }
+  void reduce(HostId h, VertexId lid, Value v) { labels[h][lid] += v; }
+  void set(HostId h, VertexId lid, Value v) { labels[h][lid] = v; }
+  void reset(HostId h, VertexId lid) { labels[h][lid] = 0.0; }
+};
+
+struct MinAccessor {
+  using Value = std::uint32_t;
+  std::vector<std::vector<std::uint32_t>>& labels;
+
+  Value get(HostId h, VertexId lid) { return labels[h][lid]; }
+  void reduce(HostId h, VertexId lid, Value v) { labels[h][lid] = std::min(labels[h][lid], v); }
+  void set(HostId h, VertexId lid, Value v) { labels[h][lid] = v; }
+  void reset(HostId h, VertexId lid) { labels[h][lid] = graph::kInfDist; }
+};
+
+Partition make_partition(HostId hosts = 4) {
+  static Graph g = graph::rmat({.scale = 6, .edge_factor = 5.0, .seed = 7});
+  return Partition(g, hosts, Policy::kCartesianVertexCut);
+}
+
+TEST(Substrate, SumReduceBroadcastMatchesDirectSum) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  // Every proxy contributes h + 1 (arbitrary but distinct per host).
+  std::vector<double> expected(part.num_global_vertices(), 0.0);
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 0.0);
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      labels[h][l] = h + 1.0;
+      expected[part.host(h).local_to_global[l]] += h + 1.0;
+      sub.flag_reduce(h, l);
+      if (part.host(h).is_master[l]) sub.flag_broadcast(h, l);
+    }
+  }
+  SumAccessor acc{labels};
+  sub.sync(acc);
+  // All proxies must now hold the cross-host total.
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      EXPECT_DOUBLE_EQ(labels[h][l], expected[part.host(h).local_to_global[l]])
+          << "host " << h << " lid " << l;
+    }
+  }
+}
+
+TEST(Substrate, ReduceResetPreventsDoubleCounting) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 1.0);
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) sub.flag_reduce(h, l);
+  }
+  SumAccessor acc{labels};
+  sub.reduce(acc);
+  // Mirrors were reset; flagging and reducing again must not change masters.
+  std::vector<double> after_first(part.num_global_vertices());
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      if (part.host(h).is_master[l]) after_first[part.host(h).local_to_global[l]] = labels[h][l];
+      sub.flag_reduce(h, l);
+    }
+  }
+  // Clear broadcast flags produced by the second wave of reduce arrivals.
+  sub.reduce(acc);
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      if (part.host(h).is_master[l]) {
+        EXPECT_DOUBLE_EQ(labels[h][l], after_first[part.host(h).local_to_global[l]]);
+      }
+    }
+  }
+}
+
+TEST(Substrate, MinReduction) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  std::vector<std::vector<std::uint32_t>> labels(part.num_hosts());
+  std::vector<std::uint32_t> expected(part.num_global_vertices(), graph::kInfDist);
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), graph::kInfDist);
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      const VertexId gv = part.host(h).local_to_global[l];
+      const std::uint32_t value = (gv * 7 + h * 13) % 100;
+      labels[h][l] = value;
+      expected[gv] = std::min(expected[gv], value);
+      sub.flag_reduce(h, l);
+      if (part.host(h).is_master[l]) sub.flag_broadcast(h, l);
+    }
+  }
+  MinAccessor acc{labels};
+  sub.sync(acc);
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      EXPECT_EQ(labels[h][l], expected[part.host(h).local_to_global[l]]);
+    }
+  }
+}
+
+TEST(Substrate, NoFlagsMeansNoTraffic) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 5.0);
+  }
+  SumAccessor acc{labels};
+  SyncStats stats = sub.sync(acc);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.values, 0u);
+  EXPECT_FALSE(sub.any_pending());
+}
+
+TEST(Substrate, UpdateTrackingSendsOnlyFlaggedValues) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 1.0);
+  }
+  // Flag exactly one mirror.
+  HostId flagged_host = 0;
+  VertexId flagged_lid = 0;
+  bool found = false;
+  for (HostId h = 0; h < part.num_hosts() && !found; ++h) {
+    for (VertexId l = 0; l < part.host(h).num_proxies() && !found; ++l) {
+      if (!part.host(h).is_master[l]) {
+        flagged_host = h;
+        flagged_lid = l;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  sub.flag_reduce(flagged_host, flagged_lid);
+  SumAccessor acc{labels};
+  SyncStats stats = sub.reduce(acc);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.values, 1u);
+  // Metadata bitset + one double + headers; small but nonzero.
+  EXPECT_GT(stats.bytes, sizeof(double));
+}
+
+TEST(Substrate, BytesPerHostTracksEgress) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 1.0);
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) sub.flag_reduce(h, l);
+  }
+  SumAccessor acc{labels};
+  SyncStats stats = sub.reduce(acc);
+  ASSERT_EQ(stats.bytes_per_host.size(), part.num_hosts());
+  std::size_t sum = 0;
+  for (std::size_t b : stats.bytes_per_host) sum += b;
+  EXPECT_EQ(sum, stats.bytes);
+}
+
+TEST(Substrate, PendingFlagsAndClear) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  EXPECT_FALSE(sub.any_pending());
+  sub.flag_reduce(0, 0);
+  EXPECT_TRUE(sub.any_pending());
+  sub.clear_flags();
+  EXPECT_FALSE(sub.any_pending());
+}
+
+TEST(Substrate, SingleHostHasNoTrafficButClearsFlags) {
+  Graph g = graph::erdos_renyi(30, 0.1, 3);
+  Partition part(g, 1, Policy::kEdgeCutSrc);
+  Substrate sub(part);
+  std::vector<std::vector<double>> labels(1);
+  labels[0].assign(part.host(0).num_proxies(), 2.0);
+  for (VertexId l = 0; l < part.host(0).num_proxies(); ++l) {
+    sub.flag_reduce(0, l);
+    sub.flag_broadcast(0, l);
+  }
+  SumAccessor acc{labels};
+  SyncStats stats = sub.sync(acc);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_FALSE(sub.any_pending()) << "flags must be consumed even with no peers";
+}
+
+}  // namespace
+}  // namespace mrbc::comm

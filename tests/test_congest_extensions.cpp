@@ -1,0 +1,133 @@
+// Tests for the Theorem 1 extensions of the CONGEST reference: the
+// unknown-n variant (part I.3 — compute n over UG before the 2n cap
+// applies), the undirected case (part III — bounds with Du), and
+// numerically demanding inputs (exponentially many shortest paths).
+
+#include <gtest/gtest.h>
+
+#include "baselines/brandes_seq.h"
+#include "core/congest_mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "test_helpers.h"
+
+namespace mrbc {
+namespace {
+
+using baselines::brandes_bc;
+using core::CongestOptions;
+using core::congest_mrbc_all_sources;
+using core::Termination;
+using graph::Graph;
+using graph::VertexId;
+using testing::expect_bc_equal;
+
+TEST(CongestUnknownN, ComputesNAndMatchesBrandes) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (!graph::is_weakly_connected(g)) continue;
+    CongestOptions opts;
+    opts.n_known = false;
+    auto run = congest_mrbc_all_sources(g, opts);
+    EXPECT_EQ(run.metrics.anomalies, 0u) << name << ": n-count must equal |V|";
+    EXPECT_GT(run.metrics.count_rounds, 0u) << name;
+    expect_bc_equal(brandes_bc(g), run.result.bc, "unknown-n " + name);
+  }
+}
+
+TEST(CongestUnknownN, CountPhaseIsDiameterBounded) {
+  // The UG BFS + convergecast + broadcast completes in O(Du) rounds;
+  // our implementation uses BFS down (Du) + adoption settling (2) +
+  // convergecast up (Du) + broadcast down (Du) plus small constants.
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (!graph::is_weakly_connected(g)) continue;
+    const std::uint32_t du = graph::exact_diameter(g.undirected());
+    CongestOptions opts;
+    opts.n_known = false;
+    auto run = congest_mrbc_all_sources(g, opts);
+    EXPECT_LE(run.metrics.count_rounds, 3u * du + 8) << name << " Du=" << du;
+    // O(m + n) messages: explore over both channel directions + tree traffic.
+    EXPECT_LE(run.metrics.count_messages, 2 * g.num_edges() + 3 * g.num_vertices()) << name;
+  }
+}
+
+TEST(CongestUnknownN, CombinesWithFinalizer) {
+  // Part I.3 headline: n + O(D) rounds without knowing n on strongly
+  // connected graphs.
+  Graph g = graph::strongly_connected_overlay(graph::erdos_renyi(100, 0.04, 7), 7);
+  const std::uint32_t d = graph::exact_diameter(g);
+  CongestOptions opts;
+  opts.n_known = false;
+  opts.termination = Termination::kFinalizer;
+  auto run = congest_mrbc_all_sources(g, opts);
+  EXPECT_EQ(run.metrics.anomalies, 0u);
+  expect_bc_equal(brandes_bc(g), run.result.bc, "unknown-n finalizer");
+  EXPECT_LE(run.metrics.count_rounds + run.metrics.forward_rounds,
+            g.num_vertices() + 8u * d + 8);
+}
+
+TEST(CongestUndirected, BoundsHoldWithUndirectedDiameter) {
+  // Theorem 1 part III: on undirected graphs the bounds hold with Du.
+  for (const auto& [name, g] : testing::random_corpus()) {
+    Graph u = g.undirected();
+    if (!graph::is_strongly_connected(u)) continue;  // UG connected
+    const std::uint32_t du = graph::exact_diameter(u);
+    CongestOptions opts;
+    opts.termination = Termination::kFinalizer;
+    auto run = congest_mrbc_all_sources(u, opts);
+    EXPECT_EQ(run.metrics.anomalies, 0u) << name;
+    EXPECT_LE(run.metrics.forward_rounds,
+              std::min<std::size_t>(2 * u.num_vertices(), u.num_vertices() + 5 * du))
+        << name;
+    expect_bc_equal(brandes_bc(u), run.result.bc, "undirected " + name);
+  }
+}
+
+TEST(CongestNumerics, ExponentialPathCountsSurviveInDoubles) {
+  // A chain of diamonds doubles the path count at every stage: sigma grows
+  // as 2^stages. The paper stores sigma in double precision (Section 5.2);
+  // 40 stages => 2^40 paths, exactly representable.
+  const int stages = 40;
+  std::vector<graph::Edge> edges;
+  VertexId next = 1;
+  VertexId tail = 0;
+  for (int i = 0; i < stages; ++i) {
+    const VertexId a = next++, b = next++, join = next++;
+    edges.push_back({tail, a});
+    edges.push_back({tail, b});
+    edges.push_back({a, join});
+    edges.push_back({b, join});
+    tail = join;
+  }
+  Graph g = graph::build_graph(next, edges);
+  auto run = core::congest_mrbc(g, {0});
+  EXPECT_DOUBLE_EQ(run.result.sigma[0][tail], std::pow(2.0, stages));
+  expect_bc_equal(baselines::brandes_bc_sources(g, {0}).bc, run.result.bc, "diamond chain");
+}
+
+TEST(CongestModel, ChannelCongestionIsConstant) {
+  // CONGEST allows one O(log n)-bit message per channel per round; Alg. 3
+  // notes a vertex may combine "a constant number of values" into one
+  // message (the APSP pipeline plus Alg. 4 tree traffic). Verify the
+  // constant stays tiny across modes and graphs.
+  for (const auto& [name, g] : testing::random_corpus()) {
+    for (auto mode : {Termination::kFixed2n, Termination::kFinalizer,
+                      Termination::kGlobalDetection}) {
+      CongestOptions opts;
+      opts.termination = mode;
+      auto run = congest_mrbc_all_sources(g, opts);
+      EXPECT_LE(run.metrics.max_channel_congestion, 3u) << name;
+    }
+  }
+}
+
+TEST(CongestNumerics, AccumulationRoundsAtMostForwardPlusOne) {
+  // Part II of Theorem 1: BC costs at most double the APSP rounds; the
+  // accumulation phase alone replays the forward schedule in reverse.
+  for (const auto& [name, g] : testing::random_corpus()) {
+    auto run = congest_mrbc_all_sources(g);
+    EXPECT_LE(run.metrics.accumulation_rounds, run.metrics.forward_rounds + 1) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mrbc

@@ -1,0 +1,178 @@
+// Validation of the CONGEST-model reference MRBC (Algorithms 3-5) against
+// sequential golden references, plus exact checks of the Theorem 1 /
+// Lemma 6 / Lemma 8 round and message bounds.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brandes_seq.h"
+#include "core/congest_mrbc.h"
+#include "graph/algorithms.h"
+#include "test_helpers.h"
+
+namespace mrbc {
+namespace {
+
+using baselines::brandes_bc;
+using baselines::brandes_bc_sources;
+using core::CongestOptions;
+using core::congest_mrbc;
+using core::congest_mrbc_all_sources;
+using core::Termination;
+using graph::Graph;
+using graph::VertexId;
+using testing::expect_bc_equal;
+using testing::expect_tables_equal;
+using testing::NamedGraph;
+
+class CongestCorpusTest : public ::testing::TestWithParam<int> {};
+
+std::vector<NamedGraph> full_corpus() {
+  auto corpus = testing::structured_corpus();
+  auto rnd = testing::random_corpus();
+  corpus.insert(corpus.end(), std::make_move_iterator(rnd.begin()),
+                std::make_move_iterator(rnd.end()));
+  return corpus;
+}
+
+TEST(CongestMrbc, MatchesBrandesOnAllCorpusGraphs) {
+  for (const auto& [name, g] : full_corpus()) {
+    auto run = congest_mrbc_all_sources(g);
+    EXPECT_EQ(run.metrics.anomalies, 0u) << name;
+    expect_bc_equal(brandes_bc(g), run.result.bc, "congest-apsp " + name);
+  }
+}
+
+TEST(CongestMrbc, ApspDistancesAndSigmasMatchBfs) {
+  for (const auto& [name, g] : full_corpus()) {
+    if (g.num_vertices() == 0) continue;
+    auto run = congest_mrbc_all_sources(g);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      auto golden = graph::bfs(g, s);
+      EXPECT_EQ(golden.dist, run.result.dist[s]) << name << " source " << s;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_DOUBLE_EQ(golden.sigma[v], run.result.sigma[s][v])
+            << name << " source " << s << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(CongestMrbc, Fixed2nTerminationMatchesBrandes) {
+  for (const auto& [name, g] : full_corpus()) {
+    CongestOptions opts;
+    opts.termination = Termination::kFixed2n;
+    auto run = congest_mrbc_all_sources(g, opts);
+    EXPECT_EQ(run.metrics.anomalies, 0u) << name;
+    expect_bc_equal(brandes_bc(g), run.result.bc, "congest-2n " + name);
+    if (g.num_vertices() > 0) {
+      EXPECT_EQ(run.metrics.forward_rounds, 2 * g.num_vertices()) << name;
+    }
+  }
+}
+
+TEST(CongestMrbc, FinalizerMatchesBrandesAndCutsRounds) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    Graph scc = graph::strongly_connected_overlay(g, 99);
+    CongestOptions opts;
+    opts.termination = Termination::kFinalizer;
+    auto run = congest_mrbc_all_sources(scc, opts);
+    EXPECT_EQ(run.metrics.anomalies, 0u) << name;
+    expect_bc_equal(brandes_bc(scc), run.result.bc, "congest-finalizer " + name);
+
+    const std::uint32_t n = scc.num_vertices();
+    const std::uint32_t d = graph::exact_diameter(scc);
+    EXPECT_TRUE(run.metrics.finalizer_triggered || 2 * n <= n + 5 * d) << name;
+    if (run.metrics.finalizer_triggered) {
+      EXPECT_EQ(run.metrics.diameter, d) << name << ": Alg. 4 must broadcast the true diameter";
+    }
+    // Lemma 6: at most min{2n, n + 5D} rounds.
+    EXPECT_LE(run.metrics.forward_rounds, std::min(2 * n, n + 5 * d)) << name;
+  }
+}
+
+TEST(CongestMrbc, MessageBoundTheorem1) {
+  for (const auto& [name, g] : full_corpus()) {
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    const auto m = static_cast<std::size_t>(g.num_edges());
+    auto run = congest_mrbc_all_sources(g);
+    // Part I.2: at most one APSP message per vertex per source along each
+    // out-edge => <= m*n payload messages.
+    EXPECT_LE(run.metrics.apsp_messages, m * n) << name;
+    // Part II: accumulation sends at most one message per DAG edge per
+    // source, also bounded by m*n.
+    EXPECT_LE(run.metrics.accumulation_messages, m * n) << name;
+  }
+}
+
+TEST(CongestMrbc, KSspRoundAndMessageBoundsLemma8) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (g.num_vertices() < 8) continue;
+    const std::vector<VertexId> sources = graph::sample_sources(g, 6, 42);
+    auto run = congest_mrbc(g, sources);
+    EXPECT_EQ(run.metrics.anomalies, 0u) << name;
+
+    const std::uint32_t h = core::max_finite_distance(run.result.dist);
+    const auto k = static_cast<std::uint32_t>(sources.size());
+    // Lemma 8: k-SSP in <= k + H rounds (+1 for the detection round) and
+    // <= m*k messages; BC at most doubles both.
+    EXPECT_LE(run.metrics.forward_rounds, k + h + 1) << name;
+    EXPECT_LE(run.metrics.apsp_messages, g.num_edges() * k) << name;
+    EXPECT_LE(run.metrics.accumulation_rounds, run.metrics.forward_rounds + 1) << name;
+    EXPECT_LE(run.metrics.accumulation_messages, g.num_edges() * k) << name;
+  }
+}
+
+TEST(CongestMrbc, KSspMatchesBrandesSampledSources) {
+  for (const auto& [name, g] : full_corpus()) {
+    if (g.num_vertices() < 4) continue;
+    const std::vector<VertexId> sources = graph::sample_sources(g, 4, 7);
+    auto run = congest_mrbc(g, sources);
+    auto golden = brandes_bc_sources(g, sources);
+    expect_bc_equal(golden.bc, run.result.bc, "k-ssp " + name);
+    expect_tables_equal(golden, run.result, "k-ssp tables " + name);
+  }
+}
+
+TEST(CongestMrbc, SingleVertexAndEmptyGraphs) {
+  auto run1 = congest_mrbc_all_sources(graph::build_graph(1, {}));
+  EXPECT_EQ(run1.result.bc, core::BcScores{0.0});
+  auto run0 = congest_mrbc_all_sources(Graph{});
+  EXPECT_TRUE(run0.result.bc.empty());
+}
+
+TEST(CongestMrbc, DirectedPathBcIsKnownClosedForm) {
+  // On a directed path of n vertices, vertex i lies on i*(n-1-i) shortest
+  // paths between distinct (s, t) pairs, each pair having exactly one path.
+  const VertexId n = 12;
+  auto run = congest_mrbc_all_sources(graph::path(n));
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(run.result.bc[v], static_cast<double>(v) * (n - 1 - v)) << v;
+  }
+}
+
+TEST(CongestMrbc, StarCenterDominates) {
+  // Undirected star: all paths between leaves go through the center.
+  const VertexId n = 11;  // 10 leaves
+  auto run = congest_mrbc_all_sources(graph::star(n));
+  EXPECT_DOUBLE_EQ(run.result.bc[0], static_cast<double>(n - 1) * (n - 2));
+  for (VertexId v = 1; v < n; ++v) EXPECT_DOUBLE_EQ(run.result.bc[v], 0.0);
+}
+
+// Property sweep: random ER graphs across seeds and densities.
+class CongestRandomSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CongestRandomSweep, MatchesBrandes) {
+  const auto [seed, density] = GetParam();
+  Graph g = graph::erdos_renyi(36, density, static_cast<std::uint64_t>(seed));
+  auto run = congest_mrbc_all_sources(g);
+  EXPECT_EQ(run.metrics.anomalies, 0u);
+  expect_bc_equal(brandes_bc(g), run.result.bc,
+                  "sweep seed=" + std::to_string(seed) + " p=" + std::to_string(density));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CongestRandomSweep,
+                         ::testing::Combine(::testing::Range(1, 13),
+                                            ::testing::Values(0.02, 0.05, 0.12, 0.3)));
+
+}  // namespace
+}  // namespace mrbc

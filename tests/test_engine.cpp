@@ -1,0 +1,194 @@
+// Tests for the execution engines: the network cost model, the BSP loop's
+// termination/accounting, and the CONGEST message transport.
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/congest.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace mrbc {
+namespace {
+
+using sim::BspLoop;
+using sim::ClusterOptions;
+using sim::HostWork;
+using sim::NetworkModel;
+using sim::RunStats;
+
+// ---- NetworkModel ----------------------------------------------------------
+
+TEST(NetworkModel, CostComponents) {
+  NetworkModel net{.alpha_per_message = 1e-6, .beta_bytes_per_sec = 1e9, .kappa_barrier = 1e-5};
+  EXPECT_DOUBLE_EQ(net.phase_seconds(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(net.phase_seconds(10, 0), 1e-5);
+  EXPECT_DOUBLE_EQ(net.phase_seconds(0, 1000000), 1e-3);
+  EXPECT_DOUBLE_EQ(net.round_seconds(0, 0), 1e-5);  // barrier always paid
+  EXPECT_DOUBLE_EQ(net.round_seconds(10, 1000000), 1e-5 + 1e-5 + 1e-3);
+}
+
+// ---- BspLoop ---------------------------------------------------------------
+
+TEST(BspLoop, RunsUntilQuiescence) {
+  // Hosts count down; host h is active for h+1 rounds.
+  const partition::HostId H = 4;
+  std::vector<int> remaining{1, 2, 3, 4};
+  BspLoop loop(H);
+  RunStats stats = loop.run(
+      [&](std::size_t) { return comm::SyncStats{}; },
+      [&](partition::HostId h, std::size_t) {
+        HostWork w;
+        if (remaining[h] > 0) {
+          --remaining[h];
+          w.work_items = 1;
+        }
+        w.active = remaining[h] > 0;
+        return w;
+      },
+      [] { return false; });
+  EXPECT_EQ(stats.rounds, 4u);
+  for (int r : remaining) EXPECT_EQ(r, 0);
+}
+
+TEST(BspLoop, PendingFlagsKeepItAlive) {
+  int pending_rounds = 3;
+  BspLoop loop(2);
+  RunStats stats = loop.run(
+      [&](std::size_t) {
+        if (pending_rounds > 0) --pending_rounds;
+        return comm::SyncStats{};
+      },
+      [&](partition::HostId, std::size_t) { return HostWork{}; },
+      [&] { return pending_rounds > 0; });
+  // The forced first round already consumes one pending unit.
+  EXPECT_EQ(stats.rounds, 3u);
+}
+
+TEST(BspLoop, MaxRoundsCapStopsRunaways) {
+  ClusterOptions opts;
+  opts.max_rounds = 10;
+  BspLoop loop(1, opts);
+  RunStats stats = loop.run([](std::size_t) { return comm::SyncStats{}; },
+                            [](partition::HostId, std::size_t) {
+                              HostWork w;
+                              w.active = true;  // never quiesces
+                              return w;
+                            },
+                            [] { return false; });
+  EXPECT_EQ(stats.rounds, 10u);
+}
+
+TEST(BspLoop, AccountingAggregatesCommStats) {
+  BspLoop loop(2);
+  int rounds_left = 3;
+  RunStats stats = loop.run(
+      [&](std::size_t) {
+        comm::SyncStats s;
+        s.messages = 2;
+        s.bytes = 100;
+        s.values = 5;
+        s.bytes_per_host = {60, 40};
+        return s;
+      },
+      [&](partition::HostId h, std::size_t) {
+        HostWork w;
+        w.work_items = 7;
+        // Only host 0 drives liveness; both hosts report equal work.
+        w.active = h == 0 ? (--rounds_left > 0) : false;
+        return w;
+      },
+      [] { return false; });
+  // 3 active rounds (the third reports inactive and nothing pending).
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.messages, 6u);
+  EXPECT_EQ(stats.bytes, 300u);
+  EXPECT_EQ(stats.values, 15u);
+  EXPECT_GT(stats.network_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_imbalance(), 1.0);  // equal work on both hosts
+}
+
+TEST(BspLoop, ImbalanceReflectsSkewedWork) {
+  BspLoop loop(4);
+  int rounds_left = 2;
+  RunStats stats = loop.run(
+      [](std::size_t) { return comm::SyncStats{}; },
+      [&](partition::HostId h, std::size_t) {
+        HostWork w;
+        w.work_items = h == 0 ? 40 : 0;  // all work on host 0
+        w.active = h == 0 && --rounds_left > 0;
+        return w;
+      },
+      [] { return false; });
+  EXPECT_DOUBLE_EQ(stats.mean_imbalance(), 4.0);  // max/mean = 40/10
+  (void)stats;
+}
+
+TEST(RunStats, PlusEqualsAggregates) {
+  RunStats a, b;
+  a.rounds = 3;
+  a.compute_seconds = 1.0;
+  a.messages = 10;
+  a.per_host_compute_seconds = {0.5, 0.5};
+  b.rounds = 2;
+  b.compute_seconds = 0.5;
+  b.messages = 4;
+  b.per_host_compute_seconds = {0.2, 0.3};
+  a += b;
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_DOUBLE_EQ(a.compute_seconds, 1.5);
+  EXPECT_EQ(a.messages, 14u);
+  EXPECT_DOUBLE_EQ(a.per_host_compute_seconds[1], 0.8);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), a.compute_seconds + a.network_seconds);
+}
+
+// ---- CONGEST network -------------------------------------------------------
+
+struct TestMsg {
+  int payload;
+};
+
+TEST(CongestNetwork, DeliversNextRound) {
+  auto g = graph::path(3);  // 0 -> 1 -> 2
+  congest::Network<TestMsg> net(g);
+  net.send(0, 1, {42});
+  EXPECT_TRUE(net.messages_in_flight());
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.advance_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].first, 0u);
+  EXPECT_EQ(net.inbox(1)[0].second.payload, 42);
+  EXPECT_FALSE(net.messages_in_flight());
+  net.advance_round();
+  EXPECT_TRUE(net.inbox(1).empty()) << "inboxes are cleared each round";
+}
+
+TEST(CongestNetwork, BroadcastHelpersFollowAdjacency) {
+  auto g = graph::build_graph(4, {{0, 1}, {0, 2}, {3, 0}});
+  congest::Network<TestMsg> net(g);
+  net.send_to_out_neighbors(0, {1});
+  net.send_to_in_neighbors(0, {2});  // against edge (3,0)
+  net.advance_round();
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(2).size(), 1u);
+  ASSERT_EQ(net.inbox(3).size(), 1u);
+  EXPECT_EQ(net.inbox(3)[0].second.payload, 2);
+}
+
+TEST(CongestNetwork, MessageAccounting) {
+  auto g = graph::complete(4);
+  congest::Network<TestMsg> net(g);
+  net.send_to_out_neighbors(0, {1});
+  net.advance_round();
+  EXPECT_EQ(net.messages_last_round(), 3u);
+  EXPECT_EQ(net.total_messages(), 3u);
+  net.send(1, 2, {1});
+  net.send(2, 3, {1});
+  net.advance_round();
+  EXPECT_EQ(net.messages_last_round(), 2u);
+  EXPECT_EQ(net.total_messages(), 5u);
+  EXPECT_EQ(net.round(), 2u);
+}
+
+}  // namespace
+}  // namespace mrbc

@@ -1,0 +1,109 @@
+// Differential fuzzing: randomized graphs x randomized execution
+// configurations, every result checked against sequential Brandes. This is
+// the widest net for pipelining/synchronization bugs — any divergence
+// between the distributed schedules and the golden model fails loudly with
+// the reproducing seed in the test name.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brandes_seq.h"
+#include "baselines/mfbc.h"
+#include "baselines/sbbc.h"
+#include "core/congest_mrbc.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace mrbc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Draws a random graph from a random family.
+Graph random_graph(util::Xoshiro256& rng) {
+  switch (rng.next_bounded(6)) {
+    case 0:
+      return graph::erdos_renyi(20 + static_cast<VertexId>(rng.next_bounded(60)),
+                                0.02 + 0.2 * rng.next_double(), rng.next());
+    case 1:
+      return graph::rmat({.scale = 5 + static_cast<int>(rng.next_bounded(3)),
+                          .edge_factor = 2.0 + 6.0 * rng.next_double(),
+                          .seed = rng.next()});
+    case 2:
+      return graph::road_grid(3 + static_cast<VertexId>(rng.next_bounded(8)),
+                              3 + static_cast<VertexId>(rng.next_bounded(8)),
+                              0.2 * rng.next_double(), rng.next());
+    case 3:
+      return graph::web_crawl_like(5, 3.0 + 3.0 * rng.next_double(),
+                                   static_cast<VertexId>(rng.next_bounded(4)),
+                                   1 + static_cast<VertexId>(rng.next_bounded(12)), rng.next());
+    case 4:
+      return graph::random_dag(20 + static_cast<VertexId>(rng.next_bounded(40)),
+                               0.05 + 0.15 * rng.next_double(), rng.next());
+    default:
+      return graph::strongly_connected_overlay(
+          graph::erdos_renyi(30 + static_cast<VertexId>(rng.next_bounded(40)),
+                             0.03 * rng.next_double(), rng.next()),
+          rng.next());
+  }
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, MrbcMatchesBrandes) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 0x9e37 + 1);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return;
+  const auto k = 1 + static_cast<VertexId>(rng.next_bounded(12));
+  const auto sources = graph::sample_sources(g, k, rng.next(), rng.next_bool(0.5));
+  const auto golden = baselines::brandes_bc_sources(g, sources);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 1 + static_cast<partition::HostId>(rng.next_bounded(12));
+  opts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(16));
+  opts.delayed_sync = rng.next_bool(0.8);
+  const partition::Policy policies[] = {
+      partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
+      partition::Policy::kCartesianVertexCut, partition::Policy::kGeneralVertexCut,
+      partition::Policy::kRandomEdge};
+  opts.policy = policies[rng.next_bounded(5)];
+
+  auto run = core::mrbc_bc(g, sources, opts);
+  EXPECT_EQ(run.anomalies, 0u) << "hosts=" << opts.num_hosts << " batch=" << opts.batch_size
+                               << " policy=" << partition::to_string(opts.policy);
+  testing::expect_bc_equal(golden.bc, run.result.bc,
+                           "fuzz mrbc seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(DifferentialFuzz, OtherEnginesMatchBrandes) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 0x7f4a + 3);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return;
+  const auto k = 1 + static_cast<VertexId>(rng.next_bounded(8));
+  const auto sources = graph::sample_sources(g, k, rng.next(), true);
+  const auto golden = baselines::brandes_bc_sources(g, sources);
+
+  auto congest = core::congest_mrbc(g, sources);
+  EXPECT_EQ(congest.metrics.anomalies, 0u);
+  testing::expect_bc_equal(golden.bc, congest.result.bc,
+                           "fuzz congest seed=" + std::to_string(GetParam()));
+
+  baselines::SbbcOptions sopts;
+  sopts.num_hosts = 1 + static_cast<partition::HostId>(rng.next_bounded(8));
+  testing::expect_bc_equal(golden.bc, baselines::sbbc_bc(g, sources, sopts).result.bc,
+                           "fuzz sbbc seed=" + std::to_string(GetParam()));
+
+  baselines::MfbcOptions fopts;
+  fopts.num_hosts = 1 + static_cast<std::uint32_t>(rng.next_bounded(8));
+  fopts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(8));
+  testing::expect_bc_equal(golden.bc, baselines::mfbc_bc(g, sources, fopts).result.bc,
+                           "fuzz mfbc seed=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mrbc

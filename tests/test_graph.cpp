@@ -1,0 +1,277 @@
+// Unit tests for the graph substrate: CSR construction, transpose,
+// undirected closure, IO round-trips, generators' structural properties,
+// BFS/sigma, connectivity, and diameter computations.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "test_helpers.h"
+
+namespace mrbc::graph {
+
+/// Shared helper graph for adjacency tests (defined at file end).
+Graph generators_test_graph();
+
+namespace {
+
+TEST(Graph, CsrBasics) {
+  Graph g = build_graph(4, {{0, 1}, {0, 2}, {1, 2}, {3, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.max_out_degree(), 2u);
+  EXPECT_EQ(g.max_in_degree(), 2u);
+}
+
+TEST(Graph, BuilderRemovesDuplicatesAndSelfLoops) {
+  Graph g = build_graph(3, {{0, 1}, {0, 1}, {1, 1}, {2, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, InAdjacencyMirrorsOutAdjacency) {
+  Graph g = generators_test_graph();
+  std::multiset<std::pair<VertexId, VertexId>> from_out, from_in;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) from_out.insert({u, v});
+    for (VertexId w : g.in_neighbors(u)) from_in.insert({w, u});
+  }
+  EXPECT_EQ(from_out, from_in);
+}
+
+TEST(Graph, TransposeInvolution) {
+  Graph g = generators_test_graph();
+  Graph t = g.transposed();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) EXPECT_TRUE(t.has_edge(v, u));
+  }
+  Graph tt = t.transposed();
+  EXPECT_EQ(tt.out_offsets(), g.out_offsets());
+  EXPECT_EQ(tt.out_targets(), g.out_targets());
+}
+
+TEST(Graph, UndirectedClosureIsSymmetric) {
+  Graph g = path(6);
+  Graph u = g.undirected();
+  EXPECT_EQ(u.num_edges(), 10u);  // 5 edges doubled
+  for (VertexId a = 0; a < u.num_vertices(); ++a) {
+    for (VertexId b : u.out_neighbors(a)) EXPECT_TRUE(u.has_edge(b, a));
+  }
+}
+
+// ---- IO --------------------------------------------------------------------
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g = erdos_renyi(30, 0.1, 3);
+  const std::string path = std::filesystem::temp_directory_path() / "mrbc_io_test.txt";
+  write_edge_list(g, path);
+  Graph r = read_edge_list(path);
+  EXPECT_EQ(r.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, EdgeListSkipsCommentsAndRemapsIds) {
+  const std::string path = std::filesystem::temp_directory_path() / "mrbc_io_test2.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n100 200\n% another\n200 300\n100 300\n";
+  }
+  Graph g = read_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRoundTripIsExact) {
+  Graph g = rmat({.scale = 6, .edge_factor = 4.0, .seed = 9});
+  const std::string path = std::filesystem::temp_directory_path() / "mrbc_io_test.bin";
+  write_binary(g, path);
+  Graph r = read_binary(path);
+  EXPECT_EQ(r.out_offsets(), g.out_offsets());
+  EXPECT_EQ(r.out_targets(), g.out_targets());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list("/nonexistent/file.txt"), std::runtime_error);
+  EXPECT_THROW(read_binary("/nonexistent/file.bin"), std::runtime_error);
+}
+
+// ---- Generators ------------------------------------------------------------
+
+TEST(Generators, PathCycleStarShapes) {
+  Graph p = path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(bfs_distances(p, 0)[4], 4u);
+  EXPECT_EQ(bfs_distances(p, 4)[0], kInfDist);
+
+  Graph c = cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  EXPECT_TRUE(is_strongly_connected(c));
+
+  Graph s = star(6);
+  EXPECT_EQ(s.out_degree(0), 5u);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(s.out_degree(v), 1u);
+}
+
+TEST(Generators, CompleteGraphProperties) {
+  Graph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+  EXPECT_EQ(exact_diameter(g), 1u);
+}
+
+TEST(Generators, RmatIsDeterministicPerSeed) {
+  Graph a = rmat({.scale = 6, .edge_factor = 4.0, .seed = 5});
+  Graph b = rmat({.scale = 6, .edge_factor = 4.0, .seed = 5});
+  Graph c = rmat({.scale = 6, .edge_factor = 4.0, .seed = 6});
+  EXPECT_EQ(a.out_targets(), b.out_targets());
+  EXPECT_NE(a.out_targets(), c.out_targets());
+}
+
+TEST(Generators, RmatIsSkewedErIsNot) {
+  // Power-law generators should concentrate degree far above the mean.
+  Graph r = rmat({.scale = 9, .edge_factor = 8.0, .seed = 1});
+  const double mean_deg = static_cast<double>(r.num_edges()) / r.num_vertices();
+  EXPECT_GT(static_cast<double>(r.max_out_degree()), 8 * mean_deg);
+
+  Graph e = erdos_renyi(512, 8.0 / 512, 1);
+  const double er_mean = static_cast<double>(e.num_edges()) / e.num_vertices();
+  EXPECT_LT(static_cast<double>(e.max_out_degree()), 6 * er_mean);
+}
+
+TEST(Generators, RoadGridHasLargeDiameterAndTinyDegree) {
+  Graph g = road_grid(20, 5, 0.0, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_LE(g.max_out_degree(), 4u);
+  EXPECT_EQ(exact_diameter(g), 23u);  // Manhattan distance corner-to-corner
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Generators, WebCrawlTailsStretchTheDiameter) {
+  Graph core_only = web_crawl_like(7, 4.0, 0, 0, 5);
+  Graph with_tails = web_crawl_like(7, 4.0, 4, 25, 5);
+  auto sources = sample_sources(with_tails, 8, 3);
+  EXPECT_GT(estimated_diameter(with_tails, sources) + 0u,
+            estimated_diameter(core_only, sample_sources(core_only, 8, 3)) + 0u);
+  EXPECT_EQ(with_tails.num_vertices(), core_only.num_vertices() + 100);
+}
+
+TEST(Generators, RandomDagIsAcyclic) {
+  Graph g = random_dag(40, 0.15, 7);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) EXPECT_LT(u, v);
+  }
+  // Every DAG's SCCs are singletons.
+  EXPECT_EQ(strongly_connected_components(g).num_components, g.num_vertices());
+}
+
+TEST(Generators, WattsStrogatzRegimes) {
+  // beta = 0: pure ring lattice, diameter ~ n/k; beta = 0.2: small world,
+  // diameter collapses while size stays put.
+  Graph ring = watts_strogatz(120, 4, 0.0, 3);
+  Graph small_world = watts_strogatz(120, 4, 0.2, 3);
+  EXPECT_TRUE(is_strongly_connected(ring));
+  EXPECT_EQ(ring.num_vertices(), small_world.num_vertices());
+  const auto ring_diam = exact_diameter(ring);
+  EXPECT_EQ(ring_diam, 30u);  // n / (2 * k/2) = 120/4
+  EXPECT_LT(exact_diameter(small_world), ring_diam / 2);
+  // Symmetric edges throughout.
+  for (VertexId u = 0; u < small_world.num_vertices(); ++u) {
+    for (VertexId v : small_world.out_neighbors(u)) EXPECT_TRUE(small_world.has_edge(v, u));
+  }
+}
+
+TEST(Generators, StronglyConnectedOverlayWorks) {
+  Graph g = erdos_renyi(50, 0.02, 3);
+  Graph s = strongly_connected_overlay(g, 11);
+  EXPECT_TRUE(is_strongly_connected(s));
+  EXPECT_GE(s.num_edges(), g.num_edges());
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  const VertexId n = 200;
+  const double p = 0.05;
+  Graph g = erdos_renyi(n, p, 13);
+  const double expected = p * n * n;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+}
+
+// ---- Algorithms ------------------------------------------------------------
+
+TEST(Algorithms, BfsDistSigmaPreds) {
+  // diamond + tail: 0->{1,2}->3->4
+  Graph g = build_graph(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+  auto r = bfs(g, 0);
+  EXPECT_EQ(r.dist, (std::vector<std::uint32_t>{0, 1, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(r.sigma[3], 2.0);
+  EXPECT_DOUBLE_EQ(r.sigma[4], 2.0);
+  EXPECT_EQ(r.preds[3].size(), 2u);
+  EXPECT_EQ(r.preds[1], std::vector<VertexId>{0});
+}
+
+TEST(Algorithms, WeakAndStrongConnectivity) {
+  Graph p = path(5);  // weakly but not strongly connected
+  EXPECT_TRUE(is_weakly_connected(p));
+  EXPECT_FALSE(is_strongly_connected(p));
+  EXPECT_EQ(strongly_connected_components(p).num_components, 5u);
+
+  Graph two = build_graph(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(weakly_connected_components(two).num_components, 2u);
+}
+
+TEST(Algorithms, TarjanFindsNontrivialSccs) {
+  // Two 3-cycles joined by one edge.
+  Graph g = build_graph(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[3], r.component[5]);
+  EXPECT_NE(r.component[0], r.component[3]);
+}
+
+TEST(Algorithms, DiameterAndEccentricity) {
+  Graph g = bidirectional_path(10);
+  EXPECT_EQ(exact_diameter(g), 9u);
+  EXPECT_EQ(eccentricity(g, 0), 9u);
+  EXPECT_EQ(eccentricity(g, 5), 5u);
+  EXPECT_EQ(estimated_diameter(g, {5}), 5u);
+  EXPECT_EQ(estimated_diameter(g, {0, 5}), 9u);
+}
+
+TEST(Algorithms, SampleSourcesContiguousAndDistinct) {
+  Graph g = path(100);
+  auto contiguous = sample_sources(g, 10, 3, true);
+  ASSERT_EQ(contiguous.size(), 10u);
+  for (std::size_t i = 1; i < contiguous.size(); ++i) {
+    EXPECT_EQ(contiguous[i], contiguous[i - 1] + 1);
+  }
+  auto random = sample_sources(g, 50, 3, false);
+  std::set<VertexId> unique(random.begin(), random.end());
+  EXPECT_EQ(unique.size(), 50u);
+  // k > n clamps.
+  EXPECT_EQ(sample_sources(path(5), 10, 1).size(), 5u);
+}
+
+}  // namespace
+
+// Shared helper graph for adjacency tests.
+Graph generators_test_graph() {
+  return build_graph(7, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 0}, {5, 6}, {6, 5}, {2, 5}});
+}
+
+}  // namespace mrbc::graph

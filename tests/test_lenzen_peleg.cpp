@@ -1,0 +1,83 @@
+// Tests for the Lenzen-Peleg APSP baseline and the Section 3.1 improvement
+// claim: MRBC computes the same distances with no more (and typically
+// fewer) messages, because each vertex transmits exactly one message per
+// source instead of re-sending on every improvement.
+
+#include <gtest/gtest.h>
+
+#include "baselines/lenzen_peleg.h"
+#include "core/congest_mrbc.h"
+#include "graph/algorithms.h"
+#include "test_helpers.h"
+
+namespace mrbc {
+namespace {
+
+using baselines::lenzen_peleg_apsp;
+using graph::Graph;
+using graph::VertexId;
+
+TEST(LenzenPeleg, DistancesMatchBfsOnCorpus) {
+  for (const auto& [name, g] : testing::structured_corpus()) {
+    if (g.num_vertices() == 0 || g.num_vertices() > 40) continue;
+    auto run = lenzen_peleg_apsp(g);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      EXPECT_EQ(run.dist[s], graph::bfs_distances(g, s)) << name << " source " << s;
+    }
+  }
+}
+
+TEST(LenzenPeleg, DistancesMatchBfsOnRandomGraphs) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (g.num_vertices() > 90) continue;
+    auto run = lenzen_peleg_apsp(g);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      EXPECT_EQ(run.dist[s], graph::bfs_distances(g, s)) << name << " source " << s;
+    }
+  }
+}
+
+TEST(LenzenPeleg, MessageBoundTwoMN) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (g.num_vertices() > 90) continue;
+    auto run = lenzen_peleg_apsp(g);
+    EXPECT_LE(run.metrics.messages,
+              2 * static_cast<std::size_t>(g.num_edges()) * g.num_vertices())
+        << name;
+  }
+}
+
+TEST(LenzenPeleg, MrbcNeverSendsMoreMessages) {
+  // Section 3.1: MRBC "improves the number of rounds ... while sending a
+  // smaller number of messages" — at most one message per vertex per
+  // source vs Lenzen-Peleg's resend-on-improvement.
+  std::size_t mrbc_total = 0, lp_total = 0;
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (g.num_vertices() > 90) continue;
+    auto lp = lenzen_peleg_apsp(g);
+    auto mrbc = core::congest_mrbc_all_sources(g);
+    EXPECT_LE(mrbc.metrics.apsp_messages, lp.metrics.messages) << name;
+    // Identical distances.
+    EXPECT_EQ(mrbc.result.dist.size(), lp.dist.size()) << name;
+    for (std::size_t s = 0; s < lp.dist.size(); ++s) {
+      EXPECT_EQ(mrbc.result.dist[s], lp.dist[s]) << name << " source " << s;
+    }
+    mrbc_total += mrbc.metrics.apsp_messages;
+    lp_total += lp.metrics.messages;
+  }
+  EXPECT_LT(mrbc_total, lp_total) << "MRBC should be strictly cheaper over the suite";
+}
+
+TEST(LenzenPeleg, MrbcFinishesInFewerOrEqualRounds) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    if (g.num_vertices() > 90) continue;
+    auto lp = lenzen_peleg_apsp(g);
+    core::CongestOptions opts;
+    opts.termination = core::Termination::kGlobalDetection;
+    auto mrbc = core::congest_mrbc_all_sources(g, opts);
+    EXPECT_LE(mrbc.metrics.forward_rounds, lp.metrics.rounds) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mrbc

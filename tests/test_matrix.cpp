@@ -1,0 +1,118 @@
+// Tests for the semiring sparse-matrix layer used by MFBC: monoid laws,
+// SpMSpV against dense reference products, and the (min,+,sigma) semantics.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "matrix/csr_matrix.h"
+#include "matrix/semiring.h"
+
+namespace mrbc::matrix {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::VertexId;
+
+TEST(Semiring, MinPlusSigmaCombine) {
+  const DistSigma a{2, 3.0}, b{4, 1.0}, c{2, 5.0};
+  EXPECT_EQ(MinPlusSigma::combine(a, b), a);
+  EXPECT_EQ(MinPlusSigma::combine(b, a), a);
+  EXPECT_EQ(MinPlusSigma::combine(a, c), (DistSigma{2, 8.0}));
+  const DistSigma id = MinPlusSigma::identity();
+  EXPECT_EQ(MinPlusSigma::combine(a, id), a);
+  EXPECT_EQ(MinPlusSigma::combine(id, id), id);
+}
+
+TEST(Semiring, CombineIsAssociativeOnSamples) {
+  const DistSigma xs[] = {{1, 1.0}, {1, 2.0}, {3, 4.0}, MinPlusSigma::identity()};
+  for (const auto& a : xs) {
+    for (const auto& b : xs) {
+      for (const auto& c : xs) {
+        EXPECT_EQ(MinPlusSigma::combine(MinPlusSigma::combine(a, b), c),
+                  MinPlusSigma::combine(a, MinPlusSigma::combine(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Semiring, ExtendAddsOneHop) {
+  EXPECT_EQ(MinPlusSigma::extend({3, 2.0}), (DistSigma{4, 2.0}));
+  EXPECT_EQ(MinPlusSigma::extend(MinPlusSigma::identity()), MinPlusSigma::identity());
+}
+
+TEST(SpMSpV, MatchesDenseProduct) {
+  Graph g = graph::erdos_renyi(40, 0.1, 5);
+  // Dense operand with a few nonzeros.
+  std::vector<DistSigma> x(g.num_vertices(), MinPlusSigma::identity());
+  SparseVector<DistSigma> xs;
+  for (VertexId v : {3u, 17u, 29u}) {
+    x[v] = {v % 4, 1.0 + v};
+    xs.emplace_back(v, x[v]);
+  }
+  auto dense = spmv_dense_out<MinPlusSigma>(g, x, MinPlusSigma::extend);
+  std::vector<DistSigma> scratch;
+  std::vector<std::uint8_t> touched;
+  auto sparse = spmspv_out<MinPlusSigma>(g, xs, MinPlusSigma::extend, scratch, touched);
+  std::vector<DistSigma> densified(g.num_vertices(), MinPlusSigma::identity());
+  for (const auto& [v, val] : sparse) densified[v] = val;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(densified[v], dense[v]) << v;
+  }
+}
+
+TEST(SpMSpV, InProductFollowsReverseEdges) {
+  Graph g = graph::path(4);  // 0->1->2->3
+  SparseVector<double> x{{2, 5.0}};
+  std::vector<double> scratch;
+  std::vector<std::uint8_t> touched;
+  auto y = spmspv_in<PlusDouble>(g, x, [](double v) { return v; }, scratch, touched);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0].first, 1u);  // in-neighbor of 2
+  EXPECT_DOUBLE_EQ(y[0].second, 5.0);
+}
+
+TEST(SpMSpV, EmptyOperandYieldsEmptyResult) {
+  Graph g = graph::complete(5);
+  std::vector<DistSigma> scratch;
+  std::vector<std::uint8_t> touched;
+  auto y = spmspv_out<MinPlusSigma>(g, {}, MinPlusSigma::extend, scratch, touched);
+  EXPECT_TRUE(y.empty());
+}
+
+TEST(SpMSpV, IteratedProductComputesBfs) {
+  // Repeated x <- min(x, A^T x) from a unit seed is BFS with path counts.
+  Graph g = graph::erdos_renyi(50, 0.08, 11);
+  const VertexId s = 7;
+  std::vector<DistSigma> state(g.num_vertices(), MinPlusSigma::identity());
+  state[s] = {0, 1.0};
+  SparseVector<DistSigma> frontier{{s, state[s]}};
+  std::vector<DistSigma> scratch;
+  std::vector<std::uint8_t> touched;
+  while (!frontier.empty()) {
+    auto products = spmspv_out<MinPlusSigma>(g, frontier, MinPlusSigma::extend, scratch, touched);
+    SparseVector<DistSigma> next;
+    for (const auto& [v, cand] : products) {
+      // Unweighted BFS is level-synchronous: all of a vertex's equal-dist
+      // contributions are combined within one product, so only strict
+      // improvements appear across iterations.
+      if (cand.dist < state[v].dist) {
+        state[v] = cand;
+        next.emplace_back(v, cand);
+      }
+    }
+    frontier = std::move(next);
+  }
+  auto golden = graph::bfs(g, s);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(state[v].dist, golden.dist[v]) << v;
+    if (golden.dist[v] != kInfDist) {
+      EXPECT_DOUBLE_EQ(state[v].sigma, golden.sigma[v]) << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrbc::matrix

@@ -1,0 +1,197 @@
+// Validation of the production-path MRBC (D-Galois execution model over the
+// BSP cluster simulator) against sequential Brandes and the CONGEST
+// reference, sweeping partition policies, host counts, and batch sizes.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brandes_seq.h"
+#include "core/congest_mrbc.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "test_helpers.h"
+
+namespace mrbc {
+namespace {
+
+using baselines::brandes_bc_sources;
+using core::MrbcOptions;
+using core::mrbc_bc;
+using graph::Graph;
+using graph::VertexId;
+using partition::Policy;
+using testing::expect_bc_equal;
+using testing::expect_tables_equal;
+
+TEST(Mrbc, MatchesBrandesOnCorpusDefaultOptions) {
+  for (const auto& [name, g] : testing::structured_corpus()) {
+    if (g.num_vertices() < 2) continue;
+    const auto sources = graph::sample_sources(g, std::min<VertexId>(g.num_vertices(), 6), 3);
+    MrbcOptions opts;
+    opts.collect_tables = true;
+    auto run = mrbc_bc(g, sources, opts);
+    EXPECT_EQ(run.anomalies, 0u) << name;
+    auto golden = brandes_bc_sources(g, sources);
+    expect_bc_equal(golden.bc, run.result.bc, "mrbc " + name);
+    expect_tables_equal(golden, run.result, "mrbc tables " + name);
+  }
+}
+
+TEST(Mrbc, MatchesBrandesOnRandomCorpus) {
+  for (const auto& [name, g] : testing::random_corpus()) {
+    const auto sources = graph::sample_sources(g, 8, 5);
+    MrbcOptions opts;
+    opts.num_hosts = 5;
+    auto run = mrbc_bc(g, sources, opts);
+    EXPECT_EQ(run.anomalies, 0u) << name;
+    expect_bc_equal(brandes_bc_sources(g, sources).bc, run.result.bc, "mrbc " + name);
+  }
+}
+
+// Policy x host-count sweep on one nontrivial graph.
+class MrbcPartitionSweep : public ::testing::TestWithParam<std::tuple<Policy, int>> {};
+
+TEST_P(MrbcPartitionSweep, MatchesBrandes) {
+  const auto [policy, hosts] = GetParam();
+  Graph g = graph::rmat({.scale = 7, .edge_factor = 5.0, .seed = 21});
+  const auto sources = graph::sample_sources(g, 8, 9);
+  MrbcOptions opts;
+  opts.policy = policy;
+  opts.num_hosts = static_cast<partition::HostId>(hosts);
+  auto run = mrbc_bc(g, sources, opts);
+  EXPECT_EQ(run.anomalies, 0u);
+  expect_bc_equal(brandes_bc_sources(g, sources).bc, run.result.bc,
+                  partition::to_string(policy) + " hosts=" + std::to_string(hosts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MrbcPartitionSweep,
+    ::testing::Combine(::testing::Values(Policy::kEdgeCutSrc, Policy::kEdgeCutDst,
+                                         Policy::kCartesianVertexCut, Policy::kGeneralVertexCut,
+                                         Policy::kRandomEdge),
+                       ::testing::Values(1, 2, 4, 7, 16)));
+
+// Batch-size sweep (Figure 1's independent variable): results must be
+// invariant; rounds must shrink as k grows.
+class MrbcBatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrbcBatchSweep, ResultsInvariantUnderBatchSize) {
+  const int k = GetParam();
+  Graph g = graph::web_crawl_like(6, 4.0, 2, 10, 77);
+  const auto sources = graph::sample_sources(g, 16, 13);
+  MrbcOptions opts;
+  opts.batch_size = static_cast<std::uint32_t>(k);
+  auto run = mrbc_bc(g, sources, opts);
+  EXPECT_EQ(run.anomalies, 0u);
+  expect_bc_equal(brandes_bc_sources(g, sources).bc, run.result.bc,
+                  "batch=" + std::to_string(k));
+  EXPECT_EQ(run.num_batches, (sources.size() + k - 1) / k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MrbcBatchSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(Mrbc, LargerBatchesReduceRounds) {
+  Graph g = graph::web_crawl_like(6, 4.0, 2, 12, 31);
+  const auto sources = graph::sample_sources(g, 16, 17);
+  auto rounds_for = [&](std::uint32_t k) {
+    MrbcOptions opts;
+    opts.batch_size = k;
+    auto run = mrbc_bc(g, sources, opts);
+    return run.forward.rounds + run.backward.rounds;
+  };
+  const auto r1 = rounds_for(1);
+  const auto r4 = rounds_for(4);
+  const auto r16 = rounds_for(16);
+  EXPECT_LT(r16, r4);
+  EXPECT_LT(r4, r1);
+}
+
+TEST(Mrbc, DelayedSyncAblationPreservesResultsAndSavesVolume) {
+  Graph g = graph::rmat({.scale = 7, .edge_factor = 5.0, .seed = 41});
+  const auto sources = graph::sample_sources(g, 8, 19);
+  MrbcOptions delayed;
+  MrbcOptions eager;
+  eager.delayed_sync = false;
+  auto run_d = mrbc_bc(g, sources, delayed);
+  auto run_e = mrbc_bc(g, sources, eager);
+  expect_bc_equal(run_d.result.bc, run_e.result.bc, "delayed vs eager");
+  // The optimization must strictly reduce communication volume.
+  EXPECT_LT(run_d.total().bytes, run_e.total().bytes);
+  // Round counts are a property of the algorithm, not the sync policy.
+  EXPECT_EQ(run_d.forward.rounds, run_e.forward.rounds);
+  EXPECT_EQ(run_d.backward.rounds, run_e.backward.rounds);
+}
+
+TEST(Mrbc, RoundBoundTwoKPlusH) {
+  // Lemma 8 + Section 7: at most ~2(k + H) rounds per batch.
+  for (const auto& [name, g] : testing::random_corpus()) {
+    const auto sources = graph::sample_sources(g, 8, 23);
+    MrbcOptions opts;
+    opts.batch_size = 8;
+    opts.collect_tables = true;
+    auto run = mrbc_bc(g, sources, opts);
+    const std::uint32_t h = core::max_finite_distance(run.result.dist);
+    const auto k = static_cast<std::uint32_t>(sources.size());
+    EXPECT_LE(run.forward.rounds, k + h + 2) << name;
+    EXPECT_LE(run.backward.rounds, k + h + 2) << name;
+  }
+}
+
+TEST(Mrbc, BspRoundsTrackCongestRoundsPlusShift) {
+  // The BSP path fires each label exactly one round after the CONGEST
+  // schedule (the reduce-hop shift documented in docs/ARCHITECTURE.md), so
+  // its forward phase finishes within a few rounds of the CONGEST
+  // reference on any graph.
+  for (const auto& [name, g] : testing::random_corpus()) {
+    const auto sources = graph::sample_sources(g, 8, 3);
+    auto congest = core::congest_mrbc(g, sources);
+    MrbcOptions opts;
+    opts.batch_size = 8;
+    auto bsp = mrbc_bc(g, sources, opts);
+    EXPECT_GE(bsp.forward.rounds + 1, congest.metrics.forward_rounds) << name;
+    EXPECT_LE(bsp.forward.rounds, congest.metrics.forward_rounds + 3) << name;
+  }
+}
+
+TEST(Mrbc, AgreesWithCongestReference) {
+  Graph g = graph::erdos_renyi(60, 0.08, 101);
+  const auto sources = graph::sample_sources(g, 10, 29);
+  MrbcOptions opts;
+  opts.collect_tables = true;
+  auto bsp = mrbc_bc(g, sources, opts);
+  auto congest = core::congest_mrbc(g, sources);
+  expect_bc_equal(congest.result.bc, bsp.result.bc, "bsp vs congest");
+  expect_tables_equal(congest.result, bsp.result, "bsp vs congest tables");
+}
+
+TEST(Mrbc, ThreadedHostsMatchSequentialHosts) {
+  Graph g = graph::rmat({.scale = 6, .edge_factor = 5.0, .seed = 55});
+  const auto sources = graph::sample_sources(g, 6, 31);
+  MrbcOptions seq;
+  MrbcOptions par;
+  par.cluster.parallel_hosts = true;
+  auto run_s = mrbc_bc(g, sources, seq);
+  auto run_p = mrbc_bc(g, sources, par);
+  expect_bc_equal(run_s.result.bc, run_p.result.bc, "threaded vs sequential");
+  EXPECT_EQ(run_s.forward.rounds, run_p.forward.rounds);
+  EXPECT_EQ(run_s.total().bytes, run_p.total().bytes);
+}
+
+TEST(Mrbc, SourceEqualsIsolatedVertex) {
+  // A source with no edges: nothing propagates, zero BC everywhere.
+  Graph g = graph::build_graph(6, {{1, 2}, {2, 3}});
+  auto run = mrbc_bc(g, {0}, {});
+  for (double b : run.result.bc) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(Mrbc, RepeatedRunsAreDeterministic) {
+  Graph g = graph::kronecker(6, 4.0, 61);
+  const auto sources = graph::sample_sources(g, 6, 37);
+  auto r1 = mrbc_bc(g, sources, {});
+  auto r2 = mrbc_bc(g, sources, {});
+  EXPECT_EQ(r1.result.bc, r2.result.bc);
+  EXPECT_EQ(r1.total().bytes, r2.total().bytes);
+  EXPECT_EQ(r1.total().messages, r2.total().messages);
+}
+
+}  // namespace
+}  // namespace mrbc

@@ -1,0 +1,132 @@
+// Unit tests for the Section 4.3 data-structure layer (HostState): the
+// dense per-source slot array, the distance -> source-bitset flat map, the
+// lexicographic rank queries that drive the pipelined send schedule, and
+// the dirty tracking used by the reduce phase.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/mrbc_state.h"
+#include "util/rng.h"
+
+namespace mrbc::core {
+namespace {
+
+TEST(HostState, SlotsStartAtIdentity) {
+  HostState st(4, 3);
+  for (VertexId lid = 0; lid < 4; ++lid) {
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(st.slot(lid, s).dist, graph::kInfDist);
+      EXPECT_DOUBLE_EQ(st.slot(lid, s).sigma, 0.0);
+      EXPECT_DOUBLE_EQ(st.slot(lid, s).delta, 0.0);
+    }
+    EXPECT_EQ(st.entry_count(lid), 0u);
+  }
+}
+
+TEST(HostState, UpdateDistanceMaintainsMap) {
+  HostState st(2, 4);
+  st.update_distance(0, 2, 5);
+  EXPECT_EQ(st.slot(0, 2).dist, 5u);
+  EXPECT_EQ(st.entry_count(0), 1u);
+  EXPECT_EQ(st.nth_entry(0, 0), (std::pair<std::uint32_t, std::uint32_t>{5, 2}));
+
+  // Improvement moves the entry between buckets.
+  st.update_distance(0, 2, 3);
+  EXPECT_EQ(st.slot(0, 2).dist, 3u);
+  EXPECT_EQ(st.entry_count(0), 1u);
+  EXPECT_EQ(st.nth_entry(0, 0), (std::pair<std::uint32_t, std::uint32_t>{3, 2}));
+
+  // Same distance is a no-op.
+  st.update_distance(0, 2, 3);
+  EXPECT_EQ(st.entry_count(0), 1u);
+}
+
+TEST(HostState, LexicographicOrderAcrossSourcesAndDistances) {
+  HostState st(1, 6);
+  st.update_distance(0, 4, 2);
+  st.update_distance(0, 1, 2);
+  st.update_distance(0, 3, 1);
+  st.update_distance(0, 0, 3);
+  // Expected (dist, source) order: (1,3) (2,1) (2,4) (3,0).
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> expected{
+      {1, 3}, {2, 1}, {2, 4}, {3, 0}};
+  ASSERT_EQ(st.entry_count(0), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(st.nth_entry(0, i), expected[i]) << i;
+  }
+  // position() is 1-based and inverse to nth_entry.
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(st.position(0, expected[i].first, expected[i].second), i + 1);
+  }
+}
+
+TEST(HostState, ClearDistanceRemovesEntry) {
+  HostState st(1, 3);
+  st.update_distance(0, 1, 7);
+  st.update_distance(0, 2, 7);
+  st.clear_distance(0, 1);
+  EXPECT_EQ(st.slot(0, 1).dist, graph::kInfDist);
+  EXPECT_EQ(st.entry_count(0), 1u);
+  EXPECT_EQ(st.nth_entry(0, 0), (std::pair<std::uint32_t, std::uint32_t>{7, 2}));
+  // Clearing an absent entry is a no-op.
+  st.clear_distance(0, 1);
+  EXPECT_EQ(st.entry_count(0), 1u);
+}
+
+TEST(HostState, DirtyTrackingIsIdempotent) {
+  HostState st(2, 5);
+  EXPECT_TRUE(st.mark_dirty(1, 3));
+  EXPECT_FALSE(st.mark_dirty(1, 3));
+  EXPECT_TRUE(st.mark_dirty(1, 0));
+  EXPECT_EQ(st.dirty_sources(1), (std::vector<std::uint32_t>{3, 0}));
+  EXPECT_TRUE(st.dirty_sources(0).empty());
+  st.clear_dirty(1);
+  EXPECT_TRUE(st.dirty_sources(1).empty());
+  EXPECT_TRUE(st.mark_dirty(1, 3)) << "flags must reset with the list";
+}
+
+TEST(HostState, MatchesSortedVectorReference) {
+  // Property test: random update/clear churn against a reference model.
+  const std::uint32_t k = 24;
+  HostState st(1, k);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ref;  // (dist, sidx) sorted
+  util::Xoshiro256 rng(17);
+  for (int step = 0; step < 3000; ++step) {
+    const auto sidx = static_cast<std::uint32_t>(rng.next_bounded(k));
+    auto it = std::find_if(ref.begin(), ref.end(),
+                           [&](const auto& e) { return e.second == sidx; });
+    if (rng.next_bool(0.15)) {
+      st.clear_distance(0, sidx);
+      if (it != ref.end()) ref.erase(it);
+    } else {
+      const auto d = static_cast<std::uint32_t>(rng.next_bounded(30));
+      st.update_distance(0, sidx, d);
+      if (it != ref.end()) ref.erase(std::find_if(ref.begin(), ref.end(), [&](const auto& e) {
+        return e.second == sidx;
+      }));
+      ref.emplace_back(d, sidx);
+      std::sort(ref.begin(), ref.end());
+    }
+    ASSERT_EQ(st.entry_count(0), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(st.nth_entry(0, i), ref[i]) << "step " << step << " idx " << i;
+      ASSERT_EQ(st.position(0, ref[i].first, ref[i].second), i + 1);
+    }
+  }
+}
+
+TEST(HostState, PipeliningCursorsStartAtZero) {
+  HostState st(5, 2);
+  for (VertexId lid = 0; lid < 5; ++lid) {
+    EXPECT_EQ(st.fwd_sent[lid], 0u);
+    EXPECT_EQ(st.acc_sent[lid], 0u);
+    EXPECT_TRUE(st.to_broadcast[lid].empty());
+  }
+}
+
+}  // namespace
+}  // namespace mrbc::core

@@ -1,0 +1,79 @@
+// Scale smoke tests: run the full distributed pipeline at benchmark-
+// workload sizes (tens of thousands of vertices, hundreds of thousands of
+// edges) and check correctness plus the absence of complexity blowups
+// (each test carries a generous wall-clock budget that a quadratic
+// regression would blow through).
+
+#include <gtest/gtest.h>
+
+#include "baselines/brandes_seq.h"
+#include "baselines/sbbc.h"
+#include "core/mrbc.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+#include "util/timer.h"
+
+namespace mrbc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(Scale, MrbcOnWorkloadSizedPowerLawGraph) {
+  Graph g = graph::rmat({.scale = 14, .edge_factor = 8.0, .seed = 3});  // ~16k/128k
+  const auto sources = graph::sample_sources(g, 16, 5);
+  util::Timer timer;
+  core::MrbcOptions opts;
+  opts.num_hosts = 16;
+  opts.batch_size = 16;
+  auto run = core::mrbc_bc(g, sources, opts);
+  EXPECT_LT(timer.seconds(), 30.0) << "complexity regression";
+  EXPECT_EQ(run.anomalies, 0u);
+  testing::expect_bc_equal(baselines::brandes_bc_sources(g, sources).bc, run.result.bc,
+                           "scale power-law");
+}
+
+TEST(Scale, MrbcOnWorkloadSizedHighDiameterGraph) {
+  Graph g = graph::road_grid(160, 80, 0.03, 7);  // 12.8k vertices, diameter ~240
+  const auto sources = graph::sample_sources(g, 8, 9);
+  util::Timer timer;
+  core::MrbcOptions opts;
+  opts.num_hosts = 8;
+  opts.batch_size = 8;
+  auto run = core::mrbc_bc(g, sources, opts);
+  EXPECT_LT(timer.seconds(), 30.0);
+  EXPECT_EQ(run.anomalies, 0u);
+  // Rounds track 2(k + D) per batch.
+  EXPECT_LT(run.total().rounds, 2u * (8 + 300) + 16);
+  testing::expect_bc_equal(baselines::brandes_bc_sources(g, sources).bc, run.result.bc,
+                           "scale road");
+}
+
+TEST(Scale, SbbcAndMrbcAgreeAtScale) {
+  Graph g = graph::web_crawl_like(13, 6.0, 10, 60, 11);  // ~8.8k vertices
+  const auto sources = graph::sample_sources(g, 8, 13);
+  baselines::SbbcOptions sopts;
+  sopts.num_hosts = 16;
+  auto sbbc = baselines::sbbc_bc(g, sources, sopts);
+  core::MrbcOptions mopts;
+  mopts.num_hosts = 16;
+  auto mrbc = core::mrbc_bc(g, sources, mopts);
+  testing::expect_bc_equal(sbbc.result.bc, mrbc.result.bc, "scale agreement");
+  EXPECT_LT(mrbc.total().rounds, sbbc.total().rounds / 3)
+      << "the round reduction must survive at scale";
+}
+
+TEST(Scale, PartitioningStaysLinear) {
+  Graph g = graph::kronecker(15, 8.0, 21);  // ~32k vertices, ~260k edges
+  util::Timer timer;
+  for (auto policy : {partition::Policy::kEdgeCutSrc, partition::Policy::kCartesianVertexCut,
+                      partition::Policy::kGeneralVertexCut}) {
+    partition::Partition part(g, 32, policy);
+    EXPECT_GT(part.replication_factor(), 0.99);
+  }
+  EXPECT_LT(timer.seconds(), 30.0);
+}
+
+}  // namespace
+}  // namespace mrbc

@@ -1,0 +1,378 @@
+// Unit tests for the utility layer: bitset, flat map, RNG, stats,
+// serialization, CSV, timers, threading.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/bitset.h"
+#include "util/csv.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/stats.h"
+#include "util/stats_registry.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace mrbc::util {
+namespace {
+
+// ---- DynamicBitset ---------------------------------------------------------
+
+TEST(Bitset, SetResetTest) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, ForEachSetVisitsAscending) {
+  DynamicBitset b(200);
+  const std::vector<std::size_t> bits{0, 63, 64, 65, 127, 128, 199};
+  for (auto i : bits) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, bits);
+}
+
+TEST(Bitset, FindFirstFrom) {
+  DynamicBitset b(150);
+  b.set(5);
+  b.set(70);
+  b.set(149);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_first_from(6), 70u);
+  EXPECT_EQ(b.find_first_from(71), 149u);
+  EXPECT_EQ(b.find_first_from(150), DynamicBitset::npos);
+  DynamicBitset empty(64);
+  EXPECT_EQ(empty.find_first(), DynamicBitset::npos);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+  DynamicBitset b(67);
+  b.set_all();
+  EXPECT_EQ(b.count(), 67u);
+  b.reset_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, BitwiseOps) {
+  DynamicBitset a(100), b(100);
+  a.set(3);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+}
+
+TEST(Bitset, ResizePreservesAndZeroExtends) {
+  DynamicBitset b(10);
+  b.set(9);
+  b.resize(100);
+  EXPECT_TRUE(b.test(9));
+  EXPECT_EQ(b.count(), 1u);
+  b.resize(5);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+// ---- FlatMap ---------------------------------------------------------------
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  m[3] = "three";
+  m[1] = "one";
+  m[2] = "two";
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.find(2)->second, "two");
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.erase(2), 1u);
+  EXPECT_EQ(m.erase(2), 0u);
+  EXPECT_FALSE(m.contains(2));
+}
+
+TEST(FlatMap, IterationIsSorted) {
+  FlatMap<int, int> m;
+  for (int k : {9, 1, 5, 3, 7}) m[k] = k * 10;
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(FlatMap, TryEmplaceDoesNotOverwrite) {
+  FlatMap<int, int> m;
+  auto [it1, fresh1] = m.try_emplace(4, 40);
+  EXPECT_TRUE(fresh1);
+  auto [it2, fresh2] = m.try_emplace(4, 99);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(it2->second, 40);
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomOps) {
+  FlatMap<std::uint32_t, int> flat;
+  std::map<std::uint32_t, int> ref;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.next_bounded(50));
+    if (rng.next_bool(0.3)) {
+      flat.erase(key);
+      ref.erase(key);
+    } else {
+      flat[key] = i;
+      ref[key] = i;
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [k, v] : flat) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(FlatMap, LowerBound) {
+  FlatMap<int, int> m;
+  m[10] = 1;
+  m[20] = 2;
+  EXPECT_EQ(m.lower_bound(5)->first, 10);
+  EXPECT_EQ(m.lower_bound(10)->first, 10);
+  EXPECT_EQ(m.lower_bound(11)->first, 20);
+  EXPECT_EQ(m.lower_bound(21), m.end());
+}
+
+// ---- RNG -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BoundedIsInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.next_bounded(1), 0u);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> histogram(10, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++histogram[rng.next_bounded(10)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, samples / 10, samples / 100);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ---- Stats -----------------------------------------------------------------
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+  EXPECT_NEAR(s.stddev(), 2.582, 1e-3);
+}
+
+TEST(Stats, Imbalance) {
+  EXPECT_DOUBLE_EQ(imbalance({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance({0, 0, 0, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(imbalance({}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance({0.0, 0.0}), 1.0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_NEAR(geomean_of({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean_of({3.0}), 3.0, 1e-12);
+}
+
+TEST(Stats, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_bytes(512), "512.00 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+// ---- Serialization ---------------------------------------------------------
+
+TEST(Serialize, PodRoundTrip) {
+  SendBuffer out;
+  out.write<std::uint32_t>(7);
+  out.write<double>(2.5);
+  out.write<std::uint8_t>(255);
+  RecvBuffer in(out.take());
+  EXPECT_EQ(in.read<std::uint32_t>(), 7u);
+  EXPECT_DOUBLE_EQ(in.read<double>(), 2.5);
+  EXPECT_EQ(in.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  SendBuffer out;
+  std::vector<std::uint64_t> values{1, 2, 3, 1ull << 60};
+  out.write_vector(values);
+  out.write_vector(std::vector<std::uint32_t>{});
+  RecvBuffer in(out.take());
+  EXPECT_EQ(in.read_vector<std::uint64_t>(), values);
+  EXPECT_TRUE(in.read_vector<std::uint32_t>().empty());
+}
+
+TEST(Serialize, BitsetRoundTrip) {
+  DynamicBitset bits(77);
+  bits.set(0);
+  bits.set(76);
+  SendBuffer out;
+  out.write_bitset(bits);
+  RecvBuffer in(out.take());
+  EXPECT_TRUE(in.read_bitset() == bits);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  SendBuffer out;
+  out.write_string("hello, world");
+  out.write_string("");
+  RecvBuffer in(out.take());
+  EXPECT_EQ(in.read_string(), "hello, world");
+  EXPECT_EQ(in.read_string(), "");
+}
+
+TEST(Serialize, TruncatedBufferThrows) {
+  SendBuffer out;
+  out.write<std::uint64_t>(1000);  // claims a 1000-element vector follows
+  RecvBuffer in(out.take());
+  EXPECT_THROW(in.read_vector<std::uint32_t>(), std::out_of_range);
+
+  RecvBuffer empty({});
+  EXPECT_THROW(empty.read<std::uint32_t>(), std::out_of_range);
+  EXPECT_THROW(empty.read_string(), std::out_of_range);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  SendBuffer out;
+  out.write<std::uint64_t>(50);  // string length without the payload
+  RecvBuffer in(out.take());
+  EXPECT_THROW(in.read_string(), std::out_of_range);
+}
+
+TEST(Serialize, SizeAccounting) {
+  SendBuffer out;
+  out.write<std::uint32_t>(1);
+  EXPECT_EQ(out.size(), 4u);
+  out.write<double>(1.0);
+  EXPECT_EQ(out.size(), 12u);
+}
+
+// ---- CSV -------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, MemoryOnlyAccumulatesRows) {
+  CsvWriter csv("", {"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.rows().size(), 2u);
+  EXPECT_EQ(csv.header().size(), 2u);
+  EXPECT_EQ(csv.rows()[1][0], "3");
+}
+
+// ---- StatsRegistry -----------------------------------------------------------
+
+TEST(StatsRegistry, CountersAndValues) {
+  StatsRegistry reg;
+  reg.add_counter("rounds", 5);
+  reg.add_counter("rounds", 7);
+  reg.set_counter("messages", 42);
+  reg.add_seconds("compute", 0.5);
+  reg.add_seconds("compute", 0.25);
+  reg.set_value("imbalance", 1.5);
+  EXPECT_EQ(reg.counter("rounds"), 12u);
+  EXPECT_EQ(reg.counter("messages"), 42u);
+  EXPECT_DOUBLE_EQ(reg.value("compute"), 0.75);
+  EXPECT_TRUE(reg.has("imbalance"));
+  EXPECT_FALSE(reg.has("absent"));
+  EXPECT_EQ(reg.counter("absent"), 0u);
+}
+
+TEST(StatsRegistry, SerializesSortedKeyValueLines) {
+  StatsRegistry reg;
+  reg.set_counter("b.rounds", 3);
+  reg.set_counter("a.rounds", 1);
+  reg.set_value("c.time", 2.5);
+  EXPECT_EQ(reg.serialize(), "a.rounds=1\nb.rounds=3\nc.time=2.5\n");
+  reg.clear();
+  EXPECT_EQ(reg.serialize(), "");
+}
+
+TEST(StatsRegistry, WriteFileFailsLoudly) {
+  StatsRegistry reg;
+  EXPECT_THROW(reg.write_file("/nonexistent-dir/stats.txt"), std::runtime_error);
+}
+
+// ---- Timer / threading -----------------------------------------------------
+
+TEST(Timer, AccumulatesIntervals) {
+  AccumulatingTimer acc;
+  {
+    ScopedTimer guard(acc);
+  }
+  {
+    ScopedTimer guard(acc);
+  }
+  EXPECT_GE(acc.total_seconds(), 0.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
+}
+
+TEST(Threading, SequentialAndParallelCoverAllIndices) {
+  for (bool parallel : {false, true}) {
+    std::vector<int> hits(16, 0);
+    for_each_index(16, parallel, [&](std::size_t i) { hits[i]++; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace mrbc::util

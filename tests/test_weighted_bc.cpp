@@ -1,0 +1,169 @@
+// Tests for the weighted-graph substrate and the weighted BC variants
+// (ABBC / MFBC weighted support — the capability the paper notes but does
+// not evaluate). Golden reference: Dijkstra-based Brandes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/brandes_seq.h"
+#include "baselines/weighted_bc.h"
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/weighted.h"
+#include "test_helpers.h"
+
+namespace mrbc {
+namespace {
+
+using baselines::abbc_weighted_bc;
+using baselines::brandes_weighted_bc;
+using baselines::mfbc_weighted_bc;
+using graph::Graph;
+using graph::kInfWeightedDist;
+using graph::VertexId;
+using graph::WeightedGraph;
+
+void expect_weighted_equal(const baselines::WeightedBcResult& expected,
+                           const baselines::WeightedBcResult& actual, const std::string& label) {
+  ASSERT_EQ(expected.bc.size(), actual.bc.size()) << label;
+  for (std::size_t v = 0; v < expected.bc.size(); ++v) {
+    EXPECT_NEAR(expected.bc[v], actual.bc[v], 1e-7 * std::max(1.0, std::abs(expected.bc[v])))
+        << label << " vertex " << v;
+  }
+  for (std::size_t s = 0; s < expected.dist.size(); ++s) {
+    EXPECT_EQ(expected.dist[s], actual.dist[s]) << label << " dist row " << s;
+    for (std::size_t v = 0; v < expected.sigma[s].size(); ++v) {
+      EXPECT_NEAR(expected.sigma[s][v], actual.sigma[s][v],
+                  1e-7 * std::max(1.0, expected.sigma[s][v]))
+          << label << " sigma[" << s << "][" << v << "]";
+    }
+  }
+}
+
+// ---- WeightedGraph / Dijkstra ------------------------------------------------
+
+TEST(WeightedGraph, InWeightsMirrorOutWeights) {
+  WeightedGraph wg = graph::with_random_weights(
+      graph::erdos_renyi(40, 0.1, 3), 1, 9, 7);
+  const Graph& g = wg.graph();
+  // For each edge (u, v), the weight seen from v's in-adjacency must match
+  // some out-edge weight of u to v (multi-edges are deduped, so exactly).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto in_nbrs = g.in_neighbors(v);
+    for (std::size_t i = 0; i < in_nbrs.size(); ++i) {
+      const VertexId u = in_nbrs[i];
+      auto out_nbrs = g.out_neighbors(u);
+      bool found = false;
+      for (std::size_t j = 0; j < out_nbrs.size(); ++j) {
+        if (out_nbrs[j] == v && wg.out_weight(u, j) == wg.in_weight(v, i)) found = true;
+      }
+      EXPECT_TRUE(found) << u << "->" << v;
+    }
+  }
+}
+
+TEST(WeightedGraph, DijkstraWithUnitWeightsEqualsBfs) {
+  Graph g = graph::rmat({.scale = 7, .edge_factor = 5.0, .seed = 5});
+  WeightedGraph wg = graph::with_unit_weights(g);
+  for (VertexId s : {0u, 17u, 100u}) {
+    auto dij = graph::dijkstra(wg, s);
+    auto bfs = graph::bfs(g, s);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (bfs.dist[v] == graph::kInfDist) {
+        EXPECT_EQ(dij.dist[v], kInfWeightedDist) << v;
+      } else {
+        EXPECT_EQ(dij.dist[v], bfs.dist[v]) << v;
+        EXPECT_DOUBLE_EQ(dij.sigma[v], bfs.sigma[v]) << v;
+      }
+    }
+  }
+}
+
+TEST(WeightedGraph, DijkstraSettlesInNonDecreasingOrder) {
+  WeightedGraph wg = graph::with_random_weights(graph::erdos_renyi(60, 0.08, 9), 1, 20, 11);
+  auto dij = graph::dijkstra(wg, 0);
+  for (std::size_t i = 1; i < dij.order.size(); ++i) {
+    EXPECT_LE(dij.dist[dij.order[i - 1]], dij.dist[dij.order[i]]);
+  }
+}
+
+TEST(WeightedGraph, DijkstraCountsTiedPaths) {
+  // 0->1 (2), 0->2 (1), 2->1 (1): two shortest paths of length 2 to 1.
+  WeightedGraph wg(graph::build_graph(3, {{0, 1}, {0, 2}, {2, 1}}), {2, 1, 1});
+  auto dij = graph::dijkstra(wg, 0);
+  EXPECT_EQ(dij.dist[1], 2u);
+  EXPECT_DOUBLE_EQ(dij.sigma[1], 2.0);
+  EXPECT_EQ(dij.preds[1].size(), 2u);
+}
+
+// ---- Weighted BC variants ----------------------------------------------------
+
+TEST(WeightedBc, UnitWeightsMatchUnweightedBrandes) {
+  Graph g = graph::kronecker(7, 4.0, 13);
+  const auto sources = graph::sample_sources(g, 8, 5);
+  auto weighted = brandes_weighted_bc(graph::with_unit_weights(g), sources);
+  auto unweighted = baselines::brandes_bc_sources(g, sources);
+  testing::expect_bc_equal(unweighted.bc, weighted.bc, "unit weights");
+}
+
+class WeightedVariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedVariantSweep, AbbcAndMfbcMatchWeightedBrandes) {
+  const int seed = GetParam();
+  Graph g = graph::erdos_renyi(50, 0.08, static_cast<std::uint64_t>(seed));
+  WeightedGraph wg = graph::with_random_weights(std::move(g), 1, 12,
+                                                static_cast<std::uint64_t>(seed) + 99);
+  const auto sources = graph::sample_sources(wg.graph(), 6, seed);
+  auto golden = brandes_weighted_bc(wg, sources);
+
+  auto abbc = abbc_weighted_bc(wg, sources);
+  expect_weighted_equal(golden, abbc.result, "abbc-weighted seed=" + std::to_string(seed));
+
+  baselines::MfbcWeightedOptions fopts;
+  fopts.num_hosts = 4;
+  auto mfbc = mfbc_weighted_bc(wg, sources, fopts);
+  expect_weighted_equal(golden, mfbc.result, "mfbc-weighted seed=" + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedVariantSweep, ::testing::Range(1, 9));
+
+TEST(WeightedBc, StructuredGraphsAcrossVariants) {
+  for (const auto& [name, g] : testing::structured_corpus()) {
+    if (g.num_vertices() < 3) continue;
+    WeightedGraph wg = graph::with_random_weights(Graph(g.out_offsets(), g.out_targets()),
+                                                  1, 7, 42);
+    const auto sources = graph::sample_sources(wg.graph(),
+                                               std::min<VertexId>(wg.num_vertices(), 5), 3);
+    auto golden = brandes_weighted_bc(wg, sources);
+    expect_weighted_equal(golden, abbc_weighted_bc(wg, sources).result, "abbc-w " + name);
+    expect_weighted_equal(golden, mfbc_weighted_bc(wg, sources).result, "mfbc-w " + name);
+  }
+}
+
+TEST(WeightedBc, HeavyEdgeReroutesCentrality) {
+  // A path 0-1-2 with a heavy bypass 0->2: with light bypass the middle
+  // vertex has zero BC; with heavy bypass all traffic crosses vertex 1.
+  Graph base = graph::build_graph(3, {{0, 1}, {0, 2}, {1, 2}});
+  const std::vector<VertexId> all{0, 1, 2};
+  WeightedGraph light(Graph(base.out_offsets(), base.out_targets()), {1, 1, 1});
+  WeightedGraph heavy(Graph(base.out_offsets(), base.out_targets()), {1, 10, 1});
+  EXPECT_DOUBLE_EQ(brandes_weighted_bc(light, all).bc[1], 0.0);
+  EXPECT_DOUBLE_EQ(brandes_weighted_bc(heavy, all).bc[1], 1.0);
+}
+
+TEST(WeightedBc, MfbcBatchInvariance) {
+  WeightedGraph wg = graph::with_random_weights(graph::kronecker(6, 4.0, 21), 1, 5, 23);
+  const auto sources = graph::sample_sources(wg.graph(), 8, 7);
+  auto golden = brandes_weighted_bc(wg, sources);
+  for (std::uint32_t batch : {1u, 3u, 8u}) {
+    baselines::MfbcWeightedOptions opts;
+    opts.batch_size = batch;
+    expect_weighted_equal(golden, mfbc_weighted_bc(wg, sources, opts).result,
+                          "batch=" + std::to_string(batch));
+  }
+}
+
+}  // namespace
+}  // namespace mrbc
