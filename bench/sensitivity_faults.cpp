@@ -1,0 +1,92 @@
+// Sensitivity of execution cost to fault rate and checkpoint cadence. The
+// recovery subsystem guarantees that faults never change the *result* or
+// the *logical round count* (reliable delivery repairs a frame within its
+// round; crashes roll back and replay); what faults do cost is modeled
+// time. This sweep quantifies that overhead for MRBC on an RMAT workload:
+//
+//   drop rate  x  checkpoint interval  ->  rounds, retransmits,
+//   checkpoints, recovery rounds, modeled seconds, % overhead vs the
+//   fault-free baseline.
+//
+// Expected: rounds are constant down every column (faults are invisible to
+// the schedule); retransmit overhead grows with the drop rate; checkpoint
+// overhead falls as the interval grows while recovery-round cost after the
+// injected crash rises — the classic checkpoint-cadence trade-off.
+
+#include <cstdio>
+
+#include "core/mrbc.h"
+#include "engine/fault.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "report.h"
+#include "util/stats.h"
+
+namespace mrbc::bench {
+namespace {
+
+void run() {
+  const graph::Graph g = graph::rmat({.scale = 9, .edge_factor = 8.0, .seed = 12});
+  const auto sources = graph::sample_sources(g, 16, 99, true);
+  const partition::HostId hosts = 8;
+  partition::Partition part(g, hosts, partition::Policy::kCartesianVertexCut);
+
+  core::MrbcOptions base;
+  base.batch_size = 8;
+  const auto clean = core::mrbc_bc(part, sources, base);
+  const double clean_seconds = clean.total().total_seconds();
+  const std::size_t clean_rounds = clean.forward.rounds + clean.backward.rounds;
+
+  Report report("Sensitivity: fault rate x checkpoint interval (MRBC, rmat9, 8 hosts)",
+                "sensitivity_faults.csv",
+                {"drop_rate", "ckpt_interval", "rounds", "retransmits", "checkpoints",
+                 "recovery_rounds", "modeled_s", "overhead_pct"},
+                13);
+
+  for (double drop : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    for (std::size_t interval : {2u, 4u, 8u, 16u, 32u}) {
+      sim::FaultPlan plan;
+      plan.seed = 1000 + static_cast<std::uint64_t>(drop * 1000) + interval;
+      plan.drop_rate = drop;
+      plan.duplicate_rate = drop / 4.0;
+      plan.corrupt_rate = drop / 4.0;
+      plan.crash_round = 8;  // one crash per run exercises rollback cost
+      plan.crash_host = 3;
+      sim::FaultInjector injector(plan, hosts);
+
+      core::MrbcOptions opts = base;
+      opts.cluster.fault = &injector;
+      opts.cluster.checkpoint_interval = interval;
+      const auto run = core::mrbc_bc(part, sources, opts);
+      const auto total = run.total();
+      const std::size_t rounds = run.forward.rounds + run.backward.rounds;
+      const double seconds = total.total_seconds();
+      const double overhead = clean_seconds > 0.0
+                                  ? 100.0 * (seconds - clean_seconds) / clean_seconds
+                                  : 0.0;
+
+      report.add({util::fmt(drop, 2), std::to_string(interval), std::to_string(rounds),
+                  std::to_string(total.faults.retransmits),
+                  std::to_string(total.faults.checkpoints),
+                  std::to_string(total.faults.recovery_rounds), util::fmt(seconds, 4),
+                  util::fmt(overhead, 1)});
+    }
+  }
+  report.finish();
+  std::printf(
+      "Fault-free baseline: %zu rounds, %.4f modeled seconds. Every faulted\n"
+      "configuration must report the same logical round count (column 3) — the\n"
+      "recovery subsystem repairs faults without perturbing the delayed-sync\n"
+      "schedule. Overhead (%%) is the modeled price: retransmit traffic scales\n"
+      "with drop rate, checkpoint cost with 1/interval, and the post-crash\n"
+      "replay with interval.\n",
+      clean_rounds, clean_seconds);
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main() {
+  mrbc::bench::run();
+  return 0;
+}

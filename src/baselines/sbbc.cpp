@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "comm/substrate.h"
+#include "engine/fault.h"
 #include "graph/algorithms.h"
 
 namespace mrbc::baselines {
@@ -21,10 +22,11 @@ struct DistSigma {
 };
 
 /// One source's level-synchronous execution over the partition.
-class SourceRunner {
+class SourceRunner final : public sim::Checkpointable {
  public:
   SourceRunner(const Partition& part, VertexId source, const SbbcOptions& opts)
       : part_(part), source_(source), opts_(opts), substrate_(part) {
+    substrate_.set_delivery(opts_.cluster.delivery());
     const HostId H = part.num_hosts();
     labels_.resize(H);
     delta_.resize(H);
@@ -53,7 +55,7 @@ class SourceRunner {
     return loop.run(
         [&](std::size_t) { return substrate_.sync(acc); },
         [&](HostId h, std::size_t) { return compute_forward(h); },
-        [&] { return substrate_.any_pending(); });
+        [&] { return substrate_.any_pending(); }, this);
   }
 
   sim::RunStats run_backward() {
@@ -85,7 +87,41 @@ class SourceRunner {
         [&](HostId h, std::size_t round) {
           return compute_backward(h, static_cast<std::uint32_t>(round));
         },
-        [&] { return substrate_.any_pending(); });
+        [&] { return substrate_.any_pending(); }, this);
+  }
+
+  // Coordinated snapshot for crash recovery: labels, dependencies, queues,
+  // frontier bitsets, level buckets, and the substrate's flag/sequence
+  // state. DistSigma is a POD, so per-host vectors go through write_vector.
+  void save_checkpoint(util::SendBuffer& buf) const override {
+    substrate_.save_state(buf);
+    const HostId H = part_.num_hosts();
+    for (HostId h = 0; h < H; ++h) {
+      buf.write_vector(labels_[h]);
+      buf.write_vector(delta_[h]);
+      buf.write_vector(worklist_[h]);
+      buf.write_vector(self_sched_[h]);
+      buf.write_bitset(in_frontier_[h]);
+      buf.write<std::uint64_t>(masters_by_level_[h].size());
+      for (const auto& level : masters_by_level_[h]) buf.write_vector(level);
+    }
+    buf.write<std::uint32_t>(max_level_);
+  }
+
+  void restore_checkpoint(util::RecvBuffer& buf) override {
+    substrate_.restore_state(buf);
+    const HostId H = part_.num_hosts();
+    for (HostId h = 0; h < H; ++h) {
+      labels_[h] = buf.read_vector<DistSigma>();
+      delta_[h] = buf.read_vector<double>();
+      worklist_[h] = buf.read_vector<VertexId>();
+      self_sched_[h] = buf.read_vector<VertexId>();
+      in_frontier_[h] = buf.read_bitset();
+      const auto levels = buf.read<std::uint64_t>();
+      masters_by_level_[h].assign(levels, {});
+      for (auto& level : masters_by_level_[h]) level = buf.read_vector<VertexId>();
+    }
+    max_level_ = buf.read<std::uint32_t>();
   }
 
   void harvest(BcResult& out, std::size_t source_idx) const {

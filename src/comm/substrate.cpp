@@ -18,6 +18,14 @@ SyncStats& SyncStats::operator+=(const SyncStats& other) {
   for (std::size_t h = 0; h < other.msgs_per_host.size(); ++h) {
     msgs_per_host[h] += other.msgs_per_host[h];
   }
+  drops += other.drops;
+  duplicates += other.duplicates;
+  duplicates_suppressed += other.duplicates_suppressed;
+  corruptions_detected += other.corruptions_detected;
+  retransmits += other.retransmits;
+  retransmit_bytes += other.retransmit_bytes;
+  backoff_steps += other.backoff_steps;
+  forced_deliveries += other.forced_deliveries;
   return *this;
 }
 
@@ -28,6 +36,31 @@ Substrate::Substrate(const Partition& part) : part_(&part), H_(part.num_hosts())
     reduce_flags_[h].resize(part.host(h).num_proxies());
     broadcast_flags_[h].resize(part.host(h).num_proxies());
   }
+}
+
+void Substrate::set_delivery(const DeliveryOptions& options) {
+  delivery_ = options;
+  framed_ = options.framing || options.reliable || options.faults != nullptr;
+  next_seq_.assign(static_cast<std::size_t>(H_) * H_, 0);
+  last_accepted_.assign(static_cast<std::size_t>(H_) * H_, 0);
+}
+
+void Substrate::save_state(util::SendBuffer& buf) const {
+  for (HostId h = 0; h < H_; ++h) {
+    buf.write_bitset(reduce_flags_[h]);
+    buf.write_bitset(broadcast_flags_[h]);
+  }
+  buf.write_vector(next_seq_);
+  buf.write_vector(last_accepted_);
+}
+
+void Substrate::restore_state(util::RecvBuffer& buf) {
+  for (HostId h = 0; h < H_; ++h) {
+    reduce_flags_[h] = buf.read_bitset();
+    broadcast_flags_[h] = buf.read_bitset();
+  }
+  next_seq_ = buf.read_vector<std::uint64_t>();
+  last_accepted_ = buf.read_vector<std::uint64_t>();
 }
 
 bool Substrate::any_pending() const {

@@ -17,7 +17,25 @@
 //
 // All traffic flows through real serialization buffers so byte counts are
 // measured, not estimated.
+//
+// Delivery modes: by default the simulated wire is lossless and messages
+// are applied directly (zero framing overhead — byte counts match Gluon's
+// payload accounting). With DeliveryOptions the substrate frames every
+// host-pair message as [seq:u64][crc32:u32][payload] and can run a
+// reliable-delivery protocol against an injected fault model:
+//   - CRC32 over the payload detects corruption (frames failing the check
+//     are counted and discarded, never applied);
+//   - per-(src,dst) sequence numbers suppress duplicate deliveries;
+//   - in reliable mode, lost/corrupt frames are retransmitted with
+//     exponential backoff, bounded by max_attempts; the final attempt
+//     models an escalated verified path so delivery is guaranteed, which
+//     is what keeps the MRBC delayed-synchronization schedule (every label
+//     arrives in its prescribed round, Lemmas 7-8) intact under faults.
+// Retransmit/duplicate traffic is accounted separately in SyncStats so the
+// engine's NetworkModel can cost it without distorting the headline
+// payload-byte comparisons.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -54,6 +72,8 @@ inline void write_presence(util::SendBuffer& buf, const util::DynamicBitset& pre
 }
 
 /// Invokes fn(index) for each present exchange-list position, in order.
+/// The presence encoding is fully consumed before the first fn call, so a
+/// message body following it in the same buffer can be read inside fn.
 template <typename Fn>
 void read_presence(util::RecvBuffer& buf, Fn&& fn) {
   const auto tag = buf.read<std::uint8_t>();
@@ -67,13 +87,56 @@ void read_presence(util::RecvBuffer& buf, Fn&& fn) {
 
 }  // namespace detail
 
+/// Message-level fault source consulted by the delivery layer. Implemented
+/// by sim::FaultInjector; the interface lives here so the comm layer does
+/// not depend on the engine. All methods are called in a deterministic
+/// order (host-pair loops are sequential), so seeded implementations give
+/// reproducible fault schedules.
+class ChannelFaults {
+ public:
+  virtual ~ChannelFaults() = default;
+  /// True: this transmission attempt is lost on the wire.
+  virtual bool drop(HostId src, HostId dst, std::uint64_t seq) = 0;
+  /// True: the frame is delivered twice.
+  virtual bool duplicate(HostId src, HostId dst, std::uint64_t seq) = 0;
+  /// Bit index (into the payload) to flip in transit, or -1 for a clean
+  /// delivery. Only payload bits are damaged, which CRC32 always detects.
+  virtual long corrupt_bit(HostId src, HostId dst, std::uint64_t seq,
+                           std::size_t payload_bytes) = 0;
+};
+
+/// Configuration of the delivery layer. Defaults reproduce the historical
+/// lossless direct-apply path bit-for-bit (no framing bytes).
+struct DeliveryOptions {
+  /// Frame messages as [seq][crc32][payload] even without faults (adds 12
+  /// bytes per host-pair message). Implied by `reliable` or `faults`.
+  bool framing = false;
+  /// Retransmit lost/corrupt frames until delivered (bounded by
+  /// max_attempts; the last attempt is escalated and cannot fail).
+  bool reliable = false;
+  /// Fault source, or nullptr for a clean wire. Non-owning.
+  ChannelFaults* faults = nullptr;
+  /// Total transmission attempts per frame in reliable mode (>= 1).
+  std::size_t max_attempts = 8;
+};
+
 /// Accounting for one or more sync phases.
 struct SyncStats {
   std::size_t messages = 0;  ///< aggregated host-pair messages (Gluon sends one per pair per phase)
-  std::size_t bytes = 0;     ///< serialized payload + metadata bytes
+  std::size_t bytes = 0;     ///< serialized payload + metadata bytes (first transmission)
   std::size_t values = 0;    ///< proxy labels moved
   std::vector<std::size_t> bytes_per_host;  ///< egress bytes per host (network model input)
   std::vector<std::size_t> msgs_per_host;   ///< egress messages per host
+
+  // Fault/recovery counters (all zero on a clean wire).
+  std::size_t drops = 0;                  ///< transmission attempts lost in transit
+  std::size_t duplicates = 0;             ///< frames the wire delivered twice
+  std::size_t duplicates_suppressed = 0;  ///< stale-seq frames rejected by the receiver
+  std::size_t corruptions_detected = 0;   ///< CRC32 mismatches (frame discarded)
+  std::size_t retransmits = 0;            ///< extra transmission attempts
+  std::size_t retransmit_bytes = 0;       ///< bytes of retransmit + duplicate traffic
+  std::size_t backoff_steps = 0;          ///< sum of 2^(attempt-2) RTO units across retransmits
+  std::size_t forced_deliveries = 0;      ///< escalated final attempts (retry budget exhausted)
 
   SyncStats& operator+=(const SyncStats& other);
 };
@@ -92,6 +155,17 @@ class Substrate {
   explicit Substrate(const Partition& part);
 
   const Partition& partition() const { return *part_; }
+
+  /// Installs a delivery configuration (resets sequence-number state).
+  void set_delivery(const DeliveryOptions& options);
+  const DeliveryOptions& delivery() const { return delivery_; }
+
+  /// Serializes flag + delivery-protocol state (checkpoint support): the
+  /// pending reduce/broadcast flags and the per-pair sequence numbers must
+  /// roll back together with application labels or recovery would desync
+  /// senders from receivers.
+  void save_state(util::SendBuffer& buf) const;
+  void restore_state(util::RecvBuffer& buf);
 
   /// Flags a proxy for the next reduce (mirror side) / broadcast (master
   /// side). The MRBC delayed-synchronization rule is implemented by the
@@ -132,23 +206,19 @@ class Substrate {
         util::SendBuffer buf;
         detail::write_presence(buf, present, payload.size());
         buf.write_vector(payload);
-        stats.messages += 1;
-        stats.msgs_per_host[mh] += 1;
-        stats.bytes += buf.size();
-        stats.bytes_per_host[mh] += buf.size();
         stats.values += payload.size();
-        // "Transmit" and apply at the master host.
-        util::RecvBuffer rbuf(buf.take());
-        std::vector<std::size_t> indices;
-        detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
-        auto rvalues = rbuf.read_vector<typename Accessor::Value>();
         const auto& masters = p.master_lids(mh, oh);
-        std::size_t next = 0;
-        for (std::size_t i : indices) {
-          const VertexId master_lid = masters[i];
-          acc.reduce(oh, master_lid, rvalues[next++]);
-          broadcast_flags_[oh].set(master_lid);
-        }
+        deliver(mh, oh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+          std::vector<std::size_t> indices;
+          detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
+          auto rvalues = rbuf.read_vector<typename Accessor::Value>();
+          std::size_t next = 0;
+          for (std::size_t i : indices) {
+            const VertexId master_lid = masters[i];
+            acc.reduce(oh, master_lid, rvalues[next++]);
+            broadcast_flags_[oh].set(master_lid);
+          }
+        });
       }
       // Masters flagged locally (their own host updated them) broadcast too.
       const auto& hg = p.host(mh);
@@ -186,20 +256,17 @@ class Substrate {
         util::SendBuffer buf;
         detail::write_presence(buf, present, payload.size());
         buf.write_vector(payload);
-        stats.messages += 1;
-        stats.msgs_per_host[oh] += 1;
-        stats.bytes += buf.size();
-        stats.bytes_per_host[oh] += buf.size();
         stats.values += payload.size();
-        util::RecvBuffer rbuf(buf.take());
-        std::vector<std::size_t> indices;
-        detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
-        auto rvalues = rbuf.read_vector<typename Accessor::Value>();
         const auto& mirrors = p.mirror_lids(mh, oh);
-        std::size_t next = 0;
-        for (std::size_t i : indices) {
-          acc.set(mh, mirrors[i], rvalues[next++]);
-        }
+        deliver(oh, mh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+          std::vector<std::size_t> indices;
+          detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
+          auto rvalues = rbuf.read_vector<typename Accessor::Value>();
+          std::size_t next = 0;
+          for (std::size_t i : indices) {
+            acc.set(mh, mirrors[i], rvalues[next++]);
+          }
+        });
       }
     }
     for (HostId oh = 0; oh < H_; ++oh) broadcast_flags_[oh].reset_all();
@@ -248,18 +315,14 @@ class Substrate {
         if (count == 0) continue;
         util::SendBuffer buf;
         detail::write_presence(buf, present, count);
-        const std::size_t total = buf.size() + payload.size();
-        stats.messages += 1;
-        stats.msgs_per_host[mh] += 1;
-        stats.bytes += total;
-        stats.bytes_per_host[mh] += total;
+        buf.append(payload);
         stats.values += count;
-        util::RecvBuffer header(buf.take());
-        util::RecvBuffer body(payload.take());
         const auto& masters = p.master_lids(mh, oh);
-        detail::read_presence(header, [&](std::size_t i) {
-          acc.apply_reduce(oh, masters[i], body);
-          broadcast_flags_[oh].set(masters[i]);
+        deliver(mh, oh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+          detail::read_presence(rbuf, [&](std::size_t i) {
+            acc.apply_reduce(oh, masters[i], rbuf);
+            broadcast_flags_[oh].set(masters[i]);
+          });
         });
       }
       const auto& hg = p.host(mh);
@@ -296,17 +359,13 @@ class Substrate {
         if (count == 0) continue;
         util::SendBuffer buf;
         detail::write_presence(buf, present, count);
-        const std::size_t total = buf.size() + payload.size();
-        stats.messages += 1;
-        stats.msgs_per_host[oh] += 1;
-        stats.bytes += total;
-        stats.bytes_per_host[oh] += total;
+        buf.append(payload);
         stats.values += count;
-        util::RecvBuffer header(buf.take());
-        util::RecvBuffer body(payload.take());
         const auto& mirrors = p.mirror_lids(mh, oh);
-        detail::read_presence(header, [&](std::size_t i) {
-          acc.apply_broadcast(mh, mirrors[i], body);
+        deliver(oh, mh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+          detail::read_presence(rbuf, [&](std::size_t i) {
+            acc.apply_broadcast(mh, mirrors[i], rbuf);
+          });
         });
       }
     }
@@ -315,10 +374,94 @@ class Substrate {
   }
 
  private:
+  /// [seq:u64][crc:u32] prepended to every payload in framed mode.
+  static constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+  std::size_t pair_index(HostId src, HostId dst) const {
+    return static_cast<std::size_t>(src) * H_ + dst;
+  }
+
+  /// Transmits one host-pair message and applies it at the receiver.
+  /// Unframed mode applies directly (historical behavior, identical byte
+  /// accounting). Framed mode runs the fault/retransmit protocol described
+  /// in the file header. `apply` is invoked at most once per logical
+  /// message (duplicate copies are suppressed by sequence number).
+  template <typename ApplyFn>
+  void deliver(HostId src, HostId dst, util::SendBuffer&& msg, SyncStats& stats, ApplyFn&& apply) {
+    stats.messages += 1;
+    stats.msgs_per_host[src] += 1;
+    if (!framed_) {
+      stats.bytes += msg.size();
+      stats.bytes_per_host[src] += msg.size();
+      util::RecvBuffer rbuf(msg.take());
+      apply(rbuf);
+      return;
+    }
+    std::vector<std::uint8_t> payload = msg.take();
+    const std::uint32_t crc = util::crc32(payload);
+    const std::size_t pair = pair_index(src, dst);
+    const std::uint64_t seq = ++next_seq_[pair];
+    const std::size_t frame_bytes = kFrameHeaderBytes + payload.size();
+    const std::size_t max_attempts = std::max<std::size_t>(delivery_.max_attempts, 1);
+    ChannelFaults* faults = delivery_.faults;
+    for (std::size_t attempt = 1;; ++attempt) {
+      if (attempt == 1) {
+        stats.bytes += frame_bytes;
+        stats.bytes_per_host[src] += frame_bytes;
+      } else {
+        stats.retransmits += 1;
+        stats.retransmit_bytes += frame_bytes;
+        stats.backoff_steps += std::size_t{1} << std::min<std::size_t>(attempt - 2, 16);
+      }
+      // The final reliable attempt is escalated (verified out-of-band) and
+      // bypasses injection: bounded retransmission must terminate with a
+      // delivery or the recovery guarantee would be probabilistic.
+      const bool forced = delivery_.reliable && attempt >= max_attempts;
+      if (faults && !forced && faults->drop(src, dst, seq)) {
+        stats.drops += 1;
+        if (!delivery_.reliable) return;  // lost for good
+        continue;
+      }
+      long flip = faults && !forced && !payload.empty()
+                      ? faults->corrupt_bit(src, dst, seq, payload.size())
+                      : -1;
+      if (flip >= 0) {
+        std::vector<std::uint8_t> wire = payload;
+        wire[static_cast<std::size_t>(flip) / 8] ^=
+            static_cast<std::uint8_t>(1u << (static_cast<std::size_t>(flip) % 8));
+        if (util::crc32(wire) != crc) {
+          stats.corruptions_detected += 1;
+          if (!delivery_.reliable) return;  // detected and discarded, not repaired
+          continue;
+        }
+      }
+      if (forced) stats.forced_deliveries += 1;
+      const bool duplicated = faults && !forced && faults->duplicate(src, dst, seq);
+      if (duplicated) {
+        stats.duplicates += 1;
+        stats.retransmit_bytes += frame_bytes;  // the extra copy is real traffic
+      }
+      for (std::size_t copy = 0; copy < (duplicated ? 2u : 1u); ++copy) {
+        if (seq > last_accepted_[pair]) {
+          last_accepted_[pair] = seq;
+          util::RecvBuffer rbuf{std::vector<std::uint8_t>(payload)};
+          apply(rbuf);
+        } else {
+          stats.duplicates_suppressed += 1;
+        }
+      }
+      return;
+    }
+  }
+
   const Partition* part_;
   HostId H_;
   std::vector<util::DynamicBitset> reduce_flags_;
   std::vector<util::DynamicBitset> broadcast_flags_;
+  DeliveryOptions delivery_;
+  bool framed_ = false;                       ///< effective framing switch
+  std::vector<std::uint64_t> next_seq_;       ///< per (src,dst) sender counter
+  std::vector<std::uint64_t> last_accepted_;  ///< per (src,dst) receiver high-water mark
 };
 
 }  // namespace mrbc::comm

@@ -5,6 +5,7 @@
 
 #include "comm/substrate.h"
 #include "core/mrbc_state.h"
+#include "engine/fault.h"
 #include "graph/algorithms.h"
 
 namespace mrbc::core {
@@ -21,12 +22,38 @@ constexpr std::uint8_t kFwdFinal = 1;    // forward label finalized on this prox
 constexpr std::uint8_t kAccFinal = 2;    // dependency finalized on this proxy
 constexpr std::uint8_t kEagerStaged = 4; // staged for eager (non-final) broadcast
 
+// Checkpoint helpers: std::pair is not guaranteed trivially copyable, so
+// (lid, sidx) worklists are serialized elementwise.
+void write_pairs(util::SendBuffer& buf,
+                 const std::vector<std::pair<graph::VertexId, std::uint32_t>>& pairs) {
+  buf.write<std::uint64_t>(pairs.size());
+  for (const auto& [lid, sidx] : pairs) {
+    buf.write<graph::VertexId>(lid);
+    buf.write<std::uint32_t>(sidx);
+  }
+}
+
+void read_pairs(util::RecvBuffer& buf,
+                std::vector<std::pair<graph::VertexId, std::uint32_t>>& pairs) {
+  const auto n = buf.read<std::uint64_t>();
+  pairs.clear();
+  pairs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto lid = buf.read<graph::VertexId>();
+    const auto sidx = buf.read<std::uint32_t>();
+    pairs.emplace_back(lid, sidx);
+  }
+}
+
 /// One batch's distributed execution: forward APSP then accumulation.
-class BatchRunner {
+/// Checkpointable so that BspLoop can snapshot/roll back the whole batch
+/// state (labels + round-local queues + substrate flags) for crash recovery.
+class BatchRunner final : public sim::Checkpointable {
  public:
   BatchRunner(const Partition& part, std::vector<graph::VertexId> batch,
               const MrbcOptions& opts)
       : part_(part), batch_(std::move(batch)), opts_(opts), substrate_(part) {
+    substrate_.set_delivery(opts_.cluster.delivery());
     const HostId H = part_.num_hosts();
     const auto k = static_cast<std::uint32_t>(batch_.size());
     state_.reserve(H);
@@ -75,7 +102,7 @@ class BatchRunner {
         [&](HostId h, std::size_t round) {
           return compute_forward(h, static_cast<std::uint32_t>(round));
         },
-        [&] { return substrate_.any_pending(); });
+        [&] { return substrate_.any_pending(); }, this);
     forward_rounds_ = static_cast<std::uint32_t>(stats.rounds);
     return stats;
   }
@@ -94,7 +121,45 @@ class BatchRunner {
         [&](HostId h, std::size_t round) {
           return compute_backward(h, static_cast<std::uint32_t>(round), R);
         },
-        [&] { return substrate_.any_pending(); });
+        [&] { return substrate_.any_pending(); }, this);
+  }
+
+  // ---- Checkpointing ------------------------------------------------------
+  // Everything a replayed round can read must round-trip: label state,
+  // round-local queues, the batch's status flags, and the substrate's sync
+  // flags + delivery sequence numbers. Topology (part_, masters_) is
+  // immutable and stays out of the snapshot.
+
+  void save_checkpoint(util::SendBuffer& buf) const override {
+    substrate_.save_state(buf);
+    const HostId H = part_.num_hosts();
+    for (HostId h = 0; h < H; ++h) {
+      state_[h].save(buf);
+      buf.write_vector(flags_[h]);
+      write_pairs(buf, worklist_[h]);
+      write_pairs(buf, self_sched_[h]);
+      buf.write_vector(staged_lids_[h]);
+    }
+    buf.write_vector(anomalies_);
+    buf.write_vector(host_active_);
+    buf.write<std::uint32_t>(forward_rounds_);
+    buf.write<std::uint32_t>(current_round_);
+  }
+
+  void restore_checkpoint(util::RecvBuffer& buf) override {
+    substrate_.restore_state(buf);
+    const HostId H = part_.num_hosts();
+    for (HostId h = 0; h < H; ++h) {
+      state_[h].restore(buf);
+      flags_[h] = buf.read_vector<std::uint8_t>();
+      read_pairs(buf, worklist_[h]);
+      read_pairs(buf, self_sched_[h]);
+      staged_lids_[h] = buf.read_vector<graph::VertexId>();
+    }
+    anomalies_ = buf.read_vector<std::size_t>();
+    host_active_ = buf.read_vector<std::uint8_t>();
+    forward_rounds_ = buf.read<std::uint32_t>();
+    current_round_ = buf.read<std::uint32_t>();
   }
 
   /// Adds this batch's dependencies into the global result.

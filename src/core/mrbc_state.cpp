@@ -94,4 +94,58 @@ void HostState::clear_dirty(VertexId lid) {
   dirty_[lid].clear();
 }
 
+void HostState::save(util::SendBuffer& buf) const {
+  buf.write<std::uint32_t>(k_);
+  buf.write<VertexId>(num_proxies_);
+  buf.write_vector(slots_);
+  for (VertexId lid = 0; lid < num_proxies_; ++lid) buf.write_vector(dirty_[lid]);
+  buf.write_vector(fwd_sent);
+  buf.write_vector(acc_sent);
+  // std::pair is not guaranteed trivially copyable; serialize elementwise.
+  for (VertexId lid = 0; lid < num_proxies_; ++lid) {
+    buf.write<std::uint64_t>(to_broadcast[lid].size());
+    for (const auto& [sidx, is_final] : to_broadcast[lid]) {
+      buf.write<std::uint32_t>(sidx);
+      buf.write<std::uint8_t>(is_final ? 1 : 0);
+    }
+  }
+}
+
+void HostState::restore(util::RecvBuffer& buf) {
+  k_ = buf.read<std::uint32_t>();
+  num_proxies_ = buf.read<VertexId>();
+  slots_ = buf.read_vector<SourceSlot>();
+  dirty_.assign(num_proxies_, {});
+  for (VertexId lid = 0; lid < num_proxies_; ++lid) dirty_[lid] = buf.read_vector<std::uint32_t>();
+  fwd_sent = buf.read_vector<std::uint32_t>();
+  acc_sent = buf.read_vector<std::uint32_t>();
+  to_broadcast.assign(num_proxies_, {});
+  for (VertexId lid = 0; lid < num_proxies_; ++lid) {
+    const auto n = buf.read<std::uint64_t>();
+    to_broadcast[lid].reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto sidx = buf.read<std::uint32_t>();
+      const bool is_final = buf.read<std::uint8_t>() != 0;
+      to_broadcast[lid].emplace_back(sidx, is_final);
+    }
+  }
+  // Rebuild the derived structures: M_v / entry counts from A_v, dirty
+  // bitsets from the dirty lists.
+  dist_map_.assign(num_proxies_, {});
+  entry_counts_.assign(num_proxies_, 0);
+  dirty_flags_.assign(num_proxies_, util::DynamicBitset(k_));
+  for (VertexId lid = 0; lid < num_proxies_; ++lid) {
+    auto& map = dist_map_[lid];
+    for (std::uint32_t sidx = 0; sidx < k_; ++sidx) {
+      const std::uint32_t d = slot(lid, sidx).dist;
+      if (d == graph::kInfDist) continue;
+      auto [it, inserted] = map.try_emplace(d);
+      if (inserted) it->second.resize(k_);
+      it->second.set(sidx);
+      ++entry_counts_[lid];
+    }
+    for (std::uint32_t sidx : dirty_[lid]) dirty_flags_[lid].set(sidx);
+  }
+}
+
 }  // namespace mrbc::core

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "util/bitset.h"
 #include "util/flat_map.h"
+#include "util/serialize.h"
 
 namespace mrbc::core {
 
@@ -77,6 +78,13 @@ class HostState {
   // broadcast; non-final entries model eager synchronization traffic for
   // the delayed-sync ablation.
   std::vector<std::vector<std::pair<std::uint32_t, bool>>> to_broadcast;
+
+  // --- Checkpointing ------------------------------------------------------
+  // Serializes / restores the complete label state for crash recovery.
+  // M_v and the entry counts are derivable from A_v, so only the slots and
+  // round-local cursors/queues go on the wire; restore() rebuilds the index.
+  void save(util::SendBuffer& buf) const;
+  void restore(util::RecvBuffer& buf);
 
  private:
   VertexId num_proxies_;

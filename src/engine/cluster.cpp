@@ -2,6 +2,23 @@
 
 namespace mrbc::sim {
 
+FaultCounters& FaultCounters::operator+=(const FaultCounters& other) {
+  drops += other.drops;
+  duplicates += other.duplicates;
+  duplicates_suppressed += other.duplicates_suppressed;
+  corruptions_detected += other.corruptions_detected;
+  retransmits += other.retransmits;
+  retransmit_bytes += other.retransmit_bytes;
+  forced_deliveries += other.forced_deliveries;
+  checkpoints += other.checkpoints;
+  checkpoint_bytes += other.checkpoint_bytes;
+  crashes += other.crashes;
+  recovery_rounds += other.recovery_rounds;
+  retransmit_seconds += other.retransmit_seconds;
+  checkpoint_seconds += other.checkpoint_seconds;
+  return *this;
+}
+
 RunStats& RunStats::operator+=(const RunStats& other) {
   rounds += other.rounds;
   compute_seconds += other.compute_seconds;
@@ -17,6 +34,7 @@ RunStats& RunStats::operator+=(const RunStats& other) {
     per_host_compute_seconds[h] += other.per_host_compute_seconds[h];
   }
   round_log.insert(round_log.end(), other.round_log.begin(), other.round_log.end());
+  faults += other.faults;
   return *this;
 }
 

@@ -13,12 +13,28 @@
 //     making per-round timings too noisy on small rounds)
 //   - communication: exact message/byte/value counts from the substrate,
 //     converted to modeled seconds by NetworkModel.
+//
+// Fault tolerance (ClusterOptions::fault): when a FaultInjector is
+// attached, the loop additionally
+//   - scales measured per-host compute time by the injector's straggler
+//     factors (modeled slow hosts);
+//   - takes a coordinated checkpoint every checkpoint_interval rounds
+//     through the Checkpointable hook (plus one at round 0), charging the
+//     snapshot to NetworkModel::checkpoint_seconds;
+//   - on a crash, rolls every host back to the last checkpoint and
+//     replays; compute is deterministic, so replay is exact, and the
+//     rounds spent re-executing are counted in FaultCounters::
+//     recovery_rounds (logical round numbering is unaffected);
+//   - folds the substrate's reliable-delivery counters into
+//     RunStats::faults and charges retransmit backoff via
+//     NetworkModel::retransmit_seconds.
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "comm/substrate.h"
+#include "engine/fault.h"
 #include "engine/network_model.h"
 #include "util/stats.h"
 #include "util/threading.h"
@@ -44,19 +60,41 @@ struct RoundLogEntry {
   std::size_t bytes = 0;
   std::size_t values = 0;
   std::uint64_t work_items = 0;  ///< total operator applications
+  std::size_t retransmits = 0;   ///< reliable-delivery repairs this round
+};
+
+/// Aggregated fault/recovery counters for one BSP execution; all zero on a
+/// fault-free run.
+struct FaultCounters {
+  std::size_t drops = 0;                  ///< transmission attempts lost in transit
+  std::size_t duplicates = 0;             ///< frames delivered twice by the wire
+  std::size_t duplicates_suppressed = 0;  ///< stale frames rejected by sequence number
+  std::size_t corruptions_detected = 0;   ///< CRC32 mismatches caught
+  std::size_t retransmits = 0;            ///< extra transmission attempts
+  std::size_t retransmit_bytes = 0;       ///< retransmit + duplicate traffic
+  std::size_t forced_deliveries = 0;      ///< escalated final delivery attempts
+  std::size_t checkpoints = 0;            ///< coordinated snapshots taken
+  std::size_t checkpoint_bytes = 0;       ///< serialized snapshot volume
+  std::size_t crashes = 0;                ///< host crashes recovered from
+  std::size_t recovery_rounds = 0;        ///< rounds re-executed after rollback
+  double retransmit_seconds = 0;          ///< modeled recovery-traffic time
+  double checkpoint_seconds = 0;          ///< modeled snapshot-write time
+
+  FaultCounters& operator+=(const FaultCounters& other);
 };
 
 /// Aggregated statistics for one BSP execution.
 struct RunStats {
   std::size_t rounds = 0;
   double compute_seconds = 0;    ///< sum over rounds of max-host compute time
-  double network_seconds = 0;    ///< modeled communication + barrier time
+  double network_seconds = 0;    ///< modeled communication + barrier + recovery time
   std::size_t messages = 0;
   std::size_t bytes = 0;
   std::size_t values = 0;
   double imbalance_sum = 0;      ///< sum over rounds of per-round work imbalance
   std::vector<double> per_host_compute_seconds;  ///< total per host
   std::vector<RoundLogEntry> round_log;  ///< filled when record_round_log
+  FaultCounters faults;          ///< fault-injection/recovery counters
 
   /// Paper's load-imbalance metric: per-round max/mean work, averaged.
   double mean_imbalance() const { return rounds ? imbalance_sum / static_cast<double>(rounds) : 1.0; }
@@ -78,6 +116,30 @@ struct ClusterOptions {
   /// Record a RoundLogEntry per round into RunStats::round_log (off by
   /// default: traces of long runs are large).
   bool record_round_log = false;
+
+  // ---- Fault tolerance ----------------------------------------------------
+  /// Fault source for this execution; nullptr = fault-free (zero overhead,
+  /// historical behavior). Non-owning; one injector may serve several
+  /// loops (its crash fires once across all of them).
+  FaultInjector* fault = nullptr;
+  /// Retransmit lost/corrupt frames (reliable delivery). When false,
+  /// corruption is still detected (CRC) but lost data is not repaired.
+  bool reliable_delivery = true;
+  /// Rounds between coordinated checkpoints (crash recovery granularity).
+  std::size_t checkpoint_interval = 8;
+  /// Transmission attempts per frame before escalation (reliable mode).
+  std::size_t max_delivery_attempts = 8;
+
+  /// Delivery configuration implied by the fault fields; applications
+  /// install this on their Substrate before running the loop.
+  comm::DeliveryOptions delivery() const {
+    comm::DeliveryOptions d;
+    d.faults = fault;
+    d.framing = fault != nullptr;
+    d.reliable = fault != nullptr && reliable_delivery;
+    d.max_attempts = max_delivery_attempts;
+    return d;
+  }
 };
 
 /// Runs a BSP loop until quiescence.
@@ -85,19 +147,43 @@ struct ClusterOptions {
 ///   comm(round)      -> SyncStats   performed at the start of each round
 ///   compute(h,round) -> HostWork    per-host operator
 ///   pending()        -> bool        substrate flags still set (work queued)
+///   app (optional)   -> Checkpointable hook for crash recovery
 ///
 /// Terminates before executing a round when no host is active, the last
 /// comm moved nothing, and nothing is pending — the "global quiescence
 /// condition" of Lemma 8, which D-Galois detects without extra rounds.
+/// Reliable delivery repairs message faults within their round, so no flag
+/// is ever "in flight" across a barrier and quiescence cannot fire early.
 class BspLoop {
  public:
   explicit BspLoop(HostId num_hosts, ClusterOptions options = {})
       : num_hosts_(num_hosts), options_(options) {}
 
   template <typename CommFn, typename ComputeFn, typename PendingFn>
-  RunStats run(CommFn&& comm, ComputeFn&& compute, PendingFn&& pending) {
+  RunStats run(CommFn&& comm, ComputeFn&& compute, PendingFn&& pending,
+               Checkpointable* app = nullptr) {
     RunStats stats;
     stats.per_host_compute_seconds.assign(num_hosts_, 0.0);
+    FaultInjector* fault = options_.fault;
+    const bool checkpointing = fault != nullptr && app != nullptr;
+    const std::size_t interval = std::max<std::size_t>(options_.checkpoint_interval, 1);
+    std::vector<std::uint8_t> snapshot;      // latest coordinated checkpoint
+    std::size_t snapshot_round = 0;
+    bool snapshot_any_active = true;
+    auto take_checkpoint = [&](std::size_t round, bool any_active) {
+      util::SendBuffer buf;
+      app->save_checkpoint(buf);
+      snapshot = buf.take();
+      snapshot_round = round;
+      snapshot_any_active = any_active;
+      stats.faults.checkpoints += 1;
+      stats.faults.checkpoint_bytes += snapshot.size();
+      const double seconds = options_.network.checkpoint_seconds(snapshot.size());
+      stats.faults.checkpoint_seconds += seconds;
+      stats.network_seconds += seconds;
+    };
+    if (checkpointing) take_checkpoint(0, true);
+
     bool any_active = true;  // force the first round
     std::size_t round = 0;
     while (round < options_.max_rounds && (any_active || pending())) {
@@ -108,9 +194,20 @@ class BspLoop {
       std::size_t max_msgs = 0;
       for (std::size_t m : comm_stats.msgs_per_host) max_msgs = std::max(max_msgs, m);
       stats.network_seconds += options_.network.round_seconds(max_msgs, max_egress);
+      const double retransmit_seconds =
+          options_.network.retransmit_seconds(comm_stats.backoff_steps, comm_stats.retransmit_bytes);
+      stats.network_seconds += retransmit_seconds;
       stats.messages += comm_stats.messages;
       stats.bytes += comm_stats.bytes;
       stats.values += comm_stats.values;
+      stats.faults.drops += comm_stats.drops;
+      stats.faults.duplicates += comm_stats.duplicates;
+      stats.faults.duplicates_suppressed += comm_stats.duplicates_suppressed;
+      stats.faults.corruptions_detected += comm_stats.corruptions_detected;
+      stats.faults.retransmits += comm_stats.retransmits;
+      stats.faults.retransmit_bytes += comm_stats.retransmit_bytes;
+      stats.faults.forced_deliveries += comm_stats.forced_deliveries;
+      stats.faults.retransmit_seconds += retransmit_seconds;
 
       std::vector<HostWork> work(num_hosts_);
       std::vector<double> host_seconds(num_hosts_, 0.0);
@@ -125,23 +222,50 @@ class BspLoop {
       for (HostId h = 0; h < num_hosts_; ++h) {
         any_active = any_active || work[h].active;
         work_units[h] = static_cast<double>(work[h].work_items);
+        if (fault) host_seconds[h] *= fault->compute_slowdown(h);  // straggler model
         stats.per_host_compute_seconds[h] += host_seconds[h];
         max_seconds = std::max(max_seconds, host_seconds[h]);
       }
       stats.compute_seconds += max_seconds;
       stats.imbalance_sum += util::imbalance(work_units);
+
+      // Crash? Roll every host back to the last coordinated checkpoint and
+      // replay. The crashed round's traffic/compute stays in the aggregate
+      // accounting — that cost was really paid before the failure.
+      HostId dead = 0;
+      if (fault && fault->crash_due(round, &dead)) {
+        stats.faults.crashes += 1;
+        if (checkpointing) {
+          stats.faults.recovery_rounds += round - snapshot_round;
+          util::RecvBuffer buf{std::vector<std::uint8_t>(snapshot)};
+          app->restore_checkpoint(buf);
+          round = snapshot_round;
+          any_active = snapshot_any_active;
+          if (options_.record_round_log) {
+            while (!stats.round_log.empty() && stats.round_log.back().round > snapshot_round) {
+              stats.round_log.pop_back();
+            }
+          }
+          continue;
+        }
+        // No checkpoint hook: the crash is recorded but not recoverable.
+      }
+
       stats.rounds = round;
       if (options_.record_round_log) {
         RoundLogEntry entry;
         entry.round = round;
         entry.compute_seconds = max_seconds;
-        entry.network_seconds = options_.network.round_seconds(max_msgs, max_egress);
+        entry.network_seconds =
+            options_.network.round_seconds(max_msgs, max_egress) + retransmit_seconds;
         entry.messages = comm_stats.messages;
         entry.bytes = comm_stats.bytes;
         entry.values = comm_stats.values;
+        entry.retransmits = comm_stats.retransmits;
         for (const HostWork& hw : work) entry.work_items += hw.work_items;
         stats.round_log.push_back(entry);
       }
+      if (checkpointing && round % interval == 0) take_checkpoint(round, any_active);
     }
     return stats;
   }

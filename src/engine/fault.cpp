@@ -1,0 +1,58 @@
+#include "engine/fault.h"
+
+#include <algorithm>
+
+namespace mrbc::sim {
+
+namespace {
+
+// Decorrelates the message-level stream from the straggler assignment so
+// changing straggler_rate does not reshuffle drop/corrupt decisions.
+constexpr std::uint64_t kChannelStream = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kStragglerStream = 0x2545f4914f6cdd1dull;
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, HostId num_hosts)
+    : plan_(plan), num_hosts_(num_hosts), rng_(plan.seed ^ kChannelStream) {
+  slowdown_.assign(std::max<HostId>(num_hosts, 1), 1.0);
+  util::Xoshiro256 srng(plan.seed ^ kStragglerStream);
+  for (auto& s : slowdown_) {
+    if (plan_.straggler_rate > 0.0 && srng.next_bool(plan_.straggler_rate)) {
+      s = std::max(1.0, plan_.straggler_slowdown);
+    }
+  }
+}
+
+bool FaultInjector::drop(HostId, HostId, std::uint64_t) {
+  return plan_.drop_rate > 0.0 && rng_.next_bool(plan_.drop_rate);
+}
+
+bool FaultInjector::duplicate(HostId, HostId, std::uint64_t) {
+  return plan_.duplicate_rate > 0.0 && rng_.next_bool(plan_.duplicate_rate);
+}
+
+long FaultInjector::corrupt_bit(HostId, HostId, std::uint64_t, std::size_t payload_bytes) {
+  if (payload_bytes == 0 || plan_.corrupt_rate <= 0.0 || !rng_.next_bool(plan_.corrupt_rate)) {
+    return -1;
+  }
+  return static_cast<long>(rng_.next_bounded(payload_bytes * 8));
+}
+
+double FaultInjector::compute_slowdown(HostId h) const {
+  return h < slowdown_.size() ? slowdown_[h] : 1.0;
+}
+
+bool FaultInjector::crash_due(std::size_t round, HostId* crashed) {
+  if (crash_fired_ || plan_.crash_round == 0 || round != plan_.crash_round) return false;
+  crash_fired_ = true;
+  if (crashed) *crashed = num_hosts_ > 0 ? plan_.crash_host % num_hosts_ : 0;
+  return true;
+}
+
+void FaultInjector::rearm() {
+  crash_fired_ = false;
+  rng_ = util::Xoshiro256(plan_.seed ^ kChannelStream);
+}
+
+}  // namespace mrbc::sim

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic fault injection and recovery hooks for the simulated
+// cluster. The paper's correctness argument (Lemmas 7-8) assumes a
+// lossless CONGEST/BSP substrate: every flagged proxy label arrives
+// exactly once, in its prescribed round. This layer makes that assumption
+// explicit and testable by injecting the faults a real fabric exhibits —
+// message drops, duplicate deliveries, payload bit-flips, compute
+// stragglers, and host crashes — from a single seed, so any failing fault
+// schedule is reproducible bit-for-bit.
+//
+// Recovery is split across two mechanisms:
+//   - message faults are masked by the comm substrate's reliable-delivery
+//     protocol (CRC32 + sequence numbers + bounded retransmit), which
+//     repairs a frame *within its BSP round* so the delayed-sync schedule
+//     and quiescence detection are unaffected;
+//   - host crashes are handled by coordinated checkpoint/rollback in
+//     sim::BspLoop: every K rounds the application snapshots its per-host
+//     label state through the Checkpointable hook; a crash rolls all hosts
+//     back to the last checkpoint and replays (deterministic compute makes
+//     the replay exact).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/substrate.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace mrbc::sim {
+
+using partition::HostId;
+
+/// Seeded description of a fault schedule. All rates are per-transmission
+/// probabilities in [0, 1]; a default-constructed plan is fault-free.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Message-level faults (consulted per transmission attempt).
+  double drop_rate = 0.0;       ///< attempt lost in transit
+  double duplicate_rate = 0.0;  ///< frame delivered twice
+  double corrupt_rate = 0.0;    ///< one payload bit flipped in transit
+
+  // Compute-level faults.
+  double straggler_rate = 0.0;       ///< probability a host is a straggler
+  double straggler_slowdown = 4.0;   ///< compute-time multiplier for stragglers
+  std::uint32_t crash_round = 0;     ///< BSP round in which crash_host dies (0 = never)
+  HostId crash_host = 0;             ///< host that crashes (taken modulo host count)
+};
+
+/// Draws every fault decision deterministically from FaultPlan::seed.
+/// One injector instance serves both the comm layer (via ChannelFaults)
+/// and the BSP loop (stragglers, crash). The crash fires at most once per
+/// injector lifetime, so rollback-and-replay cannot crash-loop.
+class FaultInjector final : public comm::ChannelFaults {
+ public:
+  FaultInjector(const FaultPlan& plan, HostId num_hosts);
+
+  // ChannelFaults (message-level, deterministic draw order).
+  bool drop(HostId src, HostId dst, std::uint64_t seq) override;
+  bool duplicate(HostId src, HostId dst, std::uint64_t seq) override;
+  long corrupt_bit(HostId src, HostId dst, std::uint64_t seq,
+                   std::size_t payload_bytes) override;
+
+  /// Compute-time multiplier for host `h` (1.0 for non-stragglers); fixed
+  /// per host for the injector's lifetime, derived from the seed.
+  double compute_slowdown(HostId h) const;
+
+  /// True exactly once, when `round` == plan.crash_round; writes the dead
+  /// host to `crashed`.
+  bool crash_due(std::size_t round, HostId* crashed);
+  bool crash_armed() const { return plan_.crash_round != 0 && !crash_fired_; }
+
+  /// Re-arms the crash and reseeds the RNG: the same plan replays the same
+  /// schedule from the start (fresh runs in tests and benches).
+  void rearm();
+
+  const FaultPlan& plan() const { return plan_; }
+  HostId num_hosts() const { return num_hosts_; }
+
+ private:
+  FaultPlan plan_;
+  HostId num_hosts_;
+  util::Xoshiro256 rng_;
+  std::vector<double> slowdown_;
+  bool crash_fired_ = false;
+};
+
+/// Checkpoint/restart hook implemented by applications that run under a
+/// FaultInjector (MrbcState's BatchRunner, the SBBC baseline). The
+/// snapshot must capture everything a replayed round reads: per-host
+/// labels, round-local worklists, and the substrate's flag + delivery
+/// state (Substrate::save_state).
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual void save_checkpoint(util::SendBuffer& buf) const = 0;
+  virtual void restore_checkpoint(util::RecvBuffer& buf) = 0;
+};
+
+}  // namespace mrbc::sim

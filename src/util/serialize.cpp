@@ -7,6 +7,12 @@ void SendBuffer::write_bitset(const DynamicBitset& bits) {
   write_vector(bits.words());
 }
 
+void SendBuffer::write_raw(const void* data, std::size_t n) {
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(offset + n);
+  if (n > 0) std::memcpy(bytes_.data() + offset, data, n);
+}
+
 void SendBuffer::write_string(const std::string& s) {
   write<std::uint64_t>(s.size());
   const std::size_t offset = bytes_.size();
@@ -20,6 +26,29 @@ DynamicBitset RecvBuffer::read_bitset() {
   DynamicBitset bits(num_bits);
   bits.words() = std::move(words);
   return bits;
+}
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const Crc32Table table;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table.entries[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
 }
 
 std::string RecvBuffer::read_string() {

@@ -41,6 +41,13 @@ class SendBuffer {
   void write_bitset(const DynamicBitset& bits);
   void write_string(const std::string& s);
 
+  /// Appends raw bytes without a length prefix (framing layers that manage
+  /// their own structure, e.g. the reliable-delivery wire format).
+  void write_raw(const void* data, std::size_t n);
+
+  /// Appends another buffer's bytes verbatim.
+  void append(const SendBuffer& other) { write_raw(other.bytes_.data(), other.bytes_.size()); }
+
   std::size_t size() const { return bytes_.size(); }
   bool empty() const { return bytes_.empty(); }
   void clear() { bytes_.clear(); }
@@ -99,5 +106,15 @@ class RecvBuffer {
   std::vector<std::uint8_t> bytes_;
   std::size_t cursor_ = 0;
 };
+
+/// CRC-32 (ISO-HDLC / zlib: reflected, polynomial 0xEDB88320, init and
+/// final xor 0xFFFFFFFF). Used by the reliable-delivery layer to detect
+/// payload corruption on the simulated wire. Pass a previous checksum as
+/// `seed` to continue over split buffers.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes, std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
 
 }  // namespace mrbc::util

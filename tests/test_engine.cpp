@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "engine/cluster.h"
 #include "engine/congest.h"
+#include "engine/fault.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
 
@@ -26,6 +30,44 @@ TEST(NetworkModel, CostComponents) {
   EXPECT_DOUBLE_EQ(net.phase_seconds(0, 1000000), 1e-3);
   EXPECT_DOUBLE_EQ(net.round_seconds(0, 0), 1e-5);  // barrier always paid
   EXPECT_DOUBLE_EQ(net.round_seconds(10, 1000000), 1e-5 + 1e-5 + 1e-3);
+}
+
+TEST(NetworkModel, EmptyRoundChargesBarrierExactlyOnce) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.round_seconds(0, 0), net.kappa_barrier);
+  // Two empty rounds cost exactly two barriers — no hidden terms.
+  EXPECT_DOUBLE_EQ(net.round_seconds(0, 0) + net.round_seconds(0, 0), 2.0 * net.kappa_barrier);
+}
+
+TEST(NetworkModel, DegenerateConstantsNeverProduceNanOrNegative) {
+  // beta = 0 (a 0/0 risk for the bandwidth term) must stay finite.
+  NetworkModel zero_beta{.beta_bytes_per_sec = 0.0};
+  EXPECT_TRUE(std::isfinite(zero_beta.round_seconds(0, 0)));
+  EXPECT_TRUE(std::isfinite(zero_beta.round_seconds(5, 1000)));
+  EXPECT_GE(zero_beta.round_seconds(5, 1000), 0.0);
+
+  NetworkModel negative{.alpha_per_message = -1.0, .beta_bytes_per_sec = -5.0,
+                        .kappa_barrier = -2.0};
+  EXPECT_GE(negative.round_seconds(0, 0), 0.0);
+  EXPECT_GE(negative.round_seconds(100, 1 << 20), 0.0);
+  EXPECT_TRUE(std::isfinite(negative.round_seconds(100, 1 << 20)));
+
+  NetworkModel nan_kappa{.kappa_barrier = std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_TRUE(std::isfinite(nan_kappa.round_seconds(0, 0)));
+  EXPECT_TRUE(std::isfinite(nan_kappa.round_seconds(3, 128)));
+}
+
+TEST(NetworkModel, RetransmitAndCheckpointCosts) {
+  NetworkModel net{.beta_bytes_per_sec = 1e9};
+  net.rto_seconds = 1e-4;
+  net.checkpoint_bytes_per_sec = 1e9;
+  EXPECT_DOUBLE_EQ(net.retransmit_seconds(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(net.retransmit_seconds(3, 0), 3e-4);
+  EXPECT_DOUBLE_EQ(net.retransmit_seconds(1, 1000000), 1e-4 + 1e-3);
+  EXPECT_DOUBLE_EQ(net.checkpoint_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.checkpoint_seconds(1000000), 1e-3);
+  net.checkpoint_bytes_per_sec = 0.0;  // degenerate bandwidth stays finite
+  EXPECT_DOUBLE_EQ(net.checkpoint_seconds(1 << 20), 0.0);
 }
 
 // ---- BspLoop ---------------------------------------------------------------
@@ -122,6 +164,77 @@ TEST(BspLoop, ImbalanceReflectsSkewedWork) {
       [] { return false; });
   EXPECT_DOUBLE_EQ(stats.mean_imbalance(), 4.0);  // max/mean = 40/10
   (void)stats;
+}
+
+// A counting app whose whole state is one integer per host; deterministic
+// compute makes checkpoint/rollback/replay exactly reproducible.
+struct CounterApp final : sim::Checkpointable {
+  std::vector<std::uint64_t> counters;
+  explicit CounterApp(std::size_t hosts) : counters(hosts, 0) {}
+
+  void save_checkpoint(util::SendBuffer& buf) const override { buf.write_vector(counters); }
+  void restore_checkpoint(util::RecvBuffer& buf) override {
+    counters = buf.read_vector<std::uint64_t>();
+  }
+};
+
+TEST(BspLoop, CrashRollsBackToCheckpointAndReplays) {
+  const std::size_t kHosts = 3;
+  const std::size_t kRounds = 7;
+  sim::FaultPlan plan;
+  plan.crash_round = 5;
+  plan.crash_host = 1;
+  sim::FaultInjector injector(plan, kHosts);
+  ClusterOptions opts;
+  opts.fault = &injector;
+  opts.checkpoint_interval = 2;
+  CounterApp app(kHosts);
+  BspLoop loop(kHosts, opts);
+  RunStats stats = loop.run(
+      [&](std::size_t) { return comm::SyncStats{}; },
+      [&](partition::HostId h, std::size_t round) {
+        app.counters[h] += round;  // deterministic function of the round
+        HostWork w;
+        w.active = round < kRounds;
+        return w;
+      },
+      [] { return false; }, &app);
+  // Logical progress is unaffected by the crash: same rounds, same state.
+  EXPECT_EQ(stats.rounds, kRounds);
+  for (std::uint64_t c : app.counters) EXPECT_EQ(c, kRounds * (kRounds + 1) / 2);
+  EXPECT_EQ(stats.faults.crashes, 1u);
+  // Crash at round 5 with interval 2 rolls back to the round-4 checkpoint.
+  EXPECT_EQ(stats.faults.recovery_rounds, 1u);
+  EXPECT_GT(stats.faults.checkpoints, 2u);  // round 0 + periodic
+  EXPECT_GT(stats.faults.checkpoint_bytes, 0u);
+  EXPECT_GT(stats.faults.checkpoint_seconds, 0.0);
+}
+
+TEST(BspLoop, StragglerSlowdownInflatesComputeTime) {
+  const std::size_t kHosts = 4;
+  sim::FaultPlan plan;
+  plan.straggler_rate = 1.0;  // every host is a straggler
+  plan.straggler_slowdown = 8.0;
+  sim::FaultInjector slow_inj(plan, kHosts);
+  ClusterOptions slow_opts;
+  slow_opts.fault = &slow_inj;
+  auto spin = [](partition::HostId, std::size_t round) {
+    volatile double x = 1.0;
+    for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 0.5;
+    HostWork w;
+    w.active = round < 3;
+    return w;
+  };
+  BspLoop slow_loop(kHosts, slow_opts);
+  RunStats slow = slow_loop.run([&](std::size_t) { return comm::SyncStats{}; }, spin,
+                                [] { return false; });
+  BspLoop fast_loop(kHosts, ClusterOptions{});
+  RunStats fast = fast_loop.run([&](std::size_t) { return comm::SyncStats{}; }, spin,
+                                [] { return false; });
+  EXPECT_EQ(slow.rounds, fast.rounds);
+  // Identical measured work, but the straggler model scales it 8x; allow a
+  // wide margin for timer noise.
+  EXPECT_GT(slow.compute_seconds, 2.0 * fast.compute_seconds);
 }
 
 TEST(RunStats, PlusEqualsAggregates) {

@@ -11,6 +11,7 @@
 #include "baselines/sbbc.h"
 #include "core/congest_mrbc.h"
 #include "core/mrbc.h"
+#include "engine/fault.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "test_helpers.h"
@@ -101,6 +102,53 @@ TEST_P(DifferentialFuzz, OtherEnginesMatchBrandes) {
   fopts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(8));
   testing::expect_bc_equal(golden.bc, baselines::mfbc_bc(g, sources, fopts).result.bc,
                            "fuzz mfbc seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(DifferentialFuzz, FaultScheduleMatchesBrandes) {
+  // Randomized fault schedules (drops, duplicates, corruption, stragglers,
+  // an optional crash) with recovery enabled must be invisible in the
+  // output: BC equals sequential Brandes bit-for-tolerance, and the MRBC
+  // pipelining invariants hold (anomalies == 0 means no label ever arrived
+  // outside its prescribed round despite the injected faults).
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 0x51ed + 7);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return;
+  const auto k = 1 + static_cast<VertexId>(rng.next_bounded(8));
+  const auto sources = graph::sample_sources(g, k, rng.next(), true);
+  const auto golden = baselines::brandes_bc_sources(g, sources);
+
+  sim::FaultPlan plan;
+  plan.seed = rng.next();
+  plan.drop_rate = 0.4 * rng.next_double();
+  plan.duplicate_rate = 0.3 * rng.next_double();
+  plan.corrupt_rate = 0.3 * rng.next_double();
+  plan.straggler_rate = 0.5 * rng.next_double();
+  if (rng.next_bool(0.6)) {
+    plan.crash_round = 1 + static_cast<std::uint32_t>(rng.next_bounded(12));
+    plan.crash_host = static_cast<partition::HostId>(rng.next_bounded(8));
+  }
+  const auto checkpoint_interval = 1 + rng.next_bounded(8);
+
+  core::MrbcOptions mopts;
+  mopts.num_hosts = 1 + static_cast<partition::HostId>(rng.next_bounded(8));
+  mopts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(12));
+  mopts.delayed_sync = rng.next_bool(0.8);
+  sim::FaultInjector mrbc_injector(plan, mopts.num_hosts);
+  mopts.cluster.fault = &mrbc_injector;
+  mopts.cluster.checkpoint_interval = checkpoint_interval;
+  auto run = core::mrbc_bc(g, sources, mopts);
+  EXPECT_EQ(run.anomalies, 0u) << "seed=" << GetParam() << " hosts=" << mopts.num_hosts
+                               << " drop=" << plan.drop_rate << " crash=" << plan.crash_round;
+  testing::expect_bc_equal(golden.bc, run.result.bc,
+                           "fuzz mrbc faults seed=" + std::to_string(GetParam()));
+
+  baselines::SbbcOptions sopts;
+  sopts.num_hosts = 1 + static_cast<partition::HostId>(rng.next_bounded(8));
+  sim::FaultInjector sbbc_injector(plan, sopts.num_hosts);  // fresh crash arming
+  sopts.cluster.fault = &sbbc_injector;
+  sopts.cluster.checkpoint_interval = checkpoint_interval;
+  testing::expect_bc_equal(golden.bc, baselines::sbbc_bc(g, sources, sopts).result.bc,
+                           "fuzz sbbc faults seed=" + std::to_string(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));

@@ -300,6 +300,54 @@ TEST(Serialize, SizeAccounting) {
   EXPECT_EQ(out.size(), 12u);
 }
 
+TEST(Serialize, WriteRawAndAppend) {
+  SendBuffer head;
+  head.write<std::uint32_t>(0xDEADBEEF);
+  const std::uint8_t extra[3] = {1, 2, 3};
+  head.write_raw(extra, sizeof(extra));
+  SendBuffer tail;
+  tail.write<std::uint16_t>(7);
+  head.append(tail);
+  EXPECT_EQ(head.size(), 4u + 3u + 2u);
+  RecvBuffer in(head.take());
+  EXPECT_EQ(in.read<std::uint32_t>(), 0xDEADBEEFu);
+  for (std::uint8_t b : extra) EXPECT_EQ(in.read<std::uint8_t>(), b);
+  EXPECT_EQ(in.read<std::uint16_t>(), 7);
+  EXPECT_TRUE(in.exhausted());
+}
+
+// ---- CRC32 -----------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // Reference values of the ISO-HDLC (zlib) CRC-32.
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+  const char check[] = "123456789";
+  EXPECT_EQ(crc32(check, 9), 0xCBF43926u);
+  const char a[] = "a";
+  EXPECT_EQ(crc32(a, 1), 0xE8B7BE43u);
+  const char abc[] = "abc";
+  EXPECT_EQ(crc32(abc, 3), 0x352441C2u);
+}
+
+TEST(Crc32, SeedContinuationMatchesOneShot) {
+  const std::vector<std::uint8_t> data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  const std::uint32_t whole = crc32(data);
+  const std::uint32_t first = crc32(data.data(), 4);
+  EXPECT_EQ(crc32(data.data() + 4, 5, first), whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i * 37);
+  const std::uint32_t clean = crc32(payload);
+  // Any single-bit error must change the checksum (CRC property).
+  for (std::size_t bit = 0; bit < payload.size() * 8; bit += 17) {
+    std::vector<std::uint8_t> corrupted = payload;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(corrupted), clean) << "undetected flip at bit " << bit;
+  }
+}
+
 // ---- CSV -------------------------------------------------------------------
 
 TEST(Csv, EscapesSpecialCharacters) {
