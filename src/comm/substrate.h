@@ -334,6 +334,32 @@ class Substrate {
     return stats;
   }
 
+  /// Point-to-point scatter through the delivery layer: buffers[src][dst]
+  /// is transmitted with the same framing / fault-injection /
+  /// reliable-delivery protocol as proxy syncs and consumed at the
+  /// receiver by apply(src, dst, RecvBuffer&). Unlike reduce/broadcast it
+  /// is not tied to the proxy exchange lists — the streaming subsystem
+  /// uses it to route EdgeBatch deltas to owning hosts. Empty buffers and
+  /// the src == dst diagonal (host-local data never crosses the wire) are
+  /// skipped. Callers account `values` themselves (the substrate cannot
+  /// know how many application values a raw buffer holds).
+  template <typename ApplyFn>
+  SyncStats scatter(std::vector<std::vector<util::SendBuffer>>&& buffers, ApplyFn&& apply) {
+    SyncStats stats;
+    stats.bytes_per_host.assign(H_, 0);
+    stats.msgs_per_host.assign(H_, 0);
+    const HostId rows = static_cast<HostId>(std::min<std::size_t>(buffers.size(), H_));
+    for (HostId src = 0; src < rows; ++src) {
+      const HostId cols = static_cast<HostId>(std::min<std::size_t>(buffers[src].size(), H_));
+      for (HostId dst = 0; dst < cols; ++dst) {
+        if (src == dst || buffers[src][dst].empty()) continue;
+        deliver(src, dst, std::move(buffers[src][dst]), stats,
+                [&](util::RecvBuffer& rbuf) { apply(src, dst, rbuf); });
+      }
+    }
+    return stats;
+  }
+
   /// Variable-length flavor of broadcast; see reduce_var.
   template <typename VarAccessor>
   SyncStats broadcast_var(VarAccessor& acc) {

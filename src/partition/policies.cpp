@@ -122,6 +122,30 @@ std::vector<HostId> assign_edges(const Graph& g, HostId num_hosts, Policy policy
   return assignment;
 }
 
+HostId edge_owner(const graph::Edge& e, graph::VertexId num_vertices, HostId num_hosts,
+                  Policy policy) {
+  switch (policy) {
+    case Policy::kEdgeCutSrc:
+      return block_owner(e.src, num_vertices, num_hosts);
+    case Policy::kEdgeCutDst:
+      return block_owner(e.dst, num_vertices, num_hosts);
+    case Policy::kCartesianVertexCut: {
+      const auto [pr, pc] = cartesian_grid(num_hosts);
+      const HostId row = block_owner(e.src, num_vertices, num_hosts) / pc;
+      const HostId col = block_owner(e.dst, num_vertices, num_hosts) % pc;
+      (void)pr;
+      return row * pc + col;
+    }
+    case Policy::kGeneralVertexCut:
+    case Policy::kRandomEdge: {
+      // SplitMix64 over the packed endpoints: deterministic, well mixed.
+      util::SplitMix64 mix((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+      return static_cast<HostId>(mix.next() % num_hosts);
+    }
+  }
+  return 0;
+}
+
 std::string to_string(Policy policy) {
   switch (policy) {
     case Policy::kEdgeCutSrc: return "edge-cut-src";

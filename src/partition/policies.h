@@ -14,4 +14,14 @@ namespace mrbc::partition {
 /// (edge i is the i-th entry of out_targets traversed by ascending source).
 std::vector<HostId> assign_edges(const Graph& g, HostId num_hosts, Policy policy);
 
+/// Owner host of a single edge under the stateless policies, consistent
+/// with assign_edges: streaming ingest uses this to route edge deltas to
+/// the host that will own them without materializing the whole graph.
+/// kGeneralVertexCut and kRandomEdge assign per-run (greedy state / RNG
+/// stream), so single-edge routing falls back to a deterministic hash of
+/// the endpoints — stable across batches, balanced, but not guaranteed to
+/// match a later assign_edges pass.
+HostId edge_owner(const graph::Edge& e, graph::VertexId num_vertices, HostId num_hosts,
+                  Policy policy);
+
 }  // namespace mrbc::partition

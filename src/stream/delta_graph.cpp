@@ -1,0 +1,243 @@
+#include "stream/delta_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/builder.h"
+
+namespace mrbc::stream {
+
+namespace {
+
+/// True if every adjacency list is strictly ascending with no self-loops —
+/// the shape build_graph produces and compaction's merge relies on.
+bool is_normalized(const graph::Graph& g) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    VertexId prev = graph::kInvalidVertex;
+    for (VertexId v : g.out_neighbors(u)) {
+      if (v == u) return false;
+      if (prev != graph::kInvalidVertex && v <= prev) return false;
+      prev = v;
+    }
+  }
+  return true;
+}
+
+graph::Graph normalize(graph::Graph g) {
+  if (is_normalized(g)) return g;
+  graph::EdgeListBuilder builder(g.num_vertices());
+  builder.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.out_neighbors(u)) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+DeltaGraph::DeltaGraph(graph::Graph base) : base_(normalize(std::move(base))) {
+  n_ = base_.num_vertices();
+  m_ = base_.num_edges();
+  out_head_.assign(n_, kNoBlock);
+  in_head_.assign(n_, kNoBlock);
+  deleted_out_.resize(n_);
+}
+
+void DeltaGraph::add_vertices(VertexId count) {
+  n_ += count;
+  out_head_.resize(n_, kNoBlock);
+  in_head_.resize(n_, kNoBlock);
+  deleted_out_.resize(n_);
+}
+
+bool DeltaGraph::chain_contains(std::uint32_t head, VertexId target) const {
+  for (std::uint32_t b = head; b != kNoBlock; b = blocks_[b].next) {
+    const EdgeBlock& blk = blocks_[b];
+    for (std::uint32_t i = 0; i < blk.count; ++i) {
+      if (blk.targets[i] == target) return true;
+    }
+  }
+  return false;
+}
+
+void DeltaGraph::chain_push(std::uint32_t& head, VertexId target) {
+  if (head == kNoBlock || blocks_[head].count == kBlockEdges) {
+    std::uint32_t idx;
+    if (!free_blocks_.empty()) {
+      idx = free_blocks_.back();
+      free_blocks_.pop_back();
+      blocks_[idx] = EdgeBlock{};
+    } else {
+      idx = static_cast<std::uint32_t>(blocks_.size());
+      blocks_.emplace_back();
+    }
+    blocks_[idx].next = head;
+    head = idx;
+  }
+  EdgeBlock& blk = blocks_[head];
+  blk.targets[blk.count++] = target;
+}
+
+bool DeltaGraph::chain_remove(std::uint32_t& head, VertexId target) {
+  for (std::uint32_t b = head; b != kNoBlock; b = blocks_[b].next) {
+    EdgeBlock& blk = blocks_[b];
+    for (std::uint32_t i = 0; i < blk.count; ++i) {
+      if (blk.targets[i] != target) continue;
+      // Backfill from the head block (the only partially filled one) so
+      // chains stay dense; drop the head block when it empties.
+      EdgeBlock& first = blocks_[head];
+      blk.targets[i] = first.targets[first.count - 1];
+      if (--first.count == 0) {
+        free_blocks_.push_back(head);
+        head = first.next;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t DeltaGraph::chain_size(std::uint32_t head) const {
+  std::size_t total = 0;
+  for (std::uint32_t b = head; b != kNoBlock; b = blocks_[b].next) total += blocks_[b].count;
+  return total;
+}
+
+bool DeltaGraph::is_tombstoned(VertexId u, VertexId v) const {
+  const auto& dels = deleted_out_[u];
+  return std::binary_search(dels.begin(), dels.end(), v);
+}
+
+bool DeltaGraph::base_has_edge(VertexId u, VertexId v) const {
+  if (u >= base_.num_vertices()) return false;  // vertex added after last snapshot
+  const auto nbrs = base_.out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool DeltaGraph::has_edge(VertexId u, VertexId v) const {
+  if (u >= n_ || v >= n_) return false;
+  if (chain_contains(out_head_[u], v)) return true;
+  return base_has_edge(u, v) && !is_tombstoned(u, v);
+}
+
+std::size_t DeltaGraph::out_degree(VertexId v) const {
+  return (v < base_.num_vertices() ? base_.out_degree(v) : 0) - deleted_out_[v].size() +
+         chain_size(out_head_[v]);
+}
+
+std::size_t DeltaGraph::in_degree(VertexId v) const {
+  std::size_t deg = chain_size(in_head_[v]);
+  if (v < base_.num_vertices()) {
+    for (VertexId u : base_.in_neighbors(v)) {
+      if (!is_tombstoned(u, v)) ++deg;
+    }
+  }
+  return deg;
+}
+
+bool DeltaGraph::apply_insert(VertexId u, VertexId v, ApplyResult& result) {
+  if (base_has_edge(u, v)) {
+    auto& dels = deleted_out_[u];
+    const auto it = std::lower_bound(dels.begin(), dels.end(), v);
+    if (it == dels.end() || *it != v) {
+      ++result.rejected_duplicates;
+      return false;
+    }
+    dels.erase(it);  // resurrect the tombstoned base edge
+    --deleted_count_;
+  } else {
+    if (chain_contains(out_head_[u], v)) {
+      ++result.rejected_duplicates;
+      return false;
+    }
+    chain_push(out_head_[u], v);
+    chain_push(in_head_[v], u);
+    ++inserted_count_;
+  }
+  ++m_;
+  ++result.inserted;
+  return true;
+}
+
+bool DeltaGraph::apply_delete(VertexId u, VertexId v, ApplyResult& result) {
+  if (chain_remove(out_head_[u], v)) {
+    const bool removed = chain_remove(in_head_[v], u);
+    assert(removed);
+    (void)removed;
+    --inserted_count_;
+  } else if (base_has_edge(u, v) && !is_tombstoned(u, v)) {
+    auto& dels = deleted_out_[u];
+    dels.insert(std::upper_bound(dels.begin(), dels.end(), v), v);
+    ++deleted_count_;
+  } else {
+    ++result.rejected_missing;
+    return false;
+  }
+  --m_;
+  ++result.deleted;
+  return true;
+}
+
+ApplyResult DeltaGraph::apply(const EdgeBatch& batch) {
+  ApplyResult result;
+  for (const EdgeOp& op : batch.ops) {
+    const auto [u, v] = op.edge;
+    if (u >= n_ || v >= n_) {
+      ++result.rejected_out_of_range;
+      continue;
+    }
+    if (u == v) {
+      ++result.rejected_self_loops;
+      continue;
+    }
+    const bool changed = op.kind == EdgeOpKind::kInsert ? apply_insert(u, v, result)
+                                                        : apply_delete(u, v, result);
+    if (changed) result.applied.push_back(op);
+  }
+  ++epoch_;
+  return result;
+}
+
+graph::Graph DeltaGraph::materialize() const {
+  graph::EdgeListBuilder builder(n_);
+  builder.reserve(m_);
+  std::vector<VertexId> overlay;
+  for (VertexId u = 0; u < n_; ++u) {
+    overlay.clear();
+    for_each_in_chain(out_head_[u], [&](VertexId v) { overlay.push_back(v); });
+    std::sort(overlay.begin(), overlay.end());
+    // Merge the two sorted, disjoint streams: live base targets + overlay.
+    const auto base_nbrs =
+        u < base_.num_vertices() ? base_.out_neighbors(u) : std::span<const VertexId>{};
+    std::size_t bi = 0, oi = 0;
+    while (bi < base_nbrs.size() || oi < overlay.size()) {
+      if (bi < base_nbrs.size() && is_tombstoned(u, base_nbrs[bi])) {
+        ++bi;
+        continue;
+      }
+      if (oi == overlay.size() ||
+          (bi < base_nbrs.size() && base_nbrs[bi] < overlay[oi])) {
+        builder.add_edge(u, base_nbrs[bi++]);
+      } else {
+        builder.add_edge(u, overlay[oi++]);
+      }
+    }
+  }
+  assert(builder.num_edges() == m_);
+  return std::move(builder).build_sorted_unique();
+}
+
+const graph::Graph& DeltaGraph::snapshot() {
+  base_ = materialize();
+  blocks_.clear();
+  free_blocks_.clear();
+  out_head_.assign(n_, kNoBlock);
+  in_head_.assign(n_, kNoBlock);
+  deleted_out_.assign(n_, {});
+  inserted_count_ = 0;
+  deleted_count_ = 0;
+  ++compactions_;
+  return base_;
+}
+
+}  // namespace mrbc::stream

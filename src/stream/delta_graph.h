@@ -1,0 +1,155 @@
+#pragma once
+// STINGER-inspired mutable overlay on the immutable CSR graph. The base
+// CSR stays untouched (every existing algorithm keeps its cache-friendly
+// spans); churn lands in per-vertex chains of fixed-size edge blocks for
+// insertions plus per-vertex tombstone lists for deletions of base edges.
+// Batched apply() advances an epoch counter; snapshot() compacts overlay +
+// base back into a fresh CSR (the STINGER "rebuild" step), after which the
+// overlay is empty again.
+//
+// Invariants (matching GraphBuilder semantics — the simulator's graphs are
+// simple directed graphs):
+//   - no self-loops, no duplicate edges, ever;
+//   - overlay and (base minus tombstones) are disjoint: re-inserting a
+//     tombstoned base edge clears the tombstone instead of growing the
+//     overlay, so compaction is a merge of two sorted, disjoint streams;
+//   - both directions are maintained (out-chains keyed by src, in-chains
+//     keyed by dst) because BC's accumulation phase walks in-edges.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "stream/edge_batch.h"
+
+namespace mrbc::stream {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+/// Outcome of one apply(): which ops changed the graph (with their kind,
+/// in batch order) and why the rest were ignored. IncrementalBc consumes
+/// `applied` for affected-source detection; the rejection counters mirror
+/// GraphBuilder's cleaning rules.
+struct ApplyResult {
+  std::vector<EdgeOp> applied;        ///< ops that changed the graph
+  std::size_t inserted = 0;           ///< edges added (incl. tombstone clears)
+  std::size_t deleted = 0;            ///< edges removed (overlay or tombstoned)
+  std::size_t rejected_self_loops = 0;
+  std::size_t rejected_duplicates = 0;   ///< insert of an existing edge
+  std::size_t rejected_missing = 0;      ///< delete of an absent edge
+  std::size_t rejected_out_of_range = 0; ///< endpoint >= num_vertices
+};
+
+class DeltaGraph {
+ public:
+  /// Takes ownership of the base snapshot. A base whose adjacency is not
+  /// sorted/unique/self-loop-free (possible via the raw CSR constructor)
+  /// is normalized through the builder once, so compaction can always
+  /// merge sorted streams.
+  explicit DeltaGraph(graph::Graph base);
+
+  VertexId num_vertices() const { return n_; }
+  /// Live edge count: base - tombstones + overlay.
+  EdgeId num_edges() const { return m_; }
+
+  /// Epoch advances once per apply(); snapshot() does not advance it.
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// The CSR the overlay is layered on (last snapshot).
+  const graph::Graph& base() const { return base_; }
+
+  std::size_t overlay_edges() const { return inserted_count_; }
+  std::size_t tombstones() const { return deleted_count_; }
+
+  /// Grows the vertex set (new vertices start isolated).
+  void add_vertices(VertexId count);
+
+  /// Applies the batch in order. O(batch * degree) — block chains and
+  /// tombstone lists are scanned per op.
+  ApplyResult apply(const EdgeBatch& batch);
+
+  bool has_edge(VertexId u, VertexId v) const;
+  std::size_t out_degree(VertexId v) const;
+  std::size_t in_degree(VertexId v) const;
+
+  /// Visits live out-neighbors of v: base targets (ascending, tombstones
+  /// skipped) first, then overlay insertions (unordered). Vertices added
+  /// after the last snapshot have no base adjacency yet.
+  template <typename Fn>
+  void for_each_out(VertexId v, Fn&& fn) const {
+    if (v < base_.num_vertices()) {
+      for (VertexId t : base_.out_neighbors(v)) {
+        if (!is_tombstoned(v, t)) fn(t);
+      }
+    }
+    for_each_in_chain(out_head_[v], std::forward<Fn>(fn));
+  }
+
+  /// Visits live in-neighbors of v (sources u of live edges (u, v)).
+  template <typename Fn>
+  void for_each_in(VertexId v, Fn&& fn) const {
+    if (v < base_.num_vertices()) {
+      for (VertexId u : base_.in_neighbors(v)) {
+        if (!is_tombstoned(u, v)) fn(u);
+      }
+    }
+    for_each_in_chain(in_head_[v], std::forward<Fn>(fn));
+  }
+
+  /// Epoch compaction: folds overlay + tombstones into a fresh CSR via the
+  /// builder's move/reserve path, resets the overlay, and returns the new
+  /// base. O(n + m); the merged edge list is built exactly once.
+  const graph::Graph& snapshot();
+
+  /// Builds the compacted CSR without mutating the delta store (callers
+  /// that need a throwaway snapshot, e.g. differential tests).
+  graph::Graph materialize() const;
+
+ private:
+  /// 64-byte block: 14 targets + count + next. Chains grow at the head so
+  /// only the head block is ever partially filled.
+  static constexpr std::uint32_t kBlockEdges = 14;
+  static constexpr std::uint32_t kNoBlock = static_cast<std::uint32_t>(-1);
+
+  struct EdgeBlock {
+    std::uint32_t next = kNoBlock;
+    std::uint32_t count = 0;
+    VertexId targets[kBlockEdges];
+  };
+
+  template <typename Fn>
+  void for_each_in_chain(std::uint32_t head, Fn&& fn) const {
+    for (std::uint32_t b = head; b != kNoBlock; b = blocks_[b].next) {
+      for (std::uint32_t i = 0; i < blocks_[b].count; ++i) fn(blocks_[b].targets[i]);
+    }
+  }
+
+  bool chain_contains(std::uint32_t head, VertexId target) const;
+  void chain_push(std::uint32_t& head, VertexId target);
+  bool chain_remove(std::uint32_t& head, VertexId target);
+  std::size_t chain_size(std::uint32_t head) const;
+
+  bool is_tombstoned(VertexId u, VertexId v) const;
+  bool base_has_edge(VertexId u, VertexId v) const;
+
+  bool apply_insert(VertexId u, VertexId v, ApplyResult& result);
+  bool apply_delete(VertexId u, VertexId v, ApplyResult& result);
+
+  graph::Graph base_;
+  VertexId n_ = 0;
+  EdgeId m_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t inserted_count_ = 0;
+  std::size_t deleted_count_ = 0;
+
+  std::vector<EdgeBlock> blocks_;        ///< shared pool, both directions
+  std::vector<std::uint32_t> free_blocks_;
+  std::vector<std::uint32_t> out_head_;  ///< per-vertex inserted out-edges
+  std::vector<std::uint32_t> in_head_;   ///< per-vertex inserted in-edges
+  std::vector<std::vector<VertexId>> deleted_out_;  ///< sorted tombstones per src
+};
+
+}  // namespace mrbc::stream

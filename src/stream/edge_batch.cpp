@@ -1,0 +1,28 @@
+#include "stream/edge_batch.h"
+
+namespace mrbc::stream {
+
+void EdgeBatch::serialize(util::SendBuffer& buf) const {
+  buf.write<std::uint32_t>(static_cast<std::uint32_t>(ops.size()));
+  for (const EdgeOp& op : ops) {
+    buf.write<graph::VertexId>(op.edge.src);
+    buf.write<graph::VertexId>(op.edge.dst);
+    buf.write<std::uint8_t>(static_cast<std::uint8_t>(op.kind));
+  }
+}
+
+EdgeBatch EdgeBatch::deserialize(util::RecvBuffer& buf) {
+  EdgeBatch batch;
+  const auto n = buf.read<std::uint32_t>();
+  batch.ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EdgeOp op;
+    op.edge.src = buf.read<graph::VertexId>();
+    op.edge.dst = buf.read<graph::VertexId>();
+    op.kind = static_cast<EdgeOpKind>(buf.read<std::uint8_t>());
+    batch.ops.push_back(op);
+  }
+  return batch;
+}
+
+}  // namespace mrbc::stream

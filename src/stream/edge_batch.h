@@ -1,0 +1,55 @@
+#pragma once
+// Edge update batches: the unit of churn the streaming subsystem ingests.
+// Real dynamic-graph services absorb updates in batches rather than one
+// edge at a time (STINGER, Bergamini & Meyerhenke ESA'15) — batching is
+// what lets incremental BC amortize affected-source detection and reuse
+// the MRBC source-batching machinery (Lemma 8) for the re-execution.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/serialize.h"
+
+namespace mrbc::stream {
+
+enum class EdgeOpKind : std::uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+};
+
+struct EdgeOp {
+  graph::Edge edge;
+  EdgeOpKind kind = EdgeOpKind::kInsert;
+
+  friend bool operator==(const EdgeOp&, const EdgeOp&) = default;
+};
+
+/// An ordered list of edge insertions/deletions applied atomically as one
+/// epoch transition. Order matters within a batch: a delete after an
+/// insert of the same edge removes it, and vice versa.
+struct EdgeBatch {
+  std::vector<EdgeOp> ops;
+
+  void insert(graph::VertexId src, graph::VertexId dst) {
+    ops.push_back({{src, dst}, EdgeOpKind::kInsert});
+  }
+  void erase(graph::VertexId src, graph::VertexId dst) {
+    ops.push_back({{src, dst}, EdgeOpKind::kDelete});
+  }
+
+  std::size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+  void clear() { ops.clear(); }
+
+  /// Wire format (used by the distributed ingest path): [count:u32] then
+  /// per op [src:u32][dst:u32][kind:u8]. Written explicitly rather than as
+  /// a POD vector so struct padding never hits the wire.
+  void serialize(util::SendBuffer& buf) const;
+  static EdgeBatch deserialize(util::RecvBuffer& buf);
+
+  /// Serialized size in bytes (ingest traffic accounting).
+  std::size_t wire_bytes() const { return sizeof(std::uint32_t) + ops.size() * 9; }
+};
+
+}  // namespace mrbc::stream

@@ -1,0 +1,116 @@
+#pragma once
+// Incremental maintenance of sampled betweenness centrality under edge
+// churn, in the spirit of Bergamini & Meyerhenke ("Fully-dynamic
+// Approximation of Betweenness Centrality", ESA'15): scores over a fixed
+// sampled source set are kept exact across batches by re-executing only
+// the sources whose SSSP DAG the batch actually touched.
+//
+// Per batch:
+//   1. the EdgeBatch is routed to owning hosts through the comm substrate
+//      (stream/ingest.h) — modeled distributed ingest traffic;
+//   2. the DeltaGraph overlay absorbs the ops (epoch transition);
+//   3. affected-source detection probes each applied op's endpoints
+//      against the retained per-source distance tables:
+//        insert (u,v): s affected iff d_s(u) finite and (v unreachable or
+//                      d_s(u)+1 <= d_s(v)) — a shorter path (<) or an
+//                      additional shortest path (=) appears;
+//        delete (u,v): s affected iff d_s(v) == d_s(u)+1 — the edge lay on
+//                      s's shortest-path DAG (deleting a non-DAG edge can
+//                      change neither distances nor path counts).
+//      The OR over a batch's ops is exact (no false negatives): any
+//      cascade of changes starts at an op whose old-distance test fires.
+//   4. each affected source's stale dependency contributions are
+//      subtracted from the maintained scores, the delta store is
+//      compacted (snapshot) and re-partitioned, and only the affected
+//      sources are re-run through the batched MRBC forward/accumulation
+//      phases; their new contributions are added back.
+// When the affected fraction exceeds recompute_threshold, the incremental
+// machinery would redo nearly everything anyway, so all sources are
+// re-executed in one pass (the "fall back to full recompute" rule).
+//
+// Scores are maintained UNscaled (the plain sum over the sampled source
+// set, exactly what brandes_bc_sources produces for the same sources —
+// which is how the churn fuzzer validates bit-level agreement);
+// scaled_scores() applies the n/k Bader et al. estimator factor.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/mrbc.h"
+#include "stream/delta_graph.h"
+#include "stream/ingest.h"
+#include "util/stats_registry.h"
+
+namespace mrbc::stream {
+
+struct IncrementalBcOptions {
+  /// Sampled sources (>= n means exact BC maintenance).
+  std::uint32_t num_samples = 64;
+  std::uint64_t seed = 1;
+  /// Affected fraction above which a full recompute replaces per-source
+  /// surgery.
+  double recompute_threshold = 0.75;
+  /// Model the distributed EdgeBatch routing (off: single-site ingest).
+  bool distribute_ingest = true;
+  /// Distributed execution configuration for re-runs (collect_tables is
+  /// forced on internally — the tables are the incremental state).
+  core::MrbcOptions mrbc;
+};
+
+/// Per-batch maintenance report (bench/stream_churn.cpp aggregates these).
+struct BatchReport {
+  std::uint64_t epoch = 0;
+  std::size_t applied_ops = 0;
+  std::size_t affected_sources = 0;   ///< sources re-executed
+  bool full_recompute = false;
+  sim::RunStats reexec;               ///< MRBC forward+backward of the re-run
+  std::size_t ingest_messages = 0;
+  std::size_t ingest_bytes = 0;
+  double ingest_seconds = 0;
+
+  double model_seconds() const { return reexec.total_seconds() + ingest_seconds; }
+};
+
+class IncrementalBc {
+ public:
+  explicit IncrementalBc(graph::Graph base, IncrementalBcOptions options = {});
+
+  /// Unscaled maintained scores: sum of dependencies over sources().
+  const core::BcScores& scores() const { return bc_; }
+  /// n/k-scaled estimate (== core::sampled_bc semantics).
+  core::BcScores scaled_scores() const;
+
+  const std::vector<graph::VertexId>& sources() const { return sources_; }
+  const DeltaGraph& delta() const { return delta_; }
+  std::uint64_t epoch() const { return delta_.epoch(); }
+
+  /// Cumulative stream/* counters (ingest + re-execution).
+  const util::StatsRegistry& stats() const { return registry_; }
+  util::StatsRegistry& stats() { return registry_; }
+
+  /// Ingests one batch and restores score exactness. Returns what it cost.
+  BatchReport apply(const EdgeBatch& batch);
+
+ private:
+  void rebuild_partition();
+  /// Re-runs `source_idxs` through MRBC on the current snapshot, swapping
+  /// their stale contributions for fresh ones.
+  sim::RunStats reexecute(const std::vector<std::uint32_t>& source_idxs);
+  void grow_tables(graph::VertexId n);
+
+  IncrementalBcOptions opts_;
+  DeltaGraph delta_;
+  std::unique_ptr<partition::Partition> partition_;  ///< of the current snapshot
+  std::vector<graph::VertexId> sources_;
+  core::BcScores bc_;
+  /// Retained per-source tables, indexed [source_idx][vertex]: the state
+  /// that makes O(1) affected-source probes and stale-contribution
+  /// subtraction possible.
+  std::vector<std::vector<std::uint32_t>> dist_;
+  std::vector<std::vector<double>> sigma_;
+  std::vector<std::vector<double>> dep_;
+  util::StatsRegistry registry_;
+};
+
+}  // namespace mrbc::stream

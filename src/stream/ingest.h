@@ -1,0 +1,41 @@
+#pragma once
+// Distributed ingest path for edge-update batches: in a real deployment
+// updates arrive at arbitrary hosts and must be routed to the host that
+// owns the edge under the active partitioning policy before they can be
+// applied to that host's local slice. The router models exactly that
+// scatter: per-op origin hosts (deterministic hash — the "client entry
+// point"), owner computed by partition::edge_owner, serialization through
+// real SendBuffers, transmission through comm::Substrate::scatter (so
+// framing / fault injection / reliable delivery apply to ingest traffic
+// too), and NetworkModel cost for the scatter round.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/substrate.h"
+#include "engine/network_model.h"
+#include "stream/edge_batch.h"
+#include "util/stats_registry.h"
+
+namespace mrbc::stream {
+
+/// One batch's routing outcome.
+struct RoutedBatch {
+  /// ops[h] = the sub-batch host h owns, in original batch order. Ops on
+  /// the same edge share both origin (hash) and owner (policy), so their
+  /// relative order survives routing — required for insert/delete pairs.
+  std::vector<EdgeBatch> per_host;
+  std::size_t local_ops = 0;   ///< op originated at its owner (no wire)
+  std::size_t remote_ops = 0;  ///< op crossed the wire
+  comm::SyncStats wire;        ///< scatter traffic (bytes measured, not estimated)
+  double modeled_seconds = 0;  ///< NetworkModel cost of the scatter round
+};
+
+/// Routes `batch` to owning hosts through `substrate` (whose partition
+/// supplies host count and vertex range). Counters land in `registry`
+/// under stream/ingest_* when non-null.
+RoutedBatch route_batch(const EdgeBatch& batch, comm::Substrate& substrate,
+                        partition::Policy policy, const sim::NetworkModel& network,
+                        util::StatsRegistry* registry = nullptr);
+
+}  // namespace mrbc::stream

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "baselines/brandes_seq.h"
 #include "baselines/mfbc.h"
 #include "baselines/sbbc.h"
@@ -14,6 +16,7 @@
 #include "engine/fault.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
+#include "stream/incremental_bc.h"
 #include "test_helpers.h"
 #include "util/rng.h"
 
@@ -149,6 +152,71 @@ TEST_P(DifferentialFuzz, FaultScheduleMatchesBrandes) {
   sopts.cluster.checkpoint_interval = checkpoint_interval;
   testing::expect_bc_equal(golden.bc, baselines::sbbc_bc(g, sources, sopts).result.bc,
                            "fuzz sbbc faults seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(DifferentialFuzz, IncrementalBcMatchesBrandesUnderChurn) {
+  // Churn fuzzer: random insert/delete batches against IncrementalBc, with
+  // an independently maintained reference edge set rebuilt from scratch
+  // through build_graph + brandes_bc_sources after EVERY batch. Deletions
+  // draw from the live edge set, so bridge removals that disconnect
+  // reachable regions (the hard case for dependency subtraction — scores
+  // must drop to the disconnected values, not go stale) occur routinely.
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 0x2b5c + 11);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return;
+  const VertexId n = g.num_vertices();
+
+  // Reference mirror of the stream's semantics: a plain set of live edges.
+  std::set<graph::Edge> reference;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.out_neighbors(u)) reference.insert({u, v});
+  }
+
+  stream::IncrementalBcOptions opts;
+  opts.num_samples =
+      rng.next_bool(0.2) ? n : 1 + static_cast<std::uint32_t>(rng.next_bounded(16));
+  opts.seed = rng.next();
+  opts.recompute_threshold = rng.next_double();
+  opts.distribute_ingest = rng.next_bool(0.5);
+  opts.mrbc.num_hosts = 1 + static_cast<partition::HostId>(rng.next_bounded(8));
+  opts.mrbc.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(12));
+  opts.mrbc.delayed_sync = rng.next_bool(0.8);
+  const partition::Policy policies[] = {
+      partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
+      partition::Policy::kCartesianVertexCut, partition::Policy::kGeneralVertexCut,
+      partition::Policy::kRandomEdge};
+  opts.mrbc.policy = policies[rng.next_bounded(5)];
+  stream::IncrementalBc inc(g, opts);
+
+  for (int round = 0; round < 3; ++round) {
+    stream::EdgeBatch batch;
+    const auto num_ops = 1 + rng.next_bounded(24);
+    for (std::uint64_t i = 0; i < num_ops; ++i) {
+      if (!reference.empty() && rng.next_bool(0.45)) {
+        auto it = reference.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(rng.next_bounded(reference.size())));
+        batch.erase(it->src, it->dst);
+        reference.erase(it);
+      } else {
+        const auto u = static_cast<VertexId>(rng.next_bounded(n));
+        const auto v = static_cast<VertexId>(rng.next_bounded(n));
+        batch.insert(u, v);
+        if (u != v) reference.insert({u, v});
+      }
+    }
+    inc.apply(batch);
+
+    const Graph expected_graph =
+        graph::build_graph(n, {reference.begin(), reference.end()});
+    ASSERT_EQ(inc.delta().base().num_edges(), expected_graph.num_edges())
+        << "seed=" << GetParam() << " round=" << round;
+    const auto golden = baselines::brandes_bc_sources(expected_graph, inc.sources());
+    ASSERT_EQ(golden.bc.size(), inc.scores().size());
+    for (std::size_t v = 0; v < golden.bc.size(); ++v) {
+      EXPECT_NEAR(golden.bc[v], inc.scores()[v], 1e-9 * std::max(1.0, std::abs(golden.bc[v])))
+          << "seed=" << GetParam() << " round=" << round << " vertex=" << v;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));

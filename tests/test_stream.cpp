@@ -1,0 +1,441 @@
+// Streaming subsystem: DeltaGraph overlay semantics (STINGER-style blocks,
+// tombstones, epoch compaction), EdgeBatch wire format, distributed ingest
+// routing, and IncrementalBc score maintenance against from-scratch
+// Brandes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "baselines/brandes_seq.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "partition/policies.h"
+#include "stream/delta_graph.h"
+#include "stream/edge_batch.h"
+#include "stream/incremental_bc.h"
+#include "stream/ingest.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace mrbc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using stream::DeltaGraph;
+using stream::EdgeBatch;
+using stream::EdgeOpKind;
+using stream::IncrementalBc;
+
+std::vector<VertexId> sorted_out(const DeltaGraph& dg, VertexId v) {
+  std::vector<VertexId> out;
+  dg.for_each_out(v, [&](VertexId t) { out.push_back(t); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> sorted_in(const DeltaGraph& dg, VertexId v) {
+  std::vector<VertexId> in;
+  dg.for_each_in(v, [&](VertexId s) { in.push_back(s); });
+  std::sort(in.begin(), in.end());
+  return in;
+}
+
+TEST(DeltaGraph, InsertDeleteAndQueries) {
+  DeltaGraph dg(graph::path(4));  // 0->1->2->3
+  EXPECT_EQ(dg.num_edges(), 3u);
+
+  EdgeBatch batch;
+  batch.insert(0, 2);
+  batch.insert(3, 0);
+  batch.erase(1, 2);
+  const auto result = dg.apply(batch);
+  EXPECT_EQ(result.inserted, 2u);
+  EXPECT_EQ(result.deleted, 1u);
+  EXPECT_EQ(result.applied.size(), 3u);
+  EXPECT_EQ(dg.num_edges(), 4u);
+  EXPECT_EQ(dg.epoch(), 1u);
+
+  EXPECT_TRUE(dg.has_edge(0, 1));
+  EXPECT_TRUE(dg.has_edge(0, 2));
+  EXPECT_TRUE(dg.has_edge(3, 0));
+  EXPECT_FALSE(dg.has_edge(1, 2));
+  EXPECT_EQ(sorted_out(dg, 0), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(sorted_in(dg, 2), (std::vector<VertexId>{0}));
+  EXPECT_EQ(sorted_in(dg, 0), (std::vector<VertexId>{3}));
+  EXPECT_EQ(dg.out_degree(0), 2u);
+  EXPECT_EQ(dg.out_degree(1), 0u);
+  EXPECT_EQ(dg.in_degree(2), 1u);
+}
+
+TEST(DeltaGraph, BuilderRulesSelfLoopsDuplicatesMissing) {
+  DeltaGraph dg(graph::path(3));
+  EdgeBatch batch;
+  batch.insert(1, 1);   // self-loop
+  batch.insert(0, 1);   // duplicate of base edge
+  batch.erase(2, 0);    // missing
+  batch.insert(0, 2);
+  batch.insert(0, 2);   // duplicate of overlay edge
+  const auto result = dg.apply(batch);
+  EXPECT_EQ(result.rejected_self_loops, 1u);
+  EXPECT_EQ(result.rejected_duplicates, 2u);
+  EXPECT_EQ(result.rejected_missing, 1u);
+  EXPECT_EQ(result.inserted, 1u);
+  EXPECT_EQ(result.applied.size(), 1u);
+  EXPECT_EQ(dg.num_edges(), 3u);
+
+  // Out-of-range endpoints are rejected, not UB.
+  EdgeBatch bad;
+  bad.insert(0, 99);
+  EXPECT_EQ(dg.apply(bad).rejected_out_of_range, 1u);
+}
+
+TEST(DeltaGraph, TombstoneResurrection) {
+  DeltaGraph dg(graph::path(3));
+  EdgeBatch del;
+  del.erase(0, 1);
+  dg.apply(del);
+  EXPECT_FALSE(dg.has_edge(0, 1));
+  EXPECT_EQ(dg.tombstones(), 1u);
+
+  EdgeBatch ins;
+  ins.insert(0, 1);
+  const auto result = dg.apply(ins);
+  EXPECT_EQ(result.inserted, 1u);
+  EXPECT_TRUE(dg.has_edge(0, 1));
+  // Resurrection clears the tombstone instead of growing the overlay.
+  EXPECT_EQ(dg.tombstones(), 0u);
+  EXPECT_EQ(dg.overlay_edges(), 0u);
+}
+
+TEST(DeltaGraph, InsertThenDeleteWithinBatchIsNetZero) {
+  DeltaGraph dg(graph::path(3));
+  EdgeBatch batch;
+  batch.insert(2, 0);
+  batch.erase(2, 0);
+  const auto result = dg.apply(batch);
+  EXPECT_EQ(result.inserted, 1u);
+  EXPECT_EQ(result.deleted, 1u);
+  EXPECT_FALSE(dg.has_edge(2, 0));
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_EQ(dg.overlay_edges(), 0u);
+}
+
+TEST(DeltaGraph, BlockChainsPastOneBlock) {
+  // > kBlockEdges inserted out-edges on one vertex exercises chained
+  // blocks plus removal backfill across blocks.
+  DeltaGraph dg(graph::build_graph(64, {}));
+  EdgeBatch batch;
+  for (VertexId v = 1; v < 40; ++v) batch.insert(0, v);
+  dg.apply(batch);
+  EXPECT_EQ(dg.out_degree(0), 39u);
+  EdgeBatch del;
+  for (VertexId v = 1; v < 40; v += 2) del.erase(0, v);
+  dg.apply(del);
+  EXPECT_EQ(dg.out_degree(0), 19u);
+  for (VertexId v = 1; v < 40; ++v) {
+    EXPECT_EQ(dg.has_edge(0, v), v % 2 == 0) << v;
+    EXPECT_EQ(dg.in_degree(v), v % 2 == 0 ? 1u : 0u) << v;
+  }
+}
+
+TEST(DeltaGraph, SnapshotCompactsToEquivalentCsr) {
+  util::Xoshiro256 rng(99);
+  Graph base = graph::erdos_renyi(40, 0.1, 5);
+  DeltaGraph dg(base);
+  // Random churn, tracked in a reference edge set.
+  std::set<std::pair<VertexId, VertexId>> reference;
+  for (VertexId u = 0; u < base.num_vertices(); ++u) {
+    for (VertexId v : base.out_neighbors(u)) reference.insert({u, v});
+  }
+  for (int round = 0; round < 5; ++round) {
+    EdgeBatch batch;
+    for (int i = 0; i < 30; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_bounded(40));
+      const auto v = static_cast<VertexId>(rng.next_bounded(40));
+      if (rng.next_bool(0.6)) {
+        batch.insert(u, v);
+        if (u != v) reference.insert({u, v});
+      } else {
+        batch.erase(u, v);
+        reference.erase({u, v});
+      }
+    }
+    dg.apply(batch);
+    EXPECT_EQ(dg.num_edges(), reference.size());
+  }
+
+  const Graph compacted = dg.snapshot();
+  EXPECT_EQ(dg.compactions(), 1u);
+  EXPECT_EQ(dg.overlay_edges(), 0u);
+  EXPECT_EQ(dg.tombstones(), 0u);
+  EXPECT_EQ(compacted.num_edges(), reference.size());
+  for (const auto& [u, v] : reference) {
+    EXPECT_TRUE(compacted.has_edge(u, v)) << u << "->" << v;
+  }
+  // Queries are identical before and after compaction.
+  for (VertexId u = 0; u < compacted.num_vertices(); ++u) {
+    std::vector<VertexId> csr(compacted.out_neighbors(u).begin(),
+                              compacted.out_neighbors(u).end());
+    EXPECT_EQ(sorted_out(dg, u), csr) << u;
+  }
+}
+
+TEST(DeltaGraph, AddVerticesGrowsIsolated) {
+  DeltaGraph dg(graph::path(3));
+  dg.add_vertices(2);
+  EXPECT_EQ(dg.num_vertices(), 5u);
+  EXPECT_EQ(dg.out_degree(4), 0u);
+  EdgeBatch batch;
+  batch.insert(2, 4);
+  batch.insert(4, 0);
+  dg.apply(batch);
+  EXPECT_TRUE(dg.has_edge(2, 4));
+  const Graph g = dg.snapshot();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_TRUE(g.has_edge(4, 0));
+}
+
+TEST(DeltaGraph, NormalizesUnsortedBase) {
+  // Raw CSR with unsorted adjacency and a self-loop: DeltaGraph must
+  // normalize so compaction's sorted-merge invariant holds.
+  Graph raw(std::vector<graph::EdgeId>{0, 3, 3}, std::vector<VertexId>{1, 0, 0});
+  DeltaGraph dg(raw);
+  EXPECT_EQ(dg.num_edges(), 1u);  // self-loop 0->0 dropped, duplicate folded
+  EXPECT_TRUE(dg.has_edge(0, 1));
+  EXPECT_EQ(dg.snapshot().num_edges(), 1u);
+}
+
+TEST(EdgeBatch, SerializeRoundTrip) {
+  EdgeBatch batch;
+  batch.insert(3, 7);
+  batch.erase(1, 2);
+  batch.insert(0, 5);
+  util::SendBuffer buf;
+  batch.serialize(buf);
+  EXPECT_EQ(buf.size(), batch.wire_bytes());
+  util::RecvBuffer rbuf(buf.take());
+  const EdgeBatch restored = EdgeBatch::deserialize(rbuf);
+  EXPECT_EQ(restored.ops, batch.ops);
+}
+
+TEST(Ingest, RoutesEveryOpExactlyOnceInOrder) {
+  const Graph g = graph::erdos_renyi(60, 0.08, 3);
+  for (const auto policy :
+       {partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
+        partition::Policy::kCartesianVertexCut, partition::Policy::kRandomEdge}) {
+    const partition::Partition part(g, 6, policy);
+    comm::Substrate substrate(part);
+    util::Xoshiro256 rng(17);
+    EdgeBatch batch;
+    for (int i = 0; i < 64; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_bounded(60));
+      const auto v = static_cast<VertexId>(rng.next_bounded(60));
+      if (rng.next_bool(0.7)) {
+        batch.insert(u, v);
+      } else {
+        batch.erase(u, v);
+      }
+    }
+    util::StatsRegistry registry;
+    const auto routed = stream::route_batch(batch, substrate, policy, {}, &registry);
+
+    // Every op lands on exactly one host, at the policy's owner.
+    std::size_t total = 0;
+    for (partition::HostId h = 0; h < 6; ++h) {
+      for (const auto& op : routed.per_host[h].ops) {
+        EXPECT_EQ(partition::edge_owner(op.edge, 60, 6, policy), h);
+      }
+      total += routed.per_host[h].size();
+    }
+    EXPECT_EQ(total, batch.size());
+    EXPECT_EQ(routed.local_ops + routed.remote_ops, batch.size());
+    // Per-edge op order is preserved within each host's sub-batch.
+    for (partition::HostId h = 0; h < 6; ++h) {
+      for (std::size_t i = 0; i < routed.per_host[h].ops.size(); ++i) {
+        for (std::size_t j = i + 1; j < routed.per_host[h].ops.size(); ++j) {
+          const auto& a = routed.per_host[h].ops[i];
+          const auto& b = routed.per_host[h].ops[j];
+          if (a.edge != b.edge) continue;
+          // Find positions in the original batch: order must match.
+          const auto pos = [&](const stream::EdgeOp& op, std::size_t from) {
+            for (std::size_t p = from; p < batch.ops.size(); ++p) {
+              if (batch.ops[p] == op) return p;
+            }
+            return batch.ops.size();
+          };
+          EXPECT_LT(pos(a, 0), pos(b, pos(a, 0) + 1));
+        }
+      }
+    }
+    EXPECT_EQ(registry.counter("stream/ingest_ops"), batch.size());
+    EXPECT_GT(routed.wire.bytes, 0u);
+    EXPECT_GE(routed.modeled_seconds, 0.0);
+  }
+}
+
+TEST(Ingest, EdgeOwnerMatchesAssignEdges) {
+  const Graph g = graph::rmat({.scale = 6, .edge_factor = 4.0, .seed = 11});
+  for (const auto policy : {partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
+                            partition::Policy::kCartesianVertexCut}) {
+    const auto assignment = partition::assign_edges(g, 6, policy);
+    graph::EdgeId e = 0;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v : g.out_neighbors(u)) {
+        EXPECT_EQ(partition::edge_owner({u, v}, g.num_vertices(), 6, policy), assignment[e])
+            << partition::to_string(policy) << " edge " << u << "->" << v;
+        ++e;
+      }
+    }
+  }
+}
+
+TEST(EdgeListBuilder, MatchesBuildGraph) {
+  const std::vector<graph::Edge> edges = {{0, 1}, {1, 1}, {0, 1}, {2, 0}, {1, 2}};
+  const Graph direct = graph::build_graph(3, edges);
+  graph::EdgeListBuilder builder(3);
+  builder.reserve(edges.size());
+  for (const auto& e : edges) builder.add_edge(e.src, e.dst);
+  const Graph built = std::move(builder).build();
+  EXPECT_EQ(built.num_edges(), direct.num_edges());
+  EXPECT_EQ(built.out_offsets(), direct.out_offsets());
+  EXPECT_EQ(built.out_targets(), direct.out_targets());
+}
+
+TEST(EdgeListBuilder, SortedUniqueFastPath) {
+  graph::EdgeListBuilder builder(4);
+  builder.adopt_edges({{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const Graph g = std::move(builder).build_sorted_unique();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(1, 3));
+}
+
+TEST(IncrementalBc, ExactMaintenanceOnStructuredGraph) {
+  // All-sources (exact) maintenance on the diamond graph across inserts
+  // and a disconnecting delete.
+  const Graph base = graph::build_graph(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  stream::IncrementalBcOptions opts;
+  opts.num_samples = 5;  // >= n: exact
+  opts.mrbc.num_hosts = 3;
+  IncrementalBc inc(base, opts);
+  testing::expect_bc_equal(baselines::brandes_bc(base), inc.scores(), "initial");
+
+  EdgeBatch b1;
+  b1.insert(3, 4);
+  const auto r1 = inc.apply(b1);
+  EXPECT_GT(r1.affected_sources, 0u);
+  {
+    const Graph now = graph::build_graph(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+    testing::expect_bc_equal(baselines::brandes_bc(now), inc.scores(), "after insert");
+  }
+
+  EdgeBatch b2;  // disconnect 3 (and 4) from the sources' reach
+  b2.erase(1, 3);
+  b2.erase(2, 3);
+  inc.apply(b2);
+  {
+    const Graph now = graph::build_graph(5, {{0, 1}, {0, 2}, {3, 4}});
+    testing::expect_bc_equal(baselines::brandes_bc(now), inc.scores(), "after disconnect");
+  }
+}
+
+TEST(IncrementalBc, UnaffectedSourcesAreNotReexecuted) {
+  // Two disjoint bidirectional paths; churn confined to the second
+  // component must never re-execute sources sampled in the first.
+  graph::EdgeListBuilder builder(12);
+  for (VertexId v = 0; v + 1 < 6; ++v) {
+    builder.add_edge(v, v + 1);
+    builder.add_edge(v + 1, v);
+  }
+  for (VertexId v = 6; v + 1 < 12; ++v) {
+    builder.add_edge(v, v + 1);
+    builder.add_edge(v + 1, v);
+  }
+  const Graph base = std::move(builder).build();
+  stream::IncrementalBcOptions opts;
+  opts.num_samples = 12;
+  opts.recompute_threshold = 1.0;  // never fall back, count true affected
+  IncrementalBc inc(base, opts);
+
+  EdgeBatch batch;
+  batch.insert(6, 8);
+  const auto report = inc.apply(batch);
+  // Only source 6's DAG changes: for s=7 the new edge offers d(6)+1 = 2 > 1
+  // = d(8), and no source in the first component can even reach vertex 6.
+  EXPECT_EQ(report.affected_sources, 1u);
+  EXPECT_FALSE(report.full_recompute);
+  const Graph now = inc.delta().base();
+  testing::expect_bc_equal(baselines::brandes_bc(now), inc.scores(), "component-local churn");
+}
+
+TEST(IncrementalBc, FullRecomputeFallback) {
+  const Graph base = graph::bidirectional_path(8);
+  stream::IncrementalBcOptions opts;
+  opts.num_samples = 8;
+  opts.recompute_threshold = 0.0;  // any affected source trips the fallback
+  IncrementalBc inc(base, opts);
+  EdgeBatch batch;
+  batch.insert(0, 4);
+  const auto report = inc.apply(batch);
+  EXPECT_TRUE(report.full_recompute);
+  EXPECT_EQ(report.affected_sources, 8u);
+  EXPECT_EQ(inc.stats().counter("stream/full_recomputes"), 1u);
+  testing::expect_bc_equal(baselines::brandes_bc(inc.delta().base()), inc.scores(), "fallback");
+}
+
+TEST(IncrementalBc, SampledSubsetMatchesBrandesOnSameSources) {
+  const Graph base = graph::erdos_renyi(50, 0.08, 21);
+  stream::IncrementalBcOptions opts;
+  opts.num_samples = 12;
+  opts.seed = 5;
+  opts.mrbc.num_hosts = 4;
+  IncrementalBc inc(base, opts);
+  util::Xoshiro256 rng(77);
+  for (int round = 0; round < 4; ++round) {
+    EdgeBatch batch;
+    for (int i = 0; i < 10; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_bounded(50));
+      const auto v = static_cast<VertexId>(rng.next_bounded(50));
+      if (rng.next_bool(0.5) && inc.delta().has_edge(u, v)) {
+        batch.erase(u, v);
+      } else {
+        batch.insert(u, v);
+      }
+    }
+    inc.apply(batch);
+    const auto golden = baselines::brandes_bc_sources(inc.delta().base(), inc.sources());
+    testing::expect_bc_equal(golden.bc, inc.scores(),
+                             "sampled churn round " + std::to_string(round));
+  }
+  // Scaled estimator applies n/k.
+  const auto scaled = inc.scaled_scores();
+  for (std::size_t v = 0; v < scaled.size(); ++v) {
+    EXPECT_NEAR(scaled[v], inc.scores()[v] * 50.0 / 12.0, 1e-9);
+  }
+}
+
+TEST(IncrementalBc, IngestCountersAccumulate) {
+  const Graph base = graph::erdos_renyi(40, 0.1, 9);
+  stream::IncrementalBcOptions opts;
+  opts.num_samples = 8;
+  opts.mrbc.num_hosts = 4;
+  IncrementalBc inc(base, opts);
+  EdgeBatch batch;
+  for (VertexId v = 10; v < 26; ++v) batch.insert(1, v);
+  inc.apply(batch);
+  EXPECT_EQ(inc.stats().counter("stream/batches"), 1u);
+  EXPECT_EQ(inc.stats().counter("stream/ingest_ops"), 16u);
+  EXPECT_EQ(inc.stats().counter("stream/ingest_local_ops") +
+                inc.stats().counter("stream/ingest_remote_ops"),
+            16u);
+  // 16 distinct edges hashed over 4 origin hosts: some must cross the wire.
+  EXPECT_GT(inc.stats().counter("stream/ingest_remote_ops"), 0u);
+  EXPECT_GT(inc.stats().counter("stream/ingest_bytes"), 0u);
+  EXPECT_GT(inc.stats().counter("stream/sources_reexecuted"), 0u);
+}
+
+}  // namespace
+}  // namespace mrbc
