@@ -25,6 +25,8 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/stats_registry.h"
 
@@ -48,6 +50,9 @@ struct Args {
   bool weighted = false;       // run the weighted variants instead
   std::uint32_t max_weight = 10;
   std::string stats_file;      // Galois-style key=value statistics dump
+  std::string trace_json;      // Chrome trace-event timeline dump
+  std::string metrics_json;    // histogram/percentile dump
+  bool progress = false;       // live per-round progress on stderr
 };
 
 void usage(const char* prog) {
@@ -68,7 +73,12 @@ void usage(const char* prog) {
       "                        brandes, abbc, or mfbc (weighted variants)\n"
       "  --max-weight <w>      weight range for --weighted (default 10)\n"
       "  --csv <file>          write per-vertex BC scores\n"
-      "  --stats-file <file>   write key=value run statistics (artifact format)\n",
+      "  --stats-file <file>   write key=value run statistics (artifact format)\n"
+      "  --trace-json <file>   write a Chrome trace-event timeline (chrome://tracing\n"
+      "                        or https://ui.perfetto.dev)\n"
+      "  --metrics-json <file> write histogram metrics (message sizes, round bytes,\n"
+      "                        span durations) with p50/p90/p99\n"
+      "  --progress            live per-round progress line on stderr\n",
       prog);
 }
 
@@ -96,6 +106,11 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--max-weight")) args.max_weight = static_cast<std::uint32_t>(std::atoi(next("--max-weight")));
     else if (!std::strcmp(argv[i], "--csv")) args.csv = next("--csv");
     else if (!std::strcmp(argv[i], "--stats-file")) args.stats_file = next("--stats-file");
+    else if (!std::strcmp(argv[i], "--trace-json")) args.trace_json = next("--trace-json");
+    else if (!std::strncmp(argv[i], "--trace-json=", 13)) args.trace_json = argv[i] + 13;
+    else if (!std::strcmp(argv[i], "--metrics-json")) args.metrics_json = next("--metrics-json");
+    else if (!std::strncmp(argv[i], "--metrics-json=", 15)) args.metrics_json = argv[i] + 15;
+    else if (!std::strcmp(argv[i], "--progress")) args.progress = true;
     else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage(argv[0]);
       std::exit(0);
@@ -155,6 +170,11 @@ void print_profile(const char* what, const sim::RunStats& stats) {
   std::printf("%s: rounds=%zu msgs=%zu bytes=%zu compute=%.4fs network=%.4fs imbalance=%.2f\n",
               what, stats.rounds, stats.messages, stats.bytes, stats.compute_seconds,
               stats.network_seconds, stats.mean_imbalance());
+  const sim::PhaseBreakdown& ph = stats.phases;
+  if (ph.total() > 0) {
+    std::printf("%s-phases: comm=%.4fs compute=%.4fs checkpoint=%.4fs recovery=%.4fs\n", what,
+                ph.comm_seconds, ph.compute_seconds, ph.checkpoint_seconds, ph.recovery_seconds);
+  }
 }
 
 util::StatsRegistry g_stats;
@@ -167,6 +187,9 @@ void record_profile(const char* phase, const sim::RunStats& stats) {
   g_stats.set_value(p + ".compute_seconds", stats.compute_seconds);
   g_stats.set_value(p + ".network_seconds", stats.network_seconds);
   g_stats.set_value(p + ".load_imbalance", stats.mean_imbalance());
+  g_stats.set_value(p + ".comm_seconds", stats.phases.comm_seconds);
+  g_stats.set_value(p + ".checkpoint_seconds", stats.phases.checkpoint_seconds);
+  g_stats.set_value(p + ".recovery_seconds", stats.phases.recovery_seconds);
 }
 
 }  // namespace
@@ -177,6 +200,11 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  // Observability hooks come up before any graph or algorithm work so the
+  // timeline covers the whole run.
+  if (!args.trace_json.empty()) obs::Tracer::global().enable();
+  if (!args.metrics_json.empty()) obs::Metrics::global().enable();
+  if (args.progress) obs::set_progress(true);
   graph::Graph g = load_graph(args);
   std::printf("graph: n=%u m=%llu maxout=%zu maxin=%zu\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()), g.max_out_degree(),
@@ -292,6 +320,15 @@ int main(int argc, char** argv) {
     g_stats.set_counter("sources", sources.size());
     g_stats.write_file(args.stats_file);
     std::printf("wrote %s\n", args.stats_file.c_str());
+  }
+  if (!args.trace_json.empty()) {
+    obs::Tracer::global().write_chrome_json(args.trace_json);
+    std::printf("wrote %s (%zu spans, %zu dropped)\n", args.trace_json.c_str(),
+                obs::Tracer::global().size(), obs::Tracer::global().dropped());
+  }
+  if (!args.metrics_json.empty()) {
+    obs::Metrics::global().write_json(args.metrics_json);
+    std::printf("wrote %s\n", args.metrics_json.c_str());
   }
   return 0;
 }

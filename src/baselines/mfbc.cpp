@@ -6,6 +6,7 @@
 #include "graph/builder.h"
 #include "matrix/csr_matrix.h"
 #include "matrix/semiring.h"
+#include "obs/trace.h"
 #include "partition/partition.h"
 #include "util/timer.h"
 
@@ -87,6 +88,7 @@ class MfbcRunner {
     // changed_mark_ tracks (vertex, source) cells already queued for the
     // next frontier this iteration, so sigma merges update in place.
     changed_mark_.assign(static_cast<std::size_t>(n) * k, 0);
+    obs::Span fwd_span(obs::Category::kAlgo, "forward");
     while (!frontier.empty()) {
       ++run.forward.rounds;
       std::vector<std::size_t> part_bytes(H_, 0);
@@ -134,7 +136,10 @@ class MfbcRunner {
       frontier = std::move(next);
     }
 
+    fwd_span.close();
+
     // ---- Backward: dependency products by decreasing level -------------
+    obs::Span bwd_span(obs::Category::kAlgo, "backward");
     for (std::uint32_t level = max_level; level >= 1; --level) {
       ++run.backward.rounds;
       std::vector<BwdEntry> frontier_b;

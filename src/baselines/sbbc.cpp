@@ -5,6 +5,7 @@
 #include "comm/substrate.h"
 #include "engine/fault.h"
 #include "graph/algorithms.h"
+#include "obs/trace.h"
 
 namespace mrbc::baselines {
 
@@ -43,6 +44,7 @@ class SourceRunner final : public sim::Checkpointable {
   }
 
   sim::RunStats run_forward() {
+    obs::Span phase_span(obs::Category::kAlgo, "forward");
     const HostId mh = part_.master_host(source_);
     const VertexId lid = part_.local_id(mh, source_);
     labels_[mh][lid] = {0, 1.0};
@@ -59,6 +61,7 @@ class SourceRunner final : public sim::Checkpointable {
   }
 
   sim::RunStats run_backward() {
+    obs::Span phase_span(obs::Category::kAlgo, "backward");
     // Bucket master vertices by BFS level; the backward sweep fires levels
     // from the deepest down, one level per round.
     max_level_ = 0;

@@ -39,6 +39,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/partition.h"
 #include "util/bitset.h"
 #include "util/serialize.h"
@@ -181,6 +183,7 @@ class Substrate {
   /// broadcast-flagged. Reduce flags are consumed.
   template <typename Accessor>
   SyncStats reduce(Accessor& acc) {
+    obs::Span span(obs::Category::kComm, "reduce");
     SyncStats stats;
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
@@ -234,6 +237,7 @@ class Substrate {
   /// are consumed.
   template <typename Accessor>
   SyncStats broadcast(Accessor& acc) {
+    obs::Span span(obs::Category::kComm, "broadcast");
     SyncStats stats;
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
@@ -293,6 +297,7 @@ class Substrate {
   ///   void apply_broadcast(HostId h, VertexId lid, util::RecvBuffer&);
   template <typename VarAccessor>
   SyncStats reduce_var(VarAccessor& acc) {
+    obs::Span span(obs::Category::kComm, "reduce");
     SyncStats stats;
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
@@ -345,6 +350,7 @@ class Substrate {
   /// know how many application values a raw buffer holds).
   template <typename ApplyFn>
   SyncStats scatter(std::vector<std::vector<util::SendBuffer>>&& buffers, ApplyFn&& apply) {
+    obs::Span span(obs::Category::kComm, "scatter");
     SyncStats stats;
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
@@ -363,6 +369,7 @@ class Substrate {
   /// Variable-length flavor of broadcast; see reduce_var.
   template <typename VarAccessor>
   SyncStats broadcast_var(VarAccessor& acc) {
+    obs::Span span(obs::Category::kComm, "broadcast");
     SyncStats stats;
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
@@ -416,9 +423,15 @@ class Substrate {
   void deliver(HostId src, HostId dst, util::SendBuffer&& msg, SyncStats& stats, ApplyFn&& apply) {
     stats.messages += 1;
     stats.msgs_per_host[src] += 1;
+    if (obs::metrics_enabled()) {
+      obs::Metrics::global().histogram(obs::Hist::kMessageBytes).record(msg.size());
+    }
     if (!framed_) {
       stats.bytes += msg.size();
       stats.bytes_per_host[src] += msg.size();
+      if (obs::metrics_enabled()) {
+        obs::Metrics::global().histogram(obs::Hist::kRetransmitAttempts).record(1);
+      }
       util::RecvBuffer rbuf(msg.take());
       apply(rbuf);
       return;
@@ -445,7 +458,12 @@ class Substrate {
       const bool forced = delivery_.reliable && attempt >= max_attempts;
       if (faults && !forced && faults->drop(src, dst, seq)) {
         stats.drops += 1;
-        if (!delivery_.reliable) return;  // lost for good
+        if (!delivery_.reliable) {
+          if (obs::metrics_enabled()) {
+            obs::Metrics::global().histogram(obs::Hist::kRetransmitAttempts).record(attempt);
+          }
+          return;  // lost for good
+        }
         continue;
       }
       long flip = faults && !forced && !payload.empty()
@@ -457,7 +475,12 @@ class Substrate {
             static_cast<std::uint8_t>(1u << (static_cast<std::size_t>(flip) % 8));
         if (util::crc32(wire) != crc) {
           stats.corruptions_detected += 1;
-          if (!delivery_.reliable) return;  // detected and discarded, not repaired
+          if (!delivery_.reliable) {
+            if (obs::metrics_enabled()) {
+              obs::Metrics::global().histogram(obs::Hist::kRetransmitAttempts).record(attempt);
+            }
+            return;  // detected and discarded, not repaired
+          }
           continue;
         }
       }
@@ -475,6 +498,9 @@ class Substrate {
         } else {
           stats.duplicates_suppressed += 1;
         }
+      }
+      if (obs::metrics_enabled()) {
+        obs::Metrics::global().histogram(obs::Hist::kRetransmitAttempts).record(attempt);
       }
       return;
     }

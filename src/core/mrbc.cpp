@@ -7,6 +7,7 @@
 #include "core/mrbc_state.h"
 #include "engine/fault.h"
 #include "graph/algorithms.h"
+#include "obs/trace.h"
 
 namespace mrbc::core {
 
@@ -75,6 +76,7 @@ class BatchRunner final : public sim::Checkpointable {
   }
 
   sim::RunStats run_forward() {
+    obs::Span phase_span(obs::Category::kAlgo, "forward");
     // Step 3 of Alg. 3, restricted to the batch sources (Lemma 8): each
     // source's master proxy starts with (0, s) and sigma 1.
     for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
@@ -109,7 +111,13 @@ class BatchRunner final : public sim::Checkpointable {
 
   sim::RunStats run_backward() {
     const std::uint32_t R = forward_rounds_;
-    for (HostId h = 0; h < part_.num_hosts(); ++h) schedule_backward(h, 1, R);
+    {
+      // Diameter finalization: seed the backward pass from the forward
+      // round count (the "R" every host agreed on at quiescence).
+      obs::Span finalize_span(obs::Category::kAlgo, "finalize");
+      for (HostId h = 0; h < part_.num_hosts(); ++h) schedule_backward(h, 1, R);
+    }
+    obs::Span phase_span(obs::Category::kAlgo, "backward");
     BackwardAccessor acc{*this};
     sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
     return loop.run(

@@ -19,6 +19,14 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& other) {
   return *this;
 }
 
+PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& other) {
+  comm_seconds += other.comm_seconds;
+  compute_seconds += other.compute_seconds;
+  checkpoint_seconds += other.checkpoint_seconds;
+  recovery_seconds += other.recovery_seconds;
+  return *this;
+}
+
 RunStats& RunStats::operator+=(const RunStats& other) {
   rounds += other.rounds;
   compute_seconds += other.compute_seconds;
@@ -35,6 +43,7 @@ RunStats& RunStats::operator+=(const RunStats& other) {
   }
   round_log.insert(round_log.end(), other.round_log.begin(), other.round_log.end());
   faults += other.faults;
+  phases += other.phases;
   return *this;
 }
 

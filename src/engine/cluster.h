@@ -36,6 +36,8 @@
 #include "comm/substrate.h"
 #include "engine/fault.h"
 #include "engine/network_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/threading.h"
 #include "util/timer.h"
@@ -51,16 +53,44 @@ struct HostWork {
   std::uint64_t work_items = 0;  ///< operator applications (imbalance metric)
 };
 
-/// One row of the optional per-round execution trace.
+/// One row of the optional per-round execution trace. Every *executed*
+/// round is recorded, including rounds that ended in a crash (flagged) and
+/// the re-executions that replay after a rollback (which repeat logical
+/// round numbers) — so the log's column sums reconcile exactly with the
+/// aggregate RunStats counters, fault-injected runs included:
+///   sum(messages/bytes/values/retransmits) == the RunStats totals,
+///   sum(compute_seconds)                  == RunStats::compute_seconds,
+///   sum(network_seconds)                  == RunStats::network_seconds
+///                                            - faults.checkpoint_seconds
+/// (checkpoint writes happen between rounds and are accounted separately).
 struct RoundLogEntry {
   std::size_t round = 0;
   double compute_seconds = 0;   ///< max across hosts
-  double network_seconds = 0;   ///< modeled
+  double network_seconds = 0;   ///< modeled (sync + retransmit recovery)
   std::size_t messages = 0;
   std::size_t bytes = 0;
   std::size_t values = 0;
   std::uint64_t work_items = 0;  ///< total operator applications
   std::size_t retransmits = 0;   ///< reliable-delivery repairs this round
+  bool crashed = false;          ///< a host crash fired at the end of this round
+};
+
+/// Where one execution's modeled time went — the paper's Figure 2 split
+/// (computation vs non-overlapped communication) with the fault-tolerance
+/// machinery broken out. Invariants, maintained by BspLoop:
+///   compute_seconds == RunStats::compute_seconds
+///   comm_seconds + recovery_seconds + checkpoint_seconds
+///       == RunStats::network_seconds   (up to fp association)
+struct PhaseBreakdown {
+  double comm_seconds = 0;        ///< modeled sync + barrier time
+  double compute_seconds = 0;     ///< per-round max host compute, summed
+  double checkpoint_seconds = 0;  ///< coordinated snapshot writes
+  double recovery_seconds = 0;    ///< retransmit backoff + repair traffic
+
+  double total() const {
+    return comm_seconds + compute_seconds + checkpoint_seconds + recovery_seconds;
+  }
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other);
 };
 
 /// Aggregated fault/recovery counters for one BSP execution; all zero on a
@@ -95,6 +125,7 @@ struct RunStats {
   std::vector<double> per_host_compute_seconds;  ///< total per host
   std::vector<RoundLogEntry> round_log;  ///< filled when record_round_log
   FaultCounters faults;          ///< fault-injection/recovery counters
+  PhaseBreakdown phases;         ///< comm/compute/checkpoint/recovery split
 
   /// Paper's load-imbalance metric: per-round max/mean work, averaged.
   double mean_imbalance() const { return rounds ? imbalance_sum / static_cast<double>(rounds) : 1.0; }
@@ -180,7 +211,13 @@ class BspLoop {
       stats.faults.checkpoint_bytes += snapshot.size();
       const double seconds = options_.network.checkpoint_seconds(snapshot.size());
       stats.faults.checkpoint_seconds += seconds;
+      stats.phases.checkpoint_seconds += seconds;
       stats.network_seconds += seconds;
+      if (obs::tracing_enabled()) {
+        obs::Tracer::global().emit_modeled(obs::Category::kCheckpoint, "checkpoint",
+                                           obs::kEngineHost,
+                                           static_cast<std::uint32_t>(round), seconds);
+      }
     };
     if (checkpointing) take_checkpoint(0, true);
 
@@ -188,15 +225,22 @@ class BspLoop {
     std::size_t round = 0;
     while (round < options_.max_rounds && (any_active || pending())) {
       ++round;
+      // (host, round) context for spans and log lines emitted below us —
+      // the comm substrate tags its reduce/broadcast spans from it.
+      obs::ScopedContext round_ctx(obs::kEngineHost, static_cast<std::uint32_t>(round));
       const SyncStats comm_stats = comm(round);
       std::size_t max_egress = 0;
       for (std::size_t b : comm_stats.bytes_per_host) max_egress = std::max(max_egress, b);
       std::size_t max_msgs = 0;
       for (std::size_t m : comm_stats.msgs_per_host) max_msgs = std::max(max_msgs, m);
-      stats.network_seconds += options_.network.round_seconds(max_msgs, max_egress);
+      const double sync_seconds = options_.network.round_seconds(max_msgs, max_egress);
       const double retransmit_seconds =
           options_.network.retransmit_seconds(comm_stats.backoff_steps, comm_stats.retransmit_bytes);
+      const double net_seconds = sync_seconds + retransmit_seconds;
+      stats.network_seconds += sync_seconds;
       stats.network_seconds += retransmit_seconds;
+      stats.phases.comm_seconds += sync_seconds;
+      stats.phases.recovery_seconds += retransmit_seconds;
       stats.messages += comm_stats.messages;
       stats.bytes += comm_stats.bytes;
       stats.values += comm_stats.values;
@@ -208,10 +252,23 @@ class BspLoop {
       stats.faults.retransmit_bytes += comm_stats.retransmit_bytes;
       stats.faults.forced_deliveries += comm_stats.forced_deliveries;
       stats.faults.retransmit_seconds += retransmit_seconds;
+      const bool tracing = obs::tracing_enabled();
+      if (tracing) {
+        // The comm span carries the *modeled* sync + recovery time: the
+        // simulator models network time rather than measuring it, and this
+        // is the number Figure-2-style breakdowns attribute per round.
+        obs::Tracer::global().emit_modeled(obs::Category::kComm, "comm", obs::kEngineHost,
+                                           static_cast<std::uint32_t>(round), net_seconds);
+      }
 
       std::vector<HostWork> work(num_hosts_);
       std::vector<double> host_seconds(num_hosts_, 0.0);
+      std::vector<double> span_starts;
+      if (tracing) span_starts.assign(num_hosts_, 0.0);
       util::for_each_index(num_hosts_, options_.parallel_hosts, [&](std::size_t h) {
+        obs::ScopedContext host_ctx(static_cast<std::uint32_t>(h),
+                                    static_cast<std::uint32_t>(round));
+        if (tracing) span_starts[h] = obs::Tracer::global().now_us();
         util::Timer timer;
         work[h] = compute(static_cast<HostId>(h), round);
         host_seconds[h] = timer.seconds();
@@ -219,53 +276,85 @@ class BspLoop {
       any_active = false;
       std::vector<double> work_units(num_hosts_);
       double max_seconds = 0.0;
+      HostId slowest = 0;
       for (HostId h = 0; h < num_hosts_; ++h) {
         any_active = any_active || work[h].active;
         work_units[h] = static_cast<double>(work[h].work_items);
         if (fault) host_seconds[h] *= fault->compute_slowdown(h);  // straggler model
         stats.per_host_compute_seconds[h] += host_seconds[h];
-        max_seconds = std::max(max_seconds, host_seconds[h]);
+        if (host_seconds[h] > max_seconds) {
+          max_seconds = host_seconds[h];
+          slowest = h;
+        }
       }
       stats.compute_seconds += max_seconds;
+      stats.phases.compute_seconds += max_seconds;
       stats.imbalance_sum += util::imbalance(work_units);
+      std::uint64_t total_work = 0;
+      for (const HostWork& hw : work) total_work += hw.work_items;
+      if (tracing) {
+        obs::Tracer& tracer = obs::Tracer::global();
+        for (HostId h = 0; h < num_hosts_; ++h) {
+          // Straggler-scaled measured time: matches per_host_compute_seconds.
+          tracer.emit(obs::Category::kCompute, "host-compute", h,
+                      static_cast<std::uint32_t>(round), span_starts[h],
+                      host_seconds[h] * 1e6);
+        }
+        // One engine-lane span per executed round carrying the per-round
+        // max — these sum to RunStats::compute_seconds exactly.
+        tracer.emit(obs::Category::kCompute, "compute", obs::kEngineHost,
+                    static_cast<std::uint32_t>(round), span_starts[slowest],
+                    max_seconds * 1e6);
+      }
+      if (obs::metrics_enabled()) {
+        obs::Metrics& m = obs::Metrics::global();
+        m.histogram(obs::Hist::kRoundBytes).record(comm_stats.bytes);
+        m.histogram(obs::Hist::kRoundMessages).record(comm_stats.messages);
+        m.histogram(obs::Hist::kRoundWorkItems).record(total_work);
+      }
 
-      // Crash? Roll every host back to the last coordinated checkpoint and
-      // replay. The crashed round's traffic/compute stays in the aggregate
-      // accounting — that cost was really paid before the failure.
+      // Crash? The crashed round's traffic/compute stays in the aggregate
+      // accounting — that cost was really paid before the failure — and its
+      // round-log entry is recorded (flagged) for the same reason, BEFORE
+      // any rollback, so log sums always reconcile with the aggregates.
       HostId dead = 0;
-      if (fault && fault->crash_due(round, &dead)) {
+      const bool crashed = fault && fault->crash_due(round, &dead);
+      if (options_.record_round_log) {
+        RoundLogEntry entry;
+        entry.round = round;
+        entry.compute_seconds = max_seconds;
+        entry.network_seconds = net_seconds;
+        entry.messages = comm_stats.messages;
+        entry.bytes = comm_stats.bytes;
+        entry.values = comm_stats.values;
+        entry.retransmits = comm_stats.retransmits;
+        entry.work_items = total_work;
+        entry.crashed = crashed;
+        stats.round_log.push_back(entry);
+      }
+      if (crashed) {
         stats.faults.crashes += 1;
         if (checkpointing) {
+          // Roll every host back to the last coordinated checkpoint and
+          // replay; replayed rounds append fresh log entries under their
+          // (repeated) logical round numbers.
+          obs::Span rollback_span(obs::Category::kRecovery, "rollback", obs::kEngineHost,
+                                  static_cast<std::uint32_t>(round));
           stats.faults.recovery_rounds += round - snapshot_round;
           util::RecvBuffer buf{std::vector<std::uint8_t>(snapshot)};
           app->restore_checkpoint(buf);
           round = snapshot_round;
           any_active = snapshot_any_active;
-          if (options_.record_round_log) {
-            while (!stats.round_log.empty() && stats.round_log.back().round > snapshot_round) {
-              stats.round_log.pop_back();
-            }
-          }
           continue;
         }
         // No checkpoint hook: the crash is recorded but not recoverable.
       }
 
       stats.rounds = round;
-      if (options_.record_round_log) {
-        RoundLogEntry entry;
-        entry.round = round;
-        entry.compute_seconds = max_seconds;
-        entry.network_seconds =
-            options_.network.round_seconds(max_msgs, max_egress) + retransmit_seconds;
-        entry.messages = comm_stats.messages;
-        entry.bytes = comm_stats.bytes;
-        entry.values = comm_stats.values;
-        entry.retransmits = comm_stats.retransmits;
-        for (const HostWork& hw : work) entry.work_items += hw.work_items;
-        stats.round_log.push_back(entry);
-      }
       if (checkpointing && round % interval == 0) take_checkpoint(round, any_active);
+      if (obs::progress_enabled()) {
+        obs::progress_tick(round, stats.compute_seconds, stats.network_seconds, stats.bytes);
+      }
     }
     return stats;
   }

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace mrbc::obs {
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kMessageBytes: return "comm/message_bytes";
+    case Hist::kRoundBytes: return "engine/round_bytes";
+    case Hist::kRoundMessages: return "engine/round_messages";
+    case Hist::kRoundWorkItems: return "engine/round_work_items";
+    case Hist::kRetransmitAttempts: return "comm/delivery_attempts";
+    case Hist::kSpanMicros: return "obs/span_micros";
+    case Hist::kIngestBatchOps: return "stream/ingest_batch_ops";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  // bit_width(0) == 0, bit_width(2^k..2^(k+1)-1) == k + 1: exactly the
+  // bucket layout documented in the header.
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur && !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur && !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Nearest-rank target in [1, n].
+  std::uint64_t target = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(n) + 0.5);
+  target = std::clamp<std::uint64_t>(target, 1, n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t b = bucket(i);
+    if (b == 0) continue;
+    if (cum + b >= target) {
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = static_cast<double>(bucket_upper(i));
+      const double frac = static_cast<double>(target - cum) / static_cast<double>(b);
+      double v = lo + (hi - lo) * frac;
+      // Bucket bounds can be wider than what was actually observed.
+      v = std::min(v, static_cast<double>(max()));
+      v = std::max(v, static_cast<double>(min()));
+      return v;
+    }
+    cum += b;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::clear() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Metrics& Metrics::global() {
+  static Metrics metrics;
+  return metrics;
+}
+
+void Metrics::clear() {
+  for (auto& h : builtin_) h.clear();
+  std::lock_guard<std::mutex> lock(named_mutex_);
+  named_.clear();
+}
+
+Histogram& Metrics::named(const std::string& name) {
+  std::lock_guard<std::mutex> lock(named_mutex_);
+  auto& slot = named_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+void append_histogram_json(std::string& out, const std::string& name, const Histogram& h,
+                           bool& first) {
+  if (h.count() == 0) return;
+  if (!first) out.push_back(',');
+  first = false;
+  char buf[256];
+  out.push_back('"');
+  out += name;  // names are internal identifiers without JSON-special chars
+  out += "\":{";
+  std::snprintf(buf, sizeof(buf),
+                "\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.6g,"
+                "\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g,\"buckets\":[",
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.sum()),
+                static_cast<unsigned long long>(h.min()),
+                static_cast<unsigned long long>(h.max()), h.mean(), h.percentile(50),
+                h.percentile(90), h.percentile(99));
+  out += buf;
+  bool first_bucket = true;
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const std::uint64_t n = h.bucket(i);
+    if (n == 0) continue;
+    if (!first_bucket) out.push_back(',');
+    first_bucket = false;
+    std::snprintf(buf, sizeof(buf), "{\"le\":%llu,\"n\":%llu}",
+                  static_cast<unsigned long long>(Histogram::bucket_upper(i)),
+                  static_cast<unsigned long long>(n));
+    out += buf;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string Metrics::json() const {
+  std::string out = "{\"histograms\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    append_histogram_json(out, hist_name(static_cast<Hist>(i)), builtin_[i], first);
+  }
+  {
+    std::lock_guard<std::mutex> lock(named_mutex_);
+    for (const auto& [name, h] : named_) append_histogram_json(out, name, *h, first);
+  }
+  out += "}}";
+  return out;
+}
+
+void Metrics::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open metrics file: " + path);
+  f << json();
+  if (!f) throw std::runtime_error("failed writing metrics file: " + path);
+}
+
+}  // namespace mrbc::obs

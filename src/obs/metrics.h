@@ -1,0 +1,118 @@
+#pragma once
+// obs::Metrics — log₂-bucketed histograms over the simulator's hot-path
+// quantities (message sizes, per-round bytes/messages, work items,
+// retransmit attempts, span durations), with percentile queries and JSON
+// export. Complements util::StatsRegistry (scalar key=value counters in
+// the Galois artifact format) with *distributions*: Figure-2-style
+// attribution needs to know not just how many bytes moved but how they
+// were shaped into messages.
+//
+// Buckets are powers of two: bucket 0 holds the value 0, bucket i >= 1
+// holds [2^(i-1), 2^i). Recording is an atomic increment (well-defined
+// under parallel-host compute), and like the tracer the whole layer is
+// compiled in but gated behind one relaxed atomic load so disabled runs
+// pay a branch, nothing more.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mrbc::obs {
+
+/// Built-in histograms, array-indexed so hot paths never hash a name.
+enum class Hist : std::uint8_t {
+  kMessageBytes = 0,     ///< per host-pair message wire size (comm::Substrate::deliver)
+  kRoundBytes,           ///< total sync bytes per BSP round
+  kRoundMessages,        ///< host-pair messages per BSP round
+  kRoundWorkItems,       ///< operator applications per BSP round
+  kRetransmitAttempts,   ///< delivery attempts per frame (1 = clean)
+  kSpanMicros,           ///< wall duration of measured tracer spans
+  kIngestBatchOps,       ///< EdgeBatch ops per routed ingest batch
+  kCount,
+};
+inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);
+const char* hist_name(Hist h);
+
+namespace detail {
+inline std::atomic<bool> g_metrics{false};
+}  // namespace detail
+
+/// The branch every recording site takes.
+inline bool metrics_enabled() {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+
+/// Fixed-footprint log₂ histogram of unsigned values. All mutation is
+/// relaxed-atomic; accessors give a consistent-enough view once recording
+/// has quiesced (which is when exports run).
+class Histogram {
+ public:
+  /// bucket 0 = {0}; bucket i = [2^(i-1), 2^i) for i in [1, 64];
+  /// bucket 64's upper bound saturates at UINT64_MAX.
+  static constexpr std::size_t kNumBuckets = 65;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  ///< 0 when empty
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Nearest-rank percentile (p in [0, 100]) with linear interpolation
+  /// inside the winning bucket; clamped to the exact observed min/max so
+  /// p0/p100 are never widened by bucket granularity. 0 when empty.
+  double percentile(double p) const;
+
+  void clear();
+
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_lower(std::size_t i);
+  /// Inclusive upper bound of bucket i.
+  static std::uint64_t bucket_upper(std::size_t i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Process-wide histogram registry: the built-in enum-indexed set plus
+/// lazily created named histograms for ad-hoc instrumentation.
+class Metrics {
+ public:
+  void enable() { detail::g_metrics.store(true, std::memory_order_release); }
+  void disable() { detail::g_metrics.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return metrics_enabled(); }
+  void clear();
+
+  Histogram& histogram(Hist h) { return builtin_[static_cast<std::size_t>(h)]; }
+  const Histogram& histogram(Hist h) const { return builtin_[static_cast<std::size_t>(h)]; }
+
+  /// Named histogram, created on first use. Takes a lock — not for
+  /// per-message paths; cache the reference.
+  Histogram& named(const std::string& name);
+
+  /// {"histograms": {name: {count, sum, min, max, mean, p50, p90, p99,
+  ///  buckets: [{le, n}, ...]}}} — empty histograms are omitted.
+  std::string json() const;
+  /// Writes json() to `path`; throws std::runtime_error on failure.
+  void write_json(const std::string& path) const;
+
+  static Metrics& global();
+
+ private:
+  Histogram builtin_[kNumHists];
+  mutable std::mutex named_mutex_;
+  std::map<std::string, std::unique_ptr<Histogram>> named_;
+};
+
+}  // namespace mrbc::obs

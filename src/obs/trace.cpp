@@ -1,0 +1,248 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace mrbc::obs {
+
+namespace {
+
+thread_local Context tl_context;
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Escapes a string for a JSON literal (span names are static literals we
+/// control, but exporters should never be able to emit invalid JSON).
+void append_json_string(std::string& out, const char* s) {
+  out.push_back('"');
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::atomic<bool> g_progress{false};
+
+}  // namespace
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kComm: return "comm";
+    case Category::kCompute: return "compute";
+    case Category::kCheckpoint: return "checkpoint";
+    case Category::kRecovery: return "recovery";
+    case Category::kAlgo: return "algo";
+    case Category::kStream: return "stream";
+    case Category::kOther: return "other";
+  }
+  return "?";
+}
+
+Context current_context() { return tl_context; }
+
+ScopedContext::ScopedContext(std::uint32_t host, std::uint32_t round) : saved_(tl_context) {
+  tl_context = {host, round};
+  util::set_log_context(host == kEngineHost ? -1 : static_cast<long>(host),
+                        static_cast<long>(round));
+}
+
+ScopedContext::~ScopedContext() {
+  tl_context = saved_;
+  if (saved_.host == kEngineHost && saved_.round == 0) {
+    util::clear_log_context();
+  } else {
+    util::set_log_context(saved_.host == kEngineHost ? -1 : static_cast<long>(saved_.host),
+                          static_cast<long>(saved_.round));
+  }
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+  ring_.assign(std::max<std::size_t>(capacity, 1), SpanRecord{});
+  next_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = steady_ns();
+  detail::g_tracing.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { detail::g_tracing.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = steady_ns();
+}
+
+double Tracer::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) * 1e-3;
+}
+
+void Tracer::emit(Category cat, const char* name, std::uint32_t host, std::uint32_t round,
+                  double start_us, double dur_us, bool modeled) {
+  if (ring_.empty()) return;
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord& rec = ring_[slot % ring_.size()];
+  rec.name = name;
+  rec.start_us = start_us;
+  rec.dur_us = dur_us;
+  rec.host = host;
+  rec.round = round;
+  rec.category = cat;
+  rec.modeled = modeled;
+}
+
+void Tracer::emit_modeled(Category cat, const char* name, std::uint32_t host, std::uint32_t round,
+                          double modeled_seconds) {
+  emit(cat, name, host, round, now_us(), modeled_seconds * 1e6, /*modeled=*/true);
+}
+
+std::size_t Tracer::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_.load(std::memory_order_relaxed), ring_.size()));
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::uint64_t total = next_.load(std::memory_order_relaxed);
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  if (ring_.empty() || total == 0) return out;
+  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(total, ring_.size()));
+  out.reserve(n);
+  // Oldest retained record first: with wrap-around that is slot total % cap.
+  const std::uint64_t first = total > ring_.size() ? total - ring_.size() : 0;
+  for (std::uint64_t i = first; i < total; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<SpanRecord> records = snapshot();
+  std::string out;
+  out.reserve(records.size() * 160 + 1024);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  // pid 0 is the engine lane; host h renders as pid h + 1.
+  auto pid_of = [](std::uint32_t host) -> std::uint64_t {
+    return host == kEngineHost ? 0 : static_cast<std::uint64_t>(host) + 1;
+  };
+  std::vector<std::uint64_t> pids;
+  for (const SpanRecord& r : records) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, r.name != nullptr ? r.name : "?");
+    out += ",\"cat\":";
+    append_json_string(out, category_name(r.category));
+    const std::uint64_t pid = pid_of(r.host);
+    if (std::find(pids.begin(), pids.end(), pid) == pids.end()) pids.push_back(pid);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%llu,"
+                  "\"args\":{\"round\":%u,\"modeled\":%s}}",
+                  r.start_us, r.dur_us, static_cast<unsigned long long>(pid),
+                  static_cast<unsigned long long>(pid), r.round, r.modeled ? "true" : "false");
+    out += buf;
+  }
+  // Process-name metadata so Perfetto labels the lanes.
+  for (std::uint64_t pid : pids) {
+    if (!first) out.push_back(',');
+    first = false;
+    if (pid == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":"
+                    "\"engine\"}}");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%llu,\"args\":{\"name\":"
+                    "\"host %llu\"}}",
+                    static_cast<unsigned long long>(pid),
+                    static_cast<unsigned long long>(pid - 1));
+    }
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  f << chrome_json();
+  if (!f) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+void Span::begin(Category cat, const char* name, std::uint32_t host, std::uint32_t round) {
+  name_ = name;
+  cat_ = cat;
+  host_ = host;
+  round_ = round;
+  start_us_ = Tracer::global().now_us();
+}
+
+void Span::begin_with_context(Category cat, const char* name) {
+  const Context ctx = tl_context;
+  begin(cat, name, ctx.host, ctx.round);
+}
+
+void Span::finish() {
+  Tracer& tracer = Tracer::global();
+  const double dur_us = tracer.now_us() - start_us_;
+  tracer.emit(cat_, name_, host_, round_, start_us_, dur_us, /*modeled=*/false);
+  if (metrics_enabled()) {
+    Metrics::global()
+        .histogram(Hist::kSpanMicros)
+        .record(static_cast<std::uint64_t>(dur_us < 0 ? 0 : dur_us));
+  }
+}
+
+// ---- Progress ticker --------------------------------------------------------
+
+void set_progress(bool on) { g_progress.store(on, std::memory_order_relaxed); }
+bool progress_enabled() { return g_progress.load(std::memory_order_relaxed); }
+
+void progress_tick(std::size_t round, double compute_seconds, double network_seconds,
+                   std::size_t bytes) {
+  // Throttle to ~10 prints/second; the first tick always prints.
+  static std::atomic<std::int64_t> last_print_ns{-1};
+  const std::int64_t now = steady_ns();
+  std::int64_t last = last_print_ns.load(std::memory_order_relaxed);
+  if (last >= 0 && now - last < 100'000'000) return;
+  if (!last_print_ns.compare_exchange_strong(last, now, std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "progress: round=%zu compute=%.3fs network=%.3fs traffic=%.2fMB\n", round,
+               compute_seconds, network_seconds, static_cast<double>(bytes) / 1e6);
+}
+
+}  // namespace mrbc::obs

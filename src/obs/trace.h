@@ -1,0 +1,196 @@
+#pragma once
+// obs::Tracer — allocation-free span tracing for the simulator.
+//
+// The paper's evaluation is an attribution exercise (Figure 2 splits
+// execution into computation vs non-overlapped communication; Table 2
+// times each phase), so the runtime carries tracing everywhere: RAII
+// spans tagged (category, name, host, round) land in a preallocated ring
+// buffer and export as Chrome trace-event / Perfetto JSON, one timeline
+// lane per simulated host plus an "engine" lane for whole-round events.
+//
+// Cost model:
+//   - disabled (default): a span site is one relaxed atomic load and a
+//     predictable branch — no clock read, no store (< 2 ns; enforced by
+//     bench/micro_obs.cpp). Counters, byte accounting, and round counts
+//     are untouched, so disabled runs are bit-identical to a build
+//     without instrumentation.
+//   - enabled: one steady_clock read at span open and close plus a
+//     fetch_add slot claim in the ring; the buffer never reallocates, so
+//     enabling tracing cannot perturb allocation behavior mid-run.
+//
+// Spans carry either measured wall time (compute, serialization) or a
+// *modeled* duration (communication, checkpoint writes — the simulator
+// models network time rather than measuring it; see engine/network_model.h).
+// Modeled spans are flagged so consumers can separate the two clocks.
+//
+// A thread-local (host, round) context, set by the BSP engine through
+// ScopedContext, lets layers that do not know the current round (e.g. the
+// comm substrate) tag their spans correctly; the same context feeds the
+// "h<host> r<round>" prefix of util::log lines.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrbc::obs {
+
+enum class Category : std::uint8_t {
+  kComm = 0,     ///< synchronization / message transport
+  kCompute,      ///< per-host operator execution
+  kCheckpoint,   ///< coordinated snapshot writes
+  kRecovery,     ///< rollback / retransmission repair
+  kAlgo,         ///< algorithm phases (forward / finalize / backward)
+  kStream,       ///< streaming ingest / probe / rerun
+  kOther,
+};
+inline constexpr std::size_t kNumCategories = 7;
+const char* category_name(Category cat);
+
+/// Host tag for spans that belong to the whole simulation rather than one
+/// simulated host (BSP round events, algorithm phases).
+inline constexpr std::uint32_t kEngineHost = 0xffffffffu;
+
+/// One completed span. `name` must point at a string with static storage
+/// duration (span sites pass literals), which keeps records POD and the
+/// ring free of ownership.
+struct SpanRecord {
+  const char* name = nullptr;
+  double start_us = 0;  ///< microseconds since Tracer::enable()
+  double dur_us = 0;
+  std::uint32_t host = kEngineHost;
+  std::uint32_t round = 0;
+  Category category = Category::kOther;
+  bool modeled = false;  ///< duration is modeled seconds, not wall time
+};
+
+namespace detail {
+inline std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+/// The branch every span site takes; relaxed load, no fence.
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Thread-local execution context stamped onto context-constructed spans.
+struct Context {
+  std::uint32_t host = kEngineHost;
+  std::uint32_t round = 0;
+};
+Context current_context();
+
+/// Sets the thread-local (host, round) context for the enclosed scope and
+/// mirrors it into util::log's line prefix; restores the previous context
+/// (and prefix) on destruction.
+class ScopedContext {
+ public:
+  ScopedContext(std::uint32_t host, std::uint32_t round);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context saved_;
+};
+
+/// Process-wide span collector. Thread-safe for concurrent emission
+/// (parallel-host compute phases); enable/disable/export are not meant to
+/// race with emission.
+class Tracer {
+ public:
+  /// Allocates (or reuses) a ring of `capacity` records, clears state, and
+  /// turns span sites on.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  /// Turns span sites off; retained records survive for export.
+  void disable();
+  /// Drops all records (keeps the enabled state and the allocation).
+  void clear();
+
+  bool enabled() const { return tracing_enabled(); }
+
+  /// Microseconds since enable() on the tracer's monotonic clock.
+  double now_us() const;
+
+  /// Records a completed span. start_us/dur_us on the now_us() clock.
+  void emit(Category cat, const char* name, std::uint32_t host, std::uint32_t round,
+            double start_us, double dur_us, bool modeled = false);
+
+  /// Records a span ending "now" whose duration is modeled seconds rather
+  /// than elapsed wall time (network / checkpoint cost-model output).
+  void emit_modeled(Category cat, const char* name, std::uint32_t host, std::uint32_t round,
+                    double modeled_seconds);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records currently retained (<= capacity).
+  std::size_t size() const;
+  /// Spans emitted since enable(), including overwritten ones.
+  std::uint64_t total_emitted() const { return next_.load(std::memory_order_relaxed); }
+  /// Spans lost to ring wrap-around.
+  std::uint64_t dropped() const;
+
+  /// Retained records, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of "X" duration events,
+  /// pid = host lane). Loads directly in Perfetto / chrome://tracing.
+  std::string chrome_json() const;
+  /// Writes chrome_json() to `path`; throws std::runtime_error on failure.
+  void write_chrome_json(const std::string& path) const;
+
+  static Tracer& global();
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+ private:
+  std::vector<SpanRecord> ring_;
+  std::atomic<std::uint64_t> next_{0};
+  std::int64_t epoch_ns_ = 0;  ///< steady_clock origin of now_us()
+};
+
+/// RAII span. Construction is a no-op when tracing is disabled; when
+/// enabled it reads the clock once, and the destructor commits the record.
+class Span {
+ public:
+  /// Tags the span with the thread-local context's (host, round).
+  Span(Category cat, const char* name) {
+    if (tracing_enabled()) begin_with_context(cat, name);
+  }
+  /// Explicit (host, round) tag.
+  Span(Category cat, const char* name, std::uint32_t host, std::uint32_t round) {
+    if (tracing_enabled()) begin(cat, name, host, round);
+  }
+  ~Span() {
+    if (name_ != nullptr) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Commits the span before scope exit (idempotent).
+  void close() {
+    if (name_ != nullptr) finish();
+    name_ = nullptr;
+  }
+
+ private:
+  void begin(Category cat, const char* name, std::uint32_t host, std::uint32_t round);
+  void begin_with_context(Category cat, const char* name);
+  void finish();
+
+  const char* name_ = nullptr;
+  double start_us_ = 0;
+  std::uint32_t host_ = kEngineHost;
+  std::uint32_t round_ = 0;
+  Category cat_ = Category::kOther;
+};
+
+// ---- Progress ticker --------------------------------------------------------
+// bc_tool's --progress flag: the BSP loop reports each round; prints are
+// throttled (~10/s) so long runs show liveness without flooding stderr.
+
+void set_progress(bool on);
+bool progress_enabled();
+void progress_tick(std::size_t round, double compute_seconds, double network_seconds,
+                   std::size_t bytes);
+
+}  // namespace mrbc::obs

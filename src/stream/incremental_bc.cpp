@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "graph/algorithms.h"
+#include "obs/trace.h"
 
 namespace mrbc::stream {
 
@@ -118,6 +119,7 @@ BatchReport IncrementalBc::apply(const EdgeBatch& batch) {
   }
 
   // 3. Affected-source detection against the retained (pre-batch) tables.
+  obs::Span probe_span(obs::Category::kStream, "probe");
   std::vector<std::uint32_t> affected;
   for (std::uint32_t sidx = 0; sidx < sources_.size(); ++sidx) {
     const auto& d = dist_[sidx];
@@ -135,6 +137,7 @@ BatchReport IncrementalBc::apply(const EdgeBatch& batch) {
       }
     }
   }
+  probe_span.close();
 
   const double fraction =
       static_cast<double>(affected.size()) / static_cast<double>(sources_.size());
@@ -150,6 +153,7 @@ BatchReport IncrementalBc::apply(const EdgeBatch& batch) {
   delta_.snapshot();
   registry_.add_counter("stream/compactions", 1);
   if (!affected.empty()) {
+    obs::Span rerun_span(obs::Category::kStream, "rerun");
     rebuild_partition();
     report.reexec = reexecute(affected);
   }

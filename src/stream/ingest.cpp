@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/policies.h"
 #include "util/rng.h"
 
@@ -10,6 +12,10 @@ namespace mrbc::stream {
 RoutedBatch route_batch(const EdgeBatch& batch, comm::Substrate& substrate,
                         partition::Policy policy, const sim::NetworkModel& network,
                         util::StatsRegistry* registry) {
+  obs::Span span(obs::Category::kStream, "ingest");
+  if (obs::metrics_enabled()) {
+    obs::Metrics::global().histogram(obs::Hist::kIngestBatchOps).record(batch.size());
+  }
   const partition::Partition& part = substrate.partition();
   const partition::HostId H = part.num_hosts();
   const graph::VertexId n = part.num_global_vertices();

@@ -1,14 +1,41 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace mrbc::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("MRBC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  if (std::isdigit(static_cast<unsigned char>(env[0]))) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+    return LogLevel::kWarn;
+  }
+  std::string name;
+  for (const char* p = env; *p; ++p) name.push_back(static_cast<char>(std::tolower(*p)));
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::atomic<bool> g_timestamps{false};
 std::mutex g_mutex;
+
+thread_local long tl_host = -1;
+thread_local long tl_round = -1;
+thread_local bool tl_context_set = false;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,15 +46,50 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_timestamps(bool on) { g_timestamps.store(on, std::memory_order_relaxed); }
+bool log_timestamps() { return g_timestamps.load(std::memory_order_relaxed); }
+
+void set_log_context(long host, long round) {
+  tl_host = host;
+  tl_round = round;
+  tl_context_set = host >= 0 || round >= 0;
+}
+
+void clear_log_context() {
+  tl_host = -1;
+  tl_round = -1;
+  tl_context_set = false;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  char ts[40] = "";
+  if (log_timestamps()) {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char iso[32];
+    std::strftime(iso, sizeof(iso), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    std::snprintf(ts, sizeof(ts), "[%s] ", iso);
+  }
+  char ctx[48] = "";
+  if (tl_context_set) {
+    if (tl_host >= 0 && tl_round >= 0) {
+      std::snprintf(ctx, sizeof(ctx), "[h%ld r%ld] ", tl_host, tl_round);
+    } else if (tl_host >= 0) {
+      std::snprintf(ctx, sizeof(ctx), "[h%ld] ", tl_host);
+    } else {
+      std::snprintf(ctx, sizeof(ctx), "[r%ld] ", tl_round);
+    }
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s[%s] %s%s\n", ts, level_name(level), ctx, message.c_str());
 }
 
 }  // namespace mrbc::util

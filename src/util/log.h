@@ -1,6 +1,14 @@
 #pragma once
 // Minimal leveled logger. Benchmarks and examples log at Info; tests keep
 // the default threshold at Warn so ctest output stays quiet.
+//
+// The threshold can be overridden without recompiling through the
+// MRBC_LOG_LEVEL environment variable ("debug" | "info" | "warn" |
+// "error", or the numeric levels 0-3); set_log_level() still wins once
+// called. Lines can carry an optional ISO-8601 UTC timestamp
+// (set_log_timestamps) and a thread-local "[h<host> r<round>]" execution
+// context installed by the tracer (obs::ScopedContext), so interleaved
+// per-host output from the simulator stays attributable.
 
 #include <sstream>
 #include <string>
@@ -9,9 +17,20 @@ namespace mrbc::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped.
+/// Global threshold; messages below it are dropped. The initial value is
+/// Warn unless MRBC_LOG_LEVEL overrides it.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Prefix each line with an ISO-8601 UTC timestamp (off by default).
+void set_log_timestamps(bool on);
+bool log_timestamps();
+
+/// Thread-local execution context echoed as a "[h<host> r<round>]" prefix;
+/// host < 0 omits the host part, round < 0 omits the round part. Usually
+/// managed by obs::ScopedContext rather than called directly.
+void set_log_context(long host, long round);
+void clear_log_context();
 
 /// Writes one formatted line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);

@@ -237,6 +237,80 @@ TEST(BspLoop, StragglerSlowdownInflatesComputeTime) {
   EXPECT_GT(slow.compute_seconds, 2.0 * fast.compute_seconds);
 }
 
+TEST(BspLoop, RoundLogReconcilesWithAggregatesUnderCrashes) {
+  // Every *executed* round — including the crashed one and its replays —
+  // gets a round_log entry, so the log's column sums reconcile exactly
+  // with the aggregate counters even in a fault-injected run.
+  const std::size_t kHosts = 3;
+  const std::size_t kRounds = 7;
+  sim::FaultPlan plan;
+  plan.crash_round = 5;
+  plan.crash_host = 1;
+  sim::FaultInjector injector(plan, kHosts);
+  ClusterOptions opts;
+  opts.fault = &injector;
+  opts.checkpoint_interval = 2;
+  opts.record_round_log = true;
+  CounterApp app(kHosts);
+  BspLoop loop(kHosts, opts);
+  RunStats stats = loop.run(
+      [&](std::size_t round) {
+        comm::SyncStats s;
+        s.bytes_per_host.assign(kHosts, 7 * round);
+        s.msgs_per_host.assign(kHosts, 1);
+        s.messages = kHosts;
+        s.bytes = kHosts * 7 * round;
+        s.values = round;
+        return s;
+      },
+      [&](partition::HostId h, std::size_t round) {
+        app.counters[h] += round;
+        HostWork w;
+        w.active = round < kRounds;
+        w.work_items = round + h;
+        return w;
+      },
+      [] { return false; }, &app);
+
+  EXPECT_EQ(stats.rounds, kRounds);
+  EXPECT_EQ(stats.faults.crashes, 1u);
+  // 7 logical rounds + 1 re-executed round after rolling back to the
+  // round-4 checkpoint.
+  ASSERT_EQ(stats.round_log.size(), stats.rounds + stats.faults.recovery_rounds);
+
+  std::size_t messages = 0, bytes = 0, values = 0, crashed_entries = 0;
+  std::uint64_t work_items = 0;
+  double compute = 0, network = 0;
+  for (const sim::RoundLogEntry& e : stats.round_log) {
+    messages += e.messages;
+    bytes += e.bytes;
+    values += e.values;
+    work_items += e.work_items;
+    compute += e.compute_seconds;
+    network += e.network_seconds;
+    if (e.crashed) ++crashed_entries;
+  }
+  EXPECT_EQ(crashed_entries, 1u);
+  EXPECT_TRUE(stats.round_log[4].crashed) << "round 5 is the 5th executed round";
+  EXPECT_EQ(stats.round_log[5].round, 5u) << "replayed round repeats the logical number";
+  EXPECT_FALSE(stats.round_log[5].crashed);
+  // Integer counters reconcile exactly...
+  EXPECT_EQ(messages, stats.messages);
+  EXPECT_EQ(bytes, stats.bytes);
+  EXPECT_EQ(values, stats.values);
+  // ...compute sums bitwise (same values added in the same order)...
+  EXPECT_DOUBLE_EQ(compute, stats.compute_seconds);
+  // ...and network reconciles once checkpoint writes (accounted between
+  // rounds, never in an entry) are taken back out.
+  EXPECT_NEAR(network, stats.network_seconds - stats.faults.checkpoint_seconds, 1e-12);
+  std::uint64_t expected_work = 0;
+  for (std::size_t round = 1; round <= kRounds; ++round) {
+    for (std::size_t h = 0; h < kHosts; ++h) expected_work += round + h;
+  }
+  for (std::size_t h = 0; h < kHosts; ++h) expected_work += 5 + h;  // replayed round 5
+  EXPECT_EQ(work_items, expected_work);
+}
+
 TEST(RunStats, PlusEqualsAggregates) {
   RunStats a, b;
   a.rounds = 3;

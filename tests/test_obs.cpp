@@ -1,0 +1,472 @@
+// Tests for the observability layer: span ring semantics, log2 histogram
+// buckets/percentiles, the Chrome trace-event / metrics JSON exporters,
+// and — the load-bearing contract — reconciliation of the emitted spans
+// and round log against the BSP engine's RunStats aggregates, including
+// fault-injected runs with crashes and rollback.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mrbc {
+namespace {
+
+using obs::Category;
+using obs::Histogram;
+using obs::SpanRecord;
+using obs::Tracer;
+using sim::BspLoop;
+using sim::ClusterOptions;
+using sim::HostWork;
+using sim::RunStats;
+
+// ---- Minimal JSON syntax checker -------------------------------------------
+// Recursive-descent validator: enough to assert the exporters emit
+// well-formed JSON without depending on an external parser.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip the escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// Tests share the process-global tracer/metrics; this guard resets both
+/// around each test that touches them.
+struct ObsGuard {
+  ObsGuard() {
+    Tracer::global().disable();
+    obs::Metrics::global().disable();
+    obs::Metrics::global().clear();
+  }
+  ~ObsGuard() {
+    Tracer::global().disable();
+    obs::Metrics::global().disable();
+    obs::Metrics::global().clear();
+  }
+};
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), 64u);
+  for (std::size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    // Every bucket's bounds bracket exactly the values that map into it.
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i)), i);
+  }
+}
+
+TEST(Histogram, CountsSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  for (std::uint64_t v : {5u, 17u, 0u, 1024u, 3u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5u + 17u + 0u + 1024u + 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_EQ(h.bucket(0), 1u);                          // the zero
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(5)), 1u);  // [4, 8)
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, PercentilesBracketTrueValues) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  // Percentiles are clamped to the observed extremes...
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  // ...and interior queries land inside the true value's log2 bucket.
+  const double p50 = h.percentile(50);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  const double p90 = h.percentile(90);
+  EXPECT_GE(p90, 64.0);
+  EXPECT_LE(p90, 100.0);
+  EXPECT_LE(h.percentile(50), h.percentile(90));
+  EXPECT_LE(h.percentile(90), h.percentile(99));
+}
+
+TEST(Histogram, ConstantStreamCollapsesAllPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(42);
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 42.0) << "p" << p;
+  }
+}
+
+// ---- Tracer ring ------------------------------------------------------------
+
+TEST(Tracer, RingWrapKeepsNewestOldestFirst) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(8);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    t.emit(Category::kOther, "tick", 0, i, static_cast<double>(i), 1.0);
+  }
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.total_emitted(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+  const std::vector<SpanRecord> spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].round, 12u + i) << "oldest-first order after wrap";
+  }
+}
+
+TEST(Tracer, SpanNestingAndContextPropagation) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(64);
+  {
+    obs::ScopedContext ctx(3, 7);
+    obs::Span outer(Category::kAlgo, "outer");
+    { obs::Span inner(Category::kComm, "inner"); }
+  }
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order commits the inner span first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.host, 3u);
+    EXPECT_EQ(s.round, 7u);
+    EXPECT_FALSE(s.modeled);
+    EXPECT_GE(s.dur_us, 0.0);
+  }
+  // The outer span brackets the inner one.
+  EXPECT_LE(spans[1].start_us, spans[0].start_us);
+}
+
+TEST(Tracer, ScopedContextRestoresOnExit) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(64);
+  {
+    obs::ScopedContext outer_ctx(1, 2);
+    { obs::ScopedContext inner_ctx(5, 6); }
+    obs::Span s(Category::kOther, "after-inner");
+  }
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].host, 1u);
+  EXPECT_EQ(spans[0].round, 2u);
+}
+
+TEST(Tracer, DisabledSitesEmitNothing) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(8);
+  t.disable();
+  { obs::Span s(Category::kOther, "ghost"); }
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_emitted(), 0u);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(64);
+  t.emit(Category::kComm, "comm", obs::kEngineHost, 1, 0.0, 5.0, /*modeled=*/true);
+  t.emit(Category::kCompute, "host-compute", 2, 1, 1.0, 2.0);
+  t.emit(Category::kAlgo, "forward \"quoted\"\\", 0, 3, 2.0, 1.0);
+  const std::string json = t.chrome_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_NE(json.find("\"host-compute\""), std::string::npos);
+  // One metadata record per lane: engine + hosts 0 and 2.
+  EXPECT_EQ(count_occurrences(json, "process_name"), 3u);
+  EXPECT_NE(json.find("\"engine\""), std::string::npos);
+}
+
+// ---- Metrics JSON -----------------------------------------------------------
+
+TEST(Metrics, JsonSchemaAndNamedHistograms) {
+  ObsGuard guard;
+  obs::Metrics& m = obs::Metrics::global();
+  m.enable();
+  for (std::uint64_t v = 1; v <= 64; ++v) m.histogram(obs::Hist::kMessageBytes).record(v);
+  m.named("custom/thing").record(7);
+  const std::string json = m.json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"comm/message_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"custom/thing\""), std::string::npos);
+  for (const char* key : {"\"count\"", "\"sum\"", "\"min\"", "\"max\"", "\"mean\"", "\"p50\"",
+                          "\"p90\"", "\"p99\"", "\"buckets\"", "\"le\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Untouched built-ins stay out of the export.
+  EXPECT_EQ(json.find("\"stream/ingest_batch_ops\""), std::string::npos);
+}
+
+// ---- BspLoop reconciliation -------------------------------------------------
+
+struct CounterApp final : sim::Checkpointable {
+  std::vector<std::uint64_t> counters;
+  explicit CounterApp(std::size_t hosts) : counters(hosts, 0) {}
+  void save_checkpoint(util::SendBuffer& buf) const override { buf.write_vector(counters); }
+  void restore_checkpoint(util::RecvBuffer& buf) override {
+    counters = buf.read_vector<std::uint64_t>();
+  }
+};
+
+/// Runs a deterministic little BSP workload: `rounds` rounds at `hosts`
+/// hosts with synthetic per-round traffic, optionally crashing once.
+RunStats run_synthetic(std::size_t hosts, std::size_t rounds, sim::FaultInjector* fault,
+                       sim::Checkpointable* app) {
+  ClusterOptions opts;
+  opts.record_round_log = true;
+  opts.fault = fault;
+  opts.checkpoint_interval = 2;
+  BspLoop loop(static_cast<partition::HostId>(hosts), opts);
+  return loop.run(
+      [&](std::size_t round) {
+        comm::SyncStats s;
+        s.bytes_per_host.assign(hosts, 0);
+        s.msgs_per_host.assign(hosts, 0);
+        s.messages = hosts;
+        s.bytes = 100 * round;
+        s.values = 10 * round;
+        for (std::size_t h = 0; h < hosts; ++h) {
+          s.bytes_per_host[h] = 100 * round / hosts;
+          s.msgs_per_host[h] = 1;
+        }
+        return s;
+      },
+      [&](partition::HostId h, std::size_t round) {
+        if (app != nullptr) static_cast<CounterApp*>(app)->counters[h] += round;
+        volatile double x = 1.0;
+        for (int i = 0; i < 2000; ++i) x = x * 1.0000001 + 0.5;
+        HostWork w;
+        w.active = round < rounds;
+        w.work_items = round * (h + 1);
+        return w;
+      },
+      [] { return false; }, app);
+}
+
+TEST(ObsReconciliation, SpanSumsMatchRunStats) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(1 << 14);
+  const std::size_t kRounds = 6;
+  const RunStats stats = run_synthetic(3, kRounds, nullptr, nullptr);
+  t.disable();
+
+  double compute_span_sum = 0, comm_span_sum = 0;
+  std::vector<std::uint32_t> comm_rounds, compute_rounds;
+  for (const SpanRecord& s : t.snapshot()) {
+    if (std::string(s.name) == "compute" && s.host == obs::kEngineHost) {
+      compute_span_sum += s.dur_us * 1e-6;
+      compute_rounds.push_back(s.round);
+    } else if (std::string(s.name) == "comm") {
+      EXPECT_TRUE(s.modeled);
+      comm_span_sum += s.dur_us * 1e-6;
+      comm_rounds.push_back(s.round);
+    }
+  }
+  // One comm and one engine-lane compute span per executed BSP round.
+  EXPECT_EQ(comm_rounds.size(), stats.rounds);
+  EXPECT_EQ(compute_rounds.size(), stats.rounds);
+  // Span durations reconcile with the aggregates (1e-9 relative: the
+  // seconds -> microseconds -> seconds round trip costs a few ulp).
+  EXPECT_NEAR(compute_span_sum, stats.compute_seconds, 1e-9 * stats.compute_seconds + 1e-12);
+  EXPECT_NEAR(comm_span_sum, stats.network_seconds, 1e-9 * stats.network_seconds + 1e-12);
+  // And with the phase breakdown.
+  EXPECT_DOUBLE_EQ(stats.phases.compute_seconds, stats.compute_seconds);
+  EXPECT_NEAR(stats.phases.comm_seconds + stats.phases.recovery_seconds +
+                  stats.phases.checkpoint_seconds,
+              stats.network_seconds, 1e-12);
+}
+
+TEST(ObsReconciliation, FaultInjectedRunReconcilesSpansAndPhases) {
+  ObsGuard guard;
+  Tracer& t = Tracer::global();
+  t.enable(1 << 14);
+  sim::FaultPlan plan;
+  plan.crash_round = 5;
+  plan.crash_host = 1;
+  sim::FaultInjector injector(plan, 3);
+  CounterApp app(3);
+  const RunStats stats = run_synthetic(3, 7, &injector, &app);
+  t.disable();
+
+  EXPECT_EQ(stats.faults.crashes, 1u);
+  double compute_span_sum = 0, comm_span_sum = 0, checkpoint_span_sum = 0;
+  std::size_t rollbacks = 0;
+  for (const SpanRecord& s : t.snapshot()) {
+    const std::string name(s.name);
+    if (name == "compute" && s.host == obs::kEngineHost) compute_span_sum += s.dur_us * 1e-6;
+    if (name == "comm") comm_span_sum += s.dur_us * 1e-6;
+    if (name == "checkpoint") checkpoint_span_sum += s.dur_us * 1e-6;
+    if (name == "rollback") ++rollbacks;
+  }
+  EXPECT_EQ(rollbacks, 1u);
+  EXPECT_NEAR(compute_span_sum, stats.compute_seconds, 1e-9 * stats.compute_seconds + 1e-12);
+  // comm + checkpoint spans carry every modeled second of the run.
+  EXPECT_NEAR(comm_span_sum + checkpoint_span_sum, stats.network_seconds,
+              1e-9 * stats.network_seconds + 1e-12);
+  EXPECT_NEAR(checkpoint_span_sum, stats.faults.checkpoint_seconds,
+              1e-9 * stats.faults.checkpoint_seconds + 1e-12);
+  EXPECT_DOUBLE_EQ(stats.phases.compute_seconds, stats.compute_seconds);
+  EXPECT_NEAR(stats.phases.total() - stats.phases.compute_seconds, stats.network_seconds, 1e-12);
+}
+
+TEST(ObsReconciliation, DisabledInstrumentationLeavesCountsIdentical) {
+  ObsGuard guard;
+  const std::size_t kRounds = 5;
+  const RunStats off = run_synthetic(4, kRounds, nullptr, nullptr);
+
+  Tracer::global().enable(1 << 12);
+  obs::Metrics::global().enable();
+  const RunStats on = run_synthetic(4, kRounds, nullptr, nullptr);
+  Tracer::global().disable();
+  obs::Metrics::global().disable();
+
+  // Tracing must be free of observable effects on the simulation: every
+  // integer aggregate and the whole round log match exactly.
+  EXPECT_EQ(off.rounds, on.rounds);
+  EXPECT_EQ(off.messages, on.messages);
+  EXPECT_EQ(off.bytes, on.bytes);
+  EXPECT_EQ(off.values, on.values);
+  ASSERT_EQ(off.round_log.size(), on.round_log.size());
+  for (std::size_t i = 0; i < off.round_log.size(); ++i) {
+    EXPECT_EQ(off.round_log[i].round, on.round_log[i].round);
+    EXPECT_EQ(off.round_log[i].messages, on.round_log[i].messages);
+    EXPECT_EQ(off.round_log[i].bytes, on.round_log[i].bytes);
+    EXPECT_EQ(off.round_log[i].work_items, on.round_log[i].work_items);
+    EXPECT_DOUBLE_EQ(off.round_log[i].network_seconds, on.round_log[i].network_seconds);
+  }
+  EXPECT_DOUBLE_EQ(off.network_seconds, on.network_seconds);
+}
+
+TEST(ObsReconciliation, SpanDurationsFeedSpanMicrosHistogram) {
+  ObsGuard guard;
+  Tracer::global().enable(64);
+  obs::Metrics::global().enable();
+  { obs::Span s(Category::kAlgo, "timed"); }
+  { obs::Span s(Category::kAlgo, "timed"); }
+  EXPECT_EQ(obs::Metrics::global().histogram(obs::Hist::kSpanMicros).count(), 2u);
+}
+
+}  // namespace
+}  // namespace mrbc
