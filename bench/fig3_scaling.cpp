@@ -13,28 +13,36 @@
 #include "core/mrbc.h"
 #include "report.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "workloads.h"
 
 namespace mrbc::bench {
 namespace {
 
 void run() {
+  // Host phases run on the shared pool; the threads column records the
+  // parallelism the numbers were taken at (MRBC_THREADS-overridable).
+  const std::string threads = std::to_string(util::ThreadPool::default_threads());
+  const bool parallel = util::ThreadPool::default_threads() > 1;
   Report report("Figure 3: strong scaling on large inputs (sim hosts = paper/8)",
                 "fig3_scaling.csv",
-                {"input", "algo", "hosts", "exec_s", "compute_s"}, 13);
+                {"input", "algo", "hosts", "threads", "exec_s", "compute_s"}, 13);
   std::vector<double> mrbc_scaling, sbbc_scaling;
   for (const Workload& w : large_workloads()) {
     double sbbc_at_8 = 0, sbbc_at_32 = 0, mrbc_at_8 = 0, mrbc_at_32 = 0;
     for (std::uint32_t hosts : {8u, 16u, 32u}) {
       partition::Partition part(w.graph, hosts, partition::Policy::kCartesianVertexCut);
-      auto sbbc = baselines::sbbc_bc(part, w.sources, {});
+      baselines::SbbcOptions sopts;
+      sopts.cluster.parallel_hosts = parallel;
+      auto sbbc = baselines::sbbc_bc(part, w.sources, sopts);
       core::MrbcOptions mopts;
       mopts.batch_size = 16;
+      mopts.cluster.parallel_hosts = parallel;
       auto mrbc = core::mrbc_bc(part, w.sources, mopts);
-      report.add({w.name, "SBBC", std::to_string(hosts),
+      report.add({w.name, "SBBC", std::to_string(hosts), threads,
                   util::fmt(sbbc.total().total_seconds(), 4),
                   util::fmt(sbbc.total().compute_seconds, 4)});
-      report.add({w.name, "MRBC", std::to_string(hosts),
+      report.add({w.name, "MRBC", std::to_string(hosts), threads,
                   util::fmt(mrbc.total().total_seconds(), 4),
                   util::fmt(mrbc.total().compute_seconds, 4)});
       if (hosts == 8) {

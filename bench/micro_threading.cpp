@@ -1,0 +1,101 @@
+// Dispatch-cost budget for the persistent thread pool, enforced:
+// dispatching a 64-way "host compute" fan-out through the parked pool must
+// be >= 10x cheaper than the historical thread-per-host spawn (64 joined
+// std::threads per BSP round). Measures min-of-reps round-trip latency for
+// both strategies at BSP-round-like fan-outs, exits nonzero if the pool
+// advantage at 64 hosts is under 10x, and writes micro_threading.csv.
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace mrbc::bench {
+namespace {
+
+/// The per-index stand-in for one host's compute: touch memory, not enough
+/// work to hide dispatch overhead (that is the point of the probe).
+void tiny_compute(std::vector<std::uint64_t>& cells, std::size_t i) {
+  cells[i * 9] += i + 1;
+}
+
+/// Seconds per round with the historical strategy: spawn `count` threads,
+/// join them all (what util::for_each_index did before the pool).
+double spawn_round_seconds(std::size_t count, std::size_t rounds,
+                           std::vector<std::uint64_t>& cells) {
+  util::Timer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<std::thread> threads;
+    threads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      threads.emplace_back([&cells, i] { tiny_compute(cells, i); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  return timer.seconds() / static_cast<double>(rounds);
+}
+
+/// Seconds per round dispatching the same fan-out through the parked pool.
+double pool_round_seconds(util::ThreadPool& pool, std::size_t count, std::size_t rounds,
+                          std::vector<std::uint64_t>& cells) {
+  util::Timer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    pool.parallel_for(0, count, 1, [&](std::size_t i) { tiny_compute(cells, i); });
+  }
+  return timer.seconds() / static_cast<double>(rounds);
+}
+
+double min_of(int reps, const std::function<double()>& fn) {
+  double best = fn();
+  for (int i = 1; i < reps; ++i) best = std::min(best, fn());
+  return best;
+}
+
+int run() {
+  int failures = 0;
+  const std::size_t threads = util::ThreadPool::default_threads();
+  util::ThreadPool pool(threads);
+  std::printf("pool parallelism: %zu (hardware %zu)\n", pool.parallelism(),
+              util::hardware_threads());
+
+  util::CsvWriter csv("micro_threading.csv",
+                      {"hosts", "threads", "spawn_us_per_round", "pool_us_per_round",
+                       "advantage", "budget"});
+  for (const std::size_t hosts : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+    std::vector<std::uint64_t> cells(hosts * 9 + 1, 0);
+    // Warm both paths once, then min-of-5 to shed scheduler noise.
+    spawn_round_seconds(hosts, 4, cells);
+    pool_round_seconds(pool, hosts, 64, cells);
+    const double spawn_s =
+        min_of(5, [&] { return spawn_round_seconds(hosts, 16, cells); });
+    const double pool_s =
+        min_of(5, [&] { return pool_round_seconds(pool, hosts, 256, cells); });
+    const double advantage = spawn_s / pool_s;
+    const bool enforced = hosts == 64;
+    std::printf("hosts=%2zu  spawn %8.2f us  pool %8.2f us  advantage %6.1fx%s\n", hosts,
+                spawn_s * 1e6, pool_s * 1e6, advantage,
+                enforced ? "  (budget >= 10x)" : "");
+    if (enforced && advantage < 10.0) {
+      std::printf("FAIL: pool dispatch advantage at 64 hosts under 10x\n");
+      ++failures;
+    }
+    char spawn_buf[32], pool_buf[32], adv_buf[32];
+    std::snprintf(spawn_buf, sizeof(spawn_buf), "%.3f", spawn_s * 1e6);
+    std::snprintf(pool_buf, sizeof(pool_buf), "%.3f", pool_s * 1e6);
+    std::snprintf(adv_buf, sizeof(adv_buf), "%.1f", advantage);
+    csv.add_row({std::to_string(hosts), std::to_string(pool.parallelism()), spawn_buf,
+                 pool_buf, adv_buf, enforced ? "10.0" : ""});
+  }
+  std::printf("wrote micro_threading.csv\n");
+  return failures;
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main() { return mrbc::bench::run(); }

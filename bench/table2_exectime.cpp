@@ -19,6 +19,7 @@
 #include "core/mrbc.h"
 #include "report.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "workloads.h"
 
 namespace mrbc::bench {
@@ -40,9 +41,13 @@ std::string cell(const Best& b, std::size_t num_sources) {
 }
 
 void run() {
+  // Intra-host parallelism the distributed algorithms ran with, recorded
+  // per row so cross-machine numbers stay comparable.
+  const std::string threads = std::to_string(util::ThreadPool::default_threads());
+  const bool parallel = util::ThreadPool::default_threads() > 1;
   Report report("Table 2: execution time (sec/source) at best host count (sim hosts = paper/8)",
-                "table2_exectime.csv", {"input", "abbc", "mfbc", "sbbc", "mrbc", "mrbc_vs_sbbc"},
-                15);
+                "table2_exectime.csv",
+                {"input", "threads", "abbc", "mfbc", "sbbc", "mrbc", "mrbc_vs_sbbc"}, 15);
   std::vector<double> web_speedups;
   for (const Workload& w : all_workloads()) {
     const std::vector<std::uint32_t> host_counts =
@@ -66,24 +71,28 @@ void run() {
         baselines::MfbcOptions fopts;
         fopts.num_hosts = hosts;
         fopts.batch_size = 32;
+        fopts.parallel_hosts = parallel;
         auto run = baselines::mfbc_bc(w.graph, w.sources, fopts);
         keep_best(mfbc, run.total().total_seconds(), hosts);
       }
       {
-        auto run = baselines::sbbc_bc(part, w.sources, {});
+        baselines::SbbcOptions sopts;
+        sopts.cluster.parallel_hosts = parallel;
+        auto run = baselines::sbbc_bc(part, w.sources, sopts);
         keep_best(sbbc, run.total().total_seconds(), hosts);
       }
       {
         core::MrbcOptions mopts;
         mopts.batch_size = w.large ? 16 : 32;
         if (w.name == "road-s") mopts.batch_size = 8;
+        mopts.cluster.parallel_hosts = parallel;
         auto run = core::mrbc_bc(part, w.sources, mopts);
         keep_best(mrbc, run.total().total_seconds(), hosts);
       }
     }
     const double speedup = sbbc.seconds / mrbc.seconds;
     if (w.paper_name == "gsh15" || w.paper_name == "clueweb12") web_speedups.push_back(speedup);
-    report.add({w.name, cell(abbc, w.sources.size()), cell(mfbc, w.sources.size()),
+    report.add({w.name, threads, cell(abbc, w.sources.size()), cell(mfbc, w.sources.size()),
                 cell(sbbc, w.sources.size()), cell(mrbc, w.sources.size()),
                 util::fmt(speedup, 2) + "x"});
   }

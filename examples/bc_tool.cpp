@@ -29,6 +29,7 @@
 #include "obs/trace.h"
 #include "util/csv.h"
 #include "util/stats_registry.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -41,6 +42,7 @@ struct Args {
   int scale = 11;
   double edge_factor = 8.0;
   std::uint32_t hosts = 4;
+  std::uint32_t threads = 0;  // 0 = MRBC_THREADS env or hardware threads
   std::uint32_t sources = 32;
   std::uint32_t batch = 32;
   std::uint64_t seed = 1;
@@ -64,6 +66,9 @@ void usage(const char* prog) {
       "  --scale <n>           generator scale, 2^n vertices (default 11)\n"
       "  --edge-factor <f>     edges per vertex (default 8)\n"
       "  --hosts <n>           simulated hosts (default 4)\n"
+      "  --threads <n>         worker threads for host phases and sync kernels\n"
+      "                        (default: MRBC_THREADS env, else hardware; 1 =\n"
+      "                        sequential; results are identical either way)\n"
       "  --sources <k>         sampled sources, 0 = all vertices (default 32)\n"
       "  --batch <k>           MRBC/MFBC batch size (default 32)\n"
       "  --policy <cvc|ec-src|ec-dst|gvc|random>  partition policy\n"
@@ -97,6 +102,7 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--scale")) args.scale = std::atoi(next("--scale"));
     else if (!std::strcmp(argv[i], "--edge-factor")) args.edge_factor = std::atof(next("--edge-factor"));
     else if (!std::strcmp(argv[i], "--hosts")) args.hosts = static_cast<std::uint32_t>(std::atoi(next("--hosts")));
+    else if (!std::strcmp(argv[i], "--threads")) args.threads = static_cast<std::uint32_t>(std::atoi(next("--threads")));
     else if (!std::strcmp(argv[i], "--sources")) args.sources = static_cast<std::uint32_t>(std::atoi(next("--sources")));
     else if (!std::strcmp(argv[i], "--batch")) args.batch = static_cast<std::uint32_t>(std::atoi(next("--batch")));
     else if (!std::strcmp(argv[i], "--policy")) args.policy = next("--policy");
@@ -205,6 +211,11 @@ int main(int argc, char** argv) {
   if (!args.trace_json.empty()) obs::Tracer::global().enable();
   if (!args.metrics_json.empty()) obs::Metrics::global().enable();
   if (args.progress) obs::set_progress(true);
+  // Size the shared pool once up front; host phases and the sync/compute
+  // kernels all dispatch to it. Results are thread-count independent.
+  util::ThreadPool::set_global_threads(args.threads);
+  const bool parallel = util::ThreadPool::global().parallelism() > 1;
+  std::printf("threads: %zu\n", util::ThreadPool::global().parallelism());
   graph::Graph g = load_graph(args);
   std::printf("graph: n=%u m=%llu maxout=%zu maxin=%zu\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()), g.max_out_degree(),
@@ -262,6 +273,7 @@ int main(int argc, char** argv) {
     opts.policy = parse_policy(args.policy);
     opts.batch_size = args.batch;
     opts.delayed_sync = !args.no_delayed_sync;
+    opts.cluster.parallel_hosts = parallel;
     auto run = core::mrbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -280,6 +292,7 @@ int main(int argc, char** argv) {
     baselines::SbbcOptions opts;
     opts.num_hosts = args.hosts;
     opts.policy = parse_policy(args.policy);
+    opts.cluster.parallel_hosts = parallel;
     auto run = baselines::sbbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -294,6 +307,7 @@ int main(int argc, char** argv) {
     baselines::MfbcOptions opts;
     opts.num_hosts = args.hosts;
     opts.batch_size = args.batch;
+    opts.parallel_hosts = parallel;
     auto run = baselines::mfbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);

@@ -8,6 +8,7 @@
 #include "matrix/semiring.h"
 #include "obs/trace.h"
 #include "partition/partition.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace mrbc::baselines {
@@ -93,9 +94,13 @@ class MfbcRunner {
       ++run.forward.rounds;
       std::vector<std::size_t> part_bytes(H_, 0);
       std::vector<double> host_work(H_, 0.0);
-      std::vector<std::pair<VertexId, std::uint32_t>> changed;
-      double max_host_seconds = 0.0;
-      for (std::uint32_t h = 0; h < H_; ++h) {
+      // Host h's product writes only rows it owns (block_owner(w) == h), so
+      // the per-host sweeps are write-disjoint; per-host changed lists are
+      // concatenated in host order, matching the sequential sweep exactly.
+      std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> host_changed(H_);
+      std::vector<double> host_seconds(H_, 0.0);
+      run.forward.per_host_compute_seconds.resize(H_, 0.0);
+      util::for_each_index(H_, opts_.parallel_hosts, [&](std::size_t h) {
         util::Timer timer;
         // A^T (x) frontier restricted to rows owned by h.
         for (const FwdEntry& e : frontier) {
@@ -113,22 +118,25 @@ class MfbcRunner {
             std::uint8_t& mark = changed_mark_[static_cast<std::size_t>(w) * k + e.sidx];
             if (!mark) {
               mark = 1;
-              changed.emplace_back(w, e.sidx);
+              host_changed[h].emplace_back(w, e.sidx);
             }
           }
         }
-        const double sec = timer.seconds();
-        max_host_seconds = std::max(max_host_seconds, sec);
-        run.forward.per_host_compute_seconds.resize(H_, 0.0);
-        run.forward.per_host_compute_seconds[h] += sec;
+        host_seconds[h] = timer.seconds();
+      });
+      double max_host_seconds = 0.0;
+      for (std::uint32_t h = 0; h < H_; ++h) {
+        max_host_seconds = std::max(max_host_seconds, host_seconds[h]);
+        run.forward.per_host_compute_seconds[h] += host_seconds[h];
       }
       std::vector<FwdEntry> next;
-      next.reserve(changed.size());
-      for (const auto& [w, sidx] : changed) {
-        changed_mark_[static_cast<std::size_t>(w) * k + sidx] = 0;
-        next.push_back({w, sidx, at(w, sidx)});
-        part_bytes[partition::block_owner(w, n, H_)] += kFwdEntryBytes;
-        max_level = std::max(max_level, at(w, sidx).dist);
+      for (const auto& changed : host_changed) {
+        for (const auto& [w, sidx] : changed) {
+          changed_mark_[static_cast<std::size_t>(w) * k + sidx] = 0;
+          next.push_back({w, sidx, at(w, sidx)});
+          part_bytes[partition::block_owner(w, n, H_)] += kFwdEntryBytes;
+          max_level = std::max(max_level, at(w, sidx).dist);
+        }
       }
       run.forward.compute_seconds += max_host_seconds;
       run.forward.imbalance_sum += util::imbalance(host_work);
@@ -157,10 +165,13 @@ class MfbcRunner {
         part_bytes[partition::block_owner(e.v, n, H_)] += kBwdEntryBytes;
       }
       std::vector<double> host_work(H_, 0.0);
-      double max_host_seconds = 0.0;
-      for (std::uint32_t h = 0; h < H_; ++h) {
+      std::vector<double> host_seconds(H_, 0.0);
+      run.backward.per_host_compute_seconds.resize(H_, 0.0);
+      sub_in(0);  // materialize the reversed sub-graphs before the parallel sweep
+      util::for_each_index(H_, opts_.parallel_hosts, [&](std::size_t h) {
         util::Timer timer;
-        // A (x) frontier: contributions flow to in-neighbors owned by h.
+        // A (x) frontier: contributions flow to in-neighbors owned by h
+        // (write-disjoint: sub_in(h) rows are the vertices h owns).
         for (const BwdEntry& e : frontier_b) {
           for (VertexId v : sub_in(h).out_neighbors(e.v)) {
             host_work[h] += 1.0;
@@ -170,10 +181,12 @@ class MfbcRunner {
             }
           }
         }
-        const double sec = timer.seconds();
-        max_host_seconds = std::max(max_host_seconds, sec);
-        run.backward.per_host_compute_seconds.resize(H_, 0.0);
-        run.backward.per_host_compute_seconds[h] += sec;
+        host_seconds[h] = timer.seconds();
+      });
+      double max_host_seconds = 0.0;
+      for (std::uint32_t h = 0; h < H_; ++h) {
+        max_host_seconds = std::max(max_host_seconds, host_seconds[h]);
+        run.backward.per_host_compute_seconds[h] += host_seconds[h];
       }
       run.backward.compute_seconds += max_host_seconds;
       run.backward.imbalance_sum += util::imbalance(host_work);

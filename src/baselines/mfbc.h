@@ -26,6 +26,10 @@ struct MfbcOptions {
   /// fits in memory (Section 5.2).
   std::uint32_t batch_size = 32;
   bool collect_tables = false;
+  /// Run the per-host matrix products on the shared thread pool. The 1D row
+  /// partition makes the products write-disjoint; per-host changed lists are
+  /// merged in host order, so results match the sequential sweep exactly.
+  bool parallel_hosts = false;
   sim::NetworkModel network;
 };
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 
 #include "comm/substrate.h"
+#include "core/staged_drain.h"
 #include "engine/fault.h"
 #include "graph/algorithms.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "util/threading.h"
 
 namespace mrbc::baselines {
 
@@ -73,7 +76,8 @@ class SourceRunner final : public sim::Checkpointable {
         }
       }
     }
-    for (HostId h = 0; h < part_.num_hosts(); ++h) {
+    util::for_each_index(part_.num_hosts(), opts_.cluster.parallel_hosts, [&](std::size_t hi) {
+      const auto h = static_cast<HostId>(hi);
       const auto& hg = part_.host(h);
       masters_by_level_[h].assign(max_level_ + 1, {});
       for (VertexId l = 0; l < hg.num_proxies(); ++l) {
@@ -82,7 +86,7 @@ class SourceRunner final : public sim::Checkpointable {
         }
       }
       schedule_backward(h, 1);
-    }
+    });
     BackwardAccessor acc{*this};
     sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
     return loop.run(
@@ -144,17 +148,24 @@ class SourceRunner final : public sim::Checkpointable {
   }
 
  private:
-  void combine_forward(HostId h, VertexId lid, std::uint32_t d, double sigma) {
+  void combine_forward_impl(HostId h, VertexId lid, std::uint32_t d, double sigma,
+                            std::vector<core::OrdLid>* staged, std::uint64_t ord) {
     DistSigma& s = labels_[h][lid];
     if (d > s.dist) return;
     if (d < s.dist) {
       s.dist = d;
       s.sigma = sigma;
       if (part_.host(h).is_master[lid]) {
-        // The master joins the next round's frontier.
+        // The master joins the next round's frontier. During a staged
+        // replay the append is captured with its push ordinal and merged
+        // into self_sched_ in sequential order afterwards.
         if (!in_frontier_[h].test(lid)) {
           in_frontier_[h].set(lid);
-          self_sched_[h].push_back(lid);
+          if (staged) {
+            staged->push_back({ord, lid});
+          } else {
+            self_sched_[h].push_back(lid);
+          }
           substrate_.flag_broadcast(h, lid);
         }
       }
@@ -162,6 +173,10 @@ class SourceRunner final : public sim::Checkpointable {
       s.sigma += sigma;
     }
     if (!part_.host(h).is_master[lid]) substrate_.flag_reduce(h, lid);
+  }
+
+  void combine_forward(HostId h, VertexId lid, std::uint32_t d, double sigma) {
+    combine_forward_impl(h, lid, d, sigma, nullptr, 0);
   }
 
   sim::HostWork compute_forward(HostId h) {
@@ -173,17 +188,59 @@ class SourceRunner final : public sim::Checkpointable {
     worklist_[h].clear();
     std::vector<VertexId> ss = std::move(self_sched_[h]);
     self_sched_[h].clear();
-    auto drain = [&](const std::vector<VertexId>& list) {
-      for (VertexId lid : list) {
-        const DistSigma s = labels_[h][lid];
-        for (VertexId tl : hg.local.out_neighbors(lid)) {
-          combine_forward(h, tl, s.dist + 1, s.sigma);
-          ++w.work_items;
+    const std::size_t total = wl.size() + ss.size();
+    const std::size_t grain = std::max<std::size_t>(opts_.drain_grain, 1);
+    if (total > grain) {
+      // Two-phase staged drain (core/staged_drain.h; design comment in
+      // core/mrbc.cpp). Snapshot-safe: a level-d frontier only produces
+      // level d+1 labels, which a same-frontier entry's stale check
+      // discards, so no drained entry's label changes mid-drain.
+      const std::size_t num_ranges = core::num_drain_ranges(hg.num_proxies());
+      std::vector<core::ChunkRecs> chunks(util::ThreadPool::chunk_count(total, grain));
+      util::ThreadPool::global().parallel_for_chunks(
+          0, total, grain, [&](std::size_t c, std::size_t b, std::size_t e) {
+            core::ChunkRecs& ch = chunks[c];
+            std::vector<core::PushRec> recs;
+            for (std::size_t ei = b; ei < e; ++ei) {
+              const VertexId lid = ei < wl.size() ? wl[ei] : ss[ei - wl.size()];
+              const DistSigma s = labels_[h][lid];
+              for (VertexId tl : hg.local.out_neighbors(lid)) {
+                recs.push_back(core::PushRec{tl, 0, s.dist + 1, s.sigma,
+                                             static_cast<std::uint32_t>(recs.size())});
+                ++ch.work_items;
+              }
+            }
+            ch.bucket_by_range(std::move(recs), num_ranges);
+          });
+      std::vector<std::vector<core::OrdLid>> range_staged(num_ranges);
+      util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
+        for (std::size_t c = 0; c < chunks.size(); ++c) {
+          const core::ChunkRecs& ch = chunks[c];
+          for (std::uint32_t i = ch.starts[r]; i < ch.starts[r + 1]; ++i) {
+            const core::PushRec& p = ch.sorted[i];
+            combine_forward_impl(h, p.target, p.dist, p.value, &range_staged[r],
+                                 core::push_ordinal(c, p.ord));
+          }
         }
-      }
-    };
-    drain(wl);
-    drain(ss);
+      });
+      for (const core::ChunkRecs& ch : chunks) w.work_items += ch.work_items;
+      std::vector<core::OrdLid> all;
+      for (const auto& v : range_staged) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      for (const auto& [ord, lid] : all) self_sched_[h].push_back(lid);
+    } else {
+      auto drain = [&](const std::vector<VertexId>& list) {
+        for (VertexId lid : list) {
+          const DistSigma s = labels_[h][lid];
+          for (VertexId tl : hg.local.out_neighbors(lid)) {
+            combine_forward(h, tl, s.dist + 1, s.sigma);
+            ++w.work_items;
+          }
+        }
+      };
+      drain(wl);
+      drain(ss);
+    }
     w.active = false;  // all progress is flag-driven
     return w;
   }
@@ -202,23 +259,65 @@ class SourceRunner final : public sim::Checkpointable {
   sim::HostWork compute_backward(HostId h, std::uint32_t round) {
     const auto& hg = part_.host(h);
     sim::HostWork w;
-    auto drain = [&](const std::vector<VertexId>& list) {
-      for (VertexId lid : list) {
-        const DistSigma& sv = labels_[h][lid];
-        if (sv.dist == kInfDist || sv.dist == 0) continue;
-        const double m = (1.0 + delta_[h][lid]) / sv.sigma;
-        for (VertexId wl : hg.local.in_neighbors(lid)) {
-          const DistSigma& sw = labels_[h][wl];
-          if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
-            delta_[h][wl] += sw.sigma * m;
-            if (!hg.is_master[wl]) substrate_.flag_reduce(h, wl);
+    const std::size_t total = worklist_[h].size() + self_sched_[h].size();
+    const std::size_t grain = std::max<std::size_t>(opts_.drain_grain, 1);
+    if (total > grain) {
+      // Staged drain: pushes target level d-1 predecessors while the drain
+      // list is all level d, so Phase-A snapshots (including the delta read
+      // in m) match the sequential interleaving exactly.
+      const std::size_t num_ranges = core::num_drain_ranges(hg.num_proxies());
+      std::vector<core::ChunkRecs> chunks(util::ThreadPool::chunk_count(total, grain));
+      util::ThreadPool::global().parallel_for_chunks(
+          0, total, grain, [&](std::size_t c, std::size_t b, std::size_t e) {
+            core::ChunkRecs& ch = chunks[c];
+            std::vector<core::PushRec> recs;
+            for (std::size_t ei = b; ei < e; ++ei) {
+              const VertexId lid = ei < worklist_[h].size()
+                                       ? worklist_[h][ei]
+                                       : self_sched_[h][ei - worklist_[h].size()];
+              const DistSigma& sv = labels_[h][lid];
+              if (sv.dist == kInfDist || sv.dist == 0) continue;
+              const double m = (1.0 + delta_[h][lid]) / sv.sigma;
+              for (VertexId pl : hg.local.in_neighbors(lid)) {
+                const DistSigma& sw = labels_[h][pl];
+                if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
+                  recs.push_back(core::PushRec{pl, 0, 0, sw.sigma * m,
+                                               static_cast<std::uint32_t>(recs.size())});
+                }
+                ++ch.work_items;
+              }
+            }
+            ch.bucket_by_range(std::move(recs), num_ranges);
+          });
+      util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
+        for (const core::ChunkRecs& ch : chunks) {
+          for (std::uint32_t i = ch.starts[r]; i < ch.starts[r + 1]; ++i) {
+            const core::PushRec& p = ch.sorted[i];
+            delta_[h][p.target] += p.value;
+            if (!hg.is_master[p.target]) substrate_.flag_reduce(h, p.target);
           }
-          ++w.work_items;
         }
-      }
-    };
-    drain(worklist_[h]);
-    drain(self_sched_[h]);
+      });
+      for (const core::ChunkRecs& ch : chunks) w.work_items += ch.work_items;
+    } else {
+      auto drain = [&](const std::vector<VertexId>& list) {
+        for (VertexId lid : list) {
+          const DistSigma& sv = labels_[h][lid];
+          if (sv.dist == kInfDist || sv.dist == 0) continue;
+          const double m = (1.0 + delta_[h][lid]) / sv.sigma;
+          for (VertexId wl : hg.local.in_neighbors(lid)) {
+            const DistSigma& sw = labels_[h][wl];
+            if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
+              delta_[h][wl] += sw.sigma * m;
+              if (!hg.is_master[wl]) substrate_.flag_reduce(h, wl);
+            }
+            ++w.work_items;
+          }
+        }
+      };
+      drain(worklist_[h]);
+      drain(self_sched_[h]);
+    }
     worklist_[h].clear();
     self_sched_[h].clear();
     schedule_backward(h, round + 1);

@@ -23,6 +23,9 @@ struct SbbcOptions {
   partition::HostId num_hosts = 4;
   partition::Policy policy = partition::Policy::kCartesianVertexCut;
   bool collect_tables = false;
+  /// Frontier entries per chunk for the intra-host parallel drain; same
+  /// semantics as MrbcOptions::drain_grain.
+  std::size_t drain_grain = 64;
   sim::ClusterOptions cluster;
 };
 

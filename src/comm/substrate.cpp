@@ -36,6 +36,7 @@ Substrate::Substrate(const Partition& part) : part_(&part), H_(part.num_hosts())
     reduce_flags_[h].resize(part.host(h).num_proxies());
     broadcast_flags_[h].resize(part.host(h).num_proxies());
   }
+  pair_bufs_.resize(static_cast<std::size_t>(H_) * H_);
 }
 
 void Substrate::set_delivery(const DeliveryOptions& options) {

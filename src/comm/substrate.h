@@ -34,6 +34,16 @@
 // Retransmit/duplicate traffic is accounted separately in SyncStats so the
 // engine's NetworkModel can cost it without distorting the headline
 // payload-byte comparisons.
+//
+// Execution: each sync phase runs in two sub-phases. Serialization of the
+// independent (master-host, other-host) pair messages fans out across the
+// shared util::ThreadPool — every mirror lid belongs to exactly one pair
+// and reduce-reset touches only that pair's mirrors, so any interleaving
+// serializes identical bytes — into a pool of per-pair SendBuffers that
+// keep their allocations across rounds. Delivery then walks the pairs
+// sequentially in the historical loop order, so ChannelFaults consultation
+// order, sequence numbers, SyncStats accounting, and apply order are all
+// bit-identical to the single-threaded engine.
 
 #include <algorithm>
 #include <cstdint>
@@ -44,6 +54,7 @@
 #include "partition/partition.h"
 #include "util/bitset.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace mrbc::comm {
 
@@ -188,30 +199,51 @@ class Substrate {
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
     const Partition& p = *part_;
+    // Phase A: serialize every pair message in parallel into the per-pair
+    // buffer pool. Pairs are independent — mirror_lids(mh, *) partitions
+    // mh's mirrors, so the reduce-reset of one pair never touches another
+    // pair's reads — and the applies all happen later, so any thread
+    // interleaving serializes identical bytes.
+    std::vector<PairWork> work = pair_serialize_order(/*reduce=*/true);
+    util::ThreadPool::global().parallel_for(0, work.size(), 1, [&](std::size_t w) {
+      PairWork& pw = work[w];
+      const auto& mirrors = p.mirror_lids(pw.src, pw.dst);
+      util::SendBuffer& buf = pair_buf(pw.src, pw.dst);
+      buf.clear();
+      // Serialize flagged entries: presence bitset over the exchange
+      // list + packed values.
+      util::DynamicBitset present(mirrors.size());
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < mirrors.size(); ++i) {
+        if (reduce_flags_[pw.src].test(mirrors[i])) {
+          present.set(i);
+          ++count;
+        }
+      }
+      if (count == 0) return;
+      buf.reserve(kPresenceSlack + present.byte_size() +
+                  count * (sizeof(typename Accessor::Value) + sizeof(std::uint32_t)));
+      detail::write_presence(buf, present, count);
+      buf.write<std::uint64_t>(count);  // write_vector wire format, in place
+      for (std::size_t i = 0; i < mirrors.size(); ++i) {
+        const VertexId lid = mirrors[i];
+        if (reduce_flags_[pw.src].test(lid)) {
+          buf.write<typename Accessor::Value>(acc.get(pw.src, lid));
+          acc.reset(pw.src, lid);
+        }
+      }
+      pw.values = count;
+    });
+    // Phase B: deliver sequentially in the historical pair order.
+    std::size_t w = 0;
     for (HostId mh = 0; mh < H_; ++mh) {
       for (HostId oh = 0; oh < H_; ++oh) {
-        if (mh == oh) continue;
-        const auto& mirrors = p.mirror_lids(mh, oh);
-        if (mirrors.empty()) continue;
-        // Serialize flagged entries: presence bitset over the exchange
-        // list + packed values.
-        util::DynamicBitset present(mirrors.size());
-        std::vector<typename Accessor::Value> payload;
-        for (std::size_t i = 0; i < mirrors.size(); ++i) {
-          const VertexId lid = mirrors[i];
-          if (reduce_flags_[mh].test(lid)) {
-            present.set(i);
-            payload.push_back(acc.get(mh, lid));
-            acc.reset(mh, lid);
-          }
-        }
-        if (payload.empty()) continue;
-        util::SendBuffer buf;
-        detail::write_presence(buf, present, payload.size());
-        buf.write_vector(payload);
-        stats.values += payload.size();
+        if (mh == oh || p.mirror_lids(mh, oh).empty()) continue;
+        const std::size_t values = work[w++].values;
+        if (values == 0) continue;
+        stats.values += values;
         const auto& masters = p.master_lids(mh, oh);
-        deliver(mh, oh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+        deliver(mh, oh, pair_buf(mh, oh), stats, [&](util::RecvBuffer& rbuf) {
           std::vector<std::size_t> indices;
           detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
           auto rvalues = rbuf.read_vector<typename Accessor::Value>();
@@ -242,27 +274,43 @@ class Substrate {
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
     const Partition& p = *part_;
+    // Phase A: parallel serialization (masters are only read — a master
+    // serialized toward several mirror hosts is shared read-only state).
+    std::vector<PairWork> work = pair_serialize_order(/*reduce=*/false);
+    util::ThreadPool::global().parallel_for(0, work.size(), 1, [&](std::size_t w) {
+      PairWork& pw = work[w];
+      const auto& masters = p.master_lids(pw.dst, pw.src);
+      util::SendBuffer& buf = pair_buf(pw.src, pw.dst);
+      buf.clear();
+      util::DynamicBitset present(masters.size());
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < masters.size(); ++i) {
+        if (broadcast_flags_[pw.src].test(masters[i])) {
+          present.set(i);
+          ++count;
+        }
+      }
+      if (count == 0) return;
+      buf.reserve(kPresenceSlack + present.byte_size() +
+                  count * (sizeof(typename Accessor::Value) + sizeof(std::uint32_t)));
+      detail::write_presence(buf, present, count);
+      buf.write<std::uint64_t>(count);
+      for (std::size_t i = 0; i < masters.size(); ++i) {
+        const VertexId lid = masters[i];
+        if (broadcast_flags_[pw.src].test(lid)) buf.write<typename Accessor::Value>(acc.get(pw.src, lid));
+      }
+      pw.values = count;
+    });
+    // Phase B: sequential delivery in the historical pair order.
+    std::size_t w = 0;
     for (HostId oh = 0; oh < H_; ++oh) {
       for (HostId mh = 0; mh < H_; ++mh) {
-        if (mh == oh) continue;
-        const auto& masters = p.master_lids(mh, oh);
-        if (masters.empty()) continue;
-        util::DynamicBitset present(masters.size());
-        std::vector<typename Accessor::Value> payload;
-        for (std::size_t i = 0; i < masters.size(); ++i) {
-          const VertexId lid = masters[i];
-          if (broadcast_flags_[oh].test(lid)) {
-            present.set(i);
-            payload.push_back(acc.get(oh, lid));
-          }
-        }
-        if (payload.empty()) continue;
-        util::SendBuffer buf;
-        detail::write_presence(buf, present, payload.size());
-        buf.write_vector(payload);
-        stats.values += payload.size();
+        if (mh == oh || p.master_lids(mh, oh).empty()) continue;
+        const std::size_t values = work[w++].values;
+        if (values == 0) continue;
+        stats.values += values;
         const auto& mirrors = p.mirror_lids(mh, oh);
-        deliver(oh, mh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+        deliver(oh, mh, pair_buf(oh, mh), stats, [&](util::RecvBuffer& rbuf) {
           std::vector<std::size_t> indices;
           detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
           auto rvalues = rbuf.read_vector<typename Accessor::Value>();
@@ -302,28 +350,41 @@ class Substrate {
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
     const Partition& p = *part_;
+    // Phase A: parallel per-pair serialization. serialize_reduce mutates
+    // only the serialized mirror's own state (reduce-reset), and each
+    // mirror lid appears in exactly one pair, so pairs stay independent.
+    std::vector<PairWork> work = pair_serialize_order(/*reduce=*/true);
+    util::ThreadPool::global().parallel_for(0, work.size(), 1, [&](std::size_t w) {
+      PairWork& pw = work[w];
+      const auto& mirrors = p.mirror_lids(pw.src, pw.dst);
+      util::SendBuffer& buf = pair_buf(pw.src, pw.dst);
+      buf.clear();
+      util::DynamicBitset present(mirrors.size());
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < mirrors.size(); ++i) {
+        if (reduce_flags_[pw.src].test(mirrors[i])) {
+          present.set(i);
+          ++count;
+        }
+      }
+      if (count == 0) return;
+      buf.reserve(kPresenceSlack + present.byte_size() + count * sizeof(std::uint32_t));
+      detail::write_presence(buf, present, count);
+      for (std::size_t i = 0; i < mirrors.size(); ++i) {
+        if (present.test(i)) acc.serialize_reduce(pw.src, mirrors[i], buf);
+      }
+      pw.values = count;
+    });
+    // Phase B: sequential delivery in the historical pair order.
+    std::size_t w = 0;
     for (HostId mh = 0; mh < H_; ++mh) {
       for (HostId oh = 0; oh < H_; ++oh) {
-        if (mh == oh) continue;
-        const auto& mirrors = p.mirror_lids(mh, oh);
-        if (mirrors.empty()) continue;
-        util::DynamicBitset present(mirrors.size());
-        util::SendBuffer payload;
-        std::size_t count = 0;
-        for (std::size_t i = 0; i < mirrors.size(); ++i) {
-          if (reduce_flags_[mh].test(mirrors[i])) {
-            present.set(i);
-            acc.serialize_reduce(mh, mirrors[i], payload);
-            ++count;
-          }
-        }
-        if (count == 0) continue;
-        util::SendBuffer buf;
-        detail::write_presence(buf, present, count);
-        buf.append(payload);
-        stats.values += count;
+        if (mh == oh || p.mirror_lids(mh, oh).empty()) continue;
+        const std::size_t values = work[w++].values;
+        if (values == 0) continue;
+        stats.values += values;
         const auto& masters = p.master_lids(mh, oh);
-        deliver(mh, oh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+        deliver(mh, oh, pair_buf(mh, oh), stats, [&](util::RecvBuffer& rbuf) {
           detail::read_presence(rbuf, [&](std::size_t i) {
             acc.apply_reduce(oh, masters[i], rbuf);
             broadcast_flags_[oh].set(masters[i]);
@@ -359,7 +420,7 @@ class Substrate {
       const HostId cols = static_cast<HostId>(std::min<std::size_t>(buffers[src].size(), H_));
       for (HostId dst = 0; dst < cols; ++dst) {
         if (src == dst || buffers[src][dst].empty()) continue;
-        deliver(src, dst, std::move(buffers[src][dst]), stats,
+        deliver(src, dst, buffers[src][dst], stats,
                 [&](util::RecvBuffer& rbuf) { apply(src, dst, rbuf); });
       }
     }
@@ -374,28 +435,40 @@ class Substrate {
     stats.bytes_per_host.assign(H_, 0);
     stats.msgs_per_host.assign(H_, 0);
     const Partition& p = *part_;
+    // Phase A: parallel per-pair serialization (serialize_broadcast is
+    // contractually read-only, so shared masters are safe).
+    std::vector<PairWork> work = pair_serialize_order(/*reduce=*/false);
+    util::ThreadPool::global().parallel_for(0, work.size(), 1, [&](std::size_t w) {
+      PairWork& pw = work[w];
+      const auto& masters = p.master_lids(pw.dst, pw.src);
+      util::SendBuffer& buf = pair_buf(pw.src, pw.dst);
+      buf.clear();
+      util::DynamicBitset present(masters.size());
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < masters.size(); ++i) {
+        if (broadcast_flags_[pw.src].test(masters[i])) {
+          present.set(i);
+          ++count;
+        }
+      }
+      if (count == 0) return;
+      buf.reserve(kPresenceSlack + present.byte_size() + count * sizeof(std::uint32_t));
+      detail::write_presence(buf, present, count);
+      for (std::size_t i = 0; i < masters.size(); ++i) {
+        if (present.test(i)) acc.serialize_broadcast(pw.src, masters[i], buf);
+      }
+      pw.values = count;
+    });
+    // Phase B: sequential delivery in the historical pair order.
+    std::size_t w = 0;
     for (HostId oh = 0; oh < H_; ++oh) {
       for (HostId mh = 0; mh < H_; ++mh) {
-        if (mh == oh) continue;
-        const auto& masters = p.master_lids(mh, oh);
-        if (masters.empty()) continue;
-        util::DynamicBitset present(masters.size());
-        util::SendBuffer payload;
-        std::size_t count = 0;
-        for (std::size_t i = 0; i < masters.size(); ++i) {
-          if (broadcast_flags_[oh].test(masters[i])) {
-            present.set(i);
-            acc.serialize_broadcast(oh, masters[i], payload);
-            ++count;
-          }
-        }
-        if (count == 0) continue;
-        util::SendBuffer buf;
-        detail::write_presence(buf, present, count);
-        buf.append(payload);
-        stats.values += count;
+        if (mh == oh || p.master_lids(mh, oh).empty()) continue;
+        const std::size_t values = work[w++].values;
+        if (values == 0) continue;
+        stats.values += values;
         const auto& mirrors = p.mirror_lids(mh, oh);
-        deliver(oh, mh, std::move(buf), stats, [&](util::RecvBuffer& rbuf) {
+        deliver(oh, mh, pair_buf(oh, mh), stats, [&](util::RecvBuffer& rbuf) {
           detail::read_presence(rbuf, [&](std::size_t i) {
             acc.apply_broadcast(mh, mirrors[i], rbuf);
           });
@@ -409,18 +482,52 @@ class Substrate {
  private:
   /// [seq:u64][crc:u32] prepended to every payload in framed mode.
   static constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  /// reserve() headroom for the presence encoding's tags/length prefixes.
+  static constexpr std::size_t kPresenceSlack = 32;
 
   std::size_t pair_index(HostId src, HostId dst) const {
     return static_cast<std::size_t>(src) * H_ + dst;
   }
 
+  /// One host-pair message of a sync phase: serialization target in Phase
+  /// A, delivery bookkeeping (serialized value count) for Phase B.
+  struct PairWork {
+    HostId src = 0;
+    HostId dst = 0;
+    std::size_t values = 0;
+  };
+
+  /// The nonempty pair messages of one phase, in delivery order. reduce:
+  /// (mh -> oh) over nonempty mirror lists, mh-major; broadcast: (oh -> mh)
+  /// over nonempty master lists, oh-major — exactly the historical loops.
+  std::vector<PairWork> pair_serialize_order(bool reduce) const {
+    std::vector<PairWork> work;
+    const Partition& p = *part_;
+    for (HostId a = 0; a < H_; ++a) {
+      for (HostId b = 0; b < H_; ++b) {
+        if (a == b) continue;
+        const bool nonempty =
+            reduce ? !p.mirror_lids(a, b).empty() : !p.master_lids(b, a).empty();
+        if (nonempty) work.push_back(PairWork{a, b, 0});
+      }
+    }
+    return work;
+  }
+
+  /// Reusable per-pair serialization buffer (cleared each phase, capacity
+  /// kept across rounds).
+  util::SendBuffer& pair_buf(HostId src, HostId dst) { return pair_bufs_[pair_index(src, dst)]; }
+
   /// Transmits one host-pair message and applies it at the receiver.
   /// Unframed mode applies directly (historical behavior, identical byte
   /// accounting). Framed mode runs the fault/retransmit protocol described
   /// in the file header. `apply` is invoked at most once per logical
-  /// message (duplicate copies are suppressed by sequence number).
+  /// message (duplicate copies are suppressed by sequence number). The
+  /// message buffer is borrowed, not consumed — callers keep it pooled —
+  /// and the receiver reads it through a zero-copy view.
   template <typename ApplyFn>
-  void deliver(HostId src, HostId dst, util::SendBuffer&& msg, SyncStats& stats, ApplyFn&& apply) {
+  void deliver(HostId src, HostId dst, const util::SendBuffer& msg, SyncStats& stats,
+               ApplyFn&& apply) {
     stats.messages += 1;
     stats.msgs_per_host[src] += 1;
     if (obs::metrics_enabled()) {
@@ -432,11 +539,11 @@ class Substrate {
       if (obs::metrics_enabled()) {
         obs::Metrics::global().histogram(obs::Hist::kRetransmitAttempts).record(1);
       }
-      util::RecvBuffer rbuf(msg.take());
+      util::RecvBuffer rbuf(msg);
       apply(rbuf);
       return;
     }
-    std::vector<std::uint8_t> payload = msg.take();
+    const std::vector<std::uint8_t>& payload = msg.bytes();
     const std::uint32_t crc = util::crc32(payload);
     const std::size_t pair = pair_index(src, dst);
     const std::uint64_t seq = ++next_seq_[pair];
@@ -470,7 +577,8 @@ class Substrate {
                       ? faults->corrupt_bit(src, dst, seq, payload.size())
                       : -1;
       if (flip >= 0) {
-        std::vector<std::uint8_t> wire = payload;
+        wire_scratch_ = payload;  // assign reuses the scratch allocation
+        std::vector<std::uint8_t>& wire = wire_scratch_;
         wire[static_cast<std::size_t>(flip) / 8] ^=
             static_cast<std::uint8_t>(1u << (static_cast<std::size_t>(flip) % 8));
         if (util::crc32(wire) != crc) {
@@ -493,7 +601,7 @@ class Substrate {
       for (std::size_t copy = 0; copy < (duplicated ? 2u : 1u); ++copy) {
         if (seq > last_accepted_[pair]) {
           last_accepted_[pair] = seq;
-          util::RecvBuffer rbuf{std::vector<std::uint8_t>(payload)};
+          util::RecvBuffer rbuf(payload.data(), payload.size());
           apply(rbuf);
         } else {
           stats.duplicates_suppressed += 1;
@@ -514,6 +622,8 @@ class Substrate {
   bool framed_ = false;                       ///< effective framing switch
   std::vector<std::uint64_t> next_seq_;       ///< per (src,dst) sender counter
   std::vector<std::uint64_t> last_accepted_;  ///< per (src,dst) receiver high-water mark
+  std::vector<util::SendBuffer> pair_bufs_;   ///< per (src,dst) reusable message buffers
+  std::vector<std::uint8_t> wire_scratch_;    ///< corruption-path frame copy
 };
 
 }  // namespace mrbc::comm

@@ -5,9 +5,12 @@
 
 #include "comm/substrate.h"
 #include "core/mrbc_state.h"
+#include "core/staged_drain.h"
 #include "engine/fault.h"
 #include "graph/algorithms.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "util/threading.h"
 
 namespace mrbc::core {
 
@@ -22,6 +25,33 @@ namespace {
 constexpr std::uint8_t kFwdFinal = 1;    // forward label finalized on this proxy
 constexpr std::uint8_t kAccFinal = 2;    // dependency finalized on this proxy
 constexpr std::uint8_t kEagerStaged = 4; // staged for eager (non-final) broadcast
+
+// ---- Two-phase staged drain -----------------------------------------------
+// Large rounds drain their worklist in parallel while staying bit-identical
+// to the sequential drain. Phase A splits the (lid, sidx) entry list into
+// fixed grain-sized chunks (thread-count independent) and, per chunk,
+// snapshots + finalizes each entry and records its neighbor pushes, bucketed
+// by the target lid's 64-aligned range. Phase B replays each range's pushes
+// in global sequential order — chunk-index major, in-chunk push order minor
+// — so every slot sees exactly the arithmetic sequence the sequential drain
+// would have applied. Ranges are disjoint in everything a push mutates (the
+// slot array is lid-major, dirty/dist-map/to_broadcast state is per-lid, and
+// 64-lid alignment keeps substrate flag-bitset words range-private), so
+// ranges can replay concurrently.
+//
+// Snapshot safety: Phase A reads every drained entry's slot before any push
+// is applied, where the sequential drain interleaves pushes with later
+// entries' reads. These agree on valid runs: the delayed-sync schedule fires
+// an entry only when its label/dependency is final (Lemmas 2-6 — in
+// particular tau_sv > tau_sw for an SP-DAG edge w->v, so same-round
+// push-into-drained-entry events always hit an already-final slot and are
+// either discarded by the stale-distance check or counted as anomalies).
+// Runs that already violate the pipelining invariant (anomalies > 0) may
+// count anomalies differently than the sequential drain; they are reported
+// as broken either way.
+//
+// PushRec / ChunkRecs / the 64-lid range partition live in
+// core/staged_drain.h, shared with the SBBC baseline's identical drain.
 
 // Checkpoint helpers: std::pair is not guaranteed trivially copyable, so
 // (lid, sidx) worklists are serialized elementwise.
@@ -95,9 +125,12 @@ class BatchRunner final : public sim::Checkpointable {
           // at the master BEFORE the delayed-sync rule is evaluated, or an
           // entry could fire with an incomplete position or sigma.
           comm::SyncStats s = substrate_.reduce_var(acc);
-          for (HostId h = 0; h < part_.num_hosts(); ++h) {
-            schedule_forward(h, current_round_);
-          }
+          // Host-disjoint (each call touches only host h's state and sync
+          // flags), so schedule alongside the cluster's host parallelism.
+          util::for_each_index(part_.num_hosts(), opts_.cluster.parallel_hosts,
+                               [&](std::size_t h) {
+                                 schedule_forward(static_cast<HostId>(h), current_round_);
+                               });
           s += substrate_.broadcast_var(acc);
           return s;
         },
@@ -115,7 +148,9 @@ class BatchRunner final : public sim::Checkpointable {
       // Diameter finalization: seed the backward pass from the forward
       // round count (the "R" every host agreed on at quiescence).
       obs::Span finalize_span(obs::Category::kAlgo, "finalize");
-      for (HostId h = 0; h < part_.num_hosts(); ++h) schedule_backward(h, 1, R);
+      util::for_each_index(part_.num_hosts(), opts_.cluster.parallel_hosts, [&](std::size_t h) {
+        schedule_backward(static_cast<HostId>(h), 1, R);
+      });
     }
     obs::Span phase_span(obs::Category::kAlgo, "backward");
     BackwardAccessor acc{*this};
@@ -213,14 +248,19 @@ class BatchRunner final : public sim::Checkpointable {
   // ---- Forward phase ----------------------------------------------------
 
   /// Applies one incoming (dist, sigma) contribution to a proxy — the
-  /// lines 11-17 update rules of Alg. 3 in proxy form.
-  void combine_forward(HostId h, graph::VertexId lid, std::uint32_t sidx, std::uint32_t d,
-                       double sigma) {
+  /// lines 11-17 update rules of Alg. 3 in proxy form. The (anoms, staged,
+  /// ord) tail routes the two side effects that are not per-target-lid —
+  /// the anomaly counter and the eager staging list — to per-range
+  /// accumulators during a staged replay; the comm-phase entry point below
+  /// binds them to the host's direct state.
+  void combine_forward_impl(HostId h, graph::VertexId lid, std::uint32_t sidx, std::uint32_t d,
+                            double sigma, std::size_t& anoms, std::vector<OrdLid>* staged,
+                            std::uint64_t ord) {
     HostState& st = state_[h];
     SourceSlot& s = st.slot(lid, sidx);
     if (d > s.dist) return;  // stale
     if (flags(h, lid, sidx) & kFwdFinal) {
-      ++anomalies_[h];  // update after finalization: forbidden by Lemmas 2-5
+      ++anoms;  // update after finalization: forbidden by Lemmas 2-5
       return;
     }
     if (d < s.dist) {
@@ -230,17 +270,29 @@ class BatchRunner final : public sim::Checkpointable {
       s.sigma += sigma;
     }
     if (part_.host(h).is_master[lid]) {
-      if (!opts_.delayed_sync) stage_eager(h, lid, sidx);
+      if (!opts_.delayed_sync) stage_eager(h, lid, sidx, staged, ord);
     } else {
       st.mark_dirty(lid, sidx);
       substrate_.flag_reduce(h, lid);
     }
   }
 
-  void stage_eager(HostId h, graph::VertexId lid, std::uint32_t sidx) {
+  void combine_forward(HostId h, graph::VertexId lid, std::uint32_t sidx, std::uint32_t d,
+                       double sigma) {
+    combine_forward_impl(h, lid, sidx, d, sigma, anomalies_[h], nullptr, 0);
+  }
+
+  void stage_eager(HostId h, graph::VertexId lid, std::uint32_t sidx,
+                   std::vector<OrdLid>* staged = nullptr, std::uint64_t ord = 0) {
     if (flags(h, lid, sidx) & kEagerStaged) return;
     flags(h, lid, sidx) |= kEagerStaged;
-    if (state_[h].to_broadcast[lid].empty()) staged_lids_[h].push_back(lid);
+    if (state_[h].to_broadcast[lid].empty()) {
+      if (staged) {
+        staged->push_back({ord, lid});
+      } else {
+        staged_lids_[h].push_back(lid);
+      }
+    }
     state_[h].to_broadcast[lid].push_back({sidx, false});
     substrate_.flag_broadcast(h, lid);
   }
@@ -283,25 +335,111 @@ class BatchRunner final : public sim::Checkpointable {
     host_active_[h] = active;
   }
 
+  /// One drained entry: position e in the concatenation worklist ++
+  /// self_sched (the exact sequential drain order).
+  std::pair<graph::VertexId, std::uint32_t> drain_entry(HostId h, std::size_t e) const {
+    const auto& wl = worklist_[h];
+    return e < wl.size() ? wl[e] : self_sched_[h][e - wl.size()];
+  }
+
+  std::size_t drain_size(HostId h) const { return worklist_[h].size() + self_sched_[h].size(); }
+
+  /// Phase A shared by both directions: chunk the entry list, run
+  /// `snapshot(chunk_recs, entry_index)` per entry (it finalizes the entry
+  /// and appends its pushes), bucket each chunk's pushes by target range.
+  template <typename SnapshotFn>
+  std::vector<ChunkRecs> stage_pushes(HostId h, std::size_t total, std::size_t grain,
+                                      std::size_t num_ranges, SnapshotFn&& snapshot) {
+    std::vector<ChunkRecs> chunks(util::ThreadPool::chunk_count(total, grain));
+    util::ThreadPool::global().parallel_for_chunks(
+        0, total, grain, [&](std::size_t c, std::size_t b, std::size_t e) {
+          ChunkRecs& ch = chunks[c];
+          std::vector<PushRec> recs;
+          for (std::size_t ei = b; ei < e; ++ei) snapshot(ch, recs, ei);
+          ch.bucket_by_range(std::move(recs), num_ranges);
+        });
+    return chunks;
+  }
+
+  /// Phase B shared by both directions: replay every range's pushes in
+  /// (chunk, in-chunk) order — the sequential push order — then fold the
+  /// per-range side accumulators back deterministically.
+  template <typename ReplayFn>
+  sim::HostWork replay_pushes(HostId h, const std::vector<ChunkRecs>& chunks,
+                              std::size_t num_ranges, ReplayFn&& replay) {
+    const bool eager = !opts_.delayed_sync;
+    std::vector<std::size_t> range_anoms(num_ranges, 0);
+    std::vector<std::vector<OrdLid>> range_staged(eager ? num_ranges : 0);
+    util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
+      std::size_t anoms = 0;
+      std::vector<OrdLid>* staged = eager ? &range_staged[r] : nullptr;
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        const ChunkRecs& ch = chunks[c];
+        for (std::uint32_t i = ch.starts[r]; i < ch.starts[r + 1]; ++i) {
+          replay(ch.sorted[i], anoms, staged, push_ordinal(c, ch.sorted[i].ord));
+        }
+      }
+      range_anoms[r] = anoms;
+    });
+    sim::HostWork w;
+    for (const ChunkRecs& ch : chunks) w.work_items += ch.work_items;
+    for (std::size_t a : range_anoms) anomalies_[h] += a;
+    if (eager) {
+      std::vector<OrdLid> all;
+      for (const auto& v : range_staged) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      for (const auto& [ord, lid] : all) staged_lids_[h].push_back(lid);
+    }
+    return w;
+  }
+
+  std::size_t num_replay_ranges(HostId h) const {
+    return num_drain_ranges(part_.host(h).num_proxies());
+  }
+
   sim::HostWork compute_forward(HostId h, std::uint32_t round) {
     HostState& st = state_[h];
     const auto& hg = part_.host(h);
     sim::HostWork w;
+    const std::size_t total = drain_size(h);
+    const std::size_t grain = std::max<std::size_t>(opts_.drain_grain, 1);
     // Drain finalized labels delivered this round (broadcast arrivals on
     // mirrors + the master's own scheduled entries): each is the CONGEST
     // "send along all out-edges", performed as local proxy updates.
-    auto drain = [&](const std::vector<std::pair<graph::VertexId, std::uint32_t>>& list) {
-      for (const auto& [lid, sidx] : list) {
-        flags(h, lid, sidx) |= kFwdFinal;
-        const SourceSlot s = st.slot(lid, sidx);
-        for (graph::VertexId tl : hg.local.out_neighbors(lid)) {
-          combine_forward(h, tl, sidx, s.dist + 1, s.sigma);
-          ++w.work_items;
+    if (total > grain) {
+      const std::size_t num_ranges = num_replay_ranges(h);
+      std::vector<ChunkRecs> chunks = stage_pushes(
+          h, total, grain, num_ranges,
+          [&](ChunkRecs& ch, std::vector<PushRec>& recs, std::size_t ei) {
+            const auto [lid, sidx] = drain_entry(h, ei);
+            flags(h, lid, sidx) |= kFwdFinal;
+            const SourceSlot s = st.slot(lid, sidx);
+            for (graph::VertexId tl : hg.local.out_neighbors(lid)) {
+              recs.push_back(PushRec{tl, sidx, s.dist + 1, s.sigma,
+                                     static_cast<std::uint32_t>(recs.size())});
+              ++ch.work_items;
+            }
+          });
+      w = replay_pushes(h, chunks, num_ranges,
+                        [&](const PushRec& p, std::size_t& anoms, std::vector<OrdLid>* staged,
+                            std::uint64_t ord) {
+                          combine_forward_impl(h, p.target, p.sidx, p.dist, p.value, anoms,
+                                               staged, ord);
+                        });
+    } else {
+      auto drain = [&](const std::vector<std::pair<graph::VertexId, std::uint32_t>>& list) {
+        for (const auto& [lid, sidx] : list) {
+          flags(h, lid, sidx) |= kFwdFinal;
+          const SourceSlot s = st.slot(lid, sidx);
+          for (graph::VertexId tl : hg.local.out_neighbors(lid)) {
+            combine_forward(h, tl, sidx, s.dist + 1, s.sigma);
+            ++w.work_items;
+          }
         }
-      }
-    };
-    drain(worklist_[h]);
-    drain(self_sched_[h]);
+      };
+      drain(worklist_[h]);
+      drain(self_sched_[h]);
+    }
     worklist_[h].clear();
     self_sched_[h].clear();
     for (graph::VertexId lid : staged_lids_[h]) {
@@ -357,19 +495,25 @@ class BatchRunner final : public sim::Checkpointable {
     host_active_[h] = active;
   }
 
-  void combine_backward(HostId h, graph::VertexId lid, std::uint32_t sidx, double contribution) {
+  void combine_backward_impl(HostId h, graph::VertexId lid, std::uint32_t sidx,
+                             double contribution, std::size_t& anoms,
+                             std::vector<OrdLid>* staged, std::uint64_t ord) {
     HostState& st = state_[h];
     if (flags(h, lid, sidx) & kAccFinal) {
-      ++anomalies_[h];  // dependency arrived after its vertex fired
+      ++anoms;  // dependency arrived after its vertex fired
       return;
     }
     st.slot(lid, sidx).delta += contribution;
     if (part_.host(h).is_master[lid]) {
-      if (!opts_.delayed_sync) stage_eager(h, lid, sidx);
+      if (!opts_.delayed_sync) stage_eager(h, lid, sidx, staged, ord);
     } else {
       st.mark_dirty(lid, sidx);
       substrate_.flag_reduce(h, lid);
     }
+  }
+
+  void combine_backward(HostId h, graph::VertexId lid, std::uint32_t sidx, double contribution) {
+    combine_backward_impl(h, lid, sidx, contribution, anomalies_[h], nullptr, 0);
   }
 
   sim::HostWork compute_backward(HostId h, std::uint32_t round, std::uint32_t R) {
@@ -379,23 +523,55 @@ class BatchRunner final : public sim::Checkpointable {
     // A finalized dependency delta_sv turns into m = (1 + delta)/sigma sent
     // to the predecessors of v in s's SP DAG; predecessors are recognized
     // on each host by dist(w) + 1 == dist(v) (Alg. 5 step 7).
-    auto drain = [&](const std::vector<std::pair<graph::VertexId, std::uint32_t>>& list) {
-      for (const auto& [lid, sidx] : list) {
-        flags(h, lid, sidx) |= kAccFinal;
-        const SourceSlot& sv = st.slot(lid, sidx);
-        if (sv.dist == kInfDist || sv.dist == 0 || sv.sigma == 0.0) continue;
-        const double m = (1.0 + sv.delta) / sv.sigma;
-        for (graph::VertexId wl : hg.local.in_neighbors(lid)) {
-          const SourceSlot& sw = st.slot(wl, sidx);
-          if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
-            combine_backward(h, wl, sidx, sw.sigma * m);
+    //
+    // The staged path is snapshot-safe here because replay only mutates
+    // delta — the dist/sigma a Phase-A snapshot reads are frozen for the
+    // whole backward phase.
+    const std::size_t total = drain_size(h);
+    const std::size_t grain = std::max<std::size_t>(opts_.drain_grain, 1);
+    if (total > grain) {
+      const std::size_t num_ranges = num_replay_ranges(h);
+      std::vector<ChunkRecs> chunks = stage_pushes(
+          h, total, grain, num_ranges,
+          [&](ChunkRecs& ch, std::vector<PushRec>& recs, std::size_t ei) {
+            const auto [lid, sidx] = drain_entry(h, ei);
+            flags(h, lid, sidx) |= kAccFinal;
+            const SourceSlot& sv = st.slot(lid, sidx);
+            if (sv.dist == kInfDist || sv.dist == 0 || sv.sigma == 0.0) return;
+            const double m = (1.0 + sv.delta) / sv.sigma;
+            for (graph::VertexId wl : hg.local.in_neighbors(lid)) {
+              const SourceSlot& sw = st.slot(wl, sidx);
+              if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
+                recs.push_back(
+                    PushRec{wl, sidx, 0, sw.sigma * m, static_cast<std::uint32_t>(recs.size())});
+              }
+              ++ch.work_items;
+            }
+          });
+      w = replay_pushes(h, chunks, num_ranges,
+                        [&](const PushRec& p, std::size_t& anoms, std::vector<OrdLid>* staged,
+                            std::uint64_t ord) {
+                          combine_backward_impl(h, p.target, p.sidx, p.value, anoms, staged, ord);
+                        });
+    } else {
+      auto drain = [&](const std::vector<std::pair<graph::VertexId, std::uint32_t>>& list) {
+        for (const auto& [lid, sidx] : list) {
+          flags(h, lid, sidx) |= kAccFinal;
+          const SourceSlot& sv = st.slot(lid, sidx);
+          if (sv.dist == kInfDist || sv.dist == 0 || sv.sigma == 0.0) continue;
+          const double m = (1.0 + sv.delta) / sv.sigma;
+          for (graph::VertexId wl : hg.local.in_neighbors(lid)) {
+            const SourceSlot& sw = st.slot(wl, sidx);
+            if (sw.dist != kInfDist && sw.dist + 1 == sv.dist) {
+              combine_backward(h, wl, sidx, sw.sigma * m);
+            }
+            ++w.work_items;
           }
-          ++w.work_items;
         }
-      }
-    };
-    drain(worklist_[h]);
-    drain(self_sched_[h]);
+      };
+      drain(worklist_[h]);
+      drain(self_sched_[h]);
+    }
     worklist_[h].clear();
     self_sched_[h].clear();
     for (graph::VertexId lid : staged_lids_[h]) {

@@ -37,6 +37,14 @@ struct MrbcOptions {
   bool delayed_sync = true;
   /// Retain per-source dist/sigma/delta tables in the result (tests).
   bool collect_tables = false;
+  /// Worklist entries per chunk for the intra-host parallel drain. Rounds
+  /// draining more than this many (lid, sidx) entries use the two-phase
+  /// staged kernel (parallel push generation, then per-target-range replay
+  /// in sequential push order); smaller rounds drain directly. The grain is
+  /// part of the deterministic decomposition — results are bit-identical
+  /// for any thread count at a fixed grain, but changing the grain changes
+  /// which path small rounds take.
+  std::size_t drain_grain = 64;
   sim::ClusterOptions cluster;
 };
 

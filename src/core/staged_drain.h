@@ -1,0 +1,61 @@
+#pragma once
+// Shared machinery for the deterministic two-phase parallel worklist drain
+// used by the MRBC and SBBC compute kernels (see the design comment in
+// core/mrbc.cpp). Phase A records each drained entry's neighbor pushes into
+// per-chunk buffers bucketed by the target lid's 64-aligned range; Phase B
+// replays every range's pushes in (chunk index, in-chunk order) — the exact
+// sequential push order — with ranges running concurrently because they are
+// disjoint in everything a push mutates.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::core {
+
+/// 64 lids per replay range: one DynamicBitset word, so concurrent ranges
+/// never share a substrate flag word.
+constexpr std::uint32_t kRangeShift = 6;
+
+inline std::size_t num_drain_ranges(std::size_t num_proxies) {
+  return (num_proxies + (std::size_t{1} << kRangeShift) - 1) >> kRangeShift;
+}
+
+/// One recorded neighbor push awaiting ordered replay.
+struct PushRec {
+  graph::VertexId target = 0;
+  std::uint32_t sidx = 0;   ///< source index (MRBC); unused by SBBC
+  std::uint32_t dist = 0;   ///< forward phase only
+  double value = 0;         ///< sigma (forward) / contribution (backward)
+  std::uint32_t ord = 0;    ///< in-chunk sequential push index
+};
+
+/// Phase-A output of one entry chunk: pushes counting-sorted (stably) into
+/// contiguous per-range segments.
+struct ChunkRecs {
+  std::vector<PushRec> sorted;
+  std::vector<std::uint32_t> starts;  ///< num_ranges + 1 offsets into sorted
+  std::uint64_t work_items = 0;
+
+  void bucket_by_range(std::vector<PushRec>&& recs, std::size_t num_ranges) {
+    starts.assign(num_ranges + 1, 0);
+    for (const PushRec& r : recs) ++starts[(r.target >> kRangeShift) + 1];
+    for (std::size_t i = 1; i <= num_ranges; ++i) starts[i] += starts[i - 1];
+    sorted.resize(recs.size());
+    std::vector<std::uint32_t> cursor(starts.begin(), starts.end() - 1);
+    for (const PushRec& r : recs) sorted[cursor[r.target >> kRangeShift]++] = r;
+  }
+};
+
+/// Side-list append captured during replay: (global push ordinal, lid).
+/// Sorting by ordinal reconstructs the exact sequential append order.
+using OrdLid = std::pair<std::uint64_t, graph::VertexId>;
+
+/// Global ordinal of in-chunk push `ord` in chunk `c`: chunk-major order.
+inline std::uint64_t push_ordinal(std::size_t c, std::uint32_t ord) {
+  return (static_cast<std::uint64_t>(c) << 32) | ord;
+}
+
+}  // namespace mrbc::core

@@ -39,6 +39,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/threading.h"
 #include "util/timer.h"
 
@@ -142,7 +143,13 @@ struct RunStats {
 /// Options controlling the simulated execution.
 struct ClusterOptions {
   NetworkModel network;
-  bool parallel_hosts = false;  ///< run host compute phases on threads
+  bool parallel_hosts = false;  ///< run host compute phases on the pool
+  /// Execution-engine width: total threads (workers + caller) the shared
+  /// util::ThreadPool runs with. 0 keeps the pool's current size
+  /// (ThreadPool::default_threads() — MRBC_THREADS env or
+  /// hardware_threads() — on first use); BspLoop::run resizes the global
+  /// pool when nonzero. 1 forces fully sequential execution.
+  std::size_t threads = 0;
   std::size_t max_rounds = 1u << 22;
   /// Record a RoundLogEntry per round into RunStats::round_log (off by
   /// default: traces of long runs are large).
@@ -195,6 +202,7 @@ class BspLoop {
                Checkpointable* app = nullptr) {
     RunStats stats;
     stats.per_host_compute_seconds.assign(num_hosts_, 0.0);
+    if (options_.threads != 0) util::ThreadPool::set_global_threads(options_.threads);
     FaultInjector* fault = options_.fault;
     const bool checkpointing = fault != nullptr && app != nullptr;
     const std::size_t interval = std::max<std::size_t>(options_.checkpoint_interval, 1);

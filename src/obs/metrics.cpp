@@ -38,20 +38,57 @@ std::uint64_t Histogram::bucket_upper(std::size_t i) {
   return (std::uint64_t{1} << i) - 1;
 }
 
+namespace {
+/// Round-robin per-thread shard assignment: consecutive recording threads
+/// land on consecutive shards, so a pool of <= kNumShards workers never
+/// shares a counter line.
+std::size_t my_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine = next.fetch_add(1, std::memory_order_relaxed);
+  return mine & (Histogram::kNumShards - 1);
+}
+}  // namespace
+
 void Histogram::record(std::uint64_t value) {
-  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
-  std::uint64_t cur = min_.load(std::memory_order_relaxed);
-  while (value < cur && !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  Shard& s = shards_[my_shard()];
+  s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur && !s.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
-  cur = max_.load(std::memory_order_relaxed);
-  while (value > cur && !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur && !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
 }
 
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.sum.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.buckets[i].load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::max() const {
+  std::uint64_t m = 0;
+  for (const Shard& s : shards_) m = std::max(m, s.max.load(std::memory_order_relaxed));
+  return m;
+}
+
 std::uint64_t Histogram::min() const {
-  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  std::uint64_t m = UINT64_MAX;
+  for (const Shard& s : shards_) m = std::min(m, s.min.load(std::memory_order_relaxed));
   return m == UINT64_MAX ? 0 : m;
 }
 
@@ -88,11 +125,13 @@ double Histogram::percentile(double p) const {
 }
 
 void Histogram::clear() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(UINT64_MAX, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(UINT64_MAX, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
 }
 
 Metrics& Metrics::global() {

@@ -46,24 +46,27 @@ inline bool metrics_enabled() {
 }
 
 /// Fixed-footprint log₂ histogram of unsigned values. All mutation is
-/// relaxed-atomic; accessors give a consistent-enough view once recording
-/// has quiesced (which is when exports run).
+/// relaxed-atomic into one of a small number of cache-line-isolated shards
+/// (selected per recording thread), so pool workers hammering the same
+/// histogram never contend on a counter line; accessors merge the shards
+/// and give a consistent-enough view once recording has quiesced (which is
+/// when exports run).
 class Histogram {
  public:
   /// bucket 0 = {0}; bucket i = [2^(i-1), 2^i) for i in [1, 64];
   /// bucket 64's upper bound saturates at UINT64_MAX.
   static constexpr std::size_t kNumBuckets = 65;
+  /// Power of two; recording threads are assigned round-robin.
+  static constexpr std::size_t kNumShards = 8;
 
   void record(std::uint64_t value);
 
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const;  ///< merged over shards
+  std::uint64_t sum() const;
   std::uint64_t min() const;  ///< 0 when empty
-  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const;
   double mean() const;
-  std::uint64_t bucket(std::size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
-  }
+  std::uint64_t bucket(std::size_t i) const;
 
   /// Nearest-rank percentile (p in [0, 100]) with linear interpolation
   /// inside the winning bucket; clamped to the exact observed min/max so
@@ -78,11 +81,14 @@ class Histogram {
   static std::uint64_t bucket_upper(std::size_t i);
 
  private:
-  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-  std::atomic<std::uint64_t> min_{UINT64_MAX};
-  std::atomic<std::uint64_t> max_{0};
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kNumBuckets] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{UINT64_MAX};
+    std::atomic<std::uint64_t> max{0};
+  };
+  Shard shards_[kNumShards];
 };
 
 /// Process-wide histogram registry: the built-in enum-indexed set plus

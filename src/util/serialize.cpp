@@ -56,7 +56,7 @@ std::string RecvBuffer::read_string() {
   if (n > remaining()) {
     throw std::out_of_range("RecvBuffer: truncated string");
   }
-  std::string s(reinterpret_cast<const char*>(bytes_.data() + cursor_), n);
+  std::string s(reinterpret_cast<const char*>(data_ + cursor_), n);
   cursor_ += n;
   return s;
 }

@@ -30,6 +30,7 @@ class SendBuffer {
   template <typename T>
   void write_vector(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>, "write_vector requires POD elements");
+    reserve(bytes_.size() + sizeof(std::uint64_t) + values.size() * sizeof(T));
     write<std::uint64_t>(values.size());
     const std::size_t offset = bytes_.size();
     bytes_.resize(offset + values.size() * sizeof(T));
@@ -50,7 +51,16 @@ class SendBuffer {
 
   std::size_t size() const { return bytes_.size(); }
   bool empty() const { return bytes_.empty(); }
+  /// Drops the contents but keeps the allocation — a cleared buffer refills
+  /// to its previous size without touching the allocator, which is what the
+  /// substrate's per-pair buffer pool relies on to kill per-round churn.
   void clear() { bytes_.clear(); }
+  std::size_t capacity() const { return bytes_.capacity(); }
+
+  /// Pre-sizes the backing store so subsequent writes up to `total` bytes
+  /// never reallocate (writers that know their payload size call this once
+  /// instead of growing via repeated resize).
+  void reserve(std::size_t total) { bytes_.reserve(total); }
 
   std::vector<std::uint8_t>&& take() { return std::move(bytes_); }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
@@ -59,17 +69,33 @@ class SendBuffer {
   std::vector<std::uint8_t> bytes_;
 };
 
-/// Sequential deserialization over a received byte vector.
+/// Sequential deserialization over a received byte sequence. Either owns
+/// the bytes (vector constructor — the historical "transmit by moving the
+/// vector" path) or borrows them (view constructors — zero-copy reads out
+/// of a pooled SendBuffer that stays alive for the duration of the read).
 class RecvBuffer {
  public:
-  explicit RecvBuffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  explicit RecvBuffer(std::vector<std::uint8_t> bytes)
+      : owned_(std::move(bytes)), data_(owned_.data()), size_(owned_.size()) {}
+
+  /// Non-owning view; `data` must outlive the RecvBuffer.
+  RecvBuffer(const std::uint8_t* data, std::size_t n) : data_(data), size_(n) {}
+
+  /// Non-owning view over a SendBuffer's current contents.
+  explicit RecvBuffer(const SendBuffer& buf)
+      : data_(buf.bytes().data()), size_(buf.bytes().size()) {}
+
+  // Copying/moving would dangle data_ in the owned case; readers are
+  // constructed in place and passed by reference.
+  RecvBuffer(const RecvBuffer&) = delete;
+  RecvBuffer& operator=(const RecvBuffer&) = delete;
 
   template <typename T>
   T read() {
     static_assert(std::is_trivially_copyable_v<T>, "read requires a POD type");
     require(sizeof(T));
     T value;
-    std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
+    std::memcpy(&value, data_ + cursor_, sizeof(T));
     cursor_ += sizeof(T);
     return value;
   }
@@ -80,7 +106,7 @@ class RecvBuffer {
     require(n * sizeof(T));
     std::vector<T> values(n);
     if (n > 0) {
-      std::memcpy(values.data(), bytes_.data() + cursor_, n * sizeof(T));
+      std::memcpy(values.data(), data_ + cursor_, n * sizeof(T));
       cursor_ += n * sizeof(T);
     }
     return values;
@@ -89,9 +115,9 @@ class RecvBuffer {
   DynamicBitset read_bitset();
   std::string read_string();
 
-  bool exhausted() const { return cursor_ >= bytes_.size(); }
-  std::size_t remaining() const { return bytes_.size() - cursor_; }
-  std::size_t size() const { return bytes_.size(); }
+  bool exhausted() const { return cursor_ >= size_; }
+  std::size_t remaining() const { return size_ - cursor_; }
+  std::size_t size() const { return size_; }
 
  private:
   /// Truncated or corrupted buffers must fail loudly, not read past the
@@ -103,7 +129,9 @@ class RecvBuffer {
     }
   }
 
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> owned_;  ///< empty when viewing foreign bytes
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t cursor_ = 0;
 };
 

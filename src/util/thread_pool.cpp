@@ -1,0 +1,140 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace mrbc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  if (threads < 1) threads = 1;
+  shards_ = std::make_unique<Shard[]>(threads);
+  num_shards_ = threads;
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_pooled(void (*run)(void*, std::size_t), void* ctx, std::size_t chunks) {
+  Job job;
+  job.run = run;
+  job.ctx = ctx;
+  job.num_chunks = chunks;
+  // Deal the chunks to contiguous per-participant shards; a participant's
+  // own shard is its local queue, the rest are steal targets.
+  const std::size_t p = num_shards_;
+  for (std::size_t s = 0; s < p; ++s) {
+    shards_[s].next.store(chunks * s / p, std::memory_order_relaxed);
+    shards_[s].end = chunks * (s + 1) / p;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_.notify_all();
+  participate(job, 0);
+  // All chunks done => results are published (release increments in
+  // participate, acquire load here). Workers may still be inside
+  // participate with nothing left to claim; wait for refs to drain before
+  // the job (a stack object) goes away.
+  std::size_t done = job.chunks_done.load(std::memory_order_acquire);
+  while (done < chunks) {
+    job.chunks_done.wait(done, std::memory_order_acquire);
+    done = job.chunks_done.load(std::memory_order_acquire);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = nullptr;
+  }
+  int refs = job.refs.load(std::memory_order_acquire);
+  while (refs != 0) {
+    job.refs.wait(refs, std::memory_order_acquire);
+    refs = job.refs.load(std::memory_order_acquire);
+  }
+  busy_.store(false, std::memory_order_release);
+  if (job.has_error.load(std::memory_order_acquire)) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::participate(Job& job, std::size_t self) {
+  const std::size_t p = num_shards_;
+  for (std::size_t s = 0; s < p; ++s) {
+    Shard& shard = shards_[(self + s) % p];
+    for (;;) {
+      const std::size_t c = shard.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= shard.end) break;
+      if (!job.aborted.load(std::memory_order_relaxed)) {
+        try {
+          job.run(job.ctx, c);
+        } catch (...) {
+          // First exception wins; the rest of the job is skipped (chunks
+          // are still counted so the caller's completion wait terminates).
+          if (!job.has_error.exchange(true, std::memory_order_acq_rel)) {
+            job.error = std::current_exception();
+          }
+          job.aborted.store(true, std::memory_order_release);
+        }
+      }
+      if (job.chunks_done.fetch_add(1, std::memory_order_release) + 1 == job.num_chunks) {
+        job.chunks_done.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen); });
+    if (stop_) return;
+    seen = job_seq_;
+    Job* job = job_;
+    job->refs.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    participate(*job, self);
+    if (job->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) job->refs.notify_all();
+    lk.lock();
+  }
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t n) {
+  if (n == 0) n = default_threads();
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool && g_pool->parallelism() == n) return;
+  g_pool.reset();  // join old workers before the replacement spins up
+  g_pool = std::make_unique<ThreadPool>(n);
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("MRBC_THREADS")) {
+    char* endp = nullptr;
+    const unsigned long v = std::strtoul(env, &endp, 10);
+    if (endp != env && *endp == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  return hardware_threads();
+}
+
+}  // namespace mrbc::util

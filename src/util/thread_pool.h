@@ -1,0 +1,166 @@
+#pragma once
+// Persistent work-stealing thread pool — the execution engine every
+// parallel site in the tree dispatches to (BSP host phases, the MRBC/SBBC
+// drain kernels, substrate message serialization). Replaces the historical
+// thread-per-host-per-round spawning in util::for_each_index, which
+// oversubscribed the machine by `count` threads every BSP round.
+//
+// Design:
+//   * N-way parallelism = (N-1) parked worker threads + the calling thread,
+//     which always participates. A pool of size 1 has no workers and runs
+//     everything inline — the sequential baseline is literally the same
+//     code path, which is what makes the determinism contract testable.
+//   * A parallel_for splits [begin, end) into fixed chunks of `grain`
+//     indices. Chunks are dealt to per-participant shards (contiguous chunk
+//     ranges with an atomic cursor); a participant drains its own shard
+//     first and then steals from the others' cursors, so skewed chunk costs
+//     rebalance without a central queue.
+//   * Workers park on a condition variable between jobs; dispatch is one
+//     mutex-protected pointer publish + notify (micro_threading.cpp holds
+//     this at >=10x cheaper than per-round std::thread spawning).
+//   * One job runs at a time. A parallel_for issued while the pool is busy
+//     (nested parallelism, or a second thread) runs inline on the caller —
+//     same chunk decomposition, same results, no deadlock.
+//
+// Determinism contract: chunk boundaries depend only on (begin, end,
+// grain), never on the number of threads. parallel_reduce computes one
+// partial per *chunk* (folded left-to-right inside the chunk) and combines
+// the partials in chunk-index order on the calling thread, so for a fixed
+// grain the result is bit-identical whether the pool has 1 or 64 threads.
+// Callers that need full sequential equivalence (not just thread-count
+// independence) stage per-chunk side effects and merge them in chunk order
+// — see the drain kernels in core/mrbc.cpp for the pattern.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/threading.h"
+
+namespace mrbc::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// 0 means default_threads(). A pool of 1 spawns no workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads + the participating caller.
+  std::size_t parallelism() const { return workers_.size() + 1; }
+
+  /// Number of grain-sized chunks parallel_for/parallel_reduce split
+  /// [0, count) into — callers size per-chunk staging buffers with this.
+  static std::size_t chunk_count(std::size_t count, std::size_t grain) {
+    grain = grain ? grain : 1;
+    return (count + grain - 1) / grain;
+  }
+
+  /// Invokes fn(chunk_index, chunk_begin, chunk_end) once per chunk.
+  /// Chunks may run concurrently and in any order; a fixed grain gives a
+  /// fixed decomposition. Exceptions abort remaining chunks and rethrow on
+  /// the caller.
+  template <typename ChunkFn>
+  void parallel_for_chunks(std::size_t begin, std::size_t end, std::size_t grain, ChunkFn&& fn) {
+    const std::size_t count = end > begin ? end - begin : 0;
+    if (count == 0) return;
+    grain = grain ? grain : 1;
+    const std::size_t chunks = chunk_count(count, grain);
+    auto run_chunk = [&](std::size_t c) {
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = b + grain < end ? b + grain : end;
+      fn(c, b, e);
+    };
+    // Inline when there is nothing to share or nobody to share it with —
+    // including nested calls (the pool is already busy running our caller).
+    if (workers_.empty() || chunks <= 1 || busy_.exchange(true, std::memory_order_acquire)) {
+      for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+      return;
+    }
+    struct Ctx {
+      decltype(run_chunk)* run;
+    } ctx{&run_chunk};
+    run_pooled(
+        [](void* p, std::size_t c) { (*static_cast<Ctx*>(p)->run)(c); }, &ctx, chunks);
+  }
+
+  /// Invokes fn(i) for every i in [begin, end), grain indices per task.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+    parallel_for_chunks(begin, end, grain, [&](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) fn(i);
+    });
+  }
+
+  /// Deterministic reduction: acc = combine(acc, map(i)) folded left to
+  /// right inside each grain-sized chunk, then chunk partials combined in
+  /// chunk-index order on the calling thread. For a fixed grain the result
+  /// is bit-identical to the 1-thread run (and to plain sequential code
+  /// when combine is associative over the chunk boundaries used).
+  template <typename T, typename MapFn, typename CombineFn>
+  T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain, T identity,
+                    MapFn&& map, CombineFn&& combine) {
+    const std::size_t count = end > begin ? end - begin : 0;
+    if (count == 0) return identity;
+    grain = grain ? grain : 1;
+    std::vector<T> partials(chunk_count(count, grain), identity);
+    parallel_for_chunks(begin, end, grain, [&](std::size_t c, std::size_t b, std::size_t e) {
+      T acc = identity;
+      for (std::size_t i = b; i < e; ++i) acc = combine(acc, map(i));
+      partials[c] = acc;
+    });
+    T out = identity;
+    for (const T& p : partials) out = combine(out, p);
+    return out;
+  }
+
+  /// Process-wide pool used by for_each_index and the algorithm kernels.
+  /// Created on first use with default_threads().
+  static ThreadPool& global();
+  /// Replaces the global pool (joins the old workers). n == 0 restores the
+  /// default size; a matching size is a no-op. Must not race running jobs.
+  static void set_global_threads(std::size_t n);
+  /// MRBC_THREADS environment override, else hardware_threads().
+  static std::size_t default_threads();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  /// Type-erased single job: claim chunks from the shards, run, count.
+  struct Job {
+    void (*run)(void* ctx, std::size_t chunk) = nullptr;
+    void* ctx = nullptr;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> chunks_done{0};
+    std::atomic<int> refs{0};
+    std::atomic<bool> aborted{false};
+    std::atomic<bool> has_error{false};
+    std::exception_ptr error;
+  };
+
+  void run_pooled(void (*run)(void*, std::size_t), void* ctx, std::size_t chunks);
+  void participate(Job& job, std::size_t self);
+  void worker_main(std::size_t self);
+
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Shard[]> shards_;  ///< one per participant, re-dealt per job
+  std::size_t num_shards_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Job* job_ = nullptr;        ///< guarded by mu_
+  std::uint64_t job_seq_ = 0; ///< guarded by mu_
+  bool stop_ = false;         ///< guarded by mu_
+  std::atomic<bool> busy_{false};
+};
+
+}  // namespace mrbc::util

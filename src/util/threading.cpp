@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace mrbc::util {
 
@@ -11,12 +12,10 @@ void for_each_index(std::size_t count, bool parallel, const std::function<void(s
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    threads.emplace_back([&fn, i] { fn(i); });
-  }
-  for (auto& t : threads) t.join();
+  // Dispatch to the persistent pool: at most parallelism() indices run
+  // concurrently, unlike the historical thread-per-index spawn that
+  // oversubscribed the machine whenever count >> hardware_threads().
+  ThreadPool::global().parallel_for(0, count, 1, fn);
 }
 
 std::size_t hardware_threads() {

@@ -1,18 +1,19 @@
 #pragma once
 // Host-parallel execution support for the cluster simulator. Each simulated
-// host can run on its own std::thread (exercising the same data-race surface
-// a real distributed runtime has between compute and communication), or
-// sequentially for deterministic debugging.
+// host can run concurrently on the shared util::ThreadPool (exercising the
+// same data-race surface a real distributed runtime has between compute and
+// communication), or sequentially for deterministic debugging.
 
 #include <cstddef>
 #include <functional>
 
 namespace mrbc::util {
 
-/// Runs fn(i) for i in [0, count). When `parallel` is true each invocation
-/// runs on its own thread (joined before returning); otherwise invocations
-/// run sequentially in index order. fn must be safe to run concurrently for
-/// distinct i when parallel execution is requested.
+/// Runs fn(i) for i in [0, count). When `parallel` is true invocations are
+/// dispatched to ThreadPool::global() (at most its parallelism() run
+/// concurrently); otherwise invocations run sequentially in index order.
+/// fn must be safe to run concurrently for distinct i when parallel
+/// execution is requested.
 void for_each_index(std::size_t count, bool parallel, const std::function<void(std::size_t)>& fn);
 
 /// Number of hardware threads (>= 1).

@@ -1,0 +1,229 @@
+// The thread-count-determinism contract of the parallel execution engine:
+// for a fixed drain grain, every algorithm result, sync statistic, and
+// round log is bit-identical whether the pool runs 1, 2, or 8 threads —
+// and the staged (parallel) drain kernels are bit-identical to the inline
+// sequential drain. Fault-injected runs (drops, duplicates, corruption,
+// crash + rollback-replay) must replay the exact same schedule too, since
+// the fault draws key off the sequential delivery order the parallel
+// substrate preserves.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/brandes_seq.h"
+#include "baselines/sbbc.h"
+#include "core/mrbc.h"
+#include "engine/fault.h"
+#include "graph/generators.h"
+#include "stream/edge_batch.h"
+#include "stream/incremental_bc.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+
+namespace mrbc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Exact bit equality for score vectors — no tolerance: the contract is
+/// that the parallel kernels perform the same arithmetic in the same order.
+void expect_bits_equal(const std::vector<double>& a, const std::vector<double>& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    EXPECT_EQ(ba, bb) << label << " diverges at vertex " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+/// Compares every deterministic field of a RunStats pair (timings are
+/// measured wall clock and excluded by design).
+void expect_stats_equal(const sim::RunStats& a, const sim::RunStats& b, const std::string& label) {
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.bytes, b.bytes) << label;
+  EXPECT_EQ(a.values, b.values) << label;
+  EXPECT_EQ(a.faults.drops, b.faults.drops) << label;
+  EXPECT_EQ(a.faults.duplicates, b.faults.duplicates) << label;
+  EXPECT_EQ(a.faults.corruptions_detected, b.faults.corruptions_detected) << label;
+  EXPECT_EQ(a.faults.retransmits, b.faults.retransmits) << label;
+  EXPECT_EQ(a.faults.checkpoints, b.faults.checkpoints) << label;
+  EXPECT_EQ(a.faults.checkpoint_bytes, b.faults.checkpoint_bytes) << label;
+  EXPECT_EQ(a.faults.crashes, b.faults.crashes) << label;
+  ASSERT_EQ(a.round_log.size(), b.round_log.size()) << label;
+  for (std::size_t i = 0; i < a.round_log.size(); ++i) {
+    const auto& ra = a.round_log[i];
+    const auto& rb = b.round_log[i];
+    EXPECT_EQ(ra.round, rb.round) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.messages, rb.messages) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.bytes, rb.bytes) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.values, rb.values) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.work_items, rb.work_items) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.retransmits, rb.retransmits) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.crashed, rb.crashed) << label << " round_log[" << i << "]";
+  }
+}
+
+Graph det_graph() { return graph::erdos_renyi(80, 0.06, 13); }
+
+std::vector<VertexId> det_sources(const Graph& g, std::size_t n) {
+  std::vector<VertexId> s;
+  for (VertexId v = 0; v < g.num_vertices() && s.size() < n; v += 3) s.push_back(v);
+  return s;
+}
+
+core::MrbcRun run_mrbc(const Graph& g, const std::vector<VertexId>& sources, std::size_t threads,
+                       bool parallel_hosts, std::size_t drain_grain,
+                       sim::FaultInjector* fault = nullptr) {
+  core::MrbcOptions opts;
+  opts.num_hosts = 4;
+  opts.batch_size = 8;
+  opts.drain_grain = drain_grain;
+  opts.cluster.threads = threads;
+  opts.cluster.parallel_hosts = parallel_hosts;
+  opts.cluster.record_round_log = true;
+  if (fault != nullptr) {
+    fault->rearm();
+    opts.cluster.fault = fault;
+    opts.cluster.checkpoint_interval = 2;
+  }
+  return core::mrbc_bc(g, sources, opts);
+}
+
+baselines::SbbcRun run_sbbc(const Graph& g, const std::vector<VertexId>& sources,
+                            std::size_t threads, bool parallel_hosts, std::size_t drain_grain) {
+  baselines::SbbcOptions opts;
+  opts.num_hosts = 4;
+  opts.drain_grain = drain_grain;
+  opts.cluster.threads = threads;
+  opts.cluster.parallel_hosts = parallel_hosts;
+  opts.cluster.record_round_log = true;
+  return baselines::sbbc_bc(g, sources, opts);
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  // Leave the process-wide pool at 1 so suites running after this one see
+  // the historical sequential behavior regardless of test order.
+  void TearDown() override { mrbc::util::ThreadPool::set_global_threads(1); }
+};
+
+TEST_F(DeterminismTest, MrbcStagedDrainMatchesInlineDrain) {
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 16);
+  // grain 1 forces every multi-entry round through the two-phase staged
+  // kernel; a huge grain keeps every round on the inline drain.
+  const auto staged = run_mrbc(g, sources, 1, false, 1);
+  const auto inlined = run_mrbc(g, sources, 1, false, std::size_t{1} << 30);
+  EXPECT_EQ(staged.anomalies, 0u);
+  EXPECT_EQ(staged.anomalies, inlined.anomalies);
+  expect_bits_equal(staged.result.bc, inlined.result.bc, "mrbc staged vs inline");
+  expect_stats_equal(staged.forward, inlined.forward, "mrbc forward staged vs inline");
+  expect_stats_equal(staged.backward, inlined.backward, "mrbc backward staged vs inline");
+}
+
+TEST_F(DeterminismTest, MrbcIsThreadCountInvariant) {
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 16);
+  const auto reference = run_mrbc(g, sources, 1, false, 4);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto run = run_mrbc(g, sources, threads, true, 4);
+    const std::string label = "mrbc threads=" + std::to_string(threads);
+    EXPECT_EQ(run.anomalies, reference.anomalies) << label;
+    EXPECT_EQ(run.num_batches, reference.num_batches) << label;
+    expect_bits_equal(run.result.bc, reference.result.bc, label);
+    expect_stats_equal(run.forward, reference.forward, label + " forward");
+    expect_stats_equal(run.backward, reference.backward, label + " backward");
+  }
+}
+
+TEST_F(DeterminismTest, SbbcIsThreadCountInvariant) {
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 6);
+  const auto reference = run_sbbc(g, sources, 1, false, std::size_t{1} << 30);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const auto run = run_sbbc(g, sources, threads, true, 2);
+    const std::string label = "sbbc threads=" + std::to_string(threads);
+    expect_bits_equal(run.result.bc, reference.result.bc, label);
+    expect_stats_equal(run.forward, reference.forward, label + " forward");
+    expect_stats_equal(run.backward, reference.backward, label + " backward");
+  }
+}
+
+TEST_F(DeterminismTest, FaultInjectedRunReplaysIdenticallyAcrossThreadCounts) {
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 12);
+  sim::FaultPlan plan;
+  plan.seed = 41;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.03;
+  plan.corrupt_rate = 0.03;
+  plan.crash_round = 5;
+  plan.crash_host = 2;
+  sim::FaultInjector injector(plan, 4);
+
+  const auto reference = run_mrbc(g, sources, 1, false, 4, &injector);
+  const auto total_ref = reference.total();
+  EXPECT_EQ(total_ref.faults.crashes, 1u);
+  EXPECT_GT(total_ref.faults.drops + total_ref.faults.duplicates +
+                total_ref.faults.corruptions_detected,
+            0u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto run = run_mrbc(g, sources, threads, true, 4, &injector);
+    const std::string label = "mrbc faulted threads=" + std::to_string(threads);
+    EXPECT_EQ(run.anomalies, reference.anomalies) << label;
+    expect_bits_equal(run.result.bc, reference.result.bc, label);
+    expect_stats_equal(run.forward, reference.forward, label + " forward");
+    expect_stats_equal(run.backward, reference.backward, label + " backward");
+  }
+  // And the recovered result is still correct, not merely consistent.
+  const auto golden = baselines::brandes_bc_sources(g, sources);
+  mrbc::testing::expect_bc_equal(golden.bc, reference.result.bc, "faulted determinism");
+}
+
+TEST_F(DeterminismTest, IncrementalBcIsThreadCountInvariant) {
+  auto run_stream = [](std::size_t threads) {
+    stream::IncrementalBcOptions opts;
+    opts.num_samples = 12;
+    opts.seed = 7;
+    opts.mrbc.num_hosts = 4;
+    opts.mrbc.batch_size = 8;
+    opts.mrbc.drain_grain = 4;
+    opts.mrbc.cluster.threads = threads;
+    opts.mrbc.cluster.parallel_hosts = threads > 1;
+    stream::IncrementalBc inc(graph::erdos_renyi(60, 0.07, 19), opts);
+
+    std::vector<std::vector<double>> score_history;
+    std::vector<std::size_t> affected_history;
+    stream::EdgeBatch b1;
+    b1.insert(0, 30);
+    b1.insert(12, 45);
+    b1.erase(3, 4);
+    stream::EdgeBatch b2;
+    b2.insert(30, 0);
+    b2.erase(0, 30);
+    b2.insert(7, 52);
+    for (const auto* batch : {&b1, &b2}) {
+      const auto report = inc.apply(*batch);
+      score_history.push_back(inc.scores());
+      affected_history.push_back(report.affected_sources);
+    }
+    return std::make_pair(score_history, affected_history);
+  };
+  const auto [ref_scores, ref_affected] = run_stream(1);
+  const auto [par_scores, par_affected] = run_stream(8);
+  ASSERT_EQ(ref_scores.size(), par_scores.size());
+  EXPECT_EQ(ref_affected, par_affected);
+  for (std::size_t i = 0; i < ref_scores.size(); ++i) {
+    expect_bits_equal(par_scores[i], ref_scores[i],
+                      "incremental batch " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace mrbc

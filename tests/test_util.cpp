@@ -14,8 +14,12 @@
 #include "util/serialize.h"
 #include "util/stats.h"
 #include "util/stats_registry.h"
+#include "util/thread_pool.h"
 #include "util/threading.h"
 #include "util/timer.h"
+
+#include <atomic>
+#include <stdexcept>
 
 namespace mrbc::util {
 namespace {
@@ -280,7 +284,7 @@ TEST(Serialize, TruncatedBufferThrows) {
   RecvBuffer in(out.take());
   EXPECT_THROW(in.read_vector<std::uint32_t>(), std::out_of_range);
 
-  RecvBuffer empty({});
+  RecvBuffer empty(std::vector<std::uint8_t>{});
   EXPECT_THROW(empty.read<std::uint32_t>(), std::out_of_range);
   EXPECT_THROW(empty.read_string(), std::out_of_range);
 }
@@ -420,6 +424,100 @@ TEST(Threading, SequentialAndParallelCoverAllIndices) {
     for (int h : hits) EXPECT_EQ(h, 1);
   }
   EXPECT_GE(hardware_threads(), 1u);
+}
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.parallelism(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), 16, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkDecompositionIsThreadCountIndependent) {
+  // The grain, not the parallelism, fixes chunk boundaries.
+  EXPECT_EQ(ThreadPool::chunk_count(100, 16), 7u);
+  EXPECT_EQ(ThreadPool::chunk_count(0, 16), 0u);
+  EXPECT_EQ(ThreadPool::chunk_count(16, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(5, 0), 5u) << "grain 0 is clamped to 1";
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> bounds(ThreadPool::chunk_count(100, 16));
+    pool.parallel_for_chunks(0, 100, 16, [&](std::size_t c, std::size_t b, std::size_t e) {
+      bounds[c] = {b, e};
+    });
+    for (std::size_t c = 0; c < bounds.size(); ++c) {
+      EXPECT_EQ(bounds[c].first, c * 16);
+      EXPECT_EQ(bounds[c].second, std::min<std::size_t>(100, c * 16 + 16));
+    }
+  }
+}
+
+TEST(ThreadPool, DeterministicReduceMatchesSequentialFold) {
+  // Non-associative floating-point sum: bit-identical across pool sizes
+  // because partials combine in chunk order on the caller.
+  auto value = [](std::size_t i) { return 1.0 / static_cast<double>(i + 1); };
+  ThreadPool seq(1);
+  const double expected = seq.parallel_reduce(
+      0, 10000, 64, 0.0, value, [](double a, double b) { return a + b; });
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const double got = pool.parallel_reduce(
+        0, 10000, 64, 0.0, value, [](double a, double b) { return a + b; });
+    EXPECT_EQ(got, expected) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineAndCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t) {
+    // The pool is busy with the outer job: the inner call must run inline
+    // on this thread rather than deadlock waiting for workers.
+    pool.parallel_for(0, 8, 1, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCallerAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool is reusable after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SetGlobalThreadsResizesOnce) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().parallelism(), 3u);
+  ThreadPool& before = ThreadPool::global();
+  ThreadPool::set_global_threads(3);  // same size: must not rebuild
+  EXPECT_EQ(&ThreadPool::global(), &before);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().parallelism(), 1u);
+}
+
+TEST(ForEachIndex, ParallelDispatchesThroughPool) {
+  ThreadPool::set_global_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  for_each_index(hits.size(), true, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  ThreadPool::set_global_threads(1);
 }
 
 }  // namespace
