@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <map>
 
+#include "comm/codec.h"
 #include "core/mrbc.h"
 #include "report.h"
 #include "util/flat_map.h"
@@ -48,6 +49,60 @@ void delayed_sync_ablation() {
   }
   report.finish();
   std::printf("Geomean volume reduction from delayed sync: %.2fx\n", util::geomean_of(savings));
+}
+
+/// Sweeps the wire codec modes across the paper workloads. The gate is a
+/// regression tripwire, not a benchmark: kFull must keep a >= 1.5x geomean
+/// volume reduction on the power-law inputs (road grids have near-random
+/// presence sets and are reported but not gated). Returns nonzero on a
+/// gate failure so CI catches a codec that quietly stopped compressing.
+int codec_ablation() {
+  Report report("Ablation: wire codec (varint/delta/frame-of-reference, Gluon-style)",
+                "ablation_codec.csv",
+                {"input", "codec", "volume", "raw_volume", "ratio", "comm_s", "rounds"}, 13);
+  std::vector<double> powerlaw_reductions;
+  int failures = 0;
+  for (const Workload& w : all_workloads()) {
+    const auto hosts = static_cast<partition::HostId>(w.large ? 16 : 4);
+    partition::Partition part(w.graph, hosts, partition::Policy::kCartesianVertexCut);
+    std::size_t raw_wire = 0;
+    std::size_t raw_rounds = 0;
+    for (const comm::CodecMode mode :
+         {comm::CodecMode::kRaw, comm::CodecMode::kMetadataOnly, comm::CodecMode::kFull}) {
+      core::MrbcOptions opts;
+      opts.batch_size = 16;
+      opts.cluster.codec = mode;
+      auto run = core::mrbc_bc(part, w.sources, opts);
+      const auto t = run.total();
+      if (mode == comm::CodecMode::kRaw) {
+        raw_wire = t.bytes;
+        raw_rounds = t.rounds;
+      } else if (t.rounds != raw_rounds) {
+        // Compression must never change the schedule.
+        std::printf("FAIL: %s %s changed round count (%zu vs %zu)\n", w.name.c_str(),
+                    comm::codec_mode_name(mode), t.rounds, raw_rounds);
+        ++failures;
+      }
+      if (mode == comm::CodecMode::kFull && w.name != "road-s") {
+        powerlaw_reductions.push_back(static_cast<double>(raw_wire) /
+                                      static_cast<double>(t.bytes));
+      }
+      report.add({w.name, comm::codec_mode_name(mode), util::fmt_bytes(t.bytes),
+                  util::fmt_bytes(t.raw_bytes),
+                  util::fmt(static_cast<double>(t.raw_bytes) / static_cast<double>(t.bytes), 2),
+                  util::fmt(t.network_seconds, 4), std::to_string(t.rounds)});
+    }
+  }
+  report.finish();
+  const double geomean = util::geomean_of(powerlaw_reductions);
+  std::printf("Geomean volume reduction from kFull codec (power-law inputs): %.2fx "
+              "(gate >= 1.5x)\n",
+              geomean);
+  if (geomean < 1.5) {
+    std::printf("FAIL: codec volume reduction under 1.5x\n");
+    ++failures;
+  }
+  return failures;
 }
 
 /// Replays an MRBC-like access trace against both map types: mixed inserts,
@@ -91,6 +146,7 @@ void map_type_ablation() {
 
 int main() {
   mrbc::bench::delayed_sync_ablation();
+  const int failures = mrbc::bench::codec_ablation();
   mrbc::bench::map_type_ablation();
-  return 0;
+  return failures;
 }

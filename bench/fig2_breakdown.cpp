@@ -28,10 +28,15 @@ void run() {
     const auto hosts = static_cast<partition::HostId>(w.large ? 32 : 4);
     partition::Partition part(w.graph, hosts, partition::Policy::kCartesianVertexCut);
 
-    auto sbbc = baselines::sbbc_bc(part, w.sources, {});
+    // Both engines run the production wire codec; comm_s and volume
+    // reflect the compressed bytes (decoded state is mode-invariant).
+    baselines::SbbcOptions sopts;
+    sopts.cluster.codec = comm::CodecMode::kFull;
+    auto sbbc = baselines::sbbc_bc(part, w.sources, sopts);
     core::MrbcOptions mopts;
     mopts.batch_size = w.large ? 16 : 32;
     if (w.name == "road-s") mopts.batch_size = 8;
+    mopts.cluster.codec = comm::CodecMode::kFull;
     auto mrbc = core::mrbc_bc(part, w.sources, mopts);
 
     // The bars consume the engine's per-phase attribution rather than the

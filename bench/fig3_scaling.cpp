@@ -34,10 +34,12 @@ void run() {
       partition::Partition part(w.graph, hosts, partition::Policy::kCartesianVertexCut);
       baselines::SbbcOptions sopts;
       sopts.cluster.parallel_hosts = parallel;
+      sopts.cluster.codec = comm::CodecMode::kFull;
       auto sbbc = baselines::sbbc_bc(part, w.sources, sopts);
       core::MrbcOptions mopts;
       mopts.batch_size = 16;
       mopts.cluster.parallel_hosts = parallel;
+      mopts.cluster.codec = comm::CodecMode::kFull;
       auto mrbc = core::mrbc_bc(part, w.sources, mopts);
       report.add({w.name, "SBBC", std::to_string(hosts), threads,
                   util::fmt(sbbc.total().total_seconds(), 4),

@@ -55,6 +55,65 @@ void BM_SubstrateSync(benchmark::State& state) {
 }
 BENCHMARK(BM_SubstrateSync)->Arg(1)->Arg(8)->Arg(64);
 
+/// One flagged sync under a codec mode: the serialize + deserialize cost
+/// of the wire codec relative to raw POD shuffling (arg = CodecMode).
+void BM_SubstrateSyncCodec(benchmark::State& state) {
+  static Partition part(bench_graph(), 8, Policy::kCartesianVertexCut);
+  comm::Substrate sub(part);
+  comm::DeliveryOptions delivery;
+  delivery.codec = static_cast<comm::CodecMode>(state.range(0));
+  sub.set_delivery(delivery);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (partition::HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 1.0);
+  }
+  SumAccessor acc{labels};
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    for (partition::HostId h = 0; h < part.num_hosts(); ++h) {
+      for (graph::VertexId l = 0; l < part.host(h).num_proxies(); l += 4) {
+        sub.flag_reduce(h, l);
+      }
+    }
+    auto stats = sub.sync(acc);
+    bytes += stats.bytes;
+    benchmark::DoNotOptimize(stats.raw_bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(comm::codec_mode_name(delivery.codec));
+}
+BENCHMARK(BM_SubstrateSyncCodec)->Arg(0)->Arg(1)->Arg(2);
+
+/// Raw codec primitive throughput: encode + decode a power-law-ish u32
+/// plane and an integral-heavy double plane (arg = CodecMode).
+void BM_CodecPlaneRoundTrip(benchmark::State& state) {
+  const auto mode = static_cast<comm::CodecMode>(state.range(0));
+  std::vector<std::uint32_t> dists(1 << 14);
+  std::vector<double> sigmas(1 << 14);
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    dists[i] = 100 + static_cast<std::uint32_t>(i % 37);
+    sigmas[i] = static_cast<double>(1 + i % 211);  // integral path counts
+  }
+  util::SendBuffer buf;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    buf.clear();
+    comm::CodecWriter w(buf, mode);
+    comm::ValueCodec<std::uint32_t>::write_plane(w, dists);
+    comm::ValueCodec<double>::write_plane(w, sigmas);
+    util::RecvBuffer in(buf);
+    comm::CodecReader r(in, mode);
+    benchmark::DoNotOptimize(comm::ValueCodec<std::uint32_t>::read_plane(r).data());
+    benchmark::DoNotOptimize(comm::ValueCodec<double>::read_plane(r).data());
+    bytes += buf.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dists.size() + sigmas.size()));
+  state.SetLabel(comm::codec_mode_name(mode));
+}
+BENCHMARK(BM_CodecPlaneRoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_MrbcPerSource(benchmark::State& state) {
   static Partition part(bench_graph(), 8, Policy::kCartesianVertexCut);
   const auto sources = graph::sample_sources(bench_graph(), 16, 3);

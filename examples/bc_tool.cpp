@@ -21,6 +21,7 @@
 #include "baselines/sbbc.h"
 #include "baselines/weighted_bc.h"
 #include "core/congest_mrbc.h"
+#include "comm/codec.h"
 #include "core/mrbc.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -47,6 +48,7 @@ struct Args {
   std::uint32_t batch = 32;
   std::uint64_t seed = 1;
   std::string policy = "cvc";  // cvc | ec-src | ec-dst | gvc | random
+  std::string codec = "raw";   // raw | metadata | full
   std::string csv;             // per-vertex BC dump path
   bool no_delayed_sync = false;
   bool weighted = false;       // run the weighted variants instead
@@ -72,6 +74,8 @@ void usage(const char* prog) {
       "  --sources <k>         sampled sources, 0 = all vertices (default 32)\n"
       "  --batch <k>           MRBC/MFBC batch size (default 32)\n"
       "  --policy <cvc|ec-src|ec-dst|gvc|random>  partition policy\n"
+      "  --codec <raw|metadata|full>  wire compression (default raw; full =\n"
+      "                        varint/delta/frame-of-reference, bit-identical results)\n"
       "  --seed <s>            RNG seed (default 1)\n"
       "  --no-delayed-sync     disable the Section 4.3 optimization\n"
       "  --weighted            random weights in [1, max-weight]; algo must be\n"
@@ -106,6 +110,7 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--sources")) args.sources = static_cast<std::uint32_t>(std::atoi(next("--sources")));
     else if (!std::strcmp(argv[i], "--batch")) args.batch = static_cast<std::uint32_t>(std::atoi(next("--batch")));
     else if (!std::strcmp(argv[i], "--policy")) args.policy = next("--policy");
+    else if (!std::strcmp(argv[i], "--codec")) args.codec = next("--codec");
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::strtoull(next("--seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--no-delayed-sync")) args.no_delayed_sync = true;
     else if (!std::strcmp(argv[i], "--weighted")) args.weighted = true;
@@ -216,6 +221,11 @@ int main(int argc, char** argv) {
   util::ThreadPool::set_global_threads(args.threads);
   const bool parallel = util::ThreadPool::global().parallelism() > 1;
   std::printf("threads: %zu\n", util::ThreadPool::global().parallelism());
+  comm::CodecMode codec = comm::CodecMode::kRaw;
+  if (!comm::parse_codec_mode(args.codec, codec)) {
+    std::fprintf(stderr, "unknown codec '%s' (raw|metadata|full)\n", args.codec.c_str());
+    return 2;
+  }
   graph::Graph g = load_graph(args);
   std::printf("graph: n=%u m=%llu maxout=%zu maxin=%zu\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()), g.max_out_degree(),
@@ -274,6 +284,7 @@ int main(int argc, char** argv) {
     opts.batch_size = args.batch;
     opts.delayed_sync = !args.no_delayed_sync;
     opts.cluster.parallel_hosts = parallel;
+    opts.cluster.codec = codec;
     auto run = core::mrbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -293,6 +304,7 @@ int main(int argc, char** argv) {
     opts.num_hosts = args.hosts;
     opts.policy = parse_policy(args.policy);
     opts.cluster.parallel_hosts = parallel;
+    opts.cluster.codec = codec;
     auto run = baselines::sbbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -308,6 +320,7 @@ int main(int argc, char** argv) {
     opts.num_hosts = args.hosts;
     opts.batch_size = args.batch;
     opts.parallel_hosts = parallel;
+    opts.codec = codec;
     auto run = baselines::mfbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);

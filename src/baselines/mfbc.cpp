@@ -18,10 +18,25 @@ using matrix::DistSigma;
 
 namespace {
 
-/// Wire sizes of one frontier entry in the allgather (vertex, source,
-/// dist, value) — what CTF would ship per nonzero.
+/// Fixed-width wire size of one frontier entry in the allgather (vertex,
+/// source, dist, value) — what CTF would ship per nonzero without a codec.
 constexpr std::size_t kFwdEntryBytes = 4 + 4 + 4 + 8;
 constexpr std::size_t kBwdEntryBytes = 4 + 4 + 4 + 8;
+
+/// Encoded size of one forward entry under the configured codec: the three
+/// small integers varint-pack and sigma uses the tagged-integral double
+/// (comm/codec.h). Matches what a serialized wire would produce per entry.
+std::size_t fwd_entry_bytes(VertexId v, std::uint32_t sidx, const DistSigma& val,
+                            comm::CodecMode mode) {
+  return comm::encoded_value_u32_size(v, mode) + comm::encoded_value_u32_size(sidx, mode) +
+         comm::encoded_value_u32_size(val.dist, mode) + comm::encoded_f64_size(val.sigma, mode);
+}
+
+std::size_t bwd_entry_bytes(VertexId v, std::uint32_t sidx, std::uint32_t dist, double m,
+                            comm::CodecMode mode) {
+  return comm::encoded_value_u32_size(v, mode) + comm::encoded_value_u32_size(sidx, mode) +
+         comm::encoded_value_u32_size(dist, mode) + comm::encoded_f64_size(m, mode);
+}
 
 struct FwdEntry {
   VertexId v;
@@ -39,7 +54,8 @@ struct BwdEntry {
 /// Accounts one allgather iteration: every host ships its produced frontier
 /// part to every other host.
 void account_allgather(sim::RunStats& stats, const sim::NetworkModel& net,
-                       const std::vector<std::size_t>& part_bytes, std::uint32_t H) {
+                       const std::vector<std::size_t>& part_bytes,
+                       const std::vector<std::size_t>& part_raw_bytes, std::uint32_t H) {
   std::size_t max_egress = 0;
   std::size_t total = 0;
   for (std::size_t b : part_bytes) {
@@ -47,8 +63,11 @@ void account_allgather(sim::RunStats& stats, const sim::NetworkModel& net,
     max_egress = std::max(max_egress, egress);
     total += egress;
   }
+  std::size_t raw_total = 0;
+  for (std::size_t b : part_raw_bytes) raw_total += b * (H - 1);
   if (H > 1) stats.messages += static_cast<std::size_t>(H) * (H - 1);
   stats.bytes += total;
+  stats.raw_bytes += raw_total;
   // Hosts ship their frontier parts concurrently: the round is paced by
   // the busiest host's (H-1) peer messages and its egress bytes.
   stats.network_seconds += net.round_seconds(H > 1 ? H - 1 : 0, max_egress);
@@ -130,17 +149,21 @@ class MfbcRunner {
         run.forward.per_host_compute_seconds[h] += host_seconds[h];
       }
       std::vector<FwdEntry> next;
+      std::vector<std::size_t> part_raw_bytes(H_, 0);
       for (const auto& changed : host_changed) {
         for (const auto& [w, sidx] : changed) {
           changed_mark_[static_cast<std::size_t>(w) * k + sidx] = 0;
-          next.push_back({w, sidx, at(w, sidx)});
-          part_bytes[partition::block_owner(w, n, H_)] += kFwdEntryBytes;
-          max_level = std::max(max_level, at(w, sidx).dist);
+          const DistSigma& cell = at(w, sidx);
+          next.push_back({w, sidx, cell});
+          const std::size_t owner = partition::block_owner(w, n, H_);
+          part_bytes[owner] += fwd_entry_bytes(w, sidx, cell, opts_.codec);
+          part_raw_bytes[owner] += kFwdEntryBytes;
+          max_level = std::max(max_level, cell.dist);
         }
       }
       run.forward.compute_seconds += max_host_seconds;
       run.forward.imbalance_sum += util::imbalance(host_work);
-      account_allgather(run.forward, opts_.network, part_bytes, H_);
+      account_allgather(run.forward, opts_.network, part_bytes, part_raw_bytes, H_);
       frontier = std::move(next);
     }
 
@@ -161,8 +184,11 @@ class MfbcRunner {
         }
       }
       std::vector<std::size_t> part_bytes(H_, 0);
+      std::vector<std::size_t> part_raw_bytes(H_, 0);
       for (const BwdEntry& e : frontier_b) {
-        part_bytes[partition::block_owner(e.v, n, H_)] += kBwdEntryBytes;
+        const std::size_t owner = partition::block_owner(e.v, n, H_);
+        part_bytes[owner] += bwd_entry_bytes(e.v, e.sidx, e.dist, e.m, opts_.codec);
+        part_raw_bytes[owner] += kBwdEntryBytes;
       }
       std::vector<double> host_work(H_, 0.0);
       std::vector<double> host_seconds(H_, 0.0);
@@ -190,7 +216,7 @@ class MfbcRunner {
       }
       run.backward.compute_seconds += max_host_seconds;
       run.backward.imbalance_sum += util::imbalance(host_work);
-      account_allgather(run.backward, opts_.network, part_bytes, H_);
+      account_allgather(run.backward, opts_.network, part_bytes, part_raw_bytes, H_);
     }
 
     // ---- Fold into the result ------------------------------------------

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "comm/codec.h"
 #include "core/bc_common.h"
 #include "engine/cluster.h"
 #include "graph/graph.h"
@@ -31,6 +32,11 @@ struct MfbcOptions {
   /// merged in host order, so results match the sequential sweep exactly.
   bool parallel_hosts = false;
   sim::NetworkModel network;
+  /// Wire codec for the frontier allgather accounting. MFBC's traffic is
+  /// modeled analytically (no substrate), so the codec contributes exact
+  /// per-entry encoded sizes rather than serialized buffers; results are
+  /// unaffected, only the modeled byte counts shrink.
+  comm::CodecMode codec = comm::CodecMode::kRaw;
 };
 
 struct MfbcRun {

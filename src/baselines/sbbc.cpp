@@ -17,13 +17,67 @@ using graph::kInfDist;
 using partition::HostId;
 using partition::Partition;
 
-namespace {
-
-/// Forward-phase proxy label.
+/// Forward-phase proxy label. Named (not TU-local) so the wire codec below
+/// can specialize comm::ValueCodec for it.
 struct DistSigma {
   std::uint32_t dist = kInfDist;
   double sigma = 0.0;
 };
+
+}  // namespace mrbc::baselines
+
+namespace mrbc::comm {
+
+/// kFull wire format for the SBBC forward plane: the interleaved struct is
+/// split into a dist sub-plane (frame-of-reference + varint — BFS levels
+/// cluster tightly within a round) followed by a sigma sub-plane (tagged
+/// f64 — path counts are integral). kRaw/kMetadataOnly ship the packed
+/// struct bytes exactly as write_vector would, padding included.
+template <>
+struct ValueCodec<baselines::DistSigma> {
+  static void write_plane(CodecWriter& w, const std::vector<baselines::DistSigma>& values) {
+    if (!compress_values(w.mode())) {
+      w.pod_plane(values);
+      return;
+    }
+    w.meta_u64(values.size());
+    if (values.empty()) return;
+    std::uint32_t min = values[0].dist;
+    for (const auto& v : values) min = std::min(min, v.dist);
+    w.buffer().write_varint(min, 0);
+    // Raw-equivalent per dist is the struct bytes the sigma doesn't cover
+    // (field + alignment padding), so raw_bytes matches the kRaw wire.
+    constexpr std::size_t kDistRawBytes = sizeof(baselines::DistSigma) - sizeof(double);
+    for (const auto& v : values) w.buffer().write_varint(v.dist - min, kDistRawBytes);
+    for (const auto& v : values) w.f64(v.sigma);
+  }
+
+  static std::vector<baselines::DistSigma> read_plane(CodecReader& r) {
+    if (!compress_values(r.mode())) return r.pod_plane<baselines::DistSigma>();
+    const std::uint64_t n = r.meta_u64();
+    if (n > r.buffer().remaining()) {
+      throw std::out_of_range("codec: plane length exceeds buffer");
+    }
+    std::vector<baselines::DistSigma> values(n);
+    if (n == 0) return values;
+    const std::uint64_t min = r.buffer().read_varint();
+    for (auto& v : values) {
+      const std::uint64_t d = min + r.buffer().read_varint();
+      if (d > 0xFFFFFFFFull) {
+        throw std::out_of_range("codec: u32 plane value out of range");
+      }
+      v.dist = static_cast<std::uint32_t>(d);
+    }
+    for (auto& v : values) v.sigma = r.f64();
+    return values;
+  }
+};
+
+}  // namespace mrbc::comm
+
+namespace mrbc::baselines {
+
+namespace {
 
 /// One source's level-synchronous execution over the partition.
 class SourceRunner final : public sim::Checkpointable {

@@ -5,6 +5,7 @@ namespace mrbc::comm {
 SyncStats& SyncStats::operator+=(const SyncStats& other) {
   messages += other.messages;
   bytes += other.bytes;
+  raw_bytes += other.raw_bytes;
   values += other.values;
   if (bytes_per_host.size() < other.bytes_per_host.size()) {
     bytes_per_host.resize(other.bytes_per_host.size(), 0);

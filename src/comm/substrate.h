@@ -49,6 +49,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "partition/partition.h"
@@ -68,19 +69,42 @@ using partition::VertexId;
 /// bitset, sparse rounds the offsets).
 namespace detail {
 
-inline void write_presence(util::SendBuffer& buf, const util::DynamicBitset& present,
+inline void write_presence(CodecWriter& w, const util::DynamicBitset& present,
                            std::size_t count) {
   const std::size_t bitset_bytes = 8 + present.byte_size();
-  const std::size_t offsets_bytes = 8 + count * sizeof(std::uint32_t);
+  if (!compress_metadata(w.mode())) {
+    const std::size_t offsets_bytes = 8 + count * sizeof(std::uint32_t);
+    if (bitset_bytes <= offsets_bytes) {
+      w.u8(0);
+      w.buffer().write_bitset(present);
+    } else {
+      w.u8(1);
+      std::vector<std::uint32_t> offsets;
+      offsets.reserve(count);
+      present.for_each_set(
+          [&](std::size_t i) { offsets.push_back(static_cast<std::uint32_t>(i)); });
+      w.buffer().write_vector(offsets);
+    }
+    return;
+  }
+  // Compressed metadata: the offset list is delta + varint encoded, so
+  // compare the bitset against the *encoded* list size — sparse rounds tip
+  // toward offsets much earlier than under fixed-width accounting.
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(count);
+  present.for_each_set([&](std::size_t i) { offsets.push_back(static_cast<std::uint32_t>(i)); });
+  std::size_t offsets_bytes = util::varint_size(offsets.size());
+  std::uint32_t prev = 0;
+  for (std::uint32_t v : offsets) {
+    offsets_bytes += util::varint_size(v - prev);
+    prev = v;
+  }
   if (bitset_bytes <= offsets_bytes) {
-    buf.write<std::uint8_t>(0);
-    buf.write_bitset(present);
+    w.u8(0);
+    w.buffer().write_bitset(present);
   } else {
-    buf.write<std::uint8_t>(1);
-    std::vector<std::uint32_t> offsets;
-    offsets.reserve(count);
-    present.for_each_set([&](std::size_t i) { offsets.push_back(static_cast<std::uint32_t>(i)); });
-    buf.write_vector(offsets);
+    w.u8(1);
+    w.sorted_u32_list(offsets);
   }
 }
 
@@ -88,13 +112,13 @@ inline void write_presence(util::SendBuffer& buf, const util::DynamicBitset& pre
 /// The presence encoding is fully consumed before the first fn call, so a
 /// message body following it in the same buffer can be read inside fn.
 template <typename Fn>
-void read_presence(util::RecvBuffer& buf, Fn&& fn) {
-  const auto tag = buf.read<std::uint8_t>();
+void read_presence(CodecReader& r, Fn&& fn) {
+  const auto tag = r.u8();
   if (tag == 0) {
-    util::DynamicBitset present = buf.read_bitset();
+    util::DynamicBitset present = r.buffer().read_bitset();
     present.for_each_set(fn);
   } else {
-    for (std::uint32_t i : buf.read_vector<std::uint32_t>()) fn(i);
+    for (std::uint32_t i : r.sorted_u32_list()) fn(i);
   }
 }
 
@@ -131,13 +155,24 @@ struct DeliveryOptions {
   ChannelFaults* faults = nullptr;
   /// Total transmission attempts per frame in reliable mode (>= 1).
   std::size_t max_attempts = 8;
+  /// Wire codec for message metadata and payload planes (see comm/codec.h).
+  /// kRaw reproduces the historical fixed-width bytes exactly; the other
+  /// modes shrink the wire without changing any decoded value. Ablatable
+  /// like delayed sync — decoded state is bit-identical across modes.
+  CodecMode codec = CodecMode::kRaw;
 };
 
 /// Accounting for one or more sync phases.
 struct SyncStats {
   std::size_t messages = 0;  ///< aggregated host-pair messages (Gluon sends one per pair per phase)
   std::size_t bytes = 0;     ///< serialized payload + metadata bytes (first transmission)
-  std::size_t values = 0;    ///< proxy labels moved
+  /// Fixed-width-equivalent bytes of the same messages: what the chosen
+  /// encodings would have cost without the codec. raw_bytes == bytes under
+  /// kRaw; raw_bytes / bytes is the achieved compression ratio otherwise.
+  /// (Not exactly "kRaw's bytes" — the adaptive presence pick can differ
+  /// per mode, so the denominator tracks the encoding actually sent.)
+  std::size_t raw_bytes = 0;
+  std::size_t values = 0;  ///< proxy labels moved
   std::vector<std::size_t> bytes_per_host;  ///< egress bytes per host (network model input)
   std::vector<std::size_t> msgs_per_host;   ///< egress messages per host
 
@@ -223,15 +258,21 @@ class Substrate {
       if (count == 0) return;
       buf.reserve(kPresenceSlack + present.byte_size() +
                   count * (sizeof(typename Accessor::Value) + sizeof(std::uint32_t)));
-      detail::write_presence(buf, present, count);
-      buf.write<std::uint64_t>(count);  // write_vector wire format, in place
+      CodecWriter cw(buf, delivery_.codec);
+      detail::write_presence(cw, present, count);
+      // Collect the flagged values first: plane codecs (frame-of-reference)
+      // need the whole plane before the first wire byte. In kRaw the plane
+      // serializes to exactly the historical count-prefixed value run.
+      std::vector<typename Accessor::Value> vals;
+      vals.reserve(count);
       for (std::size_t i = 0; i < mirrors.size(); ++i) {
         const VertexId lid = mirrors[i];
         if (reduce_flags_[pw.src].test(lid)) {
-          buf.write<typename Accessor::Value>(acc.get(pw.src, lid));
+          vals.push_back(acc.get(pw.src, lid));
           acc.reset(pw.src, lid);
         }
       }
+      ValueCodec<typename Accessor::Value>::write_plane(cw, vals);
       pw.values = count;
     });
     // Phase B: deliver sequentially in the historical pair order.
@@ -244,9 +285,10 @@ class Substrate {
         stats.values += values;
         const auto& masters = p.master_lids(mh, oh);
         deliver(mh, oh, pair_buf(mh, oh), stats, [&](util::RecvBuffer& rbuf) {
+          CodecReader r(rbuf, delivery_.codec);
           std::vector<std::size_t> indices;
-          detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
-          auto rvalues = rbuf.read_vector<typename Accessor::Value>();
+          detail::read_presence(r, [&](std::size_t i) { indices.push_back(i); });
+          auto rvalues = ValueCodec<typename Accessor::Value>::read_plane(r);
           std::size_t next = 0;
           for (std::size_t i : indices) {
             const VertexId master_lid = masters[i];
@@ -293,12 +335,15 @@ class Substrate {
       if (count == 0) return;
       buf.reserve(kPresenceSlack + present.byte_size() +
                   count * (sizeof(typename Accessor::Value) + sizeof(std::uint32_t)));
-      detail::write_presence(buf, present, count);
-      buf.write<std::uint64_t>(count);
+      CodecWriter cw(buf, delivery_.codec);
+      detail::write_presence(cw, present, count);
+      std::vector<typename Accessor::Value> vals;
+      vals.reserve(count);
       for (std::size_t i = 0; i < masters.size(); ++i) {
         const VertexId lid = masters[i];
-        if (broadcast_flags_[pw.src].test(lid)) buf.write<typename Accessor::Value>(acc.get(pw.src, lid));
+        if (broadcast_flags_[pw.src].test(lid)) vals.push_back(acc.get(pw.src, lid));
       }
+      ValueCodec<typename Accessor::Value>::write_plane(cw, vals);
       pw.values = count;
     });
     // Phase B: sequential delivery in the historical pair order.
@@ -311,9 +356,10 @@ class Substrate {
         stats.values += values;
         const auto& mirrors = p.mirror_lids(mh, oh);
         deliver(oh, mh, pair_buf(oh, mh), stats, [&](util::RecvBuffer& rbuf) {
+          CodecReader r(rbuf, delivery_.codec);
           std::vector<std::size_t> indices;
-          detail::read_presence(rbuf, [&](std::size_t i) { indices.push_back(i); });
-          auto rvalues = rbuf.read_vector<typename Accessor::Value>();
+          detail::read_presence(r, [&](std::size_t i) { indices.push_back(i); });
+          auto rvalues = ValueCodec<typename Accessor::Value>::read_plane(r);
           std::size_t next = 0;
           for (std::size_t i : indices) {
             acc.set(mh, mirrors[i], rvalues[next++]);
@@ -336,13 +382,14 @@ class Substrate {
   /// Variable-length flavor of reduce, for labels whose per-vertex payload
   /// is a list (MRBC syncs the set of (source, dist, sigma) entries that
   /// finalized, which differs per vertex and round). The accessor owns the
-  /// wire format:
-  ///   void serialize_reduce(HostId h, VertexId lid, util::SendBuffer&);
+  /// wire format, expressed through the mode-aware codec (field-class
+  /// methods pick varint/tagged encodings per DeliveryOptions::codec):
+  ///   void serialize_reduce(HostId h, VertexId lid, CodecWriter&);
   ///       (must also reset the mirror's contribution — reduce-reset)
-  ///   void apply_reduce(HostId h, VertexId lid, util::RecvBuffer&);
-  ///   void serialize_broadcast(HostId h, VertexId lid, util::SendBuffer&);
+  ///   void apply_reduce(HostId h, VertexId lid, CodecReader&);
+  ///   void serialize_broadcast(HostId h, VertexId lid, CodecWriter&);
   ///       (called once per mirror host; must not mutate)
-  ///   void apply_broadcast(HostId h, VertexId lid, util::RecvBuffer&);
+  ///   void apply_broadcast(HostId h, VertexId lid, CodecReader&);
   template <typename VarAccessor>
   SyncStats reduce_var(VarAccessor& acc) {
     obs::Span span(obs::Category::kComm, "reduce");
@@ -369,9 +416,10 @@ class Substrate {
       }
       if (count == 0) return;
       buf.reserve(kPresenceSlack + present.byte_size() + count * sizeof(std::uint32_t));
-      detail::write_presence(buf, present, count);
+      CodecWriter cw(buf, delivery_.codec);
+      detail::write_presence(cw, present, count);
       for (std::size_t i = 0; i < mirrors.size(); ++i) {
-        if (present.test(i)) acc.serialize_reduce(pw.src, mirrors[i], buf);
+        if (present.test(i)) acc.serialize_reduce(pw.src, mirrors[i], cw);
       }
       pw.values = count;
     });
@@ -385,8 +433,9 @@ class Substrate {
         stats.values += values;
         const auto& masters = p.master_lids(mh, oh);
         deliver(mh, oh, pair_buf(mh, oh), stats, [&](util::RecvBuffer& rbuf) {
-          detail::read_presence(rbuf, [&](std::size_t i) {
-            acc.apply_reduce(oh, masters[i], rbuf);
+          CodecReader r(rbuf, delivery_.codec);
+          detail::read_presence(r, [&](std::size_t i) {
+            acc.apply_reduce(oh, masters[i], r);
             broadcast_flags_[oh].set(masters[i]);
           });
         });
@@ -453,9 +502,10 @@ class Substrate {
       }
       if (count == 0) return;
       buf.reserve(kPresenceSlack + present.byte_size() + count * sizeof(std::uint32_t));
-      detail::write_presence(buf, present, count);
+      CodecWriter cw(buf, delivery_.codec);
+      detail::write_presence(cw, present, count);
       for (std::size_t i = 0; i < masters.size(); ++i) {
-        if (present.test(i)) acc.serialize_broadcast(pw.src, masters[i], buf);
+        if (present.test(i)) acc.serialize_broadcast(pw.src, masters[i], cw);
       }
       pw.values = count;
     });
@@ -469,8 +519,9 @@ class Substrate {
         stats.values += values;
         const auto& mirrors = p.mirror_lids(mh, oh);
         deliver(oh, mh, pair_buf(oh, mh), stats, [&](util::RecvBuffer& rbuf) {
-          detail::read_presence(rbuf, [&](std::size_t i) {
-            acc.apply_broadcast(mh, mirrors[i], rbuf);
+          CodecReader r(rbuf, delivery_.codec);
+          detail::read_presence(r, [&](std::size_t i) {
+            acc.apply_broadcast(mh, mirrors[i], r);
           });
         });
       }
@@ -532,9 +583,18 @@ class Substrate {
     stats.msgs_per_host[src] += 1;
     if (obs::metrics_enabled()) {
       obs::Metrics::global().histogram(obs::Hist::kMessageBytes).record(msg.size());
+      if (msg.size() > 0) {
+        // Compression ratio as a percentage (100 = incompressible, 250 =
+        // 2.5x smaller on the wire); raw_bytes is the fixed-width size the
+        // same fields would have occupied.
+        obs::Metrics::global()
+            .histogram(obs::Hist::kCompressionPct)
+            .record(msg.raw_bytes() * 100 / msg.size());
+      }
     }
     if (!framed_) {
       stats.bytes += msg.size();
+      stats.raw_bytes += msg.raw_bytes();
       stats.bytes_per_host[src] += msg.size();
       if (obs::metrics_enabled()) {
         obs::Metrics::global().histogram(obs::Hist::kRetransmitAttempts).record(1);
@@ -553,6 +613,7 @@ class Substrate {
     for (std::size_t attempt = 1;; ++attempt) {
       if (attempt == 1) {
         stats.bytes += frame_bytes;
+        stats.raw_bytes += kFrameHeaderBytes + msg.raw_bytes();
         stats.bytes_per_host[src] += frame_bytes;
       } else {
         stats.retransmits += 1;

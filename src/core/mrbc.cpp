@@ -588,18 +588,26 @@ class BatchRunner final : public sim::Checkpointable {
 
   // ---- Sync accessors -----------------------------------------------------
 
+  // Wire fields go through the mode-aware codec: entry counts are
+  // metadata, source indices and distances are small payload integers
+  // (varints in kFull), sigma/delta doubles use the tagged-integral f64
+  // encoding — forward-phase sigmas are integral path counts, so most of
+  // them shrink from 8 wire bytes to one or two. Dirty-source iteration
+  // order is part of the reduce arithmetic and is never re-sorted for the
+  // wire: compression must not change floating-point apply order.
+
   struct ForwardAccessor {
     BatchRunner& r;
 
-    void serialize_reduce(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+    void serialize_reduce(HostId h, graph::VertexId lid, comm::CodecWriter& buf) {
       HostState& st = r.state_[h];
       auto& dirty = st.dirty_sources(lid);
-      buf.write<std::uint32_t>(static_cast<std::uint32_t>(dirty.size()));
+      buf.meta_u32(static_cast<std::uint32_t>(dirty.size()));
       for (std::uint32_t sidx : dirty) {
         const SourceSlot s = st.slot(lid, sidx);
-        buf.write<std::uint32_t>(sidx);
-        buf.write<std::uint32_t>(s.dist);
-        buf.write<double>(s.sigma);
+        buf.value_u32(sidx);
+        buf.value_u32(s.dist);
+        buf.f64(s.sigma);
         // Gluon reduce-reset: the mirror's partial returns to identity.
         st.clear_distance(lid, sidx);
         st.slot(lid, sidx).sigma = 0.0;
@@ -607,37 +615,37 @@ class BatchRunner final : public sim::Checkpointable {
       st.clear_dirty(lid);
     }
 
-    void apply_reduce(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
-      const auto n = buf.read<std::uint32_t>();
+    void apply_reduce(HostId h, graph::VertexId lid, comm::CodecReader& buf) {
+      const auto n = buf.meta_u32();
       for (std::uint32_t i = 0; i < n; ++i) {
-        const auto sidx = buf.read<std::uint32_t>();
-        const auto d = buf.read<std::uint32_t>();
-        const auto sigma = buf.read<double>();
+        const auto sidx = buf.value_u32();
+        const auto d = buf.value_u32();
+        const auto sigma = buf.f64();
         r.combine_forward(h, lid, sidx, d, sigma);
       }
     }
 
-    void serialize_broadcast(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+    void serialize_broadcast(HostId h, graph::VertexId lid, comm::CodecWriter& buf) {
       const HostState& st = r.state_[h];
       const auto& staged = st.to_broadcast[lid];
-      buf.write<std::uint32_t>(static_cast<std::uint32_t>(staged.size()));
+      buf.meta_u32(static_cast<std::uint32_t>(staged.size()));
       for (const auto& [sidx, is_final] : staged) {
         const SourceSlot& s = st.slot(lid, sidx);
-        buf.write<std::uint32_t>(sidx);
-        buf.write<std::uint32_t>(s.dist);
-        buf.write<double>(s.sigma);
-        buf.write<std::uint8_t>(is_final ? 1 : 0);
+        buf.value_u32(sidx);
+        buf.value_u32(s.dist);
+        buf.f64(s.sigma);
+        buf.u8(is_final ? 1 : 0);
       }
     }
 
-    void apply_broadcast(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
+    void apply_broadcast(HostId h, graph::VertexId lid, comm::CodecReader& buf) {
       HostState& st = r.state_[h];
-      const auto n = buf.read<std::uint32_t>();
+      const auto n = buf.meta_u32();
       for (std::uint32_t i = 0; i < n; ++i) {
-        const auto sidx = buf.read<std::uint32_t>();
-        const auto d = buf.read<std::uint32_t>();
-        const auto sigma = buf.read<double>();
-        const auto is_final = buf.read<std::uint8_t>();
+        const auto sidx = buf.value_u32();
+        const auto d = buf.value_u32();
+        const auto sigma = buf.f64();
+        const auto is_final = buf.u8();
         if (!is_final) continue;  // eager-mode traffic only
         st.update_distance(lid, sidx, d);
         st.slot(lid, sidx).sigma = sigma;
@@ -649,45 +657,45 @@ class BatchRunner final : public sim::Checkpointable {
   struct BackwardAccessor {
     BatchRunner& r;
 
-    void serialize_reduce(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+    void serialize_reduce(HostId h, graph::VertexId lid, comm::CodecWriter& buf) {
       HostState& st = r.state_[h];
       auto& dirty = st.dirty_sources(lid);
-      buf.write<std::uint32_t>(static_cast<std::uint32_t>(dirty.size()));
+      buf.meta_u32(static_cast<std::uint32_t>(dirty.size()));
       for (std::uint32_t sidx : dirty) {
-        buf.write<std::uint32_t>(sidx);
-        buf.write<double>(st.slot(lid, sidx).delta);
+        buf.value_u32(sidx);
+        buf.f64(st.slot(lid, sidx).delta);
         st.slot(lid, sidx).delta = 0.0;  // reduce-reset
       }
       st.clear_dirty(lid);
     }
 
-    void apply_reduce(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
-      const auto n = buf.read<std::uint32_t>();
+    void apply_reduce(HostId h, graph::VertexId lid, comm::CodecReader& buf) {
+      const auto n = buf.meta_u32();
       for (std::uint32_t i = 0; i < n; ++i) {
-        const auto sidx = buf.read<std::uint32_t>();
-        const auto contribution = buf.read<double>();
+        const auto sidx = buf.value_u32();
+        const auto contribution = buf.f64();
         r.combine_backward(h, lid, sidx, contribution);
       }
     }
 
-    void serialize_broadcast(HostId h, graph::VertexId lid, util::SendBuffer& buf) {
+    void serialize_broadcast(HostId h, graph::VertexId lid, comm::CodecWriter& buf) {
       const HostState& st = r.state_[h];
       const auto& staged = st.to_broadcast[lid];
-      buf.write<std::uint32_t>(static_cast<std::uint32_t>(staged.size()));
+      buf.meta_u32(static_cast<std::uint32_t>(staged.size()));
       for (const auto& [sidx, is_final] : staged) {
-        buf.write<std::uint32_t>(sidx);
-        buf.write<double>(st.slot(lid, sidx).delta);
-        buf.write<std::uint8_t>(is_final ? 1 : 0);
+        buf.value_u32(sidx);
+        buf.f64(st.slot(lid, sidx).delta);
+        buf.u8(is_final ? 1 : 0);
       }
     }
 
-    void apply_broadcast(HostId h, graph::VertexId lid, util::RecvBuffer& buf) {
+    void apply_broadcast(HostId h, graph::VertexId lid, comm::CodecReader& buf) {
       HostState& st = r.state_[h];
-      const auto n = buf.read<std::uint32_t>();
+      const auto n = buf.meta_u32();
       for (std::uint32_t i = 0; i < n; ++i) {
-        const auto sidx = buf.read<std::uint32_t>();
-        const auto delta = buf.read<double>();
-        const auto is_final = buf.read<std::uint8_t>();
+        const auto sidx = buf.value_u32();
+        const auto delta = buf.f64();
+        const auto is_final = buf.u8();
         if (!is_final) continue;
         st.slot(lid, sidx).delta = delta;
         r.worklist_[h].push_back({lid, sidx});

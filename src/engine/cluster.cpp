@@ -33,6 +33,7 @@ RunStats& RunStats::operator+=(const RunStats& other) {
   network_seconds += other.network_seconds;
   messages += other.messages;
   bytes += other.bytes;
+  raw_bytes += other.raw_bytes;
   values += other.values;
   imbalance_sum += other.imbalance_sum;
   if (per_host_compute_seconds.size() < other.per_host_compute_seconds.size()) {

@@ -121,6 +121,7 @@ struct RunStats {
   double network_seconds = 0;    ///< modeled communication + barrier + recovery time
   std::size_t messages = 0;
   std::size_t bytes = 0;
+  std::size_t raw_bytes = 0;     ///< fixed-width-equivalent bytes (codec denominator)
   std::size_t values = 0;
   double imbalance_sum = 0;      ///< sum over rounds of per-round work imbalance
   std::vector<double> per_host_compute_seconds;  ///< total per host
@@ -167,6 +168,11 @@ struct ClusterOptions {
   std::size_t checkpoint_interval = 8;
   /// Transmission attempts per frame before escalation (reliable mode).
   std::size_t max_delivery_attempts = 8;
+  /// Wire codec for sync/scatter messages (comm/codec.h). kRaw keeps the
+  /// historical fixed-width wire; kMetadataOnly/kFull shrink the simulated
+  /// byte counts (and hence modeled network_seconds) without changing any
+  /// decoded label — results are bit-identical across modes.
+  comm::CodecMode codec = comm::CodecMode::kRaw;
 
   /// Delivery configuration implied by the fault fields; applications
   /// install this on their Substrate before running the loop.
@@ -176,6 +182,7 @@ struct ClusterOptions {
     d.framing = fault != nullptr;
     d.reliable = fault != nullptr && reliable_delivery;
     d.max_attempts = max_delivery_attempts;
+    d.codec = codec;
     return d;
   }
 };
@@ -251,6 +258,7 @@ class BspLoop {
       stats.phases.recovery_seconds += retransmit_seconds;
       stats.messages += comm_stats.messages;
       stats.bytes += comm_stats.bytes;
+      stats.raw_bytes += comm_stats.raw_bytes;
       stats.values += comm_stats.values;
       stats.faults.drops += comm_stats.drops;
       stats.faults.duplicates += comm_stats.duplicates;

@@ -17,6 +17,7 @@ const char* hist_name(Hist h) {
     case Hist::kRetransmitAttempts: return "comm/delivery_attempts";
     case Hist::kSpanMicros: return "obs/span_micros";
     case Hist::kIngestBatchOps: return "stream/ingest_batch_ops";
+    case Hist::kCompressionPct: return "comm/compression_pct";
     case Hist::kCount: break;
   }
   return "?";

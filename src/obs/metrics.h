@@ -31,6 +31,7 @@ enum class Hist : std::uint8_t {
   kRetransmitAttempts,   ///< delivery attempts per frame (1 = clean)
   kSpanMicros,           ///< wall duration of measured tracer spans
   kIngestBatchOps,       ///< EdgeBatch ops per routed ingest batch
+  kCompressionPct,       ///< per-message raw/encoded bytes × 100 (100 = 1.0×)
   kCount,
 };
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);

@@ -43,18 +43,21 @@ RoutedBatch route_batch(const EdgeBatch& batch, comm::Substrate& substrate,
     }
   }
 
-  // Serialize and scatter through the substrate's delivery layer.
+  // Serialize and scatter through the substrate's delivery layer, under
+  // the substrate's configured wire codec (ingest traffic compresses like
+  // sync traffic).
+  const comm::CodecMode codec = substrate.delivery().codec;
   std::vector<std::vector<util::SendBuffer>> buffers(H, std::vector<util::SendBuffer>(H));
   for (partition::HostId src = 0; src < H; ++src) {
     for (partition::HostId dst = 0; dst < H; ++dst) {
       if (staged[src][dst].empty()) continue;
-      staged[src][dst].serialize(buffers[src][dst]);
+      staged[src][dst].serialize(buffers[src][dst], codec);
     }
   }
   std::size_t wire_values = 0;
   routed.wire = substrate.scatter(
       std::move(buffers), [&](partition::HostId, partition::HostId dst, util::RecvBuffer& buf) {
-        EdgeBatch sub = EdgeBatch::deserialize(buf);
+        EdgeBatch sub = EdgeBatch::deserialize(buf, codec);
         wire_values += sub.size();
         auto& dest = routed.per_host[dst].ops;
         dest.insert(dest.end(), sub.ops.begin(), sub.ops.end());
@@ -73,6 +76,7 @@ RoutedBatch route_batch(const EdgeBatch& batch, comm::Substrate& substrate,
     registry->add_counter("stream/ingest_remote_ops", routed.remote_ops);
     registry->add_counter("stream/ingest_messages", routed.wire.messages);
     registry->add_counter("stream/ingest_bytes", routed.wire.bytes);
+    registry->add_counter("stream/ingest_raw_bytes", routed.wire.raw_bytes);
     registry->add_seconds("stream/ingest_seconds", routed.modeled_seconds);
   }
   return routed;

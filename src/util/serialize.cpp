@@ -3,6 +3,11 @@
 namespace mrbc::util {
 
 void SendBuffer::write_bitset(const DynamicBitset& bits) {
+  // One up-front reserve covers the bit-count header, the word-count prefix
+  // and the word payload — large frontier bitsets would otherwise grow the
+  // backing store through repeated resize steps.
+  reserve(bytes_.size() + 2 * sizeof(std::uint64_t) +
+          bits.words().size() * sizeof(DynamicBitset::Word));
   write<std::uint64_t>(bits.size());
   write_vector(bits.words());
 }
@@ -11,6 +16,7 @@ void SendBuffer::write_raw(const void* data, std::size_t n) {
   const std::size_t offset = bytes_.size();
   bytes_.resize(offset + n);
   if (n > 0) std::memcpy(bytes_.data() + offset, data, n);
+  raw_bytes_ += n;
 }
 
 void SendBuffer::write_string(const std::string& s) {
@@ -18,6 +24,7 @@ void SendBuffer::write_string(const std::string& s) {
   const std::size_t offset = bytes_.size();
   bytes_.resize(offset + s.size());
   if (!s.empty()) std::memcpy(bytes_.data() + offset, s.data(), s.size());
+  raw_bytes_ += s.size();
 }
 
 DynamicBitset RecvBuffer::read_bitset() {

@@ -13,10 +13,17 @@
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/varint.h"
 
 namespace mrbc::util {
 
 /// Append-only serialization buffer.
+///
+/// Alongside the actual bytes it tracks the *raw-equivalent* size — what the
+/// same writes would have produced with fixed-width POD encoding. For plain
+/// writes the two are equal; codec-layer writes (write_varint and friends)
+/// append fewer bytes than their raw equivalent, and the delta is what the
+/// substrate reports as compression savings (SyncStats::raw_bytes vs bytes).
 class SendBuffer {
  public:
   template <typename T>
@@ -25,6 +32,7 @@ class SendBuffer {
     const std::size_t offset = bytes_.size();
     bytes_.resize(offset + sizeof(T));
     std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+    raw_bytes_ += sizeof(T);
   }
 
   template <typename T>
@@ -37,6 +45,28 @@ class SendBuffer {
     if (!values.empty()) {
       std::memcpy(bytes_.data() + offset, values.data(), values.size() * sizeof(T));
     }
+    raw_bytes_ += values.size() * sizeof(T);
+  }
+
+  /// Appends `v` as a LEB128 varint. `raw_equivalent` is the fixed-width
+  /// size the value would have occupied without the codec (e.g. sizeof a
+  /// uint32 field); it feeds the raw-vs-encoded accounting, not the wire.
+  void write_varint(std::uint64_t v, std::size_t raw_equivalent) {
+    std::uint8_t tmp[kMaxVarintBytes];
+    const std::size_t n = encode_varint(v, tmp);
+    const std::size_t offset = bytes_.size();
+    bytes_.resize(offset + n);
+    std::memcpy(bytes_.data() + offset, tmp, n);
+    raw_bytes_ += raw_equivalent;
+  }
+
+  /// Appends pre-encoded bytes whose fixed-width equivalent differs from
+  /// their encoded size (tagged doubles, packed planes).
+  void write_encoded(const void* data, std::size_t n, std::size_t raw_equivalent) {
+    const std::size_t offset = bytes_.size();
+    bytes_.resize(offset + n);
+    if (n > 0) std::memcpy(bytes_.data() + offset, data, n);
+    raw_bytes_ += raw_equivalent;
   }
 
   void write_bitset(const DynamicBitset& bits);
@@ -54,19 +84,30 @@ class SendBuffer {
   /// Drops the contents but keeps the allocation — a cleared buffer refills
   /// to its previous size without touching the allocator, which is what the
   /// substrate's per-pair buffer pool relies on to kill per-round churn.
-  void clear() { bytes_.clear(); }
+  void clear() {
+    bytes_.clear();
+    raw_bytes_ = 0;
+  }
   std::size_t capacity() const { return bytes_.capacity(); }
+
+  /// Fixed-width-equivalent size of everything written so far; equals
+  /// size() unless varint/encoded writes compressed the payload.
+  std::size_t raw_bytes() const { return raw_bytes_; }
 
   /// Pre-sizes the backing store so subsequent writes up to `total` bytes
   /// never reallocate (writers that know their payload size call this once
   /// instead of growing via repeated resize).
   void reserve(std::size_t total) { bytes_.reserve(total); }
 
-  std::vector<std::uint8_t>&& take() { return std::move(bytes_); }
+  std::vector<std::uint8_t>&& take() {
+    raw_bytes_ = 0;
+    return std::move(bytes_);
+  }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
  private:
   std::vector<std::uint8_t> bytes_;
+  std::size_t raw_bytes_ = 0;
 };
 
 /// Sequential deserialization over a received byte sequence. Either owns
@@ -103,13 +144,31 @@ class RecvBuffer {
   template <typename T>
   std::vector<T> read_vector() {
     const auto n = read<std::uint64_t>();
-    require(n * sizeof(T));
+    // Divide instead of multiplying: `n * sizeof(T)` wraps for a corrupted
+    // huge length prefix, sailing past the truncation guard and into a
+    // multi-exabyte allocation.
+    if (n > remaining() / sizeof(T)) {
+      throw std::out_of_range("RecvBuffer: truncated message (vector length " + std::to_string(n) +
+                              " exceeds " + std::to_string(remaining()) + " remaining bytes)");
+    }
     std::vector<T> values(n);
     if (n > 0) {
       std::memcpy(values.data(), data_ + cursor_, n * sizeof(T));
       cursor_ += n * sizeof(T);
     }
     return values;
+  }
+
+  /// Reads one LEB128 varint; throws std::out_of_range on truncation or an
+  /// over-long / over-wide encoding (corrupted frame).
+  std::uint64_t read_varint() { return decode_varint(data_, size_, cursor_); }
+
+  /// Copies `n` raw bytes (no length prefix) into `out` — the mirror of
+  /// SendBuffer::write_raw / write_encoded.
+  void read_raw(void* out, std::size_t n) {
+    require(n);
+    if (n > 0) std::memcpy(out, data_ + cursor_, n);
+    cursor_ += n;
   }
 
   DynamicBitset read_bitset();

@@ -195,6 +195,56 @@ TEST(Substrate, PendingFlagsAndClear) {
   EXPECT_FALSE(sub.any_pending());
 }
 
+/// Runs one flagged sum-sync under `mode`, returning the stats and the
+/// decoded label state.
+std::pair<SyncStats, std::vector<std::vector<double>>> sum_sync_under(CodecMode mode) {
+  Partition part = make_partition();
+  Substrate sub(part);
+  DeliveryOptions opts;
+  opts.codec = mode;
+  sub.set_delivery(opts);
+  std::vector<std::vector<double>> labels(part.num_hosts());
+  for (HostId h = 0; h < part.num_hosts(); ++h) {
+    labels[h].assign(part.host(h).num_proxies(), 0.0);
+    for (VertexId l = 0; l < part.host(h).num_proxies(); ++l) {
+      labels[h][l] = h + 1.0;  // integral: the tagged-f64 fast path
+      sub.flag_reduce(h, l);
+      if (part.host(h).is_master[l]) sub.flag_broadcast(h, l);
+    }
+  }
+  SumAccessor acc{labels};
+  SyncStats stats = sub.sync(acc);
+  return {std::move(stats), std::move(labels)};
+}
+
+TEST(Substrate, CodecModesDecodeIdenticallyAndOnlyBytesShrink) {
+  const auto [raw_stats, raw_labels] = sum_sync_under(CodecMode::kRaw);
+  for (CodecMode mode : {CodecMode::kMetadataOnly, CodecMode::kFull}) {
+    const auto [stats, labels] = sum_sync_under(mode);
+    // Decoded state is bit-identical; only the wire size changes.
+    EXPECT_EQ(labels, raw_labels) << codec_mode_name(mode);
+    EXPECT_EQ(stats.messages, raw_stats.messages);
+    EXPECT_EQ(stats.values, raw_stats.values);
+    // raw_bytes is the fixed-width equivalent of the encoding actually
+    // chosen (the adaptive presence pick can differ per mode), so it is
+    // not mode-invariant — but the wire itself must strictly shrink.
+    EXPECT_GE(stats.raw_bytes, stats.bytes);
+    EXPECT_LT(stats.bytes, raw_stats.bytes) << codec_mode_name(mode);
+  }
+}
+
+TEST(Substrate, RawBytesAccounting) {
+  // Under kRaw the denominator equals the wire: no compression happened.
+  const auto [raw_stats, raw_labels] = sum_sync_under(CodecMode::kRaw);
+  EXPECT_EQ(raw_stats.raw_bytes, raw_stats.bytes);
+  EXPECT_GT(raw_stats.bytes, 0u);
+  // kFull ships integral doubles as 1-2 byte varints: a real reduction
+  // against its own fixed-width denominator.
+  const auto [full_stats, full_labels] = sum_sync_under(CodecMode::kFull);
+  EXPECT_LT(full_stats.bytes, full_stats.raw_bytes);
+  EXPECT_LT(full_stats.bytes, raw_stats.bytes);
+}
+
 TEST(Substrate, SingleHostHasNoTrafficButClearsFlags) {
   Graph g = graph::erdos_renyi(30, 0.1, 3);
   Partition part(g, 1, Policy::kEdgeCutSrc);

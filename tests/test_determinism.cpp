@@ -69,6 +69,33 @@ void expect_stats_equal(const sim::RunStats& a, const sim::RunStats& b, const st
   }
 }
 
+/// Cross-codec-mode comparison: everything expect_stats_equal checks except
+/// byte counts — compression changes the wire size by design, and nothing
+/// else. Encoded bytes must be strictly smaller, never larger.
+void expect_stats_equal_modulo_bytes(const sim::RunStats& a, const sim::RunStats& b,
+                                     const std::string& label) {
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.values, b.values) << label;
+  EXPECT_EQ(a.faults.drops, b.faults.drops) << label;
+  EXPECT_EQ(a.faults.duplicates, b.faults.duplicates) << label;
+  EXPECT_EQ(a.faults.corruptions_detected, b.faults.corruptions_detected) << label;
+  EXPECT_EQ(a.faults.retransmits, b.faults.retransmits) << label;
+  EXPECT_EQ(a.faults.checkpoints, b.faults.checkpoints) << label;
+  EXPECT_EQ(a.faults.crashes, b.faults.crashes) << label;
+  ASSERT_EQ(a.round_log.size(), b.round_log.size()) << label;
+  for (std::size_t i = 0; i < a.round_log.size(); ++i) {
+    const auto& ra = a.round_log[i];
+    const auto& rb = b.round_log[i];
+    EXPECT_EQ(ra.round, rb.round) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.messages, rb.messages) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.values, rb.values) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.work_items, rb.work_items) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.retransmits, rb.retransmits) << label << " round_log[" << i << "]";
+    EXPECT_EQ(ra.crashed, rb.crashed) << label << " round_log[" << i << "]";
+  }
+}
+
 Graph det_graph() { return graph::erdos_renyi(80, 0.06, 13); }
 
 std::vector<VertexId> det_sources(const Graph& g, std::size_t n) {
@@ -79,7 +106,8 @@ std::vector<VertexId> det_sources(const Graph& g, std::size_t n) {
 
 core::MrbcRun run_mrbc(const Graph& g, const std::vector<VertexId>& sources, std::size_t threads,
                        bool parallel_hosts, std::size_t drain_grain,
-                       sim::FaultInjector* fault = nullptr) {
+                       sim::FaultInjector* fault = nullptr,
+                       comm::CodecMode codec = comm::CodecMode::kRaw) {
   core::MrbcOptions opts;
   opts.num_hosts = 4;
   opts.batch_size = 8;
@@ -87,6 +115,7 @@ core::MrbcRun run_mrbc(const Graph& g, const std::vector<VertexId>& sources, std
   opts.cluster.threads = threads;
   opts.cluster.parallel_hosts = parallel_hosts;
   opts.cluster.record_round_log = true;
+  opts.cluster.codec = codec;
   if (fault != nullptr) {
     fault->rearm();
     opts.cluster.fault = fault;
@@ -96,13 +125,15 @@ core::MrbcRun run_mrbc(const Graph& g, const std::vector<VertexId>& sources, std
 }
 
 baselines::SbbcRun run_sbbc(const Graph& g, const std::vector<VertexId>& sources,
-                            std::size_t threads, bool parallel_hosts, std::size_t drain_grain) {
+                            std::size_t threads, bool parallel_hosts, std::size_t drain_grain,
+                            comm::CodecMode codec = comm::CodecMode::kRaw) {
   baselines::SbbcOptions opts;
   opts.num_hosts = 4;
   opts.drain_grain = drain_grain;
   opts.cluster.threads = threads;
   opts.cluster.parallel_hosts = parallel_hosts;
   opts.cluster.record_round_log = true;
+  opts.cluster.codec = codec;
   return baselines::sbbc_bc(g, sources, opts);
 }
 
@@ -184,6 +215,72 @@ TEST_F(DeterminismTest, FaultInjectedRunReplaysIdenticallyAcrossThreadCounts) {
   // And the recovered result is still correct, not merely consistent.
   const auto golden = baselines::brandes_bc_sources(g, sources);
   mrbc::testing::expect_bc_equal(golden.bc, reference.result.bc, "faulted determinism");
+}
+
+TEST_F(DeterminismTest, CodecModesAreBitIdenticalForMrbc) {
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 16);
+  const auto raw = run_mrbc(g, sources, 1, false, 4);
+  for (comm::CodecMode mode : {comm::CodecMode::kMetadataOnly, comm::CodecMode::kFull}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const auto run = run_mrbc(g, sources, threads, threads > 1, 4, nullptr, mode);
+      const std::string label = std::string("mrbc codec=") + comm::codec_mode_name(mode) +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(run.anomalies, raw.anomalies) << label;
+      expect_bits_equal(run.result.bc, raw.result.bc, label);
+      expect_stats_equal_modulo_bytes(run.forward, raw.forward, label + " forward");
+      expect_stats_equal_modulo_bytes(run.backward, raw.backward, label + " backward");
+      // Compression must actually compress — strictly fewer wire bytes.
+      EXPECT_LT(run.forward.bytes + run.backward.bytes, raw.forward.bytes + raw.backward.bytes)
+          << label;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, CodecModesAreBitIdenticalForSbbc) {
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 12);
+  const auto raw = run_sbbc(g, sources, 1, false, 2);
+  for (comm::CodecMode mode : {comm::CodecMode::kMetadataOnly, comm::CodecMode::kFull}) {
+    const auto run = run_sbbc(g, sources, 1, false, 2, mode);
+    const std::string label = std::string("sbbc codec=") + comm::codec_mode_name(mode);
+    expect_bits_equal(run.result.bc, raw.result.bc, label);
+    expect_stats_equal_modulo_bytes(run.forward, raw.forward, label + " forward");
+    expect_stats_equal_modulo_bytes(run.backward, raw.backward, label + " backward");
+    EXPECT_LT(run.forward.bytes + run.backward.bytes, raw.forward.bytes + raw.backward.bytes)
+        << label;
+  }
+}
+
+TEST_F(DeterminismTest, CodecModesReplayFaultScheduleIdentically) {
+  // Drops, duplicates, corruption, and a crash + rollback replay: the
+  // fault schedule keys off per-message RNG draws whose count does not
+  // depend on payload bytes, so a compressed run must hit the exact same
+  // faults, retransmits, and recovery path as the raw run — and land on
+  // bit-identical scores.
+  const Graph g = det_graph();
+  const auto sources = det_sources(g, 12);
+  sim::FaultPlan plan;
+  plan.seed = 41;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.03;
+  plan.corrupt_rate = 0.03;
+  plan.crash_round = 5;
+  plan.crash_host = 2;
+  sim::FaultInjector injector(plan, 4);
+
+  const auto raw = run_mrbc(g, sources, 1, false, 4, &injector);
+  EXPECT_EQ(raw.total().faults.crashes, 1u);
+  for (comm::CodecMode mode : {comm::CodecMode::kMetadataOnly, comm::CodecMode::kFull}) {
+    const auto run = run_mrbc(g, sources, 1, false, 4, &injector, mode);
+    const std::string label = std::string("faulted codec=") + comm::codec_mode_name(mode);
+    EXPECT_EQ(run.anomalies, raw.anomalies) << label;
+    expect_bits_equal(run.result.bc, raw.result.bc, label);
+    expect_stats_equal_modulo_bytes(run.forward, raw.forward, label + " forward");
+    expect_stats_equal_modulo_bytes(run.backward, raw.backward, label + " backward");
+  }
+  const auto golden = baselines::brandes_bc_sources(g, sources);
+  mrbc::testing::expect_bc_equal(golden.bc, raw.result.bc, "faulted codec determinism");
 }
 
 TEST_F(DeterminismTest, IncrementalBcIsThreadCountInvariant) {

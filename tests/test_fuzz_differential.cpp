@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 
 #include "baselines/brandes_seq.h"
@@ -152,6 +153,80 @@ TEST_P(DifferentialFuzz, FaultScheduleMatchesBrandes) {
   sopts.cluster.checkpoint_interval = checkpoint_interval;
   testing::expect_bc_equal(golden.bc, baselines::sbbc_bc(g, sources, sopts).result.bc,
                            "fuzz sbbc faults seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(DifferentialFuzz, CodecModesAreBitIdenticalAcrossConfigs) {
+  // Wire compression must be invisible to everything except byte counts:
+  // random graphs x random configs (hosts, batching, partition policy,
+  // optional fault schedule) run under kRaw / kMetadataOnly / kFull must
+  // produce bit-identical BC scores, round counts, message/value counts,
+  // and fault-injection draws (drops, retransmits, crash recovery).
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 0xC0DE + 17);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return;
+  const auto k = 1 + static_cast<VertexId>(rng.next_bounded(8));
+  const auto sources = graph::sample_sources(g, k, rng.next(), true);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 1 + static_cast<partition::HostId>(rng.next_bounded(8));
+  opts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(12));
+  opts.delayed_sync = rng.next_bool(0.8);
+  const partition::Policy policies[] = {
+      partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
+      partition::Policy::kCartesianVertexCut, partition::Policy::kGeneralVertexCut,
+      partition::Policy::kRandomEdge};
+  opts.policy = policies[rng.next_bounded(5)];
+
+  sim::FaultPlan plan;
+  plan.seed = rng.next();
+  const bool faulted = rng.next_bool(0.5);
+  if (faulted) {
+    plan.drop_rate = 0.3 * rng.next_double();
+    plan.duplicate_rate = 0.2 * rng.next_double();
+    plan.corrupt_rate = 0.2 * rng.next_double();
+    if (rng.next_bool(0.5)) {
+      plan.crash_round = 1 + static_cast<std::uint32_t>(rng.next_bounded(10));
+      plan.crash_host = static_cast<partition::HostId>(rng.next_bounded(8));
+    }
+  }
+
+  auto run_mode = [&](comm::CodecMode mode) {
+    sim::FaultInjector injector(plan, opts.num_hosts);
+    core::MrbcOptions o = opts;
+    o.cluster.codec = mode;
+    if (faulted) {
+      o.cluster.fault = &injector;
+      o.cluster.checkpoint_interval = 2;
+    }
+    return core::mrbc_bc(g, sources, o);
+  };
+
+  const auto raw = run_mode(comm::CodecMode::kRaw);
+  for (comm::CodecMode mode : {comm::CodecMode::kMetadataOnly, comm::CodecMode::kFull}) {
+    const auto run = run_mode(mode);
+    const std::string label = std::string("seed=") + std::to_string(GetParam()) +
+                              " codec=" + comm::codec_mode_name(mode) +
+                              (faulted ? " faulted" : "");
+    EXPECT_EQ(run.anomalies, raw.anomalies) << label;
+    ASSERT_EQ(run.result.bc.size(), raw.result.bc.size()) << label;
+    for (std::size_t v = 0; v < raw.result.bc.size(); ++v) {
+      std::uint64_t ba = 0, bb = 0;
+      std::memcpy(&ba, &run.result.bc[v], sizeof(ba));
+      std::memcpy(&bb, &raw.result.bc[v], sizeof(bb));
+      ASSERT_EQ(ba, bb) << label << " vertex=" << v;
+    }
+    const auto a = run.total();
+    const auto b = raw.total();
+    EXPECT_EQ(a.rounds, b.rounds) << label;
+    EXPECT_EQ(a.messages, b.messages) << label;
+    EXPECT_EQ(a.values, b.values) << label;
+    EXPECT_EQ(a.faults.drops, b.faults.drops) << label;
+    EXPECT_EQ(a.faults.duplicates, b.faults.duplicates) << label;
+    EXPECT_EQ(a.faults.corruptions_detected, b.faults.corruptions_detected) << label;
+    EXPECT_EQ(a.faults.retransmits, b.faults.retransmits) << label;
+    EXPECT_EQ(a.faults.crashes, b.faults.crashes) << label;
+    EXPECT_LE(a.bytes, b.bytes) << label << " (compression made the wire bigger)";
+  }
 }
 
 TEST_P(DifferentialFuzz, IncrementalBcMatchesBrandesUnderChurn) {

@@ -296,6 +296,53 @@ TEST(Serialize, TruncatedStringThrows) {
   EXPECT_THROW(in.read_string(), std::out_of_range);
 }
 
+TEST(Serialize, CorruptedLengthPrefixOverflowThrows) {
+  // Regression: a corrupted frame can carry a length prefix n where
+  // n * sizeof(T) wraps modulo 2^64 to a tiny value — the truncation guard
+  // must reject it instead of letting the wrapped product slip past and
+  // trigger a multi-exabyte allocation. 0x4000000000000001 * 4 == 4.
+  SendBuffer out;
+  out.write<std::uint64_t>(0x4000000000000001ull);
+  out.write<std::uint32_t>(0);  // 4 bytes "remaining", matching the wrap
+  RecvBuffer in(out.take());
+  EXPECT_THROW(in.read_vector<std::uint32_t>(), std::out_of_range);
+
+  // Same wrap with 8-byte elements: 0x2000000000000001 * 8 == 8.
+  SendBuffer out8;
+  out8.write<std::uint64_t>(0x2000000000000001ull);
+  out8.write<std::uint64_t>(0);
+  RecvBuffer in8(out8.take());
+  EXPECT_THROW(in8.read_vector<std::uint64_t>(), std::out_of_range);
+}
+
+TEST(Serialize, WriteBitsetReservesUpFront) {
+  // write_bitset should land in one allocation, like write_vector.
+  DynamicBitset bits(100 * 64);
+  for (std::size_t i = 0; i < bits.size(); i += 7) bits.set(i);
+  SendBuffer out;
+  out.write_bitset(bits);
+  EXPECT_GE(out.capacity(), out.size());
+  RecvBuffer in(out.take());
+  EXPECT_TRUE(in.read_bitset() == bits);
+}
+
+TEST(Serialize, RawBytesTracksFixedWidthEquivalent) {
+  SendBuffer out;
+  out.write<std::uint32_t>(1);
+  out.write_vector(std::vector<std::uint64_t>{1, 2, 3});
+  out.write_string("abc");
+  // Plain writes: raw equals actual. 4 + (8 + 24) + (8 + 3).
+  EXPECT_EQ(out.raw_bytes(), out.size());
+  EXPECT_EQ(out.raw_bytes(), 47u);
+  // A varint write advances raw by its fixed-width equivalent, not its
+  // encoded size.
+  out.write_varint(5, sizeof(std::uint64_t));
+  EXPECT_EQ(out.size(), 48u);
+  EXPECT_EQ(out.raw_bytes(), 55u);
+  out.clear();
+  EXPECT_EQ(out.raw_bytes(), 0u);
+}
+
 TEST(Serialize, SizeAccounting) {
   SendBuffer out;
   out.write<std::uint32_t>(1);
