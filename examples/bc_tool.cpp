@@ -23,6 +23,7 @@
 #include "core/congest_mrbc.h"
 #include "comm/codec.h"
 #include "core/mrbc.h"
+#include "engine/snapshot.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -50,6 +51,8 @@ struct Args {
   std::string policy = "cvc";  // cvc | ec-src | ec-dst | gvc | random
   std::string codec = "raw";   // raw | metadata | full
   std::string csv;             // per-vertex BC dump path
+  std::string checkpoint_dir;  // durable restart-from-disk checkpoints
+  bool resume = false;         // continue from the snapshot in checkpoint_dir
   bool no_delayed_sync = false;
   bool weighted = false;       // run the weighted variants instead
   std::uint32_t max_weight = 10;
@@ -82,6 +85,10 @@ void usage(const char* prog) {
       "                        brandes, abbc, or mfbc (weighted variants)\n"
       "  --max-weight <w>      weight range for --weighted (default 10)\n"
       "  --csv <file>          write per-vertex BC scores\n"
+      "  --checkpoint-dir <d>  persist durable checkpoints to <d> (mrbc/sbbc);\n"
+      "                        a killed run restarted with --resume produces\n"
+      "                        bit-identical scores and round counts\n"
+      "  --resume              continue from the snapshot in --checkpoint-dir\n"
       "  --stats-file <file>   write key=value run statistics (artifact format)\n"
       "  --trace-json <file>   write a Chrome trace-event timeline (chrome://tracing\n"
       "                        or https://ui.perfetto.dev)\n"
@@ -116,6 +123,9 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--weighted")) args.weighted = true;
     else if (!std::strcmp(argv[i], "--max-weight")) args.max_weight = static_cast<std::uint32_t>(std::atoi(next("--max-weight")));
     else if (!std::strcmp(argv[i], "--csv")) args.csv = next("--csv");
+    else if (!std::strcmp(argv[i], "--checkpoint-dir")) args.checkpoint_dir = next("--checkpoint-dir");
+    else if (!std::strncmp(argv[i], "--checkpoint-dir=", 17)) args.checkpoint_dir = argv[i] + 17;
+    else if (!std::strcmp(argv[i], "--resume")) args.resume = true;
     else if (!std::strcmp(argv[i], "--stats-file")) args.stats_file = next("--stats-file");
     else if (!std::strcmp(argv[i], "--trace-json")) args.trace_json = next("--trace-json");
     else if (!std::strncmp(argv[i], "--trace-json=", 13)) args.trace_json = argv[i] + 13;
@@ -205,7 +215,7 @@ void record_profile(const char* phase, const sim::RunStats& stats) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_tool(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) {
     usage(argv[0]);
@@ -285,6 +295,8 @@ int main(int argc, char** argv) {
     opts.delayed_sync = !args.no_delayed_sync;
     opts.cluster.parallel_hosts = parallel;
     opts.cluster.codec = codec;
+    opts.checkpoint_dir = args.checkpoint_dir;
+    opts.resume = args.resume;
     auto run = core::mrbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -305,6 +317,8 @@ int main(int argc, char** argv) {
     opts.policy = parse_policy(args.policy);
     opts.cluster.parallel_hosts = parallel;
     opts.cluster.codec = codec;
+    opts.checkpoint_dir = args.checkpoint_dir;
+    opts.resume = args.resume;
     auto run = baselines::sbbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -358,4 +372,13 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", args.metrics_json.c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const mrbc::sim::SnapshotError& e) {
+    std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -5,6 +5,8 @@
 #include "comm/substrate.h"
 #include "core/staged_drain.h"
 #include "engine/fault.h"
+#include "engine/recovery.h"
+#include "engine/snapshot.h"
 #include "graph/algorithms.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -85,6 +87,9 @@ class SourceRunner final : public sim::Checkpointable {
   SourceRunner(const Partition& part, VertexId source, const SbbcOptions& opts)
       : part_(part), source_(source), opts_(opts), substrate_(part) {
     substrate_.set_delivery(opts_.cluster.delivery());
+    if (opts_.cluster.membership != nullptr) {
+      substrate_.set_placement(opts_.cluster.membership->logical_to_physical());
+    }
     const HostId H = part.num_hosts();
     labels_.resize(H);
     delta_.resize(H);
@@ -167,6 +172,10 @@ class SourceRunner final : public sim::Checkpointable {
       for (const auto& level : masters_by_level_[h]) buf.write_vector(level);
     }
     buf.write<std::uint32_t>(max_level_);
+  }
+
+  void on_membership_change(const sim::Membership& membership) override {
+    substrate_.set_placement(membership.logical_to_physical());
   }
 
   void restore_checkpoint(util::RecvBuffer& buf) override {
@@ -421,6 +430,47 @@ class SourceRunner final : public sim::Checkpointable {
 
 }  // namespace
 
+// ---- Durable restart-from-disk checkpoints --------------------------------
+// Source-boundary snapshots (see SbbcOptions::checkpoint_dir): meta pins
+// the configuration and the index of the next source; accum carries the
+// harvested scores/tables and stats of completed sources; the fault cursor
+// and membership ride along as in the MRBC snapshot.
+
+namespace {
+
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecAccum = 2;
+constexpr std::uint32_t kSecFault = 5;
+constexpr std::uint32_t kSecMembership = 6;
+
+std::uint32_t config_fingerprint(const Partition& part, const std::vector<VertexId>& sources,
+                                 const SbbcOptions& options) {
+  util::SendBuffer buf;
+  buf.write<std::uint64_t>(part.num_global_vertices());
+  buf.write<std::uint32_t>(part.num_hosts());
+  buf.write<std::uint8_t>(options.collect_tables ? 1 : 0);
+  buf.write<std::uint8_t>(static_cast<std::uint8_t>(options.cluster.codec));
+  buf.write<std::uint64_t>(options.cluster.checkpoint_interval);
+  buf.write_vector(sources);
+  return util::crc32(buf.bytes());
+}
+
+template <typename T>
+void save_tables(util::SendBuffer& buf, const std::vector<std::vector<T>>& tables) {
+  buf.write<std::uint64_t>(tables.size());
+  for (const auto& row : tables) buf.write_vector(row);
+}
+
+template <typename T>
+void load_tables(util::RecvBuffer& buf, std::vector<std::vector<T>>& tables) {
+  const auto n = buf.read<std::uint64_t>();
+  tables.clear();
+  tables.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) tables.push_back(buf.read_vector<T>());
+}
+
+}  // namespace
+
 SbbcRun sbbc_bc(const Partition& part, const std::vector<VertexId>& sources,
                 const SbbcOptions& options) {
   SbbcRun run;
@@ -434,11 +484,73 @@ SbbcRun sbbc_bc(const Partition& part, const std::vector<VertexId>& sources,
     run.result.delta.assign(sources.size(),
                             std::vector<double>(part.num_global_vertices(), 0.0));
   }
-  for (std::size_t i = 0; i < sources.size(); ++i) {
+
+  const bool durable = !options.checkpoint_dir.empty();
+  const std::string path = options.checkpoint_dir + "/sbbc.ckpt";
+  const std::uint32_t fingerprint =
+      durable ? config_fingerprint(part, sources, options) : 0;
+  std::size_t start = 0;
+  if (options.resume) {
+    if (!durable) throw sim::SnapshotError("SbbcOptions::resume requires checkpoint_dir");
+    sim::SnapshotReader reader = sim::SnapshotReader::from_file(path);
+    const std::vector<std::uint8_t>& meta_bytes = reader.section(kSecMeta);
+    util::RecvBuffer meta(meta_bytes.data(), meta_bytes.size());
+    if (meta.read<std::uint32_t>() != fingerprint) {
+      throw sim::SnapshotError(
+          "snapshot was written by a different configuration (fingerprint mismatch)");
+    }
+    start = meta.read<std::uint64_t>();
+    const std::vector<std::uint8_t>& accum_bytes = reader.section(kSecAccum);
+    util::RecvBuffer accum(accum_bytes.data(), accum_bytes.size());
+    run.result.bc = accum.read_vector<double>();
+    load_tables(accum, run.result.dist);
+    load_tables(accum, run.result.sigma);
+    load_tables(accum, run.result.delta);
+    run.forward = sim::load_run_stats(accum);
+    run.backward = sim::load_run_stats(accum);
+    if (options.cluster.fault != nullptr && reader.has(kSecFault)) {
+      const std::vector<std::uint8_t>& cursor_bytes = reader.section(kSecFault);
+      util::RecvBuffer cursor(cursor_bytes.data(), cursor_bytes.size());
+      options.cluster.fault->restore_cursor(cursor);
+    }
+    if (options.cluster.membership != nullptr && reader.has(kSecMembership)) {
+      const std::vector<std::uint8_t>& mem_bytes = reader.section(kSecMembership);
+      util::RecvBuffer mem(mem_bytes.data(), mem_bytes.size());
+      options.cluster.membership->restore(mem);
+    }
+  }
+
+  std::size_t writes = 0;
+  for (std::size_t i = start; i < sources.size(); ++i) {
     SourceRunner runner(part, sources[i], options);
     run.forward += runner.run_forward();
     run.backward += runner.run_backward();
     runner.harvest(run.result, i);
+    if (durable) {
+      sim::SnapshotWriter w;
+      util::SendBuffer& meta = w.section(kSecMeta);
+      meta.write<std::uint32_t>(fingerprint);
+      meta.write<std::uint64_t>(i + 1);
+      util::SendBuffer& accum = w.section(kSecAccum);
+      accum.write_vector(run.result.bc);
+      save_tables(accum, run.result.dist);
+      save_tables(accum, run.result.sigma);
+      save_tables(accum, run.result.delta);
+      sim::save_run_stats(accum, run.forward);
+      sim::save_run_stats(accum, run.backward);
+      if (options.cluster.fault != nullptr) {
+        options.cluster.fault->save_cursor(w.section(kSecFault));
+      }
+      if (options.cluster.membership != nullptr) {
+        options.cluster.membership->save(w.section(kSecMembership));
+      }
+      w.write_file(path);
+      ++writes;
+      if (options.halt_after_checkpoints != 0 && writes >= options.halt_after_checkpoints) {
+        run.halted = true;
+        break;
+      }
+    }
   }
   return run;
 }

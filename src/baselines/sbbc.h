@@ -6,6 +6,7 @@
 // level (backward) costs one BSP round, so a source of eccentricity L
 // executes ~2L rounds versus MRBC's pipelined batch.
 
+#include <string>
 #include <vector>
 
 #include "core/bc_common.h"
@@ -27,12 +28,27 @@ struct SbbcOptions {
   /// semantics as MrbcOptions::drain_grain.
   std::size_t drain_grain = 64;
   sim::ClusterOptions cluster;
+
+  /// Durable restart-from-disk checkpoints, persisted to
+  /// <checkpoint_dir>/sbbc.ckpt after each completed source. Sources are
+  /// independent deterministic executions, so source-boundary granularity
+  /// preserves bit-identity: a killed in-flight source simply re-runs in
+  /// full on resume.
+  std::string checkpoint_dir;
+  /// Continue from <checkpoint_dir>/sbbc.ckpt; throws sim::SnapshotError
+  /// if it is missing, corrupt, or from a different configuration.
+  bool resume = false;
+  /// Test hook: stop (SbbcRun::halted = true) after this many durable
+  /// snapshot writes. 0 disables.
+  std::size_t halt_after_checkpoints = 0;
 };
 
 struct SbbcRun {
   BcResult result;
   sim::RunStats forward;
   sim::RunStats backward;
+  /// True when the run stopped early via halt_after_checkpoints.
+  bool halted = false;
 
   sim::RunStats total() const {
     sim::RunStats t = forward;

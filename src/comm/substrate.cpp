@@ -19,6 +19,8 @@ SyncStats& SyncStats::operator+=(const SyncStats& other) {
   for (std::size_t h = 0; h < other.msgs_per_host.size(); ++h) {
     msgs_per_host[h] += other.msgs_per_host[h];
   }
+  local_messages += other.local_messages;
+  local_bytes += other.local_bytes;
   drops += other.drops;
   duplicates += other.duplicates;
   duplicates_suppressed += other.duplicates_suppressed;
@@ -45,6 +47,15 @@ void Substrate::set_delivery(const DeliveryOptions& options) {
   framed_ = options.framing || options.reliable || options.faults != nullptr;
   next_seq_.assign(static_cast<std::size_t>(H_) * H_, 0);
   last_accepted_.assign(static_cast<std::size_t>(H_) * H_, 0);
+}
+
+void Substrate::set_placement(std::vector<HostId> logical_to_physical) {
+  placement_ = std::move(logical_to_physical);
+  bool identity = true;
+  for (std::size_t h = 0; h < placement_.size(); ++h) {
+    identity = identity && placement_[h] == static_cast<HostId>(h);
+  }
+  if (identity) placement_.clear();  // keep the healthy fast path branch-cheap
 }
 
 void Substrate::save_state(util::SendBuffer& buf) const {

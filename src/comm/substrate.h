@@ -176,6 +176,12 @@ struct SyncStats {
   std::vector<std::size_t> bytes_per_host;  ///< egress bytes per host (network model input)
   std::vector<std::size_t> msgs_per_host;   ///< egress messages per host
 
+  // Post-handoff locality (degraded mode): host-pair messages whose
+  // endpoints share a physical host never cross the wire; they are applied
+  // directly and accounted here instead of in messages/bytes.
+  std::size_t local_messages = 0;  ///< pair messages short-circuited on one physical host
+  std::size_t local_bytes = 0;     ///< their payload bytes (no framing, no wire)
+
   // Fault/recovery counters (all zero on a clean wire).
   std::size_t drops = 0;                  ///< transmission attempts lost in transit
   std::size_t duplicates = 0;             ///< frames the wire delivered twice
@@ -207,6 +213,17 @@ class Substrate {
   /// Installs a delivery configuration (resets sequence-number state).
   void set_delivery(const DeliveryOptions& options);
   const DeliveryOptions& delivery() const { return delivery_; }
+
+  /// Installs a logical→physical placement after an ownership handoff
+  /// (sim::Membership::logical_to_physical()). Pair messages whose
+  /// endpoints are co-located on one physical host bypass the wire
+  /// entirely — no framing, faults, sequence numbers, or byte accounting;
+  /// they count as SyncStats::local_messages/local_bytes. The decoded
+  /// values are identical either way (reliable delivery already guarantees
+  /// exactly-once application), so results stay bit-identical to the
+  /// healthy cluster. An empty vector restores the identity placement.
+  void set_placement(std::vector<HostId> logical_to_physical);
+  const std::vector<HostId>& placement() const { return placement_; }
 
   /// Serializes flag + delivery-protocol state (checkpoint support): the
   /// pending reduce/broadcast flags and the per-pair sequence numbers must
@@ -579,6 +596,15 @@ class Substrate {
   template <typename ApplyFn>
   void deliver(HostId src, HostId dst, const util::SendBuffer& msg, SyncStats& stats,
                ApplyFn&& apply) {
+    if (!placement_.empty() && placement_[src] == placement_[dst]) {
+      // Degraded-mode co-location: both logical endpoints execute on the
+      // same physical host, so the "message" is a local memory move.
+      stats.local_messages += 1;
+      stats.local_bytes += msg.size();
+      util::RecvBuffer rbuf(msg);
+      apply(rbuf);
+      return;
+    }
     stats.messages += 1;
     stats.msgs_per_host[src] += 1;
     if (obs::metrics_enabled()) {
@@ -681,6 +707,7 @@ class Substrate {
   std::vector<util::DynamicBitset> broadcast_flags_;
   DeliveryOptions delivery_;
   bool framed_ = false;                       ///< effective framing switch
+  std::vector<HostId> placement_;             ///< logical→physical map; empty = identity
   std::vector<std::uint64_t> next_seq_;       ///< per (src,dst) sender counter
   std::vector<std::uint64_t> last_accepted_;  ///< per (src,dst) receiver high-water mark
   std::vector<util::SendBuffer> pair_bufs_;   ///< per (src,dst) reusable message buffers

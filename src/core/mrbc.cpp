@@ -7,6 +7,8 @@
 #include "core/mrbc_state.h"
 #include "core/staged_drain.h"
 #include "engine/fault.h"
+#include "engine/recovery.h"
+#include "engine/snapshot.h"
 #include "graph/algorithms.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -85,6 +87,11 @@ class BatchRunner final : public sim::Checkpointable {
               const MrbcOptions& opts)
       : part_(part), batch_(std::move(batch)), opts_(opts), substrate_(part) {
     substrate_.set_delivery(opts_.cluster.delivery());
+    if (opts_.cluster.membership != nullptr) {
+      // Deaths declared in earlier batches persist: adopted shards stay
+      // co-located with their adopter for the rest of the run.
+      substrate_.set_placement(opts_.cluster.membership->logical_to_physical());
+    }
     const HostId H = part_.num_hosts();
     const auto k = static_cast<std::uint32_t>(batch_.size());
     state_.reserve(H);
@@ -105,16 +112,20 @@ class BatchRunner final : public sim::Checkpointable {
     }
   }
 
-  sim::RunStats run_forward() {
+  sim::RunStats run_forward(const sim::LoopCheckpoint* resume = nullptr) {
     obs::Span phase_span(obs::Category::kAlgo, "forward");
     // Step 3 of Alg. 3, restricted to the batch sources (Lemma 8): each
-    // source's master proxy starts with (0, s) and sigma 1.
-    for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
-      const graph::VertexId gv = batch_[sidx];
-      const HostId h = part_.master_host(gv);
-      const graph::VertexId lid = part_.local_id(h, gv);
-      state_[h].update_distance(lid, sidx, 0);
-      state_[h].slot(lid, sidx).sigma = 1.0;
+    // source's master proxy starts with (0, s) and sigma 1. On a cold
+    // restart the checkpoint already contains the seeded (and advanced)
+    // state, so re-seeding would corrupt it.
+    if (resume == nullptr) {
+      for (std::uint32_t sidx = 0; sidx < batch_.size(); ++sidx) {
+        const graph::VertexId gv = batch_[sidx];
+        const HostId h = part_.master_host(gv);
+        const graph::VertexId lid = part_.local_id(h, gv);
+        state_[h].update_distance(lid, sidx, 0);
+        state_[h].slot(lid, sidx).sigma = 1.0;
+      }
     }
     ForwardAccessor acc{*this};
     sim::BspLoop loop(part_.num_hosts(), opts_.cluster);
@@ -137,16 +148,18 @@ class BatchRunner final : public sim::Checkpointable {
         [&](HostId h, std::size_t round) {
           return compute_forward(h, static_cast<std::uint32_t>(round));
         },
-        [&] { return substrate_.any_pending(); }, this);
+        [&] { return substrate_.any_pending(); }, this, resume);
     forward_rounds_ = static_cast<std::uint32_t>(stats.rounds);
     return stats;
   }
 
-  sim::RunStats run_backward() {
-    const std::uint32_t R = forward_rounds_;
-    {
+  sim::RunStats run_backward(const sim::LoopCheckpoint* resume = nullptr) {
+    if (resume == nullptr) {
       // Diameter finalization: seed the backward pass from the forward
-      // round count (the "R" every host agreed on at quiescence).
+      // round count (the "R" every host agreed on at quiescence). A cold
+      // restart restores the checkpoint instead — its acc_sent cursors and
+      // queues already reflect the seeding (and any progress since).
+      const std::uint32_t R = forward_rounds_;
       obs::Span finalize_span(obs::Category::kAlgo, "finalize");
       util::for_each_index(part_.num_hosts(), opts_.cluster.parallel_hosts, [&](std::size_t h) {
         schedule_backward(static_cast<HostId>(h), 1, R);
@@ -162,9 +175,18 @@ class BatchRunner final : public sim::Checkpointable {
           return s;
         },
         [&](HostId h, std::size_t round) {
-          return compute_backward(h, static_cast<std::uint32_t>(round), R);
+          // forward_rounds_ is read per call, not captured: on a resumed
+          // backward phase its restored value only exists after the loop's
+          // restore_checkpoint runs.
+          return compute_backward(h, static_cast<std::uint32_t>(round), forward_rounds_);
         },
-        [&] { return substrate_.any_pending(); }, this);
+        [&] { return substrate_.any_pending(); }, this, resume);
+  }
+
+  /// Permanent host loss: co-locate the adopted logical shards with their
+  /// adopter so pair traffic between them stops being wire traffic.
+  void on_membership_change(const sim::Membership& membership) override {
+    substrate_.set_placement(membership.logical_to_physical());
   }
 
   // ---- Checkpointing ------------------------------------------------------
@@ -719,6 +741,139 @@ class BatchRunner final : public sim::Checkpointable {
   std::uint32_t current_round_ = 0;
 };
 
+// ---- Durable restart-from-disk checkpoints --------------------------------
+// Snapshot layout (engine/snapshot.h container): a meta section pinning the
+// configuration + progress cursor, an accum section with everything
+// harvested from completed batches, and — when a batch is in flight — the
+// in-flight phase's stats plus the BSP loop's coordinated checkpoint. The
+// fault-schedule cursor and the membership map ride along so resumed runs
+// neither refire already-fired events nor forget declared deaths.
+
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecAccum = 2;
+constexpr std::uint32_t kSecPhase = 3;
+constexpr std::uint32_t kSecLoop = 4;
+constexpr std::uint32_t kSecFault = 5;
+constexpr std::uint32_t kSecMembership = 6;
+
+constexpr std::uint32_t kPhaseForward = 0;
+constexpr std::uint32_t kPhaseBackward = 1;
+constexpr std::uint32_t kPhaseBatchDone = 2;
+
+/// Thrown by the durable writer to emulate a process killed immediately
+/// after persisting a snapshot (MrbcOptions::halt_after_checkpoints).
+struct HaltRun {};
+
+std::string durable_path(const MrbcOptions& options) {
+  return options.checkpoint_dir + "/mrbc.ckpt";
+}
+
+/// Everything that must match between the writing and the resuming run for
+/// a snapshot to mean the same computation.
+std::uint32_t config_fingerprint(const Partition& part,
+                                 const std::vector<graph::VertexId>& sources,
+                                 const MrbcOptions& options) {
+  util::SendBuffer buf;
+  buf.write<std::uint64_t>(part.num_global_vertices());
+  buf.write<std::uint32_t>(part.num_hosts());
+  buf.write<std::uint32_t>(std::max<std::uint32_t>(options.batch_size, 1));
+  buf.write<std::uint8_t>(options.delayed_sync ? 1 : 0);
+  buf.write<std::uint8_t>(options.collect_tables ? 1 : 0);
+  buf.write<std::uint8_t>(static_cast<std::uint8_t>(options.cluster.codec));
+  buf.write<std::uint64_t>(options.cluster.checkpoint_interval);
+  buf.write_vector(sources);
+  return util::crc32(buf.bytes());
+}
+
+template <typename T>
+void save_tables(util::SendBuffer& buf, const std::vector<std::vector<T>>& tables) {
+  buf.write<std::uint64_t>(tables.size());
+  for (const auto& row : tables) buf.write_vector(row);
+}
+
+template <typename T>
+void load_tables(util::RecvBuffer& buf, std::vector<std::vector<T>>& tables) {
+  const auto n = buf.read<std::uint64_t>();
+  tables.clear();
+  tables.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) tables.push_back(buf.read_vector<T>());
+}
+
+void save_accum(util::SendBuffer& buf, const MrbcRun& run) {
+  buf.write_vector(run.result.bc);
+  buf.write_vector(run.result.sources);
+  save_tables(buf, run.result.dist);
+  save_tables(buf, run.result.sigma);
+  save_tables(buf, run.result.delta);
+  sim::save_run_stats(buf, run.forward);
+  sim::save_run_stats(buf, run.backward);
+  buf.write<std::uint64_t>(run.num_batches);
+  buf.write<std::uint64_t>(run.anomalies);
+  buf.write<double>(run.replication_factor);
+}
+
+void load_accum(util::RecvBuffer& buf, MrbcRun& run) {
+  run.result.bc = buf.read_vector<double>();
+  run.result.sources = buf.read_vector<graph::VertexId>();
+  load_tables(buf, run.result.dist);
+  load_tables(buf, run.result.sigma);
+  load_tables(buf, run.result.delta);
+  run.forward = sim::load_run_stats(buf);
+  run.backward = sim::load_run_stats(buf);
+  run.num_batches = buf.read<std::uint64_t>();
+  run.anomalies = buf.read<std::uint64_t>();
+  run.replication_factor = buf.read<double>();
+}
+
+/// Serializes the current run state to <checkpoint_dir>/mrbc.ckpt. One
+/// writer lives for the whole driver call; the progress-cursor fields are
+/// updated as batches and phases advance.
+struct DurableWriter {
+  std::string path;
+  std::uint32_t fingerprint = 0;
+  const MrbcOptions* opts = nullptr;
+  const MrbcRun* accum = nullptr;  ///< state as of the current batch's start
+  std::uint64_t batch_begin = 0;
+  std::uint32_t phase = kPhaseForward;
+  const sim::RunStats* batch_forward = nullptr;  ///< set during backward
+  const sim::RunStats* leg_prefix = nullptr;     ///< stats this leg resumed from
+  std::size_t writes = 0;
+
+  /// `loop`/`partial` are null at batch boundaries (nothing in flight).
+  void write(const sim::LoopCheckpoint* loop, const sim::RunStats* partial) {
+    sim::SnapshotWriter w;
+    util::SendBuffer& meta = w.section(kSecMeta);
+    meta.write<std::uint32_t>(fingerprint);
+    meta.write<std::uint64_t>(batch_begin);
+    meta.write<std::uint32_t>(phase);
+    save_accum(w.section(kSecAccum), *accum);
+    if (phase != kPhaseBatchDone) {
+      util::SendBuffer& ph = w.section(kSecPhase);
+      if (phase == kPhaseBackward) sim::save_run_stats(ph, *batch_forward);
+      if (leg_prefix != nullptr) {
+        sim::save_run_stats(ph, sim::merge_resumed(*leg_prefix, *partial));
+      } else {
+        sim::save_run_stats(ph, *partial);
+      }
+      util::SendBuffer& lp = w.section(kSecLoop);
+      lp.write<std::uint64_t>(loop->round);
+      lp.write<std::uint8_t>(loop->any_active ? 1 : 0);
+      lp.write_vector(loop->snapshot);
+    }
+    if (opts->cluster.fault != nullptr) {
+      opts->cluster.fault->save_cursor(w.section(kSecFault));
+    }
+    if (opts->cluster.membership != nullptr) {
+      opts->cluster.membership->save(w.section(kSecMembership));
+    }
+    w.write_file(path);
+    ++writes;
+    if (opts->halt_after_checkpoints != 0 && writes >= opts->halt_after_checkpoints) {
+      throw HaltRun{};
+    }
+  }
+};
+
 }  // namespace
 
 MrbcRun mrbc_bc(const Partition& part, const std::vector<graph::VertexId>& sources,
@@ -727,15 +882,121 @@ MrbcRun mrbc_bc(const Partition& part, const std::vector<graph::VertexId>& sourc
   run.result.bc.assign(part.num_global_vertices(), 0.0);
   run.replication_factor = part.replication_factor();
   const std::uint32_t k = std::max<std::uint32_t>(options.batch_size, 1);
-  for (std::size_t begin = 0; begin < sources.size(); begin += k) {
-    const std::size_t end = std::min(sources.size(), begin + k);
-    std::vector<graph::VertexId> batch(sources.begin() + begin, sources.begin() + end);
-    BatchRunner runner(part, std::move(batch), options);
-    run.forward += runner.run_forward();
-    run.backward += runner.run_backward();
-    runner.harvest(run.result);
-    run.anomalies += runner.anomalies();
-    ++run.num_batches;
+  const bool durable = !options.checkpoint_dir.empty();
+
+  DurableWriter writer;
+  std::size_t begin = 0;
+  std::uint32_t resume_phase = kPhaseBatchDone;  // "at the start of batch `begin`"
+  sim::LoopCheckpoint loop_ck;
+  sim::RunStats saved_leg;            // interrupted leg's stats at the snapshot
+  sim::RunStats saved_batch_forward;  // completed forward of the interrupted batch
+
+  if (durable) {
+    writer.path = durable_path(options);
+    writer.fingerprint = config_fingerprint(part, sources, options);
+    writer.opts = &options;
+    writer.accum = &run;
+  }
+  if (options.resume) {
+    if (!durable) throw sim::SnapshotError("MrbcOptions::resume requires checkpoint_dir");
+    sim::SnapshotReader reader = sim::SnapshotReader::from_file(writer.path);
+    const std::vector<std::uint8_t>& meta_bytes = reader.section(kSecMeta);
+    util::RecvBuffer meta(meta_bytes.data(), meta_bytes.size());
+    const auto fp = meta.read<std::uint32_t>();
+    if (fp != writer.fingerprint) {
+      throw sim::SnapshotError(
+          "snapshot was written by a different configuration (fingerprint mismatch)");
+    }
+    begin = meta.read<std::uint64_t>();
+    resume_phase = meta.read<std::uint32_t>();
+    {
+      const std::vector<std::uint8_t>& accum_bytes = reader.section(kSecAccum);
+      util::RecvBuffer accum(accum_bytes.data(), accum_bytes.size());
+      load_accum(accum, run);
+    }
+    if (resume_phase != kPhaseBatchDone) {
+      const std::vector<std::uint8_t>& phase_bytes = reader.section(kSecPhase);
+      util::RecvBuffer ph(phase_bytes.data(), phase_bytes.size());
+      if (resume_phase == kPhaseBackward) saved_batch_forward = sim::load_run_stats(ph);
+      saved_leg = sim::load_run_stats(ph);
+      const std::vector<std::uint8_t>& loop_bytes = reader.section(kSecLoop);
+      util::RecvBuffer lp(loop_bytes.data(), loop_bytes.size());
+      loop_ck.round = lp.read<std::uint64_t>();
+      loop_ck.any_active = lp.read<std::uint8_t>() != 0;
+      loop_ck.snapshot = lp.read_vector<std::uint8_t>();
+    }
+    if (options.cluster.fault != nullptr && reader.has(kSecFault)) {
+      const std::vector<std::uint8_t>& cursor_bytes = reader.section(kSecFault);
+      util::RecvBuffer cursor(cursor_bytes.data(), cursor_bytes.size());
+      options.cluster.fault->restore_cursor(cursor);
+    }
+    if (options.cluster.membership != nullptr && reader.has(kSecMembership)) {
+      const std::vector<std::uint8_t>& mem_bytes = reader.section(kSecMembership);
+      util::RecvBuffer mem(mem_bytes.data(), mem_bytes.size());
+      options.cluster.membership->restore(mem);
+    }
+  }
+
+  try {
+    for (; begin < sources.size(); begin += k) {
+      const std::size_t end = std::min(sources.size(), begin + k);
+      std::vector<graph::VertexId> batch(sources.begin() + begin, sources.begin() + end);
+      MrbcOptions opts = options;
+      if (durable) {
+        writer.batch_begin = begin;
+        opts.cluster.on_checkpoint = [&](const sim::LoopCheckpoint& ck,
+                                         const sim::RunStats& partial) {
+          writer.write(&ck, &partial);
+        };
+      }
+      BatchRunner runner(part, std::move(batch), opts);
+
+      const bool resume_here = resume_phase != kPhaseBatchDone;
+      sim::RunStats fwd;
+      if (resume_here && resume_phase == kPhaseBackward) {
+        // Forward already completed before the snapshot; its stats were
+        // saved whole and the runner's state is inside the loop snapshot.
+        fwd = saved_batch_forward;
+      } else if (resume_here) {
+        writer.phase = kPhaseForward;
+        writer.leg_prefix = &saved_leg;
+        fwd = sim::merge_resumed(saved_leg, runner.run_forward(&loop_ck));
+        writer.leg_prefix = nullptr;
+      } else {
+        writer.phase = kPhaseForward;
+        fwd = runner.run_forward();
+      }
+      // NOT folded into run.forward yet: mid-backward snapshots save accum
+      // (which must be the state at the batch's start) plus `fwd` in the
+      // phase section — folding early would double-count on resume.
+
+      sim::RunStats bwd;
+      writer.phase = kPhaseBackward;
+      writer.batch_forward = &fwd;
+      if (resume_here && resume_phase == kPhaseBackward) {
+        writer.leg_prefix = &saved_leg;
+        bwd = sim::merge_resumed(saved_leg, runner.run_backward(&loop_ck));
+        writer.leg_prefix = nullptr;
+      } else {
+        bwd = runner.run_backward();
+      }
+      run.forward += fwd;
+      run.backward += bwd;
+      writer.batch_forward = nullptr;
+      resume_phase = kPhaseBatchDone;
+
+      runner.harvest(run.result);
+      run.anomalies += runner.anomalies();
+      ++run.num_batches;
+      if (durable) {
+        // Batch-boundary snapshot: nothing in flight, accum carries it all.
+        writer.batch_begin = begin + k;
+        writer.phase = kPhaseBatchDone;
+        writer.write(nullptr, nullptr);
+      }
+    }
+  } catch (const HaltRun&) {
+    run.halted = true;
   }
   return run;
 }

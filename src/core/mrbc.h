@@ -18,6 +18,7 @@
 //     distance from the batch.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/bc_common.h"
@@ -46,6 +47,24 @@ struct MrbcOptions {
   /// which path small rounds take.
   std::size_t drain_grain = 64;
   sim::ClusterOptions cluster;
+
+  // ---- Durable restart-from-disk checkpoints ------------------------------
+  /// When non-empty, every coordinated checkpoint (and every batch
+  /// boundary) is additionally persisted to <checkpoint_dir>/mrbc.ckpt as a
+  /// versioned crc32-framed snapshot (engine/snapshot.h), so a killed
+  /// process can be restarted with `resume` and produce bit-identical
+  /// scores and round counts. The snapshot embeds a configuration
+  /// fingerprint; resuming under different options or sources throws
+  /// sim::SnapshotError.
+  std::string checkpoint_dir;
+  /// Continue from <checkpoint_dir>/mrbc.ckpt instead of starting fresh.
+  /// Throws sim::SnapshotError if the file is missing, corrupt, or was
+  /// written by a different configuration.
+  bool resume = false;
+  /// Test hook: stop the run (MrbcRun::halted = true, partial results)
+  /// after this many durable snapshot writes — simulates a process killed
+  /// right after persisting. 0 disables.
+  std::size_t halt_after_checkpoints = 0;
 };
 
 struct MrbcRun {
@@ -55,6 +74,9 @@ struct MrbcRun {
   std::size_t num_batches = 0;
   std::size_t anomalies = 0;  ///< pipelining-invariant violations (must be 0)
   double replication_factor = 0.0;
+  /// True when the run stopped early via halt_after_checkpoints (the
+  /// durable snapshot on disk is the state to resume from).
+  bool halted = false;
 
   sim::RunStats total() const {
     sim::RunStats t = forward;

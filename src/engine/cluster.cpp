@@ -1,5 +1,7 @@
 #include "engine/cluster.h"
 
+#include <algorithm>
+
 namespace mrbc::sim {
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& other) {
@@ -14,8 +16,15 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& other) {
   checkpoint_bytes += other.checkpoint_bytes;
   crashes += other.crashes;
   recovery_rounds += other.recovery_rounds;
+  deaths += other.deaths;
+  handoffs += other.handoffs;
+  handoff_bytes += other.handoff_bytes;
+  detection_rounds += other.detection_rounds;
+  suspect_rounds += other.suspect_rounds;
   retransmit_seconds += other.retransmit_seconds;
   checkpoint_seconds += other.checkpoint_seconds;
+  detection_seconds += other.detection_seconds;
+  handoff_seconds += other.handoff_seconds;
   return *this;
 }
 
@@ -46,6 +55,17 @@ RunStats& RunStats::operator+=(const RunStats& other) {
   faults += other.faults;
   phases += other.phases;
   return *this;
+}
+
+RunStats merge_resumed(const RunStats& saved, const RunStats& resumed) {
+  // A resumed run re-enters the loop at the checkpointed round, so logical
+  // round numbers continue rather than restart: the final round count is
+  // the resumed leg's (or the saved one, if the resumed leg never advanced
+  // past it), NOT the sum that RunStats::operator+= would produce.
+  RunStats merged = saved;
+  merged += resumed;
+  merged.rounds = std::max(saved.rounds, resumed.rounds);
+  return merged;
 }
 
 }  // namespace mrbc::sim

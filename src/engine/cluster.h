@@ -28,6 +28,19 @@
 //   - folds the substrate's reliable-delivery counters into
 //     RunStats::faults and charges retransmit backoff via
 //     NetworkModel::retransmit_seconds.
+//
+// Permanent failures (ClusterOptions::membership): a FaultKind::kHostDeath
+// event stalls the loop until the failure detector declares the host dead
+// (missed-heartbeat rounds, charged at the detector deadline), hands the
+// dead host's logical shards to survivors (engine/recovery.h), and then
+// rolls back to the last coordinated checkpoint exactly like a crash. The
+// logical computation is unchanged, so results and round counts stay
+// bit-identical to a fault-free run; only the performance accounting
+// degrades (adopted shards share their adopter's CPU, co-located pair
+// traffic becomes local). Durable restarts (ClusterOptions::on_checkpoint
+// plus the resume parameter of run()) persist each coordinated checkpoint
+// through the caller, and a later run() continues from it as if the
+// process had never exited.
 
 #include <cstdint>
 #include <functional>
@@ -36,6 +49,7 @@
 #include "comm/substrate.h"
 #include "engine/fault.h"
 #include "engine/network_model.h"
+#include "engine/recovery.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -108,8 +122,15 @@ struct FaultCounters {
   std::size_t checkpoint_bytes = 0;       ///< serialized snapshot volume
   std::size_t crashes = 0;                ///< host crashes recovered from
   std::size_t recovery_rounds = 0;        ///< rounds re-executed after rollback
+  std::size_t deaths = 0;                 ///< permanent host losses declared
+  std::size_t handoffs = 0;               ///< logical shards adopted by survivors
+  std::size_t handoff_bytes = 0;          ///< modeled checkpoint-slice transfer to adopters
+  std::size_t detection_rounds = 0;       ///< stalled rounds spent declaring deaths
+  std::size_t suspect_rounds = 0;         ///< late-heartbeat (straggler) observations
   double retransmit_seconds = 0;          ///< modeled recovery-traffic time
   double checkpoint_seconds = 0;          ///< modeled snapshot-write time
+  double detection_seconds = 0;           ///< modeled detector-stall time
+  double handoff_seconds = 0;             ///< modeled shard-transfer time
 
   FaultCounters& operator+=(const FaultCounters& other);
 };
@@ -139,7 +160,34 @@ struct RunStats {
   /// time at barriers induced by imbalance; our network_seconds plays that
   /// role directly since compute_seconds already takes the per-round max.
   RunStats& operator+=(const RunStats& other);
+
+  /// Fraction of executed rounds that made forward progress: detection
+  /// stalls and post-rollback replays are availability loss. 1.0 on a
+  /// fault-free run.
+  double availability() const {
+    const double overhead =
+        static_cast<double>(faults.recovery_rounds + faults.detection_rounds);
+    const double productive = static_cast<double>(rounds);
+    return productive + overhead > 0.0 ? productive / (productive + overhead) : 1.0;
+  }
 };
+
+/// One coordinated checkpoint as handed to the durable layer: the logical
+/// round it was taken at the end of, the loop-control flag needed to
+/// resume, and the full application + substrate snapshot bytes.
+struct LoopCheckpoint {
+  std::size_t round = 0;
+  bool any_active = true;
+  std::vector<std::uint8_t> snapshot;
+};
+
+/// Folds the stats captured in a durable checkpoint with the stats of the
+/// resumed execution that continued from it. Counters add; `rounds` keeps
+/// the absolute logical round number (the resumed loop continues the same
+/// numbering, so the larger of the two is the final round). For
+/// deterministic counters the merge equals the uninterrupted run exactly;
+/// measured wall-clock fields are sums of the two executions.
+RunStats merge_resumed(const RunStats& saved, const RunStats& resumed);
 
 /// Options controlling the simulated execution.
 struct ClusterOptions {
@@ -174,6 +222,23 @@ struct ClusterOptions {
   /// decoded label — results are bit-identical across modes.
   comm::CodecMode codec = comm::CodecMode::kRaw;
 
+  // ---- Permanent failures & durable checkpoints ---------------------------
+  /// Logical→physical membership map enabling ownership handoff. nullptr
+  /// disables permanent-failure recovery (a kHostDeath event is then
+  /// recorded but unrecoverable, like a crash without checkpointing).
+  /// Non-owning and stateful: deaths declared during the run mutate it, so
+  /// pass a fresh (or reset()) map per independent run.
+  Membership* membership = nullptr;
+  /// Failure-detector thresholds (consulted when membership is set).
+  DetectorOptions detector;
+  /// Durable-checkpoint hook: called after every coordinated checkpoint
+  /// with the fresh snapshot and the stats accumulated so far. Setting it
+  /// enables checkpointing even without a fault injector (restart-from-disk
+  /// support for fault-free runs). The callback may throw to abort the run
+  /// (e.g. simulating a process death in tests); the exception propagates
+  /// out of run().
+  std::function<void(const LoopCheckpoint&, const RunStats&)> on_checkpoint;
+
   /// Delivery configuration implied by the fault fields; applications
   /// install this on their Substrate before running the loop.
   comm::DeliveryOptions delivery() const {
@@ -206,22 +271,26 @@ class BspLoop {
 
   template <typename CommFn, typename ComputeFn, typename PendingFn>
   RunStats run(CommFn&& comm, ComputeFn&& compute, PendingFn&& pending,
-               Checkpointable* app = nullptr) {
+               Checkpointable* app = nullptr, const LoopCheckpoint* resume = nullptr) {
     RunStats stats;
     stats.per_host_compute_seconds.assign(num_hosts_, 0.0);
     if (options_.threads != 0) util::ThreadPool::set_global_threads(options_.threads);
     FaultInjector* fault = options_.fault;
-    const bool checkpointing = fault != nullptr && app != nullptr;
+    Membership* membership = options_.membership;
+    const bool checkpointing =
+        app != nullptr &&
+        (fault != nullptr || options_.on_checkpoint != nullptr || resume != nullptr);
     const std::size_t interval = std::max<std::size_t>(options_.checkpoint_interval, 1);
     std::vector<std::uint8_t> snapshot;      // latest coordinated checkpoint
     std::size_t snapshot_round = 0;
     bool snapshot_any_active = true;
-    auto take_checkpoint = [&](std::size_t round, bool any_active) {
+    FailureDetector detector(options_.detector, num_hosts_, options_.network);
+    auto take_checkpoint = [&](std::size_t ckpt_round, bool ckpt_any_active) {
       util::SendBuffer buf;
       app->save_checkpoint(buf);
       snapshot = buf.take();
-      snapshot_round = round;
-      snapshot_any_active = any_active;
+      snapshot_round = ckpt_round;
+      snapshot_any_active = ckpt_any_active;
       stats.faults.checkpoints += 1;
       stats.faults.checkpoint_bytes += snapshot.size();
       const double seconds = options_.network.checkpoint_seconds(snapshot.size());
@@ -231,13 +300,33 @@ class BspLoop {
       if (obs::tracing_enabled()) {
         obs::Tracer::global().emit_modeled(obs::Category::kCheckpoint, "checkpoint",
                                            obs::kEngineHost,
-                                           static_cast<std::uint32_t>(round), seconds);
+                                           static_cast<std::uint32_t>(ckpt_round), seconds);
+      }
+      if (options_.on_checkpoint) {
+        LoopCheckpoint ck;
+        ck.round = ckpt_round;
+        ck.any_active = ckpt_any_active;
+        ck.snapshot = snapshot;
+        options_.on_checkpoint(ck, stats);
       }
     };
-    if (checkpointing) take_checkpoint(0, true);
 
     bool any_active = true;  // force the first round
     std::size_t round = 0;
+    if (checkpointing && resume != nullptr) {
+      // Cold restart: adopt the durable snapshot as the current coordinated
+      // checkpoint and restore the application into it. No checkpoint cost
+      // is charged — the snapshot already exists on stable storage.
+      snapshot = resume->snapshot;
+      snapshot_round = resume->round;
+      snapshot_any_active = resume->any_active;
+      util::RecvBuffer buf(snapshot.data(), snapshot.size());
+      app->restore_checkpoint(buf);
+      round = resume->round;
+      any_active = resume->any_active;
+    } else if (checkpointing) {
+      take_checkpoint(0, true);
+    }
     while (round < options_.max_rounds && (any_active || pending())) {
       ++round;
       // (host, round) context for spans and log lines emitted below us —
@@ -245,9 +334,24 @@ class BspLoop {
       obs::ScopedContext round_ctx(obs::kEngineHost, static_cast<std::uint32_t>(round));
       const SyncStats comm_stats = comm(round);
       std::size_t max_egress = 0;
-      for (std::size_t b : comm_stats.bytes_per_host) max_egress = std::max(max_egress, b);
       std::size_t max_msgs = 0;
-      for (std::size_t m : comm_stats.msgs_per_host) max_msgs = std::max(max_msgs, m);
+      if (membership != nullptr && membership->degraded()) {
+        // Degraded mode: co-located logical hosts share one NIC, so the
+        // network model's per-host maxima are taken over physical hosts.
+        std::vector<std::size_t> egress(num_hosts_, 0);
+        std::vector<std::size_t> msgs(num_hosts_, 0);
+        for (std::size_t h = 0; h < comm_stats.bytes_per_host.size(); ++h) {
+          egress[membership->physical(static_cast<HostId>(h))] += comm_stats.bytes_per_host[h];
+        }
+        for (std::size_t h = 0; h < comm_stats.msgs_per_host.size(); ++h) {
+          msgs[membership->physical(static_cast<HostId>(h))] += comm_stats.msgs_per_host[h];
+        }
+        for (std::size_t b : egress) max_egress = std::max(max_egress, b);
+        for (std::size_t m : msgs) max_msgs = std::max(max_msgs, m);
+      } else {
+        for (std::size_t b : comm_stats.bytes_per_host) max_egress = std::max(max_egress, b);
+        for (std::size_t m : comm_stats.msgs_per_host) max_msgs = std::max(max_msgs, m);
+      }
       const double sync_seconds = options_.network.round_seconds(max_msgs, max_egress);
       const double retransmit_seconds =
           options_.network.retransmit_seconds(comm_stats.backoff_steps, comm_stats.retransmit_bytes);
@@ -303,6 +407,28 @@ class BspLoop {
           slowest = h;
         }
       }
+      if (membership != nullptr && membership->degraded()) {
+        // Adopted shards execute serially on their adopter, so the round's
+        // compute critical path is the max over physical hosts of the sum
+        // of their logical shards' times.
+        std::vector<double> physical_seconds(num_hosts_, 0.0);
+        for (HostId h = 0; h < num_hosts_; ++h) {
+          physical_seconds[membership->physical(h)] += host_seconds[h];
+        }
+        max_seconds = 0.0;
+        for (double s : physical_seconds) max_seconds = std::max(max_seconds, s);
+      }
+      if (membership != nullptr) {
+        // Heartbeats: one per alive physical host carrying its round time.
+        std::vector<double> physical_seconds(num_hosts_, 0.0);
+        for (HostId h = 0; h < num_hosts_; ++h) {
+          physical_seconds[membership->physical(h)] += host_seconds[h];
+        }
+        for (HostId p = 0; p < num_hosts_; ++p) {
+          if (membership->is_alive(p)) detector.observe(p, physical_seconds[p] + net_seconds);
+        }
+        detector.finish_round();
+      }
       stats.compute_seconds += max_seconds;
       stats.phases.compute_seconds += max_seconds;
       stats.imbalance_sum += util::imbalance(work_units);
@@ -329,12 +455,18 @@ class BspLoop {
         m.histogram(obs::Hist::kRoundWorkItems).record(total_work);
       }
 
-      // Crash? The crashed round's traffic/compute stays in the aggregate
-      // accounting — that cost was really paid before the failure — and its
-      // round-log entry is recorded (flagged) for the same reason, BEFORE
-      // any rollback, so log sums always reconcile with the aggregates.
+      // Crash / death? The failed round's traffic/compute stays in the
+      // aggregate accounting — that cost was really paid before the
+      // failure — and its round-log entry is recorded (flagged) for the
+      // same reason, BEFORE any rollback, so log sums always reconcile
+      // with the aggregates.
       HostId dead = 0;
       const bool crashed = fault && fault->crash_due(round, &dead);
+      std::vector<HostId> deaths;
+      if (fault != nullptr) {
+        HostId d = 0;
+        while (fault->death_due(round, &d)) deaths.push_back(d);
+      }
       if (options_.record_round_log) {
         RoundLogEntry entry;
         entry.round = round;
@@ -345,11 +477,80 @@ class BspLoop {
         entry.values = comm_stats.values;
         entry.retransmits = comm_stats.retransmits;
         entry.work_items = total_work;
-        entry.crashed = crashed;
+        entry.crashed = crashed || !deaths.empty();
         stats.round_log.push_back(entry);
       }
+      if (crashed) stats.faults.crashes += 1;
+      if (!deaths.empty() && membership != nullptr && checkpointing) {
+        // Permanent host loss: detect, hand off ownership, then roll back
+        // to the last coordinated checkpoint and replay on the survivors.
+        obs::Span death_span(obs::Category::kRecovery, "host-death", obs::kEngineHost,
+                             static_cast<std::uint32_t>(round));
+        // Resolve each scheduled death onto a currently-alive physical
+        // host (an already-dead target redirects to the adopter of its own
+        // shard, deterministically); the last survivor can never die.
+        std::vector<HostId> dying;
+        for (HostId d : deaths) {
+          const HostId p = membership->resolve_alive(d);
+          const bool seen = std::find(dying.begin(), dying.end(), p) != dying.end();
+          if (!seen && membership->is_alive(p) &&
+              membership->num_alive() > static_cast<HostId>(dying.size()) + 1) {
+            dying.push_back(p);
+          }
+        }
+        if (!dying.empty()) {
+          // Detection: the loop stalls until every dying host has missed
+          // dead_after consecutive heartbeat deadlines. Survivors wait out
+          // one detector deadline per stalled round.
+          std::size_t stall_rounds = 0;
+          bool all_declared = false;
+          while (!all_declared) {
+            for (HostId p : dying) detector.observe_missing(p);
+            detector.finish_round();
+            ++stall_rounds;
+            all_declared = true;
+            for (HostId p : dying) all_declared = all_declared && detector.dead(p);
+          }
+          const double stall_seconds =
+              static_cast<double>(stall_rounds) * detector.deadline_seconds();
+          stats.faults.detection_rounds += stall_rounds;
+          stats.faults.detection_seconds += stall_seconds;
+          stats.network_seconds += stall_seconds;
+          stats.phases.recovery_seconds += stall_seconds;
+          // Handoff: survivors adopt the dead hosts' logical shards and
+          // reload those shards' slice of the last durable checkpoint.
+          std::size_t moved = 0;
+          for (HostId p : dying) moved += membership->declare_dead(p).size();
+          const std::size_t transfer_bytes =
+              num_hosts_ > 0 ? snapshot.size() * moved / num_hosts_ : 0;
+          stats.faults.deaths += dying.size();
+          stats.faults.handoffs += moved;
+          stats.faults.handoff_bytes += transfer_bytes;
+          const double handoff_seconds = options_.network.checkpoint_seconds(transfer_bytes);
+          stats.faults.handoff_seconds += handoff_seconds;
+          stats.network_seconds += handoff_seconds;
+          stats.phases.recovery_seconds += handoff_seconds;
+          if (obs::tracing_enabled()) {
+            obs::Tracer::global().emit_modeled(obs::Category::kRecovery, "handoff",
+                                               obs::kEngineHost,
+                                               static_cast<std::uint32_t>(round),
+                                               stall_seconds + handoff_seconds);
+          }
+          app->on_membership_change(*membership);
+          // Rollback & replay, exactly like a transient crash.
+          stats.faults.recovery_rounds += round - snapshot_round;
+          util::RecvBuffer buf{std::vector<std::uint8_t>(snapshot)};
+          app->restore_checkpoint(buf);
+          round = snapshot_round;
+          any_active = snapshot_any_active;
+          continue;
+        }
+      } else if (!deaths.empty()) {
+        // No membership map (or no checkpointing): the deaths are recorded
+        // but unrecoverable.
+        stats.faults.deaths += deaths.size();
+      }
       if (crashed) {
-        stats.faults.crashes += 1;
         if (checkpointing) {
           // Roll every host back to the last coordinated checkpoint and
           // replay; replayed rounds append fresh log entries under their
@@ -371,6 +572,11 @@ class BspLoop {
       if (obs::progress_enabled()) {
         obs::progress_tick(round, stats.compute_seconds, stats.network_seconds, stats.bytes);
       }
+    }
+    if (membership != nullptr) {
+      // Diagnostic only: late-heartbeat counts depend on measured wall
+      // clock, so this is reported but never asserted deterministic.
+      stats.faults.suspect_rounds += detector.suspect_observations();
     }
     return stats;
   }

@@ -17,7 +17,12 @@
 //     sim::BspLoop: every K rounds the application snapshots its per-host
 //     label state through the Checkpointable hook; a crash rolls all hosts
 //     back to the last checkpoint and replays (deterministic compute makes
-//     the replay exact).
+//     the replay exact);
+//   - permanent host deaths (FaultKind::kHostDeath) additionally hand the
+//     dead host's logical shard to a surviving physical host (see
+//     engine/recovery.h) before the rollback, so the run continues in
+//     degraded mode; logical execution is unchanged, which keeps BC
+//     output bit-identical to a fault-free run.
 
 #include <cstddef>
 #include <cstdint>
@@ -30,6 +35,24 @@
 namespace mrbc::sim {
 
 using partition::HostId;
+
+class Membership;  // engine/recovery.h
+
+/// What happens to the host named by a FaultEvent.
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,      ///< transient: rollback + replay, host rejoins
+  kHostDeath = 1,  ///< permanent: shard handed to a survivor, host never returns
+};
+
+/// One scheduled compute-level fault. Events fire at the end of their BSP
+/// round, at most once per injector lifetime (round numbering restarts
+/// during replay, so an already-fired event cannot re-fire while its round
+/// is re-executed).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t round = 0;  ///< BSP round the fault strikes in (0 = never)
+  HostId host = 0;          ///< target host (taken modulo host count)
+};
 
 /// Seeded description of a fault schedule. All rates are per-transmission
 /// probabilities in [0, 1]; a default-constructed plan is fault-free.
@@ -46,6 +69,16 @@ struct FaultPlan {
   double straggler_slowdown = 4.0;   ///< compute-time multiplier for stragglers
   std::uint32_t crash_round = 0;     ///< BSP round in which crash_host dies (0 = never)
   HostId crash_host = 0;             ///< host that crashes (taken modulo host count)
+
+  /// Additional scheduled faults (crashes and permanent deaths); the legacy
+  /// crash_round/crash_host pair is kept for source compatibility and fires
+  /// independently.
+  std::vector<FaultEvent> events;
+
+  /// Serialization (versioned inside the caller's framing): a plan written
+  /// with save() and read back with restore() replays bit-identically.
+  void save(util::SendBuffer& buf) const;
+  void restore(util::RecvBuffer& buf);
 };
 
 /// Draws every fault decision deterministically from FaultPlan::seed.
@@ -66,14 +99,28 @@ class FaultInjector final : public comm::ChannelFaults {
   /// per host for the injector's lifetime, derived from the seed.
   double compute_slowdown(HostId h) const;
 
-  /// True exactly once, when `round` == plan.crash_round; writes the dead
-  /// host to `crashed`.
+  /// True exactly once per scheduled crash (the legacy crash_round pair or
+  /// a kCrash event) whose round == `round`; writes the dead host to
+  /// `crashed`. Call in a loop to drain several crashes in one round.
   bool crash_due(std::size_t round, HostId* crashed);
-  bool crash_armed() const { return plan_.crash_round != 0 && !crash_fired_; }
+  bool crash_armed() const;
 
-  /// Re-arms the crash and reseeds the RNG: the same plan replays the same
-  /// schedule from the start (fresh runs in tests and benches).
+  /// True exactly once per kHostDeath event whose round == `round`; writes
+  /// the (modulo-reduced) dead host to `dead`. Call in a loop to drain
+  /// several deaths scheduled for the same round.
+  bool death_due(std::size_t round, HostId* dead);
+  bool deaths_armed() const;
+
+  /// Re-arms every scheduled fault and reseeds the RNG: the same plan
+  /// replays the same schedule from the start (fresh runs in tests and
+  /// benches).
   void rearm();
+
+  /// Serializes the injector's progress through the fault schedule — RNG
+  /// state and which scheduled events already fired — so a cold restart
+  /// does not replay faults the interrupted run already survived.
+  void save_cursor(util::SendBuffer& buf) const;
+  void restore_cursor(util::RecvBuffer& buf);
 
   const FaultPlan& plan() const { return plan_; }
   HostId num_hosts() const { return num_hosts_; }
@@ -84,6 +131,7 @@ class FaultInjector final : public comm::ChannelFaults {
   util::Xoshiro256 rng_;
   std::vector<double> slowdown_;
   bool crash_fired_ = false;
+  std::vector<std::uint8_t> event_fired_;  ///< parallel to plan_.events
 };
 
 /// Checkpoint/restart hook implemented by applications that run under a
@@ -96,6 +144,13 @@ class Checkpointable {
   virtual ~Checkpointable() = default;
   virtual void save_checkpoint(util::SendBuffer& buf) const = 0;
   virtual void restore_checkpoint(util::RecvBuffer& buf) = 0;
+
+  /// Invoked by BspLoop after an ownership handoff (a declared permanent
+  /// death changed the logical→physical map). Applications that own a
+  /// Substrate install the new placement here
+  /// (Substrate::set_placement(m.logical_to_physical())); the default
+  /// no-op keeps fault-only applications source-compatible.
+  virtual void on_membership_change(const Membership& membership) { (void)membership; }
 };
 
 }  // namespace mrbc::sim

@@ -146,6 +146,22 @@ HostId edge_owner(const graph::Edge& e, graph::VertexId num_vertices, HostId num
   return 0;
 }
 
+HostId handoff_owner(HostId logical, const std::vector<HostId>& alive) {
+  assert(!alive.empty() && "handoff needs at least one survivor");
+  HostId best = alive.front();
+  std::uint64_t best_weight = 0;
+  for (HostId candidate : alive) {
+    util::SplitMix64 mix((static_cast<std::uint64_t>(logical) << 32) |
+                         (static_cast<std::uint64_t>(candidate) + 1));
+    const std::uint64_t weight = mix.next();
+    if (weight > best_weight || (weight == best_weight && candidate < best)) {
+      best_weight = weight;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 std::string to_string(Policy policy) {
   switch (policy) {
     case Policy::kEdgeCutSrc: return "edge-cut-src";

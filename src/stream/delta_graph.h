@@ -57,6 +57,14 @@ class DeltaGraph {
   std::uint64_t epoch() const { return epoch_; }
   std::uint64_t compactions() const { return compactions_; }
 
+  /// Durable-restore hook: reinstates the counters recorded with a saved
+  /// snapshot. Only meaningful on a freshly-constructed store (the saved
+  /// base CSR already folds in every pre-save mutation).
+  void restore_epoch(std::uint64_t epoch, std::uint64_t compactions) {
+    epoch_ = epoch;
+    compactions_ = compactions;
+  }
+
   /// The CSR the overlay is layered on (last snapshot).
   const graph::Graph& base() const { return base_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "engine/snapshot.h"
 #include "graph/algorithms.h"
 #include "obs/trace.h"
 
@@ -10,6 +11,28 @@ namespace mrbc::stream {
 
 using graph::kInfDist;
 using graph::VertexId;
+
+namespace {
+
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecGraph = 2;
+constexpr std::uint32_t kSecState = 3;
+
+template <typename T>
+void save_tables(util::SendBuffer& buf, const std::vector<std::vector<T>>& tables) {
+  buf.write<std::uint64_t>(tables.size());
+  for (const auto& row : tables) buf.write_vector(row);
+}
+
+template <typename T>
+void load_tables(util::RecvBuffer& buf, std::vector<std::vector<T>>& tables) {
+  const auto n = buf.read<std::uint64_t>();
+  tables.clear();
+  tables.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) tables.push_back(buf.read_vector<T>());
+}
+
+}  // namespace
 
 IncrementalBc::IncrementalBc(graph::Graph base, IncrementalBcOptions options)
     : opts_(std::move(options)), delta_(std::move(base)) {
@@ -26,6 +49,56 @@ IncrementalBc::IncrementalBc(graph::Graph base, IncrementalBcOptions options)
   std::vector<std::uint32_t> all(sources_.size());
   for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
   reexecute(all);
+}
+
+IncrementalBc::IncrementalBc(graph::Graph base, IncrementalBcOptions options, RestoreTag)
+    : opts_(std::move(options)), delta_(std::move(base)) {
+  opts_.mrbc.collect_tables = true;
+}
+
+void IncrementalBc::save(const std::string& path) const {
+  if (delta_.overlay_edges() != 0 || delta_.tombstones() != 0) {
+    throw sim::SnapshotError(
+        "IncrementalBc::save requires a compacted delta store (batch boundary)");
+  }
+  sim::SnapshotWriter w;
+  util::SendBuffer& meta = w.section(kSecMeta);
+  meta.write<std::uint64_t>(delta_.epoch());
+  meta.write<std::uint64_t>(delta_.compactions());
+  util::SendBuffer& g = w.section(kSecGraph);
+  g.write_vector(delta_.base().out_offsets());
+  g.write_vector(delta_.base().out_targets());
+  util::SendBuffer& st = w.section(kSecState);
+  st.write_vector(sources_);
+  st.write_vector(bc_);
+  save_tables(st, dist_);
+  save_tables(st, sigma_);
+  save_tables(st, dep_);
+  w.write_file(path);
+}
+
+IncrementalBc IncrementalBc::load(const std::string& path, IncrementalBcOptions options) {
+  sim::SnapshotReader reader = sim::SnapshotReader::from_file(path);
+  const std::vector<std::uint8_t>& graph_bytes = reader.section(kSecGraph);
+  util::RecvBuffer g(graph_bytes.data(), graph_bytes.size());
+  auto offsets = g.read_vector<graph::EdgeId>();
+  auto targets = g.read_vector<VertexId>();
+  IncrementalBc inc(graph::Graph(std::move(offsets), std::move(targets)), std::move(options),
+                    RestoreTag{});
+  const std::vector<std::uint8_t>& meta_bytes = reader.section(kSecMeta);
+  util::RecvBuffer meta(meta_bytes.data(), meta_bytes.size());
+  const auto epoch = meta.read<std::uint64_t>();
+  const auto compactions = meta.read<std::uint64_t>();
+  inc.delta_.restore_epoch(epoch, compactions);
+  const std::vector<std::uint8_t>& state_bytes = reader.section(kSecState);
+  util::RecvBuffer st(state_bytes.data(), state_bytes.size());
+  inc.sources_ = st.read_vector<VertexId>();
+  inc.bc_ = st.read_vector<double>();
+  load_tables(st, inc.dist_);
+  load_tables(st, inc.sigma_);
+  load_tables(st, inc.dep_);
+  inc.rebuild_partition();
+  return inc;
 }
 
 void IncrementalBc::rebuild_partition() {

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/mrbc.h"
@@ -92,7 +93,24 @@ class IncrementalBc {
   /// Ingests one batch and restores score exactness. Returns what it cost.
   BatchReport apply(const EdgeBatch& batch);
 
+  /// Durable snapshot of the maintained state (base CSR + epoch counters +
+  /// sources + scores + retained per-source tables) as a versioned
+  /// crc32-framed file (engine/snapshot.h). Only valid at batch boundaries
+  /// — throws sim::SnapshotError while uncompacted churn is pending.
+  /// Cumulative stats() counters are diagnostics and are not part of the
+  /// snapshot.
+  void save(const std::string& path) const;
+
+  /// Rebuilds an IncrementalBc from a save() snapshot; subsequent apply()
+  /// calls produce scores bit-identical to the uninterrupted maintainer.
+  /// `options` supplies the execution configuration (it is not recorded in
+  /// the snapshot); throws sim::SnapshotError on a missing/corrupt file.
+  static IncrementalBc load(const std::string& path, IncrementalBcOptions options = {});
+
  private:
+  struct RestoreTag {};
+  IncrementalBc(graph::Graph base, IncrementalBcOptions options, RestoreTag);
+
   void rebuild_partition();
   /// Re-runs `source_idxs` through MRBC on the current snapshot, swapping
   /// their stale contributions for fresh ones.

@@ -3,6 +3,7 @@
 // and randomized tests. All generators in this repository take explicit
 // seeds so every experiment is reproducible bit-for-bit.
 
+#include <array>
 #include <cstdint>
 
 namespace mrbc::util {
@@ -39,6 +40,13 @@ class Xoshiro256 {
 
   /// Bernoulli trial with probability p.
   bool next_bool(double p) { return next_double() < p; }
+
+  /// Raw 256-bit generator state, exposed so fault-schedule cursors can be
+  /// checkpointed: restoring the state resumes the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -96,8 +96,15 @@ class SendBuffer {
 
   /// Pre-sizes the backing store so subsequent writes up to `total` bytes
   /// never reallocate (writers that know their payload size call this once
-  /// instead of growing via repeated resize).
-  void reserve(std::size_t total) { bytes_.reserve(total); }
+  /// instead of growing via repeated resize). Grows geometrically when the
+  /// request exceeds the current capacity: vector::reserve allocates the
+  /// exact amount asked for, so a stream of small reserves just past a
+  /// large buffer's capacity would otherwise copy the whole buffer on
+  /// every call — quadratic time for checkpoint-sized payloads.
+  void reserve(std::size_t total) {
+    if (total <= bytes_.capacity()) return;
+    bytes_.reserve(std::max(total, bytes_.capacity() + bytes_.capacity() / 2));
+  }
 
   std::vector<std::uint8_t>&& take() {
     raw_bytes_ = 0;

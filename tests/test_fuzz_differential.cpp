@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <set>
 
 #include "baselines/brandes_seq.h"
@@ -15,6 +17,8 @@
 #include "core/congest_mrbc.h"
 #include "core/mrbc.h"
 #include "engine/fault.h"
+#include "engine/recovery.h"
+#include "engine/snapshot.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "stream/incremental_bc.h"
@@ -294,7 +298,246 @@ TEST_P(DifferentialFuzz, IncrementalBcMatchesBrandesUnderChurn) {
   }
 }
 
+// ---- Permanent-death differential fuzz --------------------------------------
+
+/// Outcome of one death-schedule case; `failure` empty means it passed.
+/// Shared by the TEST_P below and the --replay entry point so a dumped
+/// repro file re-runs the exact failing schedule.
+struct DeathCase {
+  bool ran = false;         ///< false: the seed drew a degenerate graph
+  std::string failure;
+  sim::FaultPlan plan;
+};
+
+/// Random graph x random config x a random schedule of up to hosts-1
+/// permanent deaths (plus optional message faults and a crash), checked for
+/// bit-identical BC scores and round counts against the fault-free run.
+/// The graph, sources, and options derive deterministically from
+/// `fuzz_seed`; `replay_plan` (from a repro file) overrides the generated
+/// schedule without disturbing those draws.
+DeathCase run_death_case(std::uint64_t fuzz_seed, const sim::FaultPlan* replay_plan) {
+  DeathCase out;
+  util::Xoshiro256 rng(fuzz_seed * 0xDEAD5EED + 19);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return out;
+  out.ran = true;
+  const auto k = 1 + static_cast<VertexId>(rng.next_bounded(8));
+  const auto sources = graph::sample_sources(g, k, rng.next(), true);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 2 + static_cast<partition::HostId>(rng.next_bounded(7));
+  opts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(12));
+  opts.delayed_sync = rng.next_bool(0.8);
+  opts.cluster.checkpoint_interval = 1 + rng.next_bounded(6);
+
+  sim::FaultPlan plan;
+  plan.seed = rng.next();
+  if (rng.next_bool(0.4)) {
+    plan.drop_rate = 0.3 * rng.next_double();
+    plan.duplicate_rate = 0.2 * rng.next_double();
+    plan.straggler_rate = 0.3 * rng.next_double();
+  }
+  const std::uint64_t num_deaths = 1 + rng.next_bounded(opts.num_hosts - 1);
+  for (std::uint64_t i = 0; i < num_deaths; ++i) {
+    sim::FaultEvent ev;
+    ev.kind = sim::FaultKind::kHostDeath;
+    ev.round = 1 + static_cast<std::uint32_t>(rng.next_bounded(14));
+    ev.host = static_cast<partition::HostId>(rng.next_bounded(opts.num_hosts));
+    plan.events.push_back(ev);
+  }
+  if (rng.next_bool(0.3)) {
+    sim::FaultEvent ev;
+    ev.kind = sim::FaultKind::kCrash;
+    ev.round = 1 + static_cast<std::uint32_t>(rng.next_bounded(10));
+    ev.host = static_cast<partition::HostId>(rng.next_bounded(opts.num_hosts));
+    plan.events.push_back(ev);
+  }
+  if (replay_plan != nullptr) plan = *replay_plan;
+  out.plan = plan;
+
+  const auto golden = core::mrbc_bc(g, sources, opts);
+
+  sim::FaultInjector injector(plan, opts.num_hosts);
+  sim::Membership membership(opts.num_hosts);
+  core::MrbcOptions fopts = opts;
+  fopts.cluster.fault = &injector;
+  fopts.cluster.membership = &membership;
+  const auto run = core::mrbc_bc(g, sources, fopts);
+
+  std::string why;
+  if (run.anomalies != 0) {
+    why += "anomalies=" + std::to_string(run.anomalies) + "; ";
+  }
+  if (run.forward.rounds != golden.forward.rounds) {
+    why += "forward rounds " + std::to_string(run.forward.rounds) + " != " +
+           std::to_string(golden.forward.rounds) + "; ";
+  }
+  if (run.backward.rounds != golden.backward.rounds) {
+    why += "backward rounds " + std::to_string(run.backward.rounds) + " != " +
+           std::to_string(golden.backward.rounds) + "; ";
+  }
+  if (run.result.bc.size() != golden.result.bc.size()) {
+    why += "score vector size mismatch; ";
+  } else {
+    for (std::size_t v = 0; v < golden.result.bc.size(); ++v) {
+      std::uint64_t gb = 0, rb = 0;
+      std::memcpy(&gb, &golden.result.bc[v], sizeof(gb));
+      std::memcpy(&rb, &run.result.bc[v], sizeof(rb));
+      if (gb != rb) {
+        why += "bc[" + std::to_string(v) + "] " + std::to_string(run.result.bc[v]) +
+               " != " + std::to_string(golden.result.bc[v]) + " (bitwise); ";
+        break;
+      }
+    }
+  }
+  if (!why.empty()) {
+    out.failure = "death schedule diverged from fault-free (seed=" +
+                  std::to_string(fuzz_seed) + " hosts=" + std::to_string(opts.num_hosts) +
+                  " deaths=" + std::to_string(num_deaths) + "): " + why;
+  }
+  return out;
+}
+
+TEST_P(DifferentialFuzz, DeathSchedulesMatchFaultFree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DeathCase result = run_death_case(seed, nullptr);
+  if (!result.ran) return;
+  if (!result.failure.empty()) {
+    // Dump the failing schedule so it can be re-run standalone:
+    //   test_fuzz_differential --replay=<file>
+    const std::string repro = "mrbc_death_repro_seed" + std::to_string(seed) + ".snap";
+    sim::save_fault_plan_file(repro, result.plan, seed);
+    FAIL() << result.failure << "\nschedule dumped to " << repro
+           << "; re-run with: test_fuzz_differential --replay=" << repro;
+  }
+}
+
+TEST_P(DifferentialFuzz, DurableResumeMatchesUninterrupted) {
+  // SIGKILL-and-resume fuzz: the same faulted execution, once run straight
+  // through and once killed right after a durable snapshot write and
+  // cold-restarted (fresh injector + membership per restart; all state
+  // comes back from the file). Scores must match fault-free Brandes-level
+  // exactness and every deterministic counter must match the uninterrupted
+  // faulted run.
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 0xC01D + 23);
+  Graph g = random_graph(rng);
+  if (g.num_vertices() < 2) return;
+  const auto k = 1 + static_cast<VertexId>(rng.next_bounded(8));
+  const auto sources = graph::sample_sources(g, k, rng.next(), true);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 2 + static_cast<partition::HostId>(rng.next_bounded(6));
+  opts.batch_size = 1 + static_cast<std::uint32_t>(rng.next_bounded(10));
+  opts.delayed_sync = rng.next_bool(0.8);
+  opts.cluster.checkpoint_interval = 2 + rng.next_bounded(5);
+
+  sim::FaultPlan plan;
+  plan.seed = rng.next();
+  const bool with_deaths = rng.next_bool(0.6);
+  if (with_deaths) {
+    const std::uint64_t num_deaths = 1 + rng.next_bounded(opts.num_hosts - 1);
+    for (std::uint64_t i = 0; i < num_deaths; ++i) {
+      plan.events.push_back({sim::FaultKind::kHostDeath,
+                             1 + static_cast<std::uint32_t>(rng.next_bounded(12)),
+                             static_cast<partition::HostId>(rng.next_bounded(opts.num_hosts))});
+    }
+  }
+  const auto halt_after = 2 + rng.next_bounded(3);
+
+  const auto golden = core::mrbc_bc(g, sources, opts);
+
+  auto faulted = [&](const std::string& dir, bool resume, std::size_t halt) {
+    sim::FaultInjector injector(plan, opts.num_hosts);
+    sim::Membership membership(opts.num_hosts);
+    core::MrbcOptions o = opts;
+    o.cluster.fault = &injector;
+    o.cluster.membership = &membership;
+    o.checkpoint_dir = dir;
+    o.resume = resume;
+    o.halt_after_checkpoints = halt;
+    return core::mrbc_bc(g, sources, o);
+  };
+
+  const auto reference = faulted("", false, 0);
+
+  const std::string dir =
+      ::testing::TempDir() + "mrbc_fuzz_resume_" + std::to_string(GetParam());
+  std::filesystem::create_directories(dir);
+  std::remove((dir + "/mrbc.ckpt").c_str());
+  core::MrbcRun resumed = faulted(dir, false, halt_after);
+  int restarts = 0;
+  while (resumed.halted) {
+    resumed = faulted(dir, true, halt_after + 1);
+    ASSERT_LT(++restarts, 300) << "seed=" << GetParam()
+                               << ": resume chain failed to make progress";
+  }
+
+  const std::string label = "seed=" + std::to_string(GetParam()) +
+                            (with_deaths ? " with deaths" : "") +
+                            " restarts=" + std::to_string(restarts);
+  ASSERT_EQ(resumed.result.bc.size(), golden.result.bc.size()) << label;
+  for (std::size_t v = 0; v < golden.result.bc.size(); ++v) {
+    std::uint64_t gb = 0, rb = 0;
+    std::memcpy(&gb, &golden.result.bc[v], sizeof(gb));
+    std::memcpy(&rb, &resumed.result.bc[v], sizeof(rb));
+    ASSERT_EQ(rb, gb) << label << " vertex=" << v;
+  }
+  EXPECT_EQ(resumed.anomalies, 0u) << label;
+  EXPECT_EQ(resumed.forward.rounds, reference.forward.rounds) << label;
+  EXPECT_EQ(resumed.backward.rounds, reference.backward.rounds) << label;
+  EXPECT_EQ(resumed.num_batches, reference.num_batches) << label;
+  const auto a = resumed.total();
+  const auto b = reference.total();
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.bytes, b.bytes) << label;
+  EXPECT_EQ(a.values, b.values) << label;
+  EXPECT_EQ(a.faults.deaths, b.faults.deaths) << label;
+  EXPECT_EQ(a.faults.handoffs, b.faults.handoffs) << label;
+  EXPECT_EQ(a.faults.detection_rounds, b.faults.detection_rounds) << label;
+  EXPECT_EQ(a.faults.recovery_rounds, b.faults.recovery_rounds) << label;
+  EXPECT_EQ(a.faults.drops, b.faults.drops) << label;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));
 
 }  // namespace
+
+/// Standalone re-run of a schedule dumped by DeathSchedulesMatchFaultFree.
+/// Exit 0: the schedule passes; 1: it still fails; 2: unreadable file.
+int replay_fault_schedule(const char* path) {
+  std::uint64_t fuzz_seed = 0;
+  sim::FaultPlan plan;
+  try {
+    plan = sim::load_fault_plan_file(path, &fuzz_seed);
+  } catch (const sim::SnapshotError& e) {
+    std::fprintf(stderr, "replay: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "replaying fuzz seed %llu from %s (%zu scheduled events)\n",
+               static_cast<unsigned long long>(fuzz_seed), path, plan.events.size());
+  const DeathCase result = run_death_case(fuzz_seed, &plan);
+  if (!result.ran) {
+    std::fprintf(stderr, "replay: seed draws a degenerate graph; nothing to run\n");
+    return 0;
+  }
+  if (result.failure.empty()) {
+    std::fprintf(stderr, "replay PASSED: schedule no longer diverges\n");
+    return 0;
+  }
+  std::fprintf(stderr, "replay FAILED: %s\n", result.failure.c_str());
+  return 1;
+}
+
 }  // namespace mrbc
+
+/// Overrides gtest_main's entry point so a dumped fault schedule can be
+/// re-run directly: test_fuzz_differential --replay=<repro-file>.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--replay=", 9) == 0) {
+      return mrbc::replay_fault_schedule(argv[i] + 9);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

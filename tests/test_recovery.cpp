@@ -1,0 +1,714 @@
+// Permanent-failure recovery suite: failure-detector thresholds (stragglers
+// stay suspect, missing heartbeats become deaths), deterministic ownership
+// handoff, bit-identity of death schedules against fault-free runs, durable
+// cold restarts for MRBC / SBBC / IncrementalBc, and the snapshot
+// container's corruption hardening.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "baselines/sbbc.h"
+#include "core/mrbc.h"
+#include "engine/cluster.h"
+#include "engine/fault.h"
+#include "engine/network_model.h"
+#include "engine/recovery.h"
+#include "engine/snapshot.h"
+#include "graph/generators.h"
+#include "partition/policies.h"
+#include "stream/edge_batch.h"
+#include "stream/incremental_bc.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace mrbc {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using partition::HostId;
+
+/// Bitwise score comparison: recovery must be *exact*, not merely within
+/// floating-point tolerance, so the usual expect_bc_equal is too weak here.
+void expect_bits_equal(const core::BcScores& expected, const core::BcScores& actual,
+                       const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    std::uint64_t eb = 0, ab = 0;
+    std::memcpy(&eb, &expected[v], sizeof(eb));
+    std::memcpy(&ab, &actual[v], sizeof(ab));
+    ASSERT_EQ(eb, ab) << label << " vertex=" << v << " expected=" << expected[v]
+                      << " actual=" << actual[v];
+  }
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+std::string scratch_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("mrbc_recovery_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> data;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while (f != nullptr && (n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  if (f != nullptr) std::fclose(f);
+  return data;
+}
+
+void write_file_bytes(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!data.empty()) std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+}
+
+// ---- Failure detector -------------------------------------------------------
+
+TEST(FailureDetector, StragglerStaysSuspectAndRecovers) {
+  sim::DetectorOptions opts;  // defaults: suspect_after=1, dead_after=3
+  sim::NetworkModel net;
+  sim::FailureDetector det(opts, 4, net);
+
+  // Prime the EWMA baseline with on-time rounds.
+  for (int r = 0; r < 5; ++r) {
+    for (HostId h = 0; h < 4; ++h) det.observe(h, 1e-5);
+    det.finish_round();
+  }
+  ASSERT_EQ(det.status(0), sim::HostStatus::kAlive);
+
+  // Host 0 starts heartbeating far past any deadline: it is a straggler,
+  // marked suspect and granted growing grace, but NEVER declared dead —
+  // the heartbeat proves it is up.
+  const double base_deadline = det.deadline_seconds();
+  const std::size_t late_rounds = 20;
+  for (std::size_t r = 0; r < late_rounds; ++r) {
+    det.observe(0, 1e9);
+    for (HostId h = 1; h < 4; ++h) det.observe(h, 1e-5);
+    det.finish_round();
+    EXPECT_EQ(det.status(0), sim::HostStatus::kSuspect) << "round " << r;
+    EXPECT_FALSE(det.dead(0));
+    EXPECT_EQ(det.consecutive_misses(0), 0u);
+  }
+  EXPECT_GE(det.suspect_observations(), late_rounds);
+  // Suspects get exponential backoff grace over the base deadline.
+  EXPECT_GT(det.deadline_seconds(0), det.deadline_seconds(1));
+  EXPECT_GE(det.deadline_seconds(1), base_deadline);
+  // One slow host must not inflate the shared baseline (late heartbeats are
+  // excluded from the EWMA).
+  EXPECT_LT(det.deadline_seconds(), 1e3);
+
+  // On-time heartbeats decay the suspicion back to alive.
+  for (std::size_t r = 0; r < 2 * late_rounds + 2; ++r) {
+    for (HostId h = 0; h < 4; ++h) det.observe(h, 1e-5);
+    det.finish_round();
+  }
+  EXPECT_EQ(det.status(0), sim::HostStatus::kAlive);
+}
+
+TEST(FailureDetector, MissingHeartbeatsBecomeDeath) {
+  sim::DetectorOptions opts;
+  opts.dead_after = 3;
+  sim::FailureDetector det(opts, 3, sim::NetworkModel{});
+
+  // Two misses: suspect, not dead; a heartbeat resets the count.
+  det.observe_missing(1);
+  det.finish_round();
+  det.observe_missing(1);
+  det.finish_round();
+  EXPECT_EQ(det.status(1), sim::HostStatus::kSuspect);
+  EXPECT_FALSE(det.dead(1));
+  EXPECT_EQ(det.consecutive_misses(1), 2u);
+  det.observe(1, 1e-5);
+  det.finish_round();
+  EXPECT_EQ(det.consecutive_misses(1), 0u);
+  EXPECT_FALSE(det.dead(1));
+
+  // dead_after consecutive misses: permanently dead.
+  for (int r = 0; r < 3; ++r) {
+    det.observe_missing(1);
+    det.finish_round();
+  }
+  EXPECT_EQ(det.status(1), sim::HostStatus::kDead);
+  EXPECT_TRUE(det.dead(1));
+  // Death is terminal — a late heartbeat cannot resurrect the host.
+  det.observe(1, 1e-5);
+  det.finish_round();
+  EXPECT_TRUE(det.dead(1));
+  // Other hosts are unaffected.
+  EXPECT_EQ(det.status(0), sim::HostStatus::kAlive);
+  EXPECT_EQ(det.status(2), sim::HostStatus::kAlive);
+}
+
+// ---- Ownership handoff ------------------------------------------------------
+
+TEST(Handoff, OwnerIsDeterministicAndMinimallyDisruptive) {
+  std::vector<HostId> alive = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (HostId logical = 0; logical < 32; ++logical) {
+    const HostId owner = partition::handoff_owner(logical, alive);
+    EXPECT_EQ(owner, partition::handoff_owner(logical, alive)) << "logical " << logical;
+    // Rendezvous property: removing any candidate that did NOT win leaves
+    // the owner unchanged — repeated deaths never reshuffle healthy shards.
+    for (HostId victim : alive) {
+      if (victim == owner) continue;
+      std::vector<HostId> survivors;
+      for (HostId h : alive) {
+        if (h != victim) survivors.push_back(h);
+      }
+      EXPECT_EQ(partition::handoff_owner(logical, survivors), owner)
+          << "logical " << logical << " victim " << victim;
+    }
+  }
+}
+
+TEST(Membership, DeclareDeadRelocatesShardsAndSerializes) {
+  sim::Membership m(4);
+  EXPECT_EQ(m.num_logical(), 4u);
+  EXPECT_EQ(m.num_alive(), 4u);
+  EXPECT_FALSE(m.degraded());
+  for (HostId h = 0; h < 4; ++h) EXPECT_EQ(m.physical(h), h);
+
+  const auto moved = m.declare_dead(2);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], 2u);
+  EXPECT_FALSE(m.is_alive(2));
+  EXPECT_EQ(m.num_alive(), 3u);
+  EXPECT_TRUE(m.degraded());
+  const HostId adopter = m.physical(2);
+  EXPECT_NE(adopter, 2u);
+  EXPECT_TRUE(m.is_alive(adopter));
+  // A death scheduled for the already-dead host lands on its adopter.
+  EXPECT_EQ(m.resolve_alive(2), adopter);
+  // Double declaration is a no-op.
+  EXPECT_TRUE(m.declare_dead(2).empty());
+
+  // Killing the adopter relocates both its own shard and the adopted one.
+  const auto moved2 = m.declare_dead(adopter);
+  EXPECT_EQ(moved2.size(), 2u);
+  EXPECT_EQ(m.num_alive(), 2u);
+  for (HostId logical = 0; logical < 4; ++logical) {
+    EXPECT_TRUE(m.is_alive(m.physical(logical))) << "logical " << logical;
+  }
+
+  // Serialization round-trip preserves the degraded placement exactly.
+  util::SendBuffer buf;
+  m.save(buf);
+  const std::vector<std::uint8_t> bytes = buf.take();
+  util::RecvBuffer rb(bytes.data(), bytes.size());
+  sim::Membership copy(4);
+  copy.restore(rb);
+  EXPECT_EQ(copy.logical_to_physical(), m.logical_to_physical());
+  EXPECT_EQ(copy.num_alive(), m.num_alive());
+  EXPECT_EQ(copy.alive_hosts(), m.alive_hosts());
+
+  // The run can never lose its final host.
+  const auto survivors = m.alive_hosts();
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_FALSE(m.declare_dead(survivors[0]).empty());
+  EXPECT_TRUE(m.declare_dead(survivors[1]).empty());
+  EXPECT_EQ(m.num_alive(), 1u);
+}
+
+// ---- Death schedules vs fault-free ------------------------------------------
+
+sim::FaultPlan death_plan(std::initializer_list<sim::FaultEvent> events) {
+  sim::FaultPlan plan;
+  plan.seed = 77;
+  plan.events = events;
+  return plan;
+}
+
+TEST(HostDeath, MrbcBitIdenticalToFaultFree) {
+  const Graph g = graph::erdos_renyi(60, 0.08, 9);
+  const auto sources = graph::sample_sources(g, 12, 5, /*contiguous=*/false);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 6;
+  opts.batch_size = 4;
+  opts.cluster.checkpoint_interval = 3;
+  const auto golden = core::mrbc_bc(g, sources, opts);
+
+  // Three deaths, the third aimed at an already-dead host (it must resolve
+  // onto the adopter of that host's shard, deterministically).
+  const sim::FaultPlan plan = death_plan({{sim::FaultKind::kHostDeath, 2, 1},
+                                          {sim::FaultKind::kHostDeath, 5, 4},
+                                          {sim::FaultKind::kHostDeath, 7, 1}});
+  sim::FaultInjector injector(plan, opts.num_hosts);
+  sim::Membership membership(opts.num_hosts);
+  core::MrbcOptions fopts = opts;
+  fopts.cluster.fault = &injector;
+  fopts.cluster.membership = &membership;
+  const auto run = core::mrbc_bc(g, sources, fopts);
+
+  EXPECT_EQ(run.anomalies, 0u);
+  expect_bits_equal(golden.result.bc, run.result.bc, "mrbc deaths");
+  EXPECT_EQ(run.forward.rounds, golden.forward.rounds);
+  EXPECT_EQ(run.backward.rounds, golden.backward.rounds);
+  EXPECT_EQ(run.num_batches, golden.num_batches);
+
+  const sim::RunStats total = run.total();
+  EXPECT_EQ(total.faults.deaths, 3u);
+  EXPECT_GE(total.faults.handoffs, 3u);
+  EXPECT_GT(total.faults.handoff_bytes, 0u);
+  EXPECT_GT(total.faults.detection_rounds, 0u);
+  EXPECT_GT(total.faults.recovery_rounds, 0u);
+  EXPECT_GT(total.faults.detection_seconds, 0.0);
+  EXPECT_LT(total.availability(), 1.0);
+  EXPECT_TRUE(membership.degraded());
+  EXPECT_EQ(membership.num_alive(), 3u);
+  for (HostId logical = 0; logical < opts.num_hosts; ++logical) {
+    EXPECT_TRUE(membership.is_alive(membership.physical(logical)));
+  }
+}
+
+TEST(HostDeath, HandoffDeterministicAcrossThreadCounts) {
+  const Graph g = graph::rmat({.scale = 6, .edge_factor = 5.0, .seed = 21});
+  const auto sources = graph::sample_sources(g, 10, 3, /*contiguous=*/false);
+  const sim::FaultPlan plan = death_plan({{sim::FaultKind::kHostDeath, 3, 0},
+                                          {sim::FaultKind::kHostDeath, 6, 3}});
+
+  auto run_with_threads = [&](std::size_t threads, std::vector<HostId>* placement) {
+    core::MrbcOptions opts;
+    opts.num_hosts = 5;
+    opts.batch_size = 4;
+    opts.cluster.checkpoint_interval = 2;
+    opts.cluster.threads = threads;
+    opts.cluster.parallel_hosts = threads > 1;
+    sim::FaultInjector injector(plan, opts.num_hosts);
+    sim::Membership membership(opts.num_hosts);
+    opts.cluster.fault = &injector;
+    opts.cluster.membership = &membership;
+    auto run = core::mrbc_bc(g, sources, opts);
+    *placement = membership.logical_to_physical();
+    return run;
+  };
+
+  std::vector<HostId> placement1, placement4;
+  const auto run1 = run_with_threads(1, &placement1);
+  const auto run4 = run_with_threads(4, &placement4);
+
+  EXPECT_EQ(placement1, placement4);
+  expect_bits_equal(run1.result.bc, run4.result.bc, "threads 1 vs 4");
+  EXPECT_EQ(run1.forward.rounds, run4.forward.rounds);
+  EXPECT_EQ(run1.backward.rounds, run4.backward.rounds);
+  EXPECT_EQ(run1.total().messages, run4.total().messages);
+  EXPECT_EQ(run1.total().bytes, run4.total().bytes);
+  EXPECT_EQ(run1.total().faults.deaths, run4.total().faults.deaths);
+  EXPECT_EQ(run1.total().faults.handoffs, run4.total().faults.handoffs);
+  EXPECT_EQ(run1.total().faults.detection_rounds, run4.total().faults.detection_rounds);
+  EXPECT_EQ(run1.total().faults.recovery_rounds, run4.total().faults.recovery_rounds);
+}
+
+TEST(HostDeath, SbbcBitIdenticalToFaultFree) {
+  const Graph g = graph::erdos_renyi(50, 0.08, 31);
+  const auto sources = graph::sample_sources(g, 8, 7, /*contiguous=*/false);
+
+  baselines::SbbcOptions opts;
+  opts.num_hosts = 4;
+  opts.cluster.checkpoint_interval = 2;
+  const auto golden = baselines::sbbc_bc(g, sources, opts);
+
+  const sim::FaultPlan plan = death_plan({{sim::FaultKind::kHostDeath, 2, 2},
+                                          {sim::FaultKind::kHostDeath, 4, 0}});
+  sim::FaultInjector injector(plan, opts.num_hosts);
+  sim::Membership membership(opts.num_hosts);
+  baselines::SbbcOptions fopts = opts;
+  fopts.cluster.fault = &injector;
+  fopts.cluster.membership = &membership;
+  const auto run = baselines::sbbc_bc(g, sources, fopts);
+
+  expect_bits_equal(golden.result.bc, run.result.bc, "sbbc deaths");
+  EXPECT_EQ(run.forward.rounds, golden.forward.rounds);
+  EXPECT_EQ(run.backward.rounds, golden.backward.rounds);
+  EXPECT_EQ(run.total().faults.deaths, 2u);
+  EXPECT_TRUE(membership.degraded());
+}
+
+// ---- Durable cold restarts --------------------------------------------------
+
+TEST(DurableRestart, MrbcColdRestartBitIdentity) {
+  const std::string dir = scratch_dir("mrbc_cold");
+  const Graph g = graph::rmat({.scale = 6, .edge_factor = 4.0, .seed = 3});
+  const auto sources = graph::sample_sources(g, 10, 11, /*contiguous=*/false);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 4;
+  opts.batch_size = 4;
+  opts.collect_tables = true;
+  opts.cluster.checkpoint_interval = 2;
+  const auto golden = core::mrbc_bc(g, sources, opts);
+
+  // Kill the process right after the second durable snapshot write, then
+  // keep cold-restarting (fresh driver call each time — nothing survives
+  // but the file) until the run completes. Re-interrupting the resumed
+  // legs exercises the saved-prefix merging.
+  core::MrbcOptions dopts = opts;
+  dopts.checkpoint_dir = dir;
+  dopts.halt_after_checkpoints = 2;
+  const auto first = core::mrbc_bc(g, sources, dopts);
+  ASSERT_TRUE(first.halted);
+
+  core::MrbcOptions ropts = opts;
+  ropts.checkpoint_dir = dir;
+  ropts.resume = true;
+  ropts.halt_after_checkpoints = 3;
+  core::MrbcRun final_run;
+  int restarts = 0;
+  for (;;) {
+    final_run = core::mrbc_bc(g, sources, ropts);
+    ++restarts;
+    if (!final_run.halted) break;
+    ASSERT_LT(restarts, 200) << "resume chain failed to make progress";
+  }
+  EXPECT_GE(restarts, 1);
+
+  // Every deterministic quantity matches the uninterrupted run exactly.
+  expect_bits_equal(golden.result.bc, final_run.result.bc, "mrbc cold restart");
+  testing::expect_tables_equal(golden.result, final_run.result, "mrbc cold restart tables");
+  EXPECT_EQ(final_run.forward.rounds, golden.forward.rounds);
+  EXPECT_EQ(final_run.backward.rounds, golden.backward.rounds);
+  EXPECT_EQ(final_run.total().messages, golden.total().messages);
+  EXPECT_EQ(final_run.total().bytes, golden.total().bytes);
+  EXPECT_EQ(final_run.total().values, golden.total().values);
+  EXPECT_EQ(final_run.num_batches, golden.num_batches);
+  EXPECT_EQ(final_run.anomalies, 0u);
+}
+
+TEST(DurableRestart, MrbcResumeRejectsWrongConfiguration) {
+  const std::string dir = scratch_dir("mrbc_fingerprint");
+  const Graph g = graph::erdos_renyi(40, 0.1, 13);
+  const auto sources = graph::sample_sources(g, 6, 1, /*contiguous=*/false);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 3;
+  opts.batch_size = 3;
+  opts.checkpoint_dir = dir;
+  opts.halt_after_checkpoints = 1;
+  ASSERT_TRUE(core::mrbc_bc(g, sources, opts).halted);
+
+  // Different batching is a different execution — resuming must refuse.
+  core::MrbcOptions wrong = opts;
+  wrong.halt_after_checkpoints = 0;
+  wrong.resume = true;
+  wrong.batch_size = 4;
+  EXPECT_THROW(core::mrbc_bc(g, sources, wrong), sim::SnapshotError);
+
+  // So is a different source set.
+  core::MrbcOptions wrong_sources = opts;
+  wrong_sources.halt_after_checkpoints = 0;
+  wrong_sources.resume = true;
+  const auto other = graph::sample_sources(g, 5, 2, /*contiguous=*/false);
+  EXPECT_THROW(core::mrbc_bc(g, other, wrong_sources), sim::SnapshotError);
+
+  // Resuming with no snapshot on disk fails with a clear error.
+  core::MrbcOptions missing = opts;
+  missing.halt_after_checkpoints = 0;
+  missing.resume = true;
+  missing.checkpoint_dir = scratch_dir("mrbc_missing");
+  EXPECT_THROW(core::mrbc_bc(g, sources, missing), sim::SnapshotError);
+}
+
+TEST(DurableRestart, SbbcColdRestartBitIdentity) {
+  const std::string dir = scratch_dir("sbbc_cold");
+  const Graph g = graph::erdos_renyi(45, 0.09, 17);
+  const auto sources = graph::sample_sources(g, 7, 23, /*contiguous=*/false);
+
+  baselines::SbbcOptions opts;
+  opts.num_hosts = 4;
+  opts.collect_tables = true;
+  const auto golden = baselines::sbbc_bc(g, sources, opts);
+
+  baselines::SbbcOptions dopts = opts;
+  dopts.checkpoint_dir = dir;
+  dopts.halt_after_checkpoints = 2;
+  const auto first = baselines::sbbc_bc(g, sources, dopts);
+  ASSERT_TRUE(first.halted);
+
+  baselines::SbbcOptions ropts = opts;
+  ropts.checkpoint_dir = dir;
+  ropts.resume = true;
+  ropts.halt_after_checkpoints = 2;
+  baselines::SbbcRun final_run;
+  int restarts = 0;
+  for (;;) {
+    final_run = baselines::sbbc_bc(g, sources, ropts);
+    ++restarts;
+    if (!final_run.halted) break;
+    ASSERT_LT(restarts, 64) << "resume chain failed to make progress";
+  }
+  EXPECT_GE(restarts, 1);
+
+  expect_bits_equal(golden.result.bc, final_run.result.bc, "sbbc cold restart");
+  testing::expect_tables_equal(golden.result, final_run.result, "sbbc cold restart tables");
+  EXPECT_EQ(final_run.forward.rounds, golden.forward.rounds);
+  EXPECT_EQ(final_run.backward.rounds, golden.backward.rounds);
+  EXPECT_EQ(final_run.total().messages, golden.total().messages);
+  EXPECT_EQ(final_run.total().bytes, golden.total().bytes);
+}
+
+TEST(DurableRestart, MrbcResumeUnderDeathSchedule) {
+  // SIGKILL + resume while a death schedule is in flight: the fault cursor
+  // and membership persist through the snapshot, so resumed runs neither
+  // replay already-survived deaths nor lose the degraded placement.
+  const std::string dir = scratch_dir("mrbc_death_resume");
+  const Graph g = graph::erdos_renyi(55, 0.08, 41);
+  const auto sources = graph::sample_sources(g, 10, 9, /*contiguous=*/false);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 5;
+  opts.batch_size = 4;
+  opts.cluster.checkpoint_interval = 2;
+  const auto golden = core::mrbc_bc(g, sources, opts);
+
+  const sim::FaultPlan plan = death_plan({{sim::FaultKind::kHostDeath, 3, 1},
+                                          {sim::FaultKind::kHostDeath, 9, 4}});
+
+  // Uninterrupted faulted run (reference for the deterministic counters,
+  // which include replay traffic and so differ from the fault-free run).
+  sim::FaultInjector ref_injector(plan, opts.num_hosts);
+  sim::Membership ref_membership(opts.num_hosts);
+  core::MrbcOptions refopts = opts;
+  refopts.cluster.fault = &ref_injector;
+  refopts.cluster.membership = &ref_membership;
+  const auto reference = core::mrbc_bc(g, sources, refopts);
+  expect_bits_equal(golden.result.bc, reference.result.bc, "death reference");
+
+  // Interrupted + resumed: fresh injector and membership per cold start —
+  // their state comes back from the snapshot, exactly like a new process.
+  auto faulted_call = [&](bool resume, std::size_t halt) {
+    sim::FaultInjector injector(plan, opts.num_hosts);
+    sim::Membership membership(opts.num_hosts);
+    core::MrbcOptions o = opts;
+    o.cluster.fault = &injector;
+    o.cluster.membership = &membership;
+    o.checkpoint_dir = dir;
+    o.resume = resume;
+    o.halt_after_checkpoints = halt;
+    return core::mrbc_bc(g, sources, o);
+  };
+  ASSERT_TRUE(faulted_call(false, 3).halted);
+  core::MrbcRun resumed;
+  int restarts = 0;
+  for (;;) {
+    resumed = faulted_call(true, 4);
+    ++restarts;
+    if (!resumed.halted) break;
+    ASSERT_LT(restarts, 200) << "resume chain failed to make progress";
+  }
+
+  expect_bits_equal(golden.result.bc, resumed.result.bc, "death resume vs fault-free");
+  EXPECT_EQ(resumed.forward.rounds, reference.forward.rounds);
+  EXPECT_EQ(resumed.backward.rounds, reference.backward.rounds);
+  EXPECT_EQ(resumed.total().messages, reference.total().messages);
+  EXPECT_EQ(resumed.total().bytes, reference.total().bytes);
+  EXPECT_EQ(resumed.total().faults.deaths, reference.total().faults.deaths);
+  EXPECT_EQ(resumed.total().faults.handoffs, reference.total().faults.handoffs);
+  EXPECT_EQ(resumed.total().faults.detection_rounds,
+            reference.total().faults.detection_rounds);
+  EXPECT_EQ(resumed.total().faults.recovery_rounds,
+            reference.total().faults.recovery_rounds);
+}
+
+TEST(DurableRestart, IncrementalBcSaveLoadContinuesExactly) {
+  const std::string dir = scratch_dir("inc_cold");
+  const std::string path = dir + "/inc.ckpt";
+  const Graph g = graph::erdos_renyi(40, 0.08, 29);
+
+  stream::IncrementalBcOptions opts;
+  opts.num_samples = 12;
+  opts.seed = 5;
+  opts.mrbc.num_hosts = 3;
+  opts.mrbc.batch_size = 4;
+
+  stream::IncrementalBc control(g, opts);
+  stream::IncrementalBc interrupted(g, opts);
+
+  util::Xoshiro256 rng(123);
+  auto random_batch = [&]() {
+    stream::EdgeBatch batch;
+    for (int i = 0; i < 12; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_bounded(40));
+      const auto v = static_cast<VertexId>(rng.next_bounded(40));
+      if (rng.next_bool(0.3)) {
+        batch.erase(u, v);
+      } else {
+        batch.insert(u, v);
+      }
+    }
+    return batch;
+  };
+
+  // Both maintainers see batch A; the interrupted one then "dies" (saved to
+  // disk, object discarded) and is reloaded cold.
+  const stream::EdgeBatch a = random_batch();
+  control.apply(a);
+  interrupted.apply(a);
+  interrupted.save(path);
+  stream::IncrementalBc restored = stream::IncrementalBc::load(path, opts);
+  EXPECT_EQ(restored.epoch(), control.epoch());
+  EXPECT_EQ(restored.delta().base().num_edges(), control.delta().base().num_edges());
+  EXPECT_EQ(restored.sources(), control.sources());
+  expect_bits_equal(control.scores(), restored.scores(), "restored scores");
+
+  // Continued churn after the cold restart stays bit-identical.
+  for (int round = 0; round < 2; ++round) {
+    const stream::EdgeBatch b = random_batch();
+    control.apply(b);
+    restored.apply(b);
+    expect_bits_equal(control.scores(), restored.scores(),
+                      "post-restore round " + std::to_string(round));
+    EXPECT_EQ(restored.epoch(), control.epoch());
+  }
+
+  EXPECT_THROW(stream::IncrementalBc::load(dir + "/absent.ckpt", opts), sim::SnapshotError);
+}
+
+// ---- Snapshot corruption hardening ------------------------------------------
+
+TEST(Snapshot, RoundTripAndMissingSection) {
+  const std::string dir = scratch_dir("snap_roundtrip");
+  const std::string path = dir + "/snap.bin";
+  sim::SnapshotWriter w;
+  w.section(7).write<std::uint64_t>(0x123456789abcdef0ull);
+  w.section(9).write_vector(std::vector<double>{1.5, -2.25, 3.0});
+  w.write_file(path);
+
+  const sim::SnapshotReader r = sim::SnapshotReader::from_file(path);
+  EXPECT_TRUE(r.has(7));
+  EXPECT_TRUE(r.has(9));
+  EXPECT_FALSE(r.has(8));
+  EXPECT_THROW(r.section(8), sim::SnapshotError);
+  const std::vector<std::uint8_t>& meta = r.section(7);
+  util::RecvBuffer buf(meta.data(), meta.size());
+  EXPECT_EQ(buf.read<std::uint64_t>(), 0x123456789abcdef0ull);
+}
+
+TEST(Snapshot, TruncationIsRejected) {
+  const std::string dir = scratch_dir("snap_truncate");
+  const std::string path = dir + "/snap.bin";
+  sim::SnapshotWriter w;
+  w.section(1).write_vector(std::vector<std::uint64_t>{1, 2, 3, 4});
+  w.write_file(path);
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  ASSERT_GT(bytes.size(), 40u);
+
+  // Every truncation point must be rejected — mid-header, mid-section
+  // header, and mid-payload alike.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{15},
+                          std::size_t{20}, bytes.size() - 1}) {
+    EXPECT_THROW(
+        sim::SnapshotReader(std::vector<std::uint8_t>(bytes.begin(),
+                                                      bytes.begin() + static_cast<std::ptrdiff_t>(cut))),
+        sim::SnapshotError)
+        << "cut at " << cut;
+  }
+
+  // A truncated file on disk fails from_file the same way.
+  write_file_bytes(path, std::vector<std::uint8_t>(bytes.begin(), bytes.end() - 3));
+  EXPECT_THROW(sim::SnapshotReader::from_file(path), sim::SnapshotError);
+}
+
+TEST(Snapshot, BitFlipsAreRejectedWithClearErrors) {
+  const std::string dir = scratch_dir("snap_bitflip");
+  const std::string path = dir + "/snap.bin";
+  sim::SnapshotWriter w;
+  w.section(1).write_vector(std::vector<std::uint64_t>{11, 22, 33});
+  w.write_file(path);
+  const std::vector<std::uint8_t> good = read_file_bytes(path);
+
+  // Magic: offset 0..7.
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0x01;
+    try {
+      sim::SnapshotReader reader(std::move(bad));
+      FAIL() << "bad magic accepted";
+    } catch (const sim::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+    }
+  }
+  // Version: offset 8..11.
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[8] ^= 0x40;
+    try {
+      sim::SnapshotReader reader(std::move(bad));
+      FAIL() << "bad version accepted";
+    } catch (const sim::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+    }
+  }
+  // Payload: first payload byte sits after the 16-byte file header and the
+  // 16-byte section header — a single flipped bit must trip the CRC.
+  {
+    std::vector<std::uint8_t> bad = good;
+    ASSERT_GT(bad.size(), 33u);
+    bad[32] ^= 0x10;
+    try {
+      sim::SnapshotReader reader(std::move(bad));
+      FAIL() << "corrupt payload accepted";
+    } catch (const sim::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+    }
+  }
+  // The pristine bytes still parse.
+  EXPECT_NO_THROW(sim::SnapshotReader(std::vector<std::uint8_t>(good)));
+}
+
+TEST(Snapshot, FaultPlanReproFileRoundTrips) {
+  const std::string dir = scratch_dir("fault_repro");
+  const std::string path = dir + "/repro.snap";
+
+  sim::FaultPlan plan;
+  plan.seed = 424242;
+  plan.drop_rate = 0.125;
+  plan.duplicate_rate = 0.0625;
+  plan.corrupt_rate = 0.03125;
+  plan.straggler_rate = 0.25;
+  plan.straggler_slowdown = 6.5;
+  plan.crash_round = 4;
+  plan.crash_host = 2;
+  plan.events.push_back({sim::FaultKind::kCrash, 3, 1});
+  plan.events.push_back({sim::FaultKind::kHostDeath, 7, 5});
+
+  sim::save_fault_plan_file(path, plan, 1234);
+
+  std::uint64_t fuzz_seed = 0;
+  const sim::FaultPlan loaded = sim::load_fault_plan_file(path, &fuzz_seed);
+  EXPECT_EQ(fuzz_seed, 1234u);
+  EXPECT_EQ(loaded.seed, plan.seed);
+  EXPECT_EQ(loaded.drop_rate, plan.drop_rate);
+  EXPECT_EQ(loaded.duplicate_rate, plan.duplicate_rate);
+  EXPECT_EQ(loaded.corrupt_rate, plan.corrupt_rate);
+  EXPECT_EQ(loaded.straggler_rate, plan.straggler_rate);
+  EXPECT_EQ(loaded.straggler_slowdown, plan.straggler_slowdown);
+  EXPECT_EQ(loaded.crash_round, plan.crash_round);
+  EXPECT_EQ(loaded.crash_host, plan.crash_host);
+  ASSERT_EQ(loaded.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].kind, plan.events[i].kind) << i;
+    EXPECT_EQ(loaded.events[i].round, plan.events[i].round) << i;
+    EXPECT_EQ(loaded.events[i].host, plan.events[i].host) << i;
+  }
+
+  EXPECT_THROW(sim::load_fault_plan_file(dir + "/absent.snap", &fuzz_seed),
+               sim::SnapshotError);
+}
+
+}  // namespace
+}  // namespace mrbc
