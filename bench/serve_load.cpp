@@ -1,0 +1,229 @@
+// Closed-loop load generator for the BC service daemon: N keep-alive
+// client threads issue read queries back-to-back against an in-process
+// Server while a writer thread churns edge batches through /ingest, so
+// every number reflects queries racing live epoch publication — the
+// daemon's actual operating regime, not an idle-read best case.
+//
+// Reports sustained queries/sec and latency percentiles (p50/p90/p99) per
+// endpoint mix, plus the epoch-publication rate the churn achieved, and
+// writes a machine-readable BENCH_<date>.json record next to the CSVs so
+// runs can be diffed across commits.
+//
+//   serve_load [duration_seconds] [clients] [out.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace mrbc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+struct ClientStats {
+  std::vector<double> latencies_us;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;  // 429s (admission control, not errors)
+};
+
+int run(int argc, char** argv) {
+  const double duration_s = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::string out_json;
+  if (argc > 3) {
+    out_json = argv[3];
+  } else {
+    // BENCH_<date>.json, date from the environment so runs are attributable
+    // (falls back to a dateless name rather than guessing).
+    const char* date = std::getenv("BENCH_DATE");
+    out_json = date != nullptr ? std::string("BENCH_") + date + ".json" : "BENCH.json";
+  }
+
+  serve::ServerOptions opts;
+  opts.request_threads = 4;
+  opts.max_pending_requests = 256;
+  opts.run_analytics = true;
+  opts.bc.num_samples = 16;
+  opts.bc.mrbc.num_hosts = 4;
+  serve::Server server(graph::rmat({.scale = 10, .edge_factor = 8.0, .seed = 13}), opts);
+  server.start();
+  const auto n = server.store().current()->num_vertices;
+  std::printf("serve_load: %d clients + 1 writer vs 127.0.0.1:%u (n=%u), %.0fs\n",
+              num_clients, server.port(), n, duration_s);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> epochs_seen{0};
+
+  // Writer: continuous small-batch churn through POST /ingest (async — the
+  // coalescing path is part of what is being measured).
+  std::thread writer([&] {
+    serve::HttpClient c(server.port(), /*keep_alive=*/true);
+    util::SplitMix64 rng(99);
+    while (!stop.load(std::memory_order_acquire)) {
+      util::JsonWriter w;
+      w.begin_object().key("ops").begin_array();
+      for (int j = 0; j < 8; ++j) {
+        const auto u = static_cast<std::uint64_t>(rng.next() % n);
+        const auto v = static_cast<std::uint64_t>(rng.next() % n);
+        if (u == v) continue;
+        w.begin_array().value(rng.next() % 4 != 0 ? "+" : "-").value(u).value(v).end_array();
+      }
+      w.end_array().end_object();
+      try {
+        c.post("/ingest", w.take());
+      } catch (const std::exception&) {
+        // connection reset under drain; retry next loop
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Clients: closed-loop (send, wait, send) over a realistic endpoint mix.
+  std::vector<ClientStats> stats(static_cast<std::size_t>(num_clients));
+  std::vector<std::thread> clients;
+  const Clock::time_point t_start = Clock::now();
+  for (int t = 0; t < num_clients; ++t) {
+    clients.emplace_back([&, t] {
+      ClientStats& s = stats[static_cast<std::size_t>(t)];
+      serve::HttpClient c(server.port(), /*keep_alive=*/true);
+      util::SplitMix64 rng(static_cast<std::uint64_t>(t) + 1);
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t pick = rng.next() % 10;
+        std::string target;
+        if (pick < 4) {
+          target = "/bc?vertex=" + std::to_string(rng.next() % n);
+        } else if (pick < 6) {
+          target = "/topk?k=10";
+        } else if (pick < 7) {
+          target = "/topk?k=10&metric=pagerank";
+        } else if (pick < 8) {
+          target = "/pagerank?vertex=" + std::to_string(rng.next() % n);
+        } else if (pick < 9) {
+          target = "/epoch";
+        } else {
+          target = "/stats";
+        }
+        const Clock::time_point t0 = Clock::now();
+        try {
+          const auto resp = c.get(target);
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+          if (resp.status == 200) {
+            ++s.requests;
+            s.latencies_us.push_back(us);
+            const auto it = resp.headers.find("x-epoch");
+            if (it != resp.headers.end()) {
+              const auto e = static_cast<std::uint64_t>(std::strtoull(it->second.c_str(),
+                                                                      nullptr, 10));
+              if (e > last_epoch) {
+                last_epoch = e;
+                epochs_seen.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          } else if (resp.status == 429) {
+            ++s.rejected;
+          } else {
+            ++s.errors;
+          }
+        } catch (const std::exception&) {
+          ++s.errors;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : clients) th.join();
+  writer.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+
+  std::vector<double> all_us;
+  std::uint64_t requests = 0, errors = 0, rejected = 0;
+  for (const ClientStats& s : stats) {
+    requests += s.requests;
+    errors += s.errors;
+    rejected += s.rejected;
+    all_us.insert(all_us.end(), s.latencies_us.begin(), s.latencies_us.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  const double qps = static_cast<double>(requests) / elapsed;
+  const double p50 = percentile(all_us, 0.50);
+  const double p90 = percentile(all_us, 0.90);
+  const double p99 = percentile(all_us, 0.99);
+  const auto& counters = server.counters();
+  const std::uint64_t epochs = counters.epochs_published.load();
+  const std::uint64_t applied = counters.batches_applied.load();
+  const std::uint64_t batches = counters.batches_ingested.load();
+  server.stop();
+
+  std::printf("sustained: %.0f queries/s over %.1fs (%llu ok, %llu rejected, %llu errors)\n",
+              qps, elapsed, static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(errors));
+  std::printf("latency: p50=%.0fus p90=%.0fus p99=%.0fus\n", p50, p90, p99);
+  std::printf("churn: %llu batches ingested, %llu applies (coalescing %.1fx), "
+              "%llu epochs published (%.1f/s)\n",
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(applied),
+              applied > 0 ? static_cast<double>(batches) / static_cast<double>(applied) : 0.0,
+              static_cast<unsigned long long>(epochs),
+              static_cast<double>(epochs) / elapsed);
+
+  util::JsonWriter w;
+  w.begin_object()
+      .key("bench").value("serve_load")
+      .key("duration_seconds").value(elapsed)
+      .key("clients").value(std::int64_t{num_clients})
+      .key("graph").value("rmat scale=10 ef=8")
+      .key("samples").value(std::uint64_t{opts.bc.num_samples})
+      .key("queries_per_second").value(qps)
+      .key("requests_ok").value(requests)
+      .key("requests_rejected").value(rejected)
+      .key("requests_errored").value(errors)
+      .key("latency_us").begin_object()
+      .key("p50").value(p50).key("p90").value(p90).key("p99").value(p99)
+      .end_object()
+      .key("ingest").begin_object()
+      .key("batches").value(batches)
+      .key("applies").value(applied)
+      .key("epochs_published").value(epochs)
+      .key("epochs_per_second").value(static_cast<double>(epochs) / elapsed)
+      .end_object()
+      .end_object();
+  std::FILE* f = std::fopen(out_json.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_json.c_str());
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_json.c_str());
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main(int argc, char** argv) { return mrbc::bench::run(argc, argv); }

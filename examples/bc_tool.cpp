@@ -10,10 +10,14 @@
 // across algorithms (max BC, sum of BC, number of nonzero vertices) plus
 // the execution profile.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "baselines/abbc.h"
 #include "baselines/brandes_seq.h"
@@ -29,6 +33,7 @@
 #include "graph/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "util/csv.h"
 #include "util/stats_registry.h"
 #include "util/thread_pool.h"
@@ -60,7 +65,22 @@ struct Args {
   std::string trace_json;      // Chrome trace-event timeline dump
   std::string metrics_json;    // histogram/percentile dump
   bool progress = false;       // live per-round progress on stderr
+  int serve_port = -1;         // >= 0: run the BC service daemon instead
+  std::uint32_t serve_threads = 4;
+  std::size_t checkpoint_every = 0;  // serve mode: batches between checkpoints
+  bool no_analytics = false;         // serve mode: skip pagerank/cc/kcore
 };
+
+/// Set by the SIGINT/SIGTERM handler; batch runs consult it at durable
+/// checkpoint boundaries (checkpoint-then-exit), serve mode drains on it.
+std::atomic<bool> g_halt{false};
+
+extern "C" void bc_tool_on_signal(int) { g_halt.store(true, std::memory_order_release); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, bc_tool_on_signal);
+  std::signal(SIGTERM, bc_tool_on_signal);
+}
 
 void usage(const char* prog) {
   std::printf(
@@ -94,7 +114,16 @@ void usage(const char* prog) {
       "                        or https://ui.perfetto.dev)\n"
       "  --metrics-json <file> write histogram metrics (message sizes, round bytes,\n"
       "                        span durations) with p50/p90/p99\n"
-      "  --progress            live per-round progress line on stderr\n",
+      "  --progress            live per-round progress line on stderr\n"
+      "  --serve <port>        run the BC service daemon on 127.0.0.1:<port>\n"
+      "                        (0 = ephemeral; the bound port is printed).\n"
+      "                        Serves /bc /topk /pagerank /cc /kcore /stats and\n"
+      "                        POST /ingest; --checkpoint-dir persists the engine\n"
+      "                        across restarts; SIGINT/SIGTERM drains gracefully\n"
+      "  --serve-threads <n>   request-handler threads (default 4)\n"
+      "  --checkpoint-every <n> serve mode: checkpoint every n applied batches\n"
+      "                        (default 0 = only on drain)\n"
+      "  --no-analytics        serve mode: skip per-epoch pagerank/cc/kcore\n",
       prog);
 }
 
@@ -132,6 +161,12 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--metrics-json")) args.metrics_json = next("--metrics-json");
     else if (!std::strncmp(argv[i], "--metrics-json=", 15)) args.metrics_json = argv[i] + 15;
     else if (!std::strcmp(argv[i], "--progress")) args.progress = true;
+    else if (!std::strcmp(argv[i], "--serve")) args.serve_port = std::atoi(next("--serve"));
+    else if (!std::strncmp(argv[i], "--serve=", 8)) args.serve_port = std::atoi(argv[i] + 8);
+    else if (!std::strcmp(argv[i], "--serve-threads")) args.serve_threads = static_cast<std::uint32_t>(std::atoi(next("--serve-threads")));
+    else if (!std::strcmp(argv[i], "--checkpoint-every")) args.checkpoint_every = static_cast<std::size_t>(std::atoll(next("--checkpoint-every")));
+    else if (!std::strncmp(argv[i], "--checkpoint-every=", 19)) args.checkpoint_every = static_cast<std::size_t>(std::atoll(argv[i] + 19));
+    else if (!std::strcmp(argv[i], "--no-analytics")) args.no_analytics = true;
     else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage(argv[0]);
       std::exit(0);
@@ -213,6 +248,39 @@ void record_profile(const char* phase, const sim::RunStats& stats) {
   g_stats.set_value(p + ".recovery_seconds", stats.phases.recovery_seconds);
 }
 
+int run_serve(const Args& args, graph::Graph g) {
+  serve::ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(args.serve_port);
+  sopts.request_threads = args.serve_threads;
+  sopts.run_analytics = !args.no_analytics;
+  sopts.checkpoint_dir = args.checkpoint_dir;
+  sopts.checkpoint_every = args.checkpoint_every;
+  sopts.bc.num_samples = args.sources == 0 ? 64 : args.sources;
+  sopts.bc.seed = args.seed;
+  sopts.bc.mrbc.num_hosts = args.hosts;
+  sopts.bc.mrbc.policy = parse_policy(args.policy);
+  sopts.bc.mrbc.cluster.parallel_hosts = util::ThreadPool::global().parallelism() > 1;
+
+  install_signal_handlers();
+  serve::Server server(std::move(g), std::move(sopts));
+  server.start();
+  std::printf("serving on http://127.0.0.1:%u (epoch %llu, %u samples)\n", server.port(),
+              static_cast<unsigned long long>(server.engine_epoch()),
+              args.sources == 0 ? 64u : args.sources);
+  std::printf("endpoints: /healthz /epoch /bc /topk /pagerank /cc /kcore /stats, POST /ingest\n");
+  std::fflush(stdout);
+  while (!g_halt.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("signal received: draining\n");
+  std::fflush(stdout);
+  server.stop();
+  std::printf("drained: served=%llu epochs=%llu\n",
+              static_cast<unsigned long long>(server.counters().requests_served.load()),
+              static_cast<unsigned long long>(server.counters().epochs_published.load()));
+  return 0;
+}
+
 }  // namespace
 
 static int run_tool(int argc, char** argv) {
@@ -244,6 +312,11 @@ static int run_tool(int argc, char** argv) {
     std::fprintf(stderr, "empty graph\n");
     return 1;
   }
+  if (args.serve_port >= 0) return run_serve(args, std::move(g));
+  // Batch runs with durable checkpoints get checkpoint-then-exit on
+  // SIGINT/SIGTERM instead of dying mid-write; without a checkpoint dir
+  // the default signal disposition is the right behavior.
+  if (!args.checkpoint_dir.empty()) install_signal_handlers();
 
   std::vector<graph::VertexId> sources;
   if (args.sources == 0) {
@@ -297,7 +370,14 @@ static int run_tool(int argc, char** argv) {
     opts.cluster.codec = codec;
     opts.checkpoint_dir = args.checkpoint_dir;
     opts.resume = args.resume;
+    opts.halt_flag = &g_halt;
     auto run = core::mrbc_bc(g, sources, opts);
+    if (run.halted) {
+      std::printf("halted by signal: durable checkpoint persisted in %s; "
+                  "rerun with --resume to continue\n",
+                  args.checkpoint_dir.c_str());
+      return 0;
+    }
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
     record_profile("forward", run.forward);
@@ -319,7 +399,14 @@ static int run_tool(int argc, char** argv) {
     opts.cluster.codec = codec;
     opts.checkpoint_dir = args.checkpoint_dir;
     opts.resume = args.resume;
+    opts.halt_flag = &g_halt;
     auto run = baselines::sbbc_bc(g, sources, opts);
+    if (run.halted) {
+      std::printf("halted by signal: durable checkpoint persisted in %s; "
+                  "rerun with --resume to continue\n",
+                  args.checkpoint_dir.c_str());
+      return 0;
+    }
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
     record_profile("forward", run.forward);

@@ -1,0 +1,24 @@
+#include "analytics/topk.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mrbc::analytics {
+
+std::vector<ScoredVertex> top_k(std::span<const double> scores, std::size_t k) {
+  const std::size_t n = scores.size();
+  k = std::min(k, n);
+  std::vector<graph::VertexId> order(n);
+  std::iota(order.begin(), order.end(), graph::VertexId{0});
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
+                    [&scores](graph::VertexId a, graph::VertexId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  std::vector<ScoredVertex> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back({order[i], scores[order[i]]});
+  return out;
+}
+
+}  // namespace mrbc::analytics

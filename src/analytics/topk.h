@@ -1,0 +1,27 @@
+#pragma once
+// Top-k ranking over a per-vertex score vector — the /topk endpoint's
+// helper, shared with examples and benches. Deterministic: ties broken by
+// ascending vertex id, so two runs (or two hosts serving the same epoch)
+// always return the same ranking.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mrbc::analytics {
+
+struct ScoredVertex {
+  graph::VertexId vertex = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredVertex&, const ScoredVertex&) = default;
+};
+
+/// The k highest-scoring vertices, score descending, ties by ascending
+/// vertex id. k >= scores.size() returns the full ranking; k == 0 returns
+/// empty. O(n + k log n) via partial_sort.
+std::vector<ScoredVertex> top_k(std::span<const double> scores, std::size_t k);
+
+}  // namespace mrbc::analytics

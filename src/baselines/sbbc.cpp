@@ -550,6 +550,10 @@ SbbcRun sbbc_bc(const Partition& part, const std::vector<VertexId>& sources,
         run.halted = true;
         break;
       }
+      if (options.halt_flag != nullptr && options.halt_flag->load(std::memory_order_acquire)) {
+        run.halted = true;
+        break;
+      }
     }
   }
   return run;

@@ -6,6 +6,7 @@
 // level (backward) costs one BSP round, so a source of eccentricity L
 // executes ~2L rounds versus MRBC's pipelined batch.
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,9 @@ struct SbbcOptions {
   /// Test hook: stop (SbbcRun::halted = true) after this many durable
   /// snapshot writes. 0 disables.
   std::size_t halt_after_checkpoints = 0;
+  /// Cooperative-shutdown hook: stop at the next durable snapshot write
+  /// once the pointee turns true (see MrbcOptions::halt_flag).
+  const std::atomic<bool>* halt_flag = nullptr;
 };
 
 struct SbbcRun {

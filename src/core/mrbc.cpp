@@ -871,6 +871,9 @@ struct DurableWriter {
     if (opts->halt_after_checkpoints != 0 && writes >= opts->halt_after_checkpoints) {
       throw HaltRun{};
     }
+    if (opts->halt_flag != nullptr && opts->halt_flag->load(std::memory_order_acquire)) {
+      throw HaltRun{};
+    }
   }
 };
 

@@ -17,6 +17,7 @@
 //     2(k + H) + O(1) rounds per batch where H is the largest finite
 //     distance from the batch.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,6 +66,12 @@ struct MrbcOptions {
   /// after this many durable snapshot writes — simulates a process killed
   /// right after persisting. 0 disables.
   std::size_t halt_after_checkpoints = 0;
+  /// Cooperative-shutdown hook: when set and the pointee becomes true, the
+  /// run stops (MrbcRun::halted = true) at the next durable snapshot write
+  /// — the snapshot on disk is the state to resume from. bc_tool points
+  /// this at its SIGINT/SIGTERM flag so a signal means checkpoint-then-exit
+  /// instead of dying mid-write. Only consulted when checkpointing is on.
+  const std::atomic<bool>* halt_flag = nullptr;
 };
 
 struct MrbcRun {

@@ -1,0 +1,414 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mrbc::serve {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool HttpRequest::keep_alive() const {
+  auto it = headers.find("connection");
+  if (it != headers.end()) {
+    const std::string v = to_lower(it->second);
+    if (v.find("close") != std::string::npos) return false;
+    if (v.find("keep-alive") != std::string::npos) return true;
+  }
+  return version_minor >= 1;  // HTTP/1.1 defaults to persistent
+}
+
+std::string HttpRequest::query_param(const std::string& key, const std::string& fallback) const {
+  auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+void split_target(std::string_view target, std::string& path,
+                  std::map<std::string, std::string>& query) {
+  query.clear();
+  const std::size_t q = target.find('?');
+  path = url_decode(target.substr(0, q));
+  if (q == std::string_view::npos) return;
+  std::string_view qs = target.substr(q + 1);
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    std::string_view pair = qs.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (!pair.empty()) {
+      if (eq == std::string_view::npos) {
+        query[url_decode(pair)] = "";
+      } else {
+        query[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    qs.remove_prefix(amp + 1);
+  }
+}
+
+void HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+void HttpParser::reset() {
+  state_ = State::kHead;
+  error_status_ = 0;
+  error_reason_.clear();
+  head_.clear();
+  body_expected_ = 0;
+  request_ = HttpRequest{};
+}
+
+std::size_t HttpParser::consume(const char* data, std::size_t len) {
+  std::size_t used = 0;
+  while (used < len && state_ != State::kComplete && state_ != State::kError) {
+    if (state_ == State::kHead) {
+      // Accumulate until the blank line; head growth is bounded below by
+      // the 431 check, so memory stays at max_head_bytes + one read.
+      const std::size_t take = len - used;
+      const std::size_t before = head_.size();
+      head_.append(data + used, take);
+      // Find CRLFCRLF, searching only around the new bytes.
+      const std::size_t from = before >= 3 ? before - 3 : 0;
+      const std::size_t at = head_.find("\r\n\r\n", from);
+      if (at == std::string::npos) {
+        used += take;
+        if (head_.size() > limits_.max_head_bytes) {
+          fail(431, "request head too large");
+          return used;
+        }
+        continue;
+      }
+      // Bytes past the blank line belong to the body (or next request).
+      used += at + 4 - before;
+      if (at + 4 > limits_.max_head_bytes) {
+        fail(431, "request head too large");
+        return used;
+      }
+      head_.resize(at + 4);
+      parse_head();
+      continue;
+    }
+    // kBody
+    const std::size_t want = body_expected_ - request_.body.size();
+    const std::size_t take = std::min(want, len - used);
+    request_.body.append(data + used, take);
+    used += take;
+    if (request_.body.size() == body_expected_) state_ = State::kComplete;
+  }
+  return used;
+}
+
+void HttpParser::parse_head() {
+  std::string_view rest(head_);
+  rest.remove_suffix(2);  // trailing CRLF of the blank line
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find("\r\n");
+    std::string_view line = rest.substr(0, eol);
+    rest.remove_prefix(eol + 2);
+    if (first) {
+      if (!parse_request_line(line)) return;
+      first = false;
+    } else if (!line.empty()) {
+      if (!parse_header_line(line)) return;
+    }
+  }
+  if (first) {
+    fail(400, "empty request");
+    return;
+  }
+  on_headers_done();
+}
+
+bool HttpParser::parse_request_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    fail(505, "unsupported HTTP version");
+    return false;
+  }
+  if (request_.method.empty() ||
+      !std::all_of(request_.method.begin(), request_.method.end(),
+                   [](unsigned char c) { return std::isupper(c) != 0; })) {
+    fail(400, "malformed method");
+    return false;
+  }
+  if (request_.target.empty() || request_.target[0] != '/') {
+    fail(400, "malformed request target");
+    return false;
+  }
+  split_target(request_.target, request_.path, request_.query);
+  return true;
+}
+
+bool HttpParser::parse_header_line(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed header");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (name.back() == ' ' || name.back() == '\t') {
+    fail(400, "whitespace before header colon");
+    return false;
+  }
+  std::string key = to_lower(name);
+  std::string value(trim(line.substr(colon + 1)));
+  auto it = request_.headers.find(key);
+  if (it != request_.headers.end()) {
+    if (key == "content-length" && it->second != value) {
+      fail(400, "conflicting Content-Length headers");
+      return false;
+    }
+    return true;  // keep the first occurrence
+  }
+  request_.headers.emplace(std::move(key), std::move(value));
+  return true;
+}
+
+void HttpParser::on_headers_done() {
+  if (request_.headers.count("transfer-encoding") != 0) {
+    fail(501, "Transfer-Encoding not supported");
+    return;
+  }
+  body_expected_ = 0;
+  auto it = request_.headers.find("content-length");
+  if (it != request_.headers.end()) {
+    const std::string& v = it->second;
+    if (v.empty() || !std::all_of(v.begin(), v.end(),
+                                  [](unsigned char c) { return std::isdigit(c) != 0; })) {
+      fail(400, "malformed Content-Length");
+      return;
+    }
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(v.c_str(), nullptr, 10);
+    if (errno != 0 || parsed > limits_.max_body_bytes) {
+      fail(413, "request body too large");
+      return;
+    }
+    body_expected_ = static_cast<std::size_t>(parsed);
+  }
+  head_.clear();
+  if (body_expected_ == 0) {
+    state_ = State::kComplete;
+  } else {
+    request_.body.reserve(body_expected_);
+    state_ = State::kBody;
+  }
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type, std::string_view body,
+                          bool keep_alive,
+                          const std::vector<std::pair<std::string, std::string>>& extra) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const auto& [name, value] : extra) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+// ---- HttpClient -------------------------------------------------------------
+
+HttpClient::HttpClient(std::uint16_t port, bool keep_alive)
+    : port_(port), keep_alive_(keep_alive) {}
+
+HttpClient::~HttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int HttpClient::connect_fd() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect() to 127.0.0.1:" + std::to_string(port_) +
+                             " failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+HttpClient::Response HttpClient::round_trip(const std::string& request_text) {
+  if (fd_ < 0) fd_ = connect_fd();
+  std::size_t sent = 0;
+  while (sent < request_text.size()) {
+    const ssize_t n = ::send(fd_, request_text.data() + sent, request_text.size() - sent, 0);
+    if (n <= 0) {
+      // A keep-alive peer may have timed the connection out; retry once on
+      // a fresh connection.
+      ::close(fd_);
+      fd_ = connect_fd();
+      sent = 0;
+      continue;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  std::size_t content_length = 0;
+  while (true) {
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const std::string head = to_lower(raw.substr(0, header_end));
+        const std::size_t cl = head.find("content-length:");
+        if (cl != std::string::npos) {
+          content_length = std::strtoull(head.c_str() + cl + 15, nullptr, 10);
+        }
+      }
+    }
+    if (header_end != std::string::npos && raw.size() >= header_end + 4 + content_length) break;
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) throw std::runtime_error("connection closed mid-response");
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  Response resp;
+  std::string_view head(raw.data(), header_end);
+  const std::size_t eol = head.find("\r\n");
+  std::string_view status_line = head.substr(0, eol);
+  if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+    throw std::runtime_error("malformed status line");
+  }
+  resp.status = std::atoi(std::string(status_line.substr(9, 3)).c_str());
+  std::string_view rest = eol == std::string_view::npos ? std::string_view{} : head.substr(eol + 2);
+  while (!rest.empty()) {
+    const std::size_t le = rest.find("\r\n");
+    std::string_view line = rest.substr(0, le);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      resp.headers[to_lower(line.substr(0, colon))] = std::string(trim(line.substr(colon + 1)));
+    }
+    if (le == std::string_view::npos) break;
+    rest.remove_prefix(le + 2);
+  }
+  resp.body = raw.substr(header_end + 4, content_length);
+
+  auto conn = resp.headers.find("connection");
+  const bool server_keeps = conn == resp.headers.end() || to_lower(conn->second) != "close";
+  if (!keep_alive_ || !server_keeps) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return resp;
+}
+
+HttpClient::Response HttpClient::get(const std::string& target) {
+  std::string req = "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: " +
+                    (keep_alive_ ? "keep-alive" : "close") + std::string("\r\n\r\n");
+  return round_trip(req);
+}
+
+HttpClient::Response HttpClient::post(const std::string& target, const std::string& body,
+                                      const std::string& content_type) {
+  std::string req = "POST " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: " +
+                    content_type + "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: " + (keep_alive_ ? "keep-alive" : "close") + "\r\n\r\n" + body;
+  return round_trip(req);
+}
+
+}  // namespace mrbc::serve

@@ -1,0 +1,133 @@
+#pragma once
+// Minimal dependency-free HTTP/1.1 for the BC service daemon: an
+// incremental request parser (fed raw bytes as they arrive off the
+// socket, byte-split agnostic — the fuzz tests feed every chunking),
+// a response serializer, and a tiny blocking client used by the test
+// suite and the load-generator bench. Scope is deliberately narrow:
+// GET/POST/HEAD, Content-Length bodies only (Transfer-Encoding is
+// rejected with 501), HTTP/1.0 and 1.1, bounded header and body sizes
+// so a malicious peer cannot balloon the daemon's memory.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrbc::serve {
+
+struct HttpRequest {
+  std::string method;   ///< uppercase as received (GET, POST, ...)
+  std::string target;   ///< raw request target (/bc?vertex=3)
+  std::string path;     ///< target before '?', %XX-decoded
+  std::map<std::string, std::string> query;  ///< decoded key → value
+  int version_minor = 1;  ///< 0 or 1 (HTTP/1.x)
+  /// Header names lowercased; values trimmed of surrounding whitespace.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  bool keep_alive() const;
+  /// Query parameter lookup; returns `fallback` when absent.
+  std::string query_param(const std::string& key, const std::string& fallback = "") const;
+};
+
+/// Incremental request parser. Feed bytes with consume(); once complete(),
+/// take the request with request() and call reset() to parse the next one
+/// on the same connection (pipelining leftovers are retained).
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_head_bytes = 16 * 1024;       ///< request line + headers
+    std::size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(Limits limits) : limits_(limits) {}
+
+  enum class State : std::uint8_t { kHead, kBody, kComplete, kError };
+
+  /// Consumes as much of [data, data+len) as the current message needs.
+  /// Returns the number of bytes consumed; the remainder (start of a
+  /// pipelined next request) should be re-fed after reset().
+  std::size_t consume(const char* data, std::size_t len);
+  std::size_t consume(std::string_view s) { return consume(s.data(), s.size()); }
+
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+  bool error() const { return state_ == State::kError; }
+  /// HTTP status code describing the parse failure (400, 431, 413, 501,
+  /// 505); 0 while not in the error state.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  const HttpRequest& request() const { return request_; }
+  HttpRequest take_request() { return std::move(request_); }
+
+  /// Ready for the next message on the same connection.
+  void reset();
+
+ private:
+  void parse_head();
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  void on_headers_done();
+  void fail(int status, std::string reason);
+
+  Limits limits_;
+  State state_ = State::kHead;
+  int error_status_ = 0;
+  std::string error_reason_;
+  std::string head_;   ///< accumulates until CRLFCRLF
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+};
+
+/// %XX-decodes a URL component ('+' is NOT treated as space — the daemon's
+/// query values are ids and comma lists). Invalid escapes pass through.
+std::string url_decode(std::string_view s);
+
+/// Splits `target` into path + decoded query map.
+void split_target(std::string_view target, std::string& path,
+                  std::map<std::string, std::string>& query);
+
+/// Serializes a response with Content-Length, Content-Type and Connection
+/// headers (plus any `extra` "Name: value" pairs).
+std::string http_response(int status, std::string_view content_type, std::string_view body,
+                          bool keep_alive,
+                          const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+/// Canonical reason phrase for the handful of statuses the daemon emits.
+const char* status_reason(int status);
+
+/// Blocking loopback HTTP client (tests + bench). Connects per call unless
+/// constructed with keep_alive, sends one request, reads one response.
+class HttpClient {
+ public:
+  /// `port` on 127.0.0.1. keep_alive reuses one connection across calls.
+  explicit HttpClient(std::uint16_t port, bool keep_alive = false);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  struct Response {
+    int status = 0;
+    std::map<std::string, std::string> headers;  ///< lowercased names
+    std::string body;
+  };
+
+  /// Throws std::runtime_error on connect/socket failure or a malformed
+  /// response (a 4xx/5xx status is returned, not thrown).
+  Response get(const std::string& target);
+  Response post(const std::string& target, const std::string& body,
+                const std::string& content_type = "application/json");
+
+ private:
+  Response round_trip(const std::string& request_text);
+  int connect_fd();
+
+  std::uint16_t port_;
+  bool keep_alive_;
+  int fd_ = -1;
+};
+
+}  // namespace mrbc::serve

@@ -9,8 +9,10 @@
 #include "analytics/connected_components.h"
 #include "analytics/kcore.h"
 #include "analytics/pagerank.h"
+#include "analytics/topk.h"
 #include "graph/algorithms.h"
 #include "test_helpers.h"
+#include "util/rng.h"
 
 namespace mrbc::analytics {
 namespace {
@@ -175,6 +177,54 @@ TEST(Kcore, PathPeelsFromTheEnds) {
   Graph g = graph::bidirectional_path(20);  // degrees 2 at ends, 4 inside
   auto result = kcore(g, 3, 4);
   EXPECT_EQ(result.core_size, 0u) << "peeling the ends cascades through the path";
+}
+
+// ---- top_k ------------------------------------------------------------------
+
+TEST(TopK, RanksByScoreDescending) {
+  const std::vector<double> scores = {0.5, 3.0, 1.0, 2.0};
+  const auto ranked = top_k(scores, 3);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], (ScoredVertex{1, 3.0}));
+  EXPECT_EQ(ranked[1], (ScoredVertex{3, 2.0}));
+  EXPECT_EQ(ranked[2], (ScoredVertex{2, 1.0}));
+}
+
+TEST(TopK, TiesBreakByAscendingVertexId) {
+  const std::vector<double> scores = {2.0, 1.0, 2.0, 2.0, 1.0};
+  const auto ranked = top_k(scores, 5);
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].vertex, 0u);
+  EXPECT_EQ(ranked[1].vertex, 2u);
+  EXPECT_EQ(ranked[2].vertex, 3u);
+  EXPECT_EQ(ranked[3].vertex, 1u);
+  EXPECT_EQ(ranked[4].vertex, 4u);
+}
+
+TEST(TopK, KBeyondSizeReturnsFullRankingAndZeroReturnsEmpty) {
+  const std::vector<double> scores = {1.0, 2.0};
+  EXPECT_EQ(top_k(scores, 100).size(), 2u);
+  EXPECT_TRUE(top_k(scores, 0).empty());
+  EXPECT_TRUE(top_k({}, 5).empty());
+}
+
+TEST(TopK, AgreesWithFullSort) {
+  util::SplitMix64 rng(99);
+  std::vector<double> scores(500);
+  for (double& s : scores) {
+    s = static_cast<double>(rng.next() % 50);  // many ties
+  }
+  const auto full = top_k(scores, scores.size());
+  for (std::size_t i = 1; i < full.size(); ++i) {
+    const bool ordered = full[i - 1].score > full[i].score ||
+                         (full[i - 1].score == full[i].score &&
+                          full[i - 1].vertex < full[i].vertex);
+    ASSERT_TRUE(ordered) << "position " << i;
+  }
+  const auto partial = top_k(scores, 25);
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    ASSERT_EQ(partial[i], full[i]) << "partial_sort prefix diverges at " << i;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -708,6 +709,79 @@ TEST(Snapshot, FaultPlanReproFileRoundTrips) {
 
   EXPECT_THROW(sim::load_fault_plan_file(dir + "/absent.snap", &fuzz_seed),
                sim::SnapshotError);
+}
+
+// ---- Cooperative shutdown (halt_flag) ---------------------------------------
+
+TEST(HaltFlag, MrbcStopsAtCheckpointBoundaryAndResumesExactly) {
+  // The SIGINT/SIGTERM path bc_tool uses: a flag raised mid-run stops the
+  // run at the next durable snapshot write, and a resume completes with
+  // bit-identical results — checkpoint-then-exit, never die mid-write.
+  const std::string dir = scratch_dir("halt_flag");
+  const Graph g = graph::rmat({.scale = 6, .edge_factor = 4.0, .seed = 3});
+  const auto sources = graph::sample_sources(g, 10, 11, /*contiguous=*/false);
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 4;
+  opts.batch_size = 4;
+  opts.cluster.checkpoint_interval = 2;
+  const auto golden = core::mrbc_bc(g, sources, opts);
+
+  std::atomic<bool> halt{true};  // raised before the run: halt at the first write
+  core::MrbcOptions dopts = opts;
+  dopts.checkpoint_dir = dir;
+  dopts.halt_flag = &halt;
+  const auto first = core::mrbc_bc(g, sources, dopts);
+  ASSERT_TRUE(first.halted);
+
+  halt.store(false);
+  core::MrbcOptions ropts = dopts;
+  ropts.resume = true;
+  const auto resumed = core::mrbc_bc(g, sources, ropts);
+  ASSERT_FALSE(resumed.halted);
+  expect_bits_equal(golden.result.bc, resumed.result.bc, "halt_flag resume");
+  EXPECT_EQ(resumed.forward.rounds, golden.forward.rounds);
+  EXPECT_EQ(resumed.backward.rounds, golden.backward.rounds);
+}
+
+TEST(HaltFlag, UnraisedFlagIsInert) {
+  const Graph g = graph::erdos_renyi(40, 0.1, 13);
+  const auto sources = graph::sample_sources(g, 6, 1, /*contiguous=*/false);
+  const std::string dir = scratch_dir("halt_flag_inert");
+  std::atomic<bool> halt{false};
+
+  core::MrbcOptions opts;
+  opts.num_hosts = 3;
+  opts.batch_size = 3;
+  opts.checkpoint_dir = dir;
+  opts.cluster.checkpoint_interval = 2;
+  opts.halt_flag = &halt;
+  EXPECT_FALSE(core::mrbc_bc(g, sources, opts).halted);
+}
+
+TEST(HaltFlag, SbbcStopsAtCheckpointBoundaryAndResumesExactly) {
+  const std::string dir = scratch_dir("halt_flag_sbbc");
+  const Graph g = graph::rmat({.scale = 5, .edge_factor = 4.0, .seed = 7});
+  const auto sources = graph::sample_sources(g, 8, 3, /*contiguous=*/false);
+
+  baselines::SbbcOptions opts;
+  opts.num_hosts = 3;
+  opts.cluster.checkpoint_interval = 2;
+  const auto golden = baselines::sbbc_bc(g, sources, opts);
+
+  std::atomic<bool> halt{true};
+  baselines::SbbcOptions dopts = opts;
+  dopts.checkpoint_dir = dir;
+  dopts.halt_flag = &halt;
+  const auto first = baselines::sbbc_bc(g, sources, dopts);
+  ASSERT_TRUE(first.halted);
+
+  halt.store(false);
+  baselines::SbbcOptions ropts = dopts;
+  ropts.resume = true;
+  const auto resumed = baselines::sbbc_bc(g, sources, ropts);
+  ASSERT_FALSE(resumed.halted);
+  expect_bits_equal(golden.result.bc, resumed.result.bc, "sbbc halt_flag resume");
 }
 
 }  // namespace
