@@ -1,0 +1,248 @@
+// Bench regression gate: compares a freshly recorded serve_load JSON
+// against the last-committed baseline and exits nonzero when a gated
+// metric regressed beyond threshold. CI runs this on every push, so a
+// perf regression fails the build the same way a broken test does.
+//
+//   compare_bench <baseline.json> <fresh.json> [--threshold 0.10] [--warn-only]
+//                 [--deterministic-only]
+//   compare_bench --check-metrics <exposition.txt>
+//
+// Gated keys and their directions:
+//   queries_per_second            higher is better
+//   latency_us.p99                lower is better
+//   ingest.epochs_per_second      higher is better
+//   batch_pipeline[*].rounds                  lower is better (deterministic)
+//   batch_pipeline[*].encoded_bytes           lower is better (deterministic)
+//   batch_pipeline[*].modeled_network_seconds lower is better (deterministic)
+//
+// --deterministic-only gates only the batch_pipeline keys: those are
+// machine-independent (fixed graph, fixed seeds, modeled network), so they
+// can hard-fail on any runner, while the throughput keys only gate
+// meaningfully on hardware matching the committed baseline's.
+//
+// A key present in only one record is reported and skipped, not failed —
+// the first run after a schema extension gates on whatever overlaps, and
+// the next committed baseline picks up the new keys.
+//
+// --check-metrics mode feeds a scraped /metrics body through the strict
+// OpenMetrics parser (obs/prometheus.h) and fails on any malformed line,
+// NaN sample, or missing required series — the CI smoke step uses it so
+// "curl succeeded" implies "a real scraper would have accepted it".
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prometheus.h"
+#include "util/json.h"
+
+namespace mrbc::bench {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "compare_bench: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Looks up a dotted path ("latency_us.p99") in a parsed record; returns
+/// false when any segment is absent.
+bool lookup(const util::JsonValue& root, const std::string& dotted, double& out) {
+  const util::JsonValue* cur = &root;
+  std::size_t pos = 0;
+  while (pos <= dotted.size()) {
+    const std::size_t dot = dotted.find('.', pos);
+    const std::string key =
+        dotted.substr(pos, dot == std::string::npos ? std::string::npos : dot - pos);
+    if (!cur->is_object()) return false;
+    const util::JsonValue* next = cur->find(key);
+    if (next == nullptr) return false;
+    cur = next;
+    if (dot == std::string::npos) break;
+    pos = dot + 1;
+  }
+  if (!cur->is_number()) return false;
+  out = cur->as_double();
+  return true;
+}
+
+struct GateResult {
+  int compared = 0;
+  int regressed = 0;
+  int skipped = 0;
+};
+
+/// One gated comparison. higher_better decides which direction counts as a
+/// regression; |delta| within threshold always passes.
+void gate(const char* label, const util::JsonValue& base, const util::JsonValue& fresh,
+          const std::string& key, bool higher_better, double threshold, GateResult& r) {
+  double b = 0;
+  double f = 0;
+  const bool have_b = lookup(base, key, b);
+  const bool have_f = lookup(fresh, key, f);
+  if (!have_b || !have_f) {
+    std::printf("  skip  %-46s (%s)\n", label,
+                !have_b && !have_f ? "absent in both"
+                : !have_b          ? "absent in baseline"
+                                   : "absent in fresh record");
+    ++r.skipped;
+    return;
+  }
+  ++r.compared;
+  double rel = 0;
+  if (b != 0) {
+    rel = (f - b) / std::fabs(b);
+  } else if (f != 0) {
+    rel = higher_better ? 1.0 : -1.0;  // 0 -> nonzero: direction decides
+  }
+  const double regression = higher_better ? -rel : rel;
+  const bool fail = regression > threshold;
+  std::printf("  %s %-46s base=%-12.4g fresh=%-12.4g delta=%+.1f%%\n",
+              fail ? "FAIL " : "ok   ", label, b, f, rel * 100.0);
+  if (fail) ++r.regressed;
+}
+
+int check_metrics(const std::string& path) {
+  const std::string body = read_file(path);
+  std::vector<obs::PromSample> samples;
+  try {
+    samples = obs::prom_parse(body);
+  } catch (const obs::PromParseError& e) {
+    std::fprintf(stderr, "compare_bench: exposition is malformed: %s\n", e.what());
+    return 1;
+  }
+  // The series an operator dashboard would page on; absence means the
+  // endpoint silently lost coverage.
+  static const char* kRequired[] = {
+      "mrbc_serve_uptime_seconds",
+      "mrbc_serve_resident_memory_bytes",
+      "mrbc_serve_epoch_lag_seconds",
+      "mrbc_serve_requests_total",
+      "mrbc_serve_rejected_total",
+      "mrbc_serve_bytes_total",
+      "mrbc_serve_window_qps",
+      "mrbc_serve_window_request_latency_us",
+      "mrbc_serve_ingest_queue_depth",
+      "mrbc_serve_ingest_oldest_batch_age_seconds",
+      "mrbc_serve_coalescing_factor",
+  };
+  int rc = 0;
+  for (const char* name : kRequired) {
+    if (obs::prom_find(samples, name) == nullptr) {
+      std::fprintf(stderr, "compare_bench: required series %s missing\n", name);
+      rc = 1;
+    }
+  }
+  std::printf("exposition ok: %zu samples, all %zu required series present\n", samples.size(),
+              sizeof(kRequired) / sizeof(kRequired[0]));
+  return rc;
+}
+
+int run(int argc, char** argv) {
+  if (argc >= 3 && !std::strcmp(argv[1], "--check-metrics")) return check_metrics(argv[2]);
+
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: compare_bench <baseline.json> <fresh.json> [--threshold 0.10] "
+                 "[--warn-only] [--deterministic-only]\n"
+                 "       compare_bench --check-metrics <exposition.txt>\n");
+    return 2;
+  }
+  double threshold = 0.10;
+  bool warn_only = false;
+  bool deterministic_only = false;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threshold") && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (!std::strncmp(argv[i], "--threshold=", 12)) {
+      threshold = std::atof(argv[i] + 12);
+    } else if (!std::strcmp(argv[i], "--warn-only")) {
+      warn_only = true;
+    } else if (!std::strcmp(argv[i], "--deterministic-only")) {
+      deterministic_only = true;
+    } else {
+      std::fprintf(stderr, "compare_bench: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const util::JsonValue base = util::json_parse(read_file(argv[1]));
+  const util::JsonValue fresh = util::json_parse(read_file(argv[2]));
+
+  std::printf("compare_bench: %s vs %s (threshold %.0f%%)\n", argv[1], argv[2],
+              threshold * 100.0);
+  GateResult r;
+  if (!deterministic_only) {
+    gate("queries_per_second", base, fresh, "queries_per_second", /*higher_better=*/true,
+         threshold, r);
+    gate("latency_us.p99", base, fresh, "latency_us.p99", /*higher_better=*/false, threshold,
+         r);
+    gate("ingest.epochs_per_second", base, fresh, "ingest.epochs_per_second",
+         /*higher_better=*/true, threshold, r);
+  }
+
+  // Batch-pipeline entries match by name; each gated key is deterministic,
+  // so any drift is a real engine change, not noise.
+  const auto pipeline_of = [](const util::JsonValue& rec,
+                              const std::string& name) -> const util::JsonValue* {
+    if (!rec.is_object()) return nullptr;
+    const util::JsonValue* arr = rec.find("batch_pipeline");
+    if (arr == nullptr || !arr->is_array()) return nullptr;
+    for (const util::JsonValue& e : arr->as_array()) {
+      if (!e.is_object()) continue;
+      const util::JsonValue* n = e.find("name");
+      if (n != nullptr && n->as_string() == name) return &e;
+    }
+    return nullptr;
+  };
+  std::vector<std::string> names;
+  if (fresh.is_object()) {
+    const util::JsonValue* arr = fresh.find("batch_pipeline");
+    if (arr != nullptr && arr->is_array()) {
+      for (const util::JsonValue& e : arr->as_array()) {
+        if (!e.is_object()) continue;
+        const util::JsonValue* n = e.find("name");
+        if (n != nullptr) names.push_back(n->as_string());
+      }
+    }
+  }
+  if (names.empty()) {
+    std::printf("  skip  batch_pipeline[*]                             (absent in fresh record)\n");
+    ++r.skipped;
+  }
+  for (const std::string& name : names) {
+    const util::JsonValue* b = pipeline_of(base, name);
+    const util::JsonValue* f = pipeline_of(fresh, name);
+    if (b == nullptr || f == nullptr) {
+      std::printf("  skip  batch_pipeline[%s] (absent in %s)\n", name.c_str(),
+                  b == nullptr ? "baseline" : "fresh record");
+      ++r.skipped;
+      continue;
+    }
+    for (const char* key : {"rounds", "encoded_bytes", "modeled_network_seconds"}) {
+      const std::string label = "batch_pipeline[" + name + "]." + key;
+      gate(label.c_str(), *b, *f, key, /*higher_better=*/false, threshold, r);
+    }
+  }
+
+  std::printf("compared %d, regressed %d, skipped %d\n", r.compared, r.regressed, r.skipped);
+  if (r.regressed > 0 && warn_only) {
+    std::printf("warn-only mode: regressions reported, exit 0\n");
+    return 0;
+  }
+  return r.regressed > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main(int argc, char** argv) { return mrbc::bench::run(argc, argv); }

@@ -2,9 +2,12 @@
 //   1. a *disabled* span site costs < 2 ns (one relaxed atomic load and a
 //      predictable branch — cheap enough to leave compiled into every hot
 //      path unconditionally);
-//   2. enabling tracing + metrics costs < 5% wall time on a reference MRBC
+//   2. a *disabled* WindowedMetrics counter site fits the same < 2 ns
+//      budget (the serve layer's --no-telemetry guarantee: recording sites
+//      stay compiled in, disabled cost is one relaxed load + branch);
+//   3. enabling tracing + metrics costs < 5% wall time on a reference MRBC
 //      run (min-of-3 on both sides to shed scheduler noise).
-// Exits nonzero if either budget is blown, and writes micro_obs.csv.
+// Exits nonzero if any budget is blown, and writes micro_obs.csv.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +17,7 @@
 #include "graph/generators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 #include "util/csv.h"
 #include "util/timer.h"
 
@@ -40,6 +44,27 @@ double enabled_span_ns(std::size_t iters) {
   const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
   obs::Tracer::global().disable();
   return ns;
+}
+
+/// ns per disabled WindowedMetrics counter site (--no-telemetry cost).
+double disabled_windowed_ns(std::size_t iters) {
+  obs::WindowedMetrics win(4, 1, /*ring_seconds=*/16);
+  win.set_enabled(false);
+  util::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    win.add_counter(0);
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+/// ns per enabled windowed counter add (clock read + slot claim + fetch_add).
+double enabled_windowed_ns(std::size_t iters) {
+  obs::WindowedMetrics win(4, 1, /*ring_seconds=*/16);
+  util::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    win.add_counter(0);
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
 }
 
 double reference_mrbc_seconds() {
@@ -74,6 +99,15 @@ int run() {
   const double on_ns = enabled_span_ns(10'000'000);
   std::printf("enabled span:       %.1f ns\n", on_ns);
 
+  const double win_off_ns = disabled_windowed_ns(200'000'000);
+  std::printf("disabled windowed:  %.3f ns (budget 2.0)\n", win_off_ns);
+  if (win_off_ns >= 2.0) {
+    std::printf("FAIL: disabled windowed-counter site exceeds 2 ns\n");
+    ++failures;
+  }
+  const double win_on_ns = enabled_windowed_ns(20'000'000);
+  std::printf("enabled windowed:   %.1f ns\n", win_on_ns);
+
   // Warm caches once, then min-of-3 both ways round.
   reference_mrbc_seconds();
   const double base_s = min_of(3, [] { return reference_mrbc_seconds(); });
@@ -97,6 +131,10 @@ int run() {
   csv.add_row({"disabled_span_site", buf, "ns", "2.0"});
   std::snprintf(buf, sizeof(buf), "%.1f", on_ns);
   csv.add_row({"enabled_span", buf, "ns", ""});
+  std::snprintf(buf, sizeof(buf), "%.4f", win_off_ns);
+  csv.add_row({"disabled_windowed_site", buf, "ns", "2.0"});
+  std::snprintf(buf, sizeof(buf), "%.1f", win_on_ns);
+  csv.add_row({"enabled_windowed_add", buf, "ns", ""});
   std::snprintf(buf, sizeof(buf), "%.4f", base_s);
   csv.add_row({"mrbc_reference", buf, "s", ""});
   std::snprintf(buf, sizeof(buf), "%.4f", traced_s);

@@ -7,20 +7,35 @@
 // Reports sustained queries/sec and latency percentiles (p50/p90/p99) per
 // endpoint mix, plus the epoch-publication rate the churn achieved, and
 // writes a machine-readable BENCH_<date>.json record next to the CSVs so
-// runs can be diffed across commits.
+// runs can be diffed across commits (bench/compare_bench gates on it).
+//
+// Two extra passes make the record a telemetry conformance check too:
+//   * mid-run the main thread scrapes GET /metrics (strict-parsed) and
+//     reconciles the server's windowed qps / latency quantiles against
+//     client-side samples bucketed on the identical clock — a disagreement
+//     beyond tolerance fails the run, so "the daemon exposes windowed
+//     metrics" means "the windowed metrics are *right*";
+//   * a pinned batch-pipeline matrix (core::mrbc_bc over fixed graphs /
+//     host counts / codecs) records rounds, encoded vs raw bytes, and
+//     modeled network seconds — fully deterministic, which makes them the
+//     sharpest regression keys compare_bench has.
 //
 //   serve_load [duration_seconds] [clients] [out.json]
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/mrbc.h"
 #include "graph/generators.h"
+#include "obs/prometheus.h"
+#include "obs/windowed.h"
 #include "serve/http.h"
 #include "serve/server.h"
 #include "util/json.h"
@@ -37,15 +52,156 @@ double percentile(std::vector<double>& sorted_us, double p) {
   return sorted_us[idx];
 }
 
+/// One completed request, stamped with its completion second on the same
+/// clock the server's WindowedMetrics buckets on — so client and server
+/// aggregate over the *identical* window of seconds. `us` is client wall
+/// time (includes transit + scheduling); `server_us` is the handler time
+/// the daemon echoed in X-Request-Us — the exact value it also fed its
+/// windowed histogram, which is what quantile reconciliation checks.
+struct Sample {
+  std::int64_t second = 0;
+  double us = 0;
+  double server_us = -1;  ///< -1 when the header was absent
+};
+
 struct ClientStats {
-  std::vector<double> latencies_us;
+  std::vector<Sample> samples;
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t rejected = 0;  // 429s (admission control, not errors)
 };
 
+/// Windowed series scraped from /metrics mid-run.
+struct ServerWindow {
+  std::int64_t clock_seconds = 0;
+  double qps = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double coalescing_cumulative = 0;
+  bool ok = false;
+};
+
+ServerWindow scrape_window(serve::HttpClient& client) {
+  ServerWindow out;
+  const auto resp = client.get("/metrics");
+  if (resp.status != 200) {
+    std::fprintf(stderr, "serve_load: /metrics returned %d\n", resp.status);
+    return out;
+  }
+  // Strict parse: a malformed exposition is a bench failure, not a skip.
+  const std::vector<obs::PromSample> samples = obs::prom_parse(resp.body);
+  const auto need = [&](const char* name, const obs::PromLabels& labels) -> double {
+    const obs::PromSample* s = obs::prom_find(samples, name, labels);
+    if (s == nullptr) {
+      throw std::runtime_error(std::string("serve_load: /metrics missing ") + name);
+    }
+    return s->value;
+  };
+  out.clock_seconds = static_cast<std::int64_t>(need("mrbc_serve_clock_seconds", {}));
+  out.qps = need("mrbc_serve_window_qps", {{"window", "10s"}});
+  out.p50 = need("mrbc_serve_window_request_latency_us",
+                 {{"quantile", "0.5"}, {"window", "10s"}});
+  out.p90 = need("mrbc_serve_window_request_latency_us",
+                 {{"quantile", "0.9"}, {"window", "10s"}});
+  out.p99 = need("mrbc_serve_window_request_latency_us",
+                 {{"quantile", "0.99"}, {"window", "10s"}});
+  out.coalescing_cumulative = need("mrbc_serve_coalescing_factor", {{"window", "cumulative"}});
+  out.ok = true;
+  return out;
+}
+
+/// Client-side view of the same 10s window the scrape reported. Wall
+/// quantiles describe what callers experienced; server_us quantiles are
+/// the exact aggregation the windowed histogram approximates.
+struct ClientWindow {
+  double qps = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double server_p50 = 0;
+  double server_p90 = 0;
+  double server_p99 = 0;
+  std::uint64_t count = 0;
+};
+
+ClientWindow client_window(const std::vector<ClientStats>& stats, std::int64_t clock_s,
+                           std::size_t window_s) {
+  ClientWindow out;
+  const std::int64_t lo = clock_s - static_cast<std::int64_t>(window_s);
+  std::vector<double> us;
+  std::vector<double> server_us;
+  for (const ClientStats& s : stats) {
+    for (const Sample& smp : s.samples) {
+      if (smp.second >= lo && smp.second < clock_s) {
+        us.push_back(smp.us);
+        if (smp.server_us >= 0) server_us.push_back(smp.server_us);
+      }
+    }
+  }
+  std::sort(us.begin(), us.end());
+  std::sort(server_us.begin(), server_us.end());
+  out.count = us.size();
+  out.qps = static_cast<double>(us.size()) / static_cast<double>(window_s);
+  out.p50 = percentile(us, 0.50);
+  out.p90 = percentile(us, 0.90);
+  out.p99 = percentile(us, 0.99);
+  out.server_p50 = percentile(server_us, 0.50);
+  out.server_p90 = percentile(server_us, 0.90);
+  out.server_p99 = percentile(server_us, 0.99);
+  return out;
+}
+
+bool within(double server, double client, double tolerance) {
+  if (client == 0) return server == 0;
+  return std::fabs(server - client) / client <= tolerance;
+}
+
+/// Deterministic batch-pipeline matrix: fixed graph, sources, host count,
+/// batch size, and codec through the full MRBC engine. rounds / encoded
+/// bytes / modeled network seconds are bit-stable across machines, which
+/// is exactly what a regression gate wants.
+void append_batch_pipeline(util::JsonWriter& w) {
+  struct Config {
+    const char* name;
+    std::uint32_t hosts;
+    std::uint32_t batch;
+    comm::CodecMode codec;
+  };
+  static constexpr Config kConfigs[] = {
+      {"rmat10_h4_b8_full", 4, 8, comm::CodecMode::kFull},
+      {"rmat10_h8_b32_full", 8, 32, comm::CodecMode::kFull},
+  };
+  const graph::Graph g = graph::rmat({.scale = 10, .edge_factor = 8.0, .seed = 13});
+  std::vector<graph::VertexId> sources;
+  for (graph::VertexId v = 0; v < 32; ++v) sources.push_back(v);
+
+  w.key("batch_pipeline").begin_array();
+  for (const Config& cfg : kConfigs) {
+    core::MrbcOptions mopts;
+    mopts.num_hosts = cfg.hosts;
+    mopts.batch_size = cfg.batch;
+    mopts.cluster.codec = cfg.codec;
+    const core::MrbcRun run = core::mrbc_bc(g, sources, mopts);
+    const sim::RunStats total = run.total();
+    std::printf("pipeline %-20s rounds=%zu encoded=%zu raw=%zu modeled=%.4fs\n", cfg.name,
+                total.rounds, total.bytes, total.raw_bytes, total.network_seconds);
+    w.begin_object()
+        .key("name").value(cfg.name)
+        .key("hosts").value(std::uint64_t{cfg.hosts})
+        .key("batch_size").value(std::uint64_t{cfg.batch})
+        .key("sources").value(std::uint64_t{sources.size()})
+        .key("rounds").value(std::uint64_t{total.rounds})
+        .key("encoded_bytes").value(std::uint64_t{total.bytes})
+        .key("raw_bytes").value(std::uint64_t{total.raw_bytes})
+        .key("modeled_network_seconds").value(total.network_seconds)
+        .end_object();
+  }
+  w.end_array();
+}
+
 int run(int argc, char** argv) {
-  const double duration_s = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const double duration_s = argc > 1 ? std::atof(argv[1]) : 12.0;
   const int num_clients = argc > 2 ? std::atoi(argv[2]) : 4;
   std::string out_json;
   if (argc > 3) {
@@ -129,7 +285,10 @@ int run(int argc, char** argv) {
               std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
           if (resp.status == 200) {
             ++s.requests;
-            s.latencies_us.push_back(us);
+            Sample smp{obs::WindowedMetrics::steady_seconds(), us, -1};
+            const auto srv = resp.headers.find("x-request-us");
+            if (srv != resp.headers.end()) smp.server_us = std::atof(srv->second.c_str());
+            s.samples.push_back(smp);
             const auto it = resp.headers.find("x-epoch");
             if (it != resp.headers.end()) {
               const auto e = static_cast<std::uint64_t>(std::strtoull(it->second.c_str(),
@@ -151,7 +310,21 @@ int run(int argc, char** argv) {
     });
   }
 
-  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  // Mid-run /metrics scrape while the clients are still hammering: the
+  // windowed series must describe a fully-loaded trailing window, so the
+  // scrape lands ~1.5s before the end (clients keep running during and
+  // after it).
+  const double pre_scrape_s = std::max(duration_s - 1.5, std::min(duration_s * 0.5, 2.0));
+  std::this_thread::sleep_for(std::chrono::duration<double>(pre_scrape_s));
+  ServerWindow sw;
+  try {
+    serve::HttpClient scraper(server.port(), /*keep_alive=*/false);
+    sw = scrape_window(scraper);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_load: metrics scrape failed: %s\n", e.what());
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      std::max(duration_s - pre_scrape_s, 0.0)));
   stop.store(true, std::memory_order_release);
   for (std::thread& th : clients) th.join();
   writer.join();
@@ -164,7 +337,7 @@ int run(int argc, char** argv) {
     requests += s.requests;
     errors += s.errors;
     rejected += s.rejected;
-    all_us.insert(all_us.end(), s.latencies_us.begin(), s.latencies_us.end());
+    for (const Sample& smp : s.samples) all_us.push_back(smp.us);
   }
   std::sort(all_us.begin(), all_us.end());
   const double qps = static_cast<double>(requests) / elapsed;
@@ -182,13 +355,61 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(rejected),
               static_cast<unsigned long long>(errors));
   std::printf("latency: p50=%.0fus p90=%.0fus p99=%.0fus\n", p50, p90, p99);
+  const double coalescing =
+      applied > 0 ? static_cast<double>(batches) / static_cast<double>(applied) : 0.0;
   std::printf("churn: %llu batches ingested, %llu applies (coalescing %.1fx), "
               "%llu epochs published (%.1f/s)\n",
               static_cast<unsigned long long>(batches),
-              static_cast<unsigned long long>(applied),
-              applied > 0 ? static_cast<double>(batches) / static_cast<double>(applied) : 0.0,
+              static_cast<unsigned long long>(applied), coalescing,
               static_cast<unsigned long long>(epochs),
               static_cast<double>(epochs) / elapsed);
+
+  // ---- Windowed-metrics reconciliation --------------------------------------
+  // The server's 10s window vs client samples over the identical seconds.
+  // qps must agree within 10% — fully independent measurements (the server
+  // additionally counts the writer's /ingest posts and the scrape itself,
+  // ~0.5% at these rates). Latency quantiles are reconciled against the
+  // exact per-request durations the daemon echoed in X-Request-Us: the
+  // windowed histogram bucketed those same values, so any disagreement
+  // beyond the log-linear interpolation bound (sub-bucket width = 12.5%,
+  // interpolated error far smaller) means the rotation/merge/quantile
+  // pipeline is wrong. Client *wall* quantiles are reported alongside but
+  // not gated — loopback transit and scheduling dominate them and no
+  // server-side timer can see that.
+  int reconcile_rc = 0;
+  ClientWindow cw;
+  if (sw.ok) {
+    cw = client_window(stats, sw.clock_seconds, 10);
+    std::printf("windowed[10s]: server qps=%.0f p50=%.0f p90=%.0f p99=%.0f | "
+                "client qps=%.0f exact-server p50=%.0f p90=%.0f p99=%.0f | "
+                "client wall p50=%.0f p90=%.0f p99=%.0f (%llu samples)\n",
+                sw.qps, sw.p50, sw.p90, sw.p99, cw.qps, cw.server_p50, cw.server_p90,
+                cw.server_p99, cw.p50, cw.p90, cw.p99,
+                static_cast<unsigned long long>(cw.count));
+    if (!within(sw.qps, cw.qps, 0.10)) {
+      std::fprintf(stderr, "FAIL: windowed qps off by >10%% (server %.0f vs client %.0f)\n",
+                   sw.qps, cw.qps);
+      reconcile_rc = 1;
+    }
+    // p50 of sub-10us handlers lands in the exact 0..7 buckets where the
+    // histogram is lossless; allow 10% + 1us absolute for integer-us edges.
+    if (std::fabs(sw.p99 - cw.server_p99) > std::max(0.10 * cw.server_p99, 1.0)) {
+      std::fprintf(stderr,
+                   "FAIL: windowed p99 off by >10%% (windowed %.1f vs exact %.1f)\n",
+                   sw.p99, cw.server_p99);
+      reconcile_rc = 1;
+    }
+    if (std::fabs(sw.p50 - cw.server_p50) > std::max(0.10 * cw.server_p50, 1.0)) {
+      std::fprintf(stderr,
+                   "FAIL: windowed p50 off by >10%% (windowed %.1f vs exact %.1f)\n",
+                   sw.p50, cw.server_p50);
+      reconcile_rc = 1;
+    }
+    if (reconcile_rc == 0) std::printf("windowed metrics reconcile with client-side truth\n");
+  } else {
+    std::fprintf(stderr, "FAIL: mid-run /metrics scrape did not produce a windowed view\n");
+    reconcile_rc = 1;
+  }
 
   util::JsonWriter w;
   w.begin_object()
@@ -201,6 +422,7 @@ int run(int argc, char** argv) {
       .key("requests_ok").value(requests)
       .key("requests_rejected").value(rejected)
       .key("requests_errored").value(errors)
+      .key("coalescing_factor").value(coalescing)
       .key("latency_us").begin_object()
       .key("p50").value(p50).key("p90").value(p90).key("p99").value(p99)
       .end_object()
@@ -209,8 +431,25 @@ int run(int argc, char** argv) {
       .key("applies").value(applied)
       .key("epochs_published").value(epochs)
       .key("epochs_per_second").value(static_cast<double>(epochs) / elapsed)
+      .end_object();
+  w.key("windowed").begin_object()
+      .key("window_seconds").value(std::int64_t{10})
+      .key("clock_seconds").value(std::int64_t{sw.clock_seconds})
+      .key("server").begin_object()
+      .key("qps").value(sw.qps)
+      .key("p50").value(sw.p50).key("p90").value(sw.p90).key("p99").value(sw.p99)
+      .key("coalescing_factor").value(sw.coalescing_cumulative)
+      .end_object()
+      .key("client").begin_object()
+      .key("qps").value(cw.qps)
+      .key("p50").value(cw.p50).key("p90").value(cw.p90).key("p99").value(cw.p99)
+      .key("server_p50").value(cw.server_p50)
+      .key("server_p90").value(cw.server_p90)
+      .key("server_p99").value(cw.server_p99)
       .end_object()
       .end_object();
+  append_batch_pipeline(w);
+  w.end_object();
   std::FILE* f = std::fopen(out_json.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_json.c_str());
@@ -220,7 +459,8 @@ int run(int argc, char** argv) {
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("wrote %s\n", out_json.c_str());
-  return errors == 0 ? 0 : 1;
+  if (errors != 0) return 1;
+  return reconcile_rc;
 }
 
 }  // namespace

@@ -69,6 +69,8 @@ struct Args {
   std::uint32_t serve_threads = 4;
   std::size_t checkpoint_every = 0;  // serve mode: batches between checkpoints
   bool no_analytics = false;         // serve mode: skip pagerank/cc/kcore
+  bool no_telemetry = false;         // serve mode: disable the telemetry plane
+  std::uint32_t slow_request_ms = serve::kSlowRequestMsUnset;  // serve mode
 };
 
 /// Set by the SIGINT/SIGTERM handler; batch runs consult it at durable
@@ -123,7 +125,13 @@ void usage(const char* prog) {
       "  --serve-threads <n>   request-handler threads (default 4)\n"
       "  --checkpoint-every <n> serve mode: checkpoint every n applied batches\n"
       "                        (default 0 = only on drain)\n"
-      "  --no-analytics        serve mode: skip per-epoch pagerank/cc/kcore\n",
+      "  --no-analytics        serve mode: skip per-epoch pagerank/cc/kcore\n"
+      "  --slow-request-ms <ms> serve mode: requests at least this slow land in\n"
+      "                        the GET /debug/slow log (default 250, or the\n"
+      "                        MRBC_SLOW_REQUEST_MS environment variable)\n"
+      "  --no-telemetry        serve mode: disable /metrics, /debug/slow, windowed\n"
+      "                        metrics and request ids (recording sites stay at\n"
+      "                        their disabled-cost budget)\n",
       prog);
 }
 
@@ -167,6 +175,9 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--checkpoint-every")) args.checkpoint_every = static_cast<std::size_t>(std::atoll(next("--checkpoint-every")));
     else if (!std::strncmp(argv[i], "--checkpoint-every=", 19)) args.checkpoint_every = static_cast<std::size_t>(std::atoll(argv[i] + 19));
     else if (!std::strcmp(argv[i], "--no-analytics")) args.no_analytics = true;
+    else if (!std::strcmp(argv[i], "--no-telemetry")) args.no_telemetry = true;
+    else if (!std::strcmp(argv[i], "--slow-request-ms")) args.slow_request_ms = static_cast<std::uint32_t>(std::atoi(next("--slow-request-ms")));
+    else if (!std::strncmp(argv[i], "--slow-request-ms=", 18)) args.slow_request_ms = static_cast<std::uint32_t>(std::atoi(argv[i] + 18));
     else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage(argv[0]);
       std::exit(0);
@@ -253,6 +264,8 @@ int run_serve(const Args& args, graph::Graph g) {
   sopts.port = static_cast<std::uint16_t>(args.serve_port);
   sopts.request_threads = args.serve_threads;
   sopts.run_analytics = !args.no_analytics;
+  sopts.telemetry = !args.no_telemetry;
+  sopts.slow_request_ms = args.slow_request_ms;
   sopts.checkpoint_dir = args.checkpoint_dir;
   sopts.checkpoint_every = args.checkpoint_every;
   sopts.bc.num_samples = args.sources == 0 ? 64 : args.sources;
@@ -267,7 +280,9 @@ int run_serve(const Args& args, graph::Graph g) {
   std::printf("serving on http://127.0.0.1:%u (epoch %llu, %u samples)\n", server.port(),
               static_cast<unsigned long long>(server.engine_epoch()),
               args.sources == 0 ? 64u : args.sources);
-  std::printf("endpoints: /healthz /epoch /bc /topk /pagerank /cc /kcore /stats, POST /ingest\n");
+  std::printf(
+      "endpoints: /healthz /epoch /bc /topk /pagerank /cc /kcore /stats /metrics "
+      "/debug/slow /debug/trace, POST /ingest\n");
   std::fflush(stdout);
   while (!g_halt.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "util/log.h"
@@ -58,6 +59,7 @@ const char* category_name(Category cat) {
     case Category::kRecovery: return "recovery";
     case Category::kAlgo: return "algo";
     case Category::kStream: return "stream";
+    case Category::kServe: return "serve";
     case Category::kOther: return "other";
   }
   return "?";
@@ -88,7 +90,8 @@ Tracer& Tracer::global() {
 
 void Tracer::enable(std::size_t capacity) {
   detail::g_tracing.store(false, std::memory_order_relaxed);
-  ring_.assign(std::max<std::size_t>(capacity, 1), SpanRecord{});
+  capacity = std::max<std::size_t>(capacity, 1);
+  if (ring_.size() != capacity) ring_.assign(capacity, SpanRecord{});
   next_.store(0, std::memory_order_relaxed);
   epoch_ns_ = steady_ns();
   detail::g_tracing.store(true, std::memory_order_release);
@@ -132,6 +135,25 @@ std::size_t Tracer::size() const {
 std::uint64_t Tracer::dropped() const {
   const std::uint64_t total = next_.load(std::memory_order_relaxed);
   return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+bool Tracer::quiesce(double timeout_seconds) const {
+  const std::int64_t deadline =
+      steady_ns() + static_cast<std::int64_t>(timeout_seconds * 1e9);
+  // Double-check with a grace gap: a thread that loaded g_tracing just
+  // before disable() may not have incremented active_ yet.
+  int clean_passes = 0;
+  while (clean_passes < 2) {
+    if (active_.load(std::memory_order_acquire) != 0) {
+      if (steady_ns() >= deadline) return false;
+      clean_passes = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    ++clean_passes;
+    if (clean_passes < 2) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
@@ -205,11 +227,19 @@ void Tracer::write_chrome_json(const std::string& path) const {
 }
 
 void Span::begin(Category cat, const char* name, std::uint32_t host, std::uint32_t round) {
+  Tracer& tracer = Tracer::global();
+  tracer.active_.fetch_add(1, std::memory_order_acq_rel);
+  if (!tracing_enabled()) {
+    // Raced with disable(): a capture may already be exporting; back out
+    // without emitting so quiesce() stays honest.
+    tracer.active_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
   name_ = name;
   cat_ = cat;
   host_ = host;
   round_ = round;
-  start_us_ = Tracer::global().now_us();
+  start_us_ = tracer.now_us();
 }
 
 void Span::begin_with_context(Category cat, const char* name) {
@@ -221,6 +251,7 @@ void Span::finish() {
   Tracer& tracer = Tracer::global();
   const double dur_us = tracer.now_us() - start_us_;
   tracer.emit(cat_, name_, host_, round_, start_us_, dur_us, /*modeled=*/false);
+  tracer.active_.fetch_sub(1, std::memory_order_acq_rel);
   if (metrics_enabled()) {
     Metrics::global()
         .histogram(Hist::kSpanMicros)

@@ -42,9 +42,10 @@ enum class Category : std::uint8_t {
   kRecovery,     ///< rollback / retransmission repair
   kAlgo,         ///< algorithm phases (forward / finalize / backward)
   kStream,       ///< streaming ingest / probe / rerun
+  kServe,        ///< daemon request handling / ingest apply / publish
   kOther,
 };
-inline constexpr std::size_t kNumCategories = 7;
+inline constexpr std::size_t kNumCategories = 8;
 const char* category_name(Category cat);
 
 /// Host tag for spans that belong to the whole simulation rather than one
@@ -95,12 +96,18 @@ class ScopedContext {
 };
 
 /// Process-wide span collector. Thread-safe for concurrent emission
-/// (parallel-host compute phases); enable/disable/export are not meant to
-/// race with emission.
+/// (parallel-host compute phases). Exporting while spans are still being
+/// emitted is a race: callers that cannot structurally guarantee
+/// quiescence (the daemon's /debug/trace captures from live request
+/// threads) must disable() and then quiesce() before snapshotting.
 class Tracer {
  public:
   /// Allocates (or reuses) a ring of `capacity` records, clears state, and
-  /// turns span sites on.
+  /// turns span sites on. When the ring is already at `capacity` the
+  /// allocation is kept, so re-arming a live tracer (the daemon's
+  /// /debug/trace endpoint does this between captures) never reallocates
+  /// storage that a straggling span from the previous capture might still
+  /// be committing into.
   void enable(std::size_t capacity = kDefaultCapacity);
   /// Turns span sites off; retained records survive for export.
   void disable();
@@ -129,6 +136,14 @@ class Tracer {
   /// Spans lost to ring wrap-around.
   std::uint64_t dropped() const;
 
+  /// RAII spans currently open (began while tracing was enabled, not yet
+  /// committed to the ring).
+  std::int64_t active_spans() const { return active_.load(std::memory_order_acquire); }
+  /// After disable(): waits until every in-flight RAII span has committed,
+  /// so a subsequent snapshot()/chrome_json() cannot race a late emit.
+  /// Returns false if spans were still open when the timeout expired.
+  bool quiesce(double timeout_seconds) const;
+
   /// Retained records, oldest first.
   std::vector<SpanRecord> snapshot() const;
 
@@ -143,8 +158,11 @@ class Tracer {
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
 
  private:
+  friend class Span;
+
   std::vector<SpanRecord> ring_;
   std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::int64_t> active_{0};  ///< open RAII spans (see quiesce)
   std::int64_t epoch_ns_ = 0;  ///< steady_clock origin of now_us()
 };
 

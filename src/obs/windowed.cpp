@@ -1,0 +1,151 @@
+#include "obs/windowed.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+
+namespace mrbc::obs {
+
+WindowedMetrics::WindowedMetrics(std::size_t num_counters, std::size_t num_hists,
+                                 std::size_t ring_seconds, ClockFn clock)
+    : num_counters_(num_counters),
+      num_hists_(num_hists),
+      ring_(std::max<std::size_t>(ring_seconds, 2)),
+      stride_(num_counters + num_hists * 2 + num_hists * kValueBuckets),
+      clock_(clock) {
+  if (stride_ == 0) throw std::invalid_argument("WindowedMetrics: no counters or histograms");
+  seconds_ = std::make_unique<std::atomic<std::int64_t>[]>(ring_);
+  data_ = std::make_unique<std::atomic<std::uint64_t>[]>(ring_ * stride_);
+  for (std::size_t i = 0; i < ring_; ++i) seconds_[i].store(-1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < ring_ * stride_; ++i) data_[i].store(0, std::memory_order_relaxed);
+}
+
+std::int64_t WindowedMetrics::steady_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t WindowedMetrics::now_seconds() const {
+  return clock_ != nullptr ? clock_() : steady_seconds();
+}
+
+std::size_t WindowedMetrics::claim_slot(std::int64_t s) {
+  const std::size_t slot = static_cast<std::size_t>(static_cast<std::uint64_t>(s)) % ring_;
+  std::atomic<std::int64_t>& stamp = seconds_[slot];
+  std::int64_t cur = stamp.load(std::memory_order_acquire);
+  while (cur != s) {
+    if (cur == kClearing) {  // another recorder is zeroing this slot
+      cur = stamp.load(std::memory_order_acquire);
+      continue;
+    }
+    // A stamp newer than our clock means we read the clock before a step
+    // (or were descheduled across a full ring wrap): dropping one sample
+    // beats charging it to the wrong second.
+    if (cur > s) return SIZE_MAX;
+    if (stamp.compare_exchange_weak(cur, kClearing, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      const std::size_t base = slot * stride_;
+      for (std::size_t i = 0; i < stride_; ++i) {
+        data_[base + i].store(0, std::memory_order_relaxed);
+      }
+      stamp.store(s, std::memory_order_release);
+      cur = s;
+    }
+  }
+  return slot;
+}
+
+void WindowedMetrics::add_counter_at(std::size_t c, std::uint64_t delta, std::int64_t now_s) {
+  const std::size_t slot = claim_slot(now_s);
+  if (slot == SIZE_MAX) return;
+  data_[counter_index(slot, c)].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void WindowedMetrics::record_value_at(std::size_t h, std::uint64_t value, std::int64_t now_s) {
+  const std::size_t slot = claim_slot(now_s);
+  if (slot == SIZE_MAX) return;
+  const std::size_t meta = hist_meta_index(slot, h);
+  data_[meta].fetch_add(1, std::memory_order_relaxed);
+  data_[meta + 1].fetch_add(value, std::memory_order_relaxed);
+  data_[hist_bucket_index(slot, h, value_bucket(value))].fetch_add(1,
+                                                                   std::memory_order_relaxed);
+}
+
+std::uint64_t WindowedMetrics::counter_sum(std::size_t c, std::size_t window_s,
+                                           std::int64_t now_s) const {
+  if (now_s < 0) now_s = now_seconds();
+  const std::int64_t lo = now_s - static_cast<std::int64_t>(std::min(window_s, ring_ - 1));
+  std::uint64_t total = 0;
+  for (std::size_t slot = 0; slot < ring_; ++slot) {
+    const std::int64_t sec = seconds_[slot].load(std::memory_order_acquire);
+    if (sec < lo || sec >= now_s) continue;  // complete seconds only
+    total += data_[counter_index(slot, c)].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+WindowedMetrics::HistWindow WindowedMetrics::hist_window(std::size_t h, std::size_t window_s,
+                                                         std::int64_t now_s) const {
+  if (now_s < 0) now_s = now_seconds();
+  const std::int64_t lo = now_s - static_cast<std::int64_t>(std::min(window_s, ring_ - 1));
+  HistWindow out;
+  for (std::size_t slot = 0; slot < ring_; ++slot) {
+    const std::int64_t sec = seconds_[slot].load(std::memory_order_acquire);
+    if (sec < lo || sec >= now_s) continue;
+    const std::size_t meta = hist_meta_index(slot, h);
+    out.count += data_[meta].load(std::memory_order_relaxed);
+    out.sum += data_[meta + 1].load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kValueBuckets; ++b) {
+      out.buckets[b] += data_[hist_bucket_index(slot, h, b)].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double WindowedMetrics::HistWindow::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::uint64_t target =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5);
+  target = std::clamp<std::uint64_t>(target, 1, count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kValueBuckets; ++i) {
+    const std::uint64_t b = buckets[i];
+    if (b == 0) continue;
+    if (cum + b >= target) {
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = static_cast<double>(bucket_upper(i));
+      const double frac = static_cast<double>(target - cum) / static_cast<double>(b);
+      return lo + (hi - lo) * frac;
+    }
+    cum += b;
+  }
+  return static_cast<double>(bucket_upper(kValueBuckets - 1));
+}
+
+std::size_t WindowedMetrics::value_bucket(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  std::size_t octave = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  if (octave > kMaxOctave) return kValueBuckets - 1;
+  const std::size_t shift = octave - 3;
+  const std::size_t sub = static_cast<std::size_t>(value >> shift) - kSubBuckets;
+  return kSubBuckets + (octave - 3) * kSubBuckets + sub;
+}
+
+std::uint64_t WindowedMetrics::bucket_lower(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::size_t octave = 3 + (i - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (i - kSubBuckets) % kSubBuckets;
+  return static_cast<std::uint64_t>(kSubBuckets + sub) << (octave - 3);
+}
+
+std::uint64_t WindowedMetrics::bucket_upper(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  if (i >= kValueBuckets - 1) return UINT64_MAX;
+  const std::size_t octave = 3 + (i - kSubBuckets) / kSubBuckets;
+  return bucket_lower(i) + ((std::uint64_t{1} << (octave - 3)) - 1);
+}
+
+}  // namespace mrbc::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
@@ -19,6 +20,8 @@
 #include "analytics/pagerank.h"
 #include "analytics/topk.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "util/json.h"
 #include "util/log.h"
 
@@ -53,6 +56,41 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   return true;
 }
 
+/// Status code of an already-serialized response ("HTTP/1.1 200 ...").
+int response_status(const std::string& resp) {
+  if (resp.size() < 12) return 0;
+  int status = 0;
+  for (std::size_t i = 9; i < 12; ++i) {
+    const char c = resp[i];
+    if (c < '0' || c > '9') return 0;
+    status = status * 10 + (c - '0');
+  }
+  return status;
+}
+
+/// Splices a header line into a serialized response, after the status line.
+void insert_header(std::string& resp, const char* name, const std::string& value) {
+  const std::size_t eol = resp.find("\r\n");
+  if (eol == std::string::npos) return;
+  std::string line = name;
+  line += ": ";
+  line += value;
+  line += "\r\n";
+  resp.insert(eol + 2, line);
+}
+
+/// Resident set size from /proc/self/statm; 0 when unreadable.
+double resident_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total_pages = 0;
+  long rss_pages = 0;
+  const int got = std::fscanf(f, "%ld %ld", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<double>(rss_pages) * static_cast<double>(::sysconf(_SC_PAGESIZE));
+}
+
 /// Comma-separated vertex-id list ("1,5,9"); false on any malformed entry.
 bool parse_vertex_list(const std::string& s, std::vector<std::uint64_t>& out) {
   std::size_t pos = 0;
@@ -73,7 +111,10 @@ bool parse_vertex_list(const std::string& s, std::vector<std::uint64_t>& out) {
 
 // ---- Construction / engine bring-up ----------------------------------------
 
-Server::Server(graph::Graph base, ServerOptions options) : opts_(std::move(options)) {
+Server::Server(graph::Graph base, ServerOptions options)
+    : opts_(std::move(options)),
+      telemetry_(opts_.telemetry, resolve_slow_request_ms(opts_.slow_request_ms, 250),
+                 opts_.slow_log_capacity) {
   const Clock::time_point t0 = Clock::now();
   const std::string ckpt =
       opts_.checkpoint_dir.empty() ? std::string{} : checkpoint_path(opts_.checkpoint_dir);
@@ -97,7 +138,14 @@ std::uint64_t Server::engine_epoch() const {
   return snap ? snap->epoch : 0;
 }
 
+double Server::ingest_oldest_age_seconds() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (ingest_queue_.empty()) return 0;
+  return seconds_since(ingest_queue_.front().enqueued);
+}
+
 void Server::publish_epoch(std::size_t coalesced, double recompute_seconds) {
+  obs::Span span(obs::Category::kServe, "serve/publish");
   auto snap = std::make_shared<EpochSnapshot>();
   snap->epoch = engine_->epoch();
   snap->num_vertices = engine_->delta().num_vertices();
@@ -126,6 +174,7 @@ void Server::publish_epoch(std::size_t coalesced, double recompute_seconds) {
   snap->recompute_seconds = recompute_seconds;
   store_.publish(std::move(snap));
   counters_.epochs_published.fetch_add(1, std::memory_order_relaxed);
+  telemetry_.on_epoch_published();
 }
 
 void Server::maybe_checkpoint(bool force) {
@@ -170,6 +219,7 @@ void Server::start() {
   // /stats exports histograms, so the metrics layer comes up with the
   // daemon (recording sites everywhere else in the tree light up too).
   obs::Metrics::global().enable();
+  start_time_ = Clock::now();
 
   draining_.store(false, std::memory_order_release);
   {
@@ -271,6 +321,7 @@ void Server::accept_loop() {
       // Admission control: reject at the door instead of queueing without
       // bound. The 429 is written inline (cheap — the response is tiny).
       counters_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+      telemetry_.windowed().add_counter(kWinRejected);
       send_all(fd, http_response(429, "application/json",
                                  "{\"error\":\"too many pending requests\"}", false,
                                  {{"Retry-After", "1"}}));
@@ -325,6 +376,7 @@ void Server::handle_connection(int fd) {
     if (!parser.complete() && !parser.error()) {
       const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
       if (n <= 0) break;  // peer closed, or idle past the socket timeout
+      telemetry_.on_bytes_in(static_cast<std::size_t>(n));
       const std::size_t used = parser.consume(buf, static_cast<std::size_t>(n));
       carry.append(buf + used, static_cast<std::size_t>(n) - used);
       continue;
@@ -339,23 +391,43 @@ void Server::handle_connection(int fd) {
     ++served_here;
     const bool keep = req.keep_alive() && served_here < opts_.max_keepalive_requests &&
                       !draining_.load(std::memory_order_acquire);
+    const Route route = route_of(req.path);
+    const bool telemetry = telemetry_.enabled();
+    const std::uint64_t request_id = telemetry ? telemetry_.next_request_id() : 0;
+    const Clock::time_point t0 = Clock::now();
+    // The simulated slow handler counts as handler time: slow-log and
+    // latency-telemetry tests rely on it crossing the threshold.
     if (opts_.debug_handler_delay_ms != 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(opts_.debug_handler_delay_ms));
     }
-    const Clock::time_point t0 = Clock::now();
     std::string resp;
-    try {
-      resp = dispatch(req, keep);
-    } catch (const util::JsonError& e) {
-      counters_.bad_requests.fetch_add(1, std::memory_order_relaxed);
-      resp = error_response(400, e.what(), keep);
-    } catch (const std::exception& e) {
-      resp = error_response(500, e.what(), false);
+    {
+      obs::Span span(obs::Category::kServe, route_span_name(route));
+      try {
+        resp = dispatch(req, keep);
+      } catch (const util::JsonError& e) {
+        counters_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        resp = error_response(400, e.what(), keep);
+      } catch (const std::exception& e) {
+        resp = error_response(500, e.what(), false);
+      }
     }
+    const double request_us = seconds_since(t0) * 1e6;
     if (obs::metrics_enabled()) {
       obs::Metrics::global()
           .named("serve/request_us")
-          .record(static_cast<std::uint64_t>(seconds_since(t0) * 1e6));
+          .record(static_cast<std::uint64_t>(request_us));
+    }
+    if (telemetry) {
+      insert_header(resp, "X-Request-Id", std::to_string(request_id));
+      // Server-side handler time, echoed so clients can separate server
+      // cost from transit — and so bench/serve_load can reconcile the
+      // windowed latency histogram against exact per-request truth.
+      insert_header(resp, "X-Request-Us",
+                    std::to_string(static_cast<std::uint64_t>(request_us < 0 ? 0 : request_us)));
+      telemetry_.on_request(route, response_status(resp), request_us, req.method, req.target,
+                            request_id);
+      telemetry_.on_bytes_out(resp.size());
     }
     if (!send_all(fd, resp)) break;
     counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
@@ -406,6 +478,15 @@ std::string Server::dispatch(const HttpRequest& req, bool keep_alive) {
     return handle_vertex_metric(req, *snap, keep_alive, req.path.substr(1));
   }
   if (req.path == "/stats") return handle_stats(*snap, keep_alive);
+  if (req.path == "/metrics") {
+    if (!telemetry_.enabled()) return error_response(404, "telemetry disabled", keep_alive);
+    return handle_metrics(*snap, keep_alive);
+  }
+  if (req.path == "/debug/slow") {
+    if (!telemetry_.enabled()) return error_response(404, "telemetry disabled", keep_alive);
+    return handle_debug_slow(keep_alive);
+  }
+  if (req.path == "/debug/trace") return handle_debug_trace(req, keep_alive);
   return error_response(404, "no such endpoint: " + req.path, keep_alive);
 }
 
@@ -520,6 +601,7 @@ std::string Server::handle_vertex_metric(const HttpRequest& req, const EpochSnap
 std::string Server::handle_stats(const EpochSnapshot& snap, bool keep_alive) {
   std::size_t pending_requests = 0;
   std::size_t pending_ingest = 0;
+  double ingest_oldest_age = 0;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     pending_requests = conn_queue_.size();
@@ -527,6 +609,9 @@ std::string Server::handle_stats(const EpochSnapshot& snap, bool keep_alive) {
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
     pending_ingest = ingest_queue_.size();
+    if (!ingest_queue_.empty()) {
+      ingest_oldest_age = seconds_since(ingest_queue_.front().enqueued);
+    }
   }
   const auto load = [](const std::atomic<std::uint64_t>& c) {
     return c.load(std::memory_order_relaxed);
@@ -554,13 +639,234 @@ std::string Server::handle_stats(const EpochSnapshot& snap, bool keep_alive) {
   w.key("queues").begin_object()
       .key("pending_requests").value(std::uint64_t{pending_requests})
       .key("pending_ingest").value(std::uint64_t{pending_ingest})
+      .key("ingest_oldest_age_seconds").value(ingest_oldest_age)
       .key("max_pending_requests").value(std::uint64_t{opts_.max_pending_requests})
       .key("max_pending_ingest").value(std::uint64_t{opts_.max_pending_ingest})
+      .end_object();
+  w.key("telemetry").begin_object()
+      .key("enabled").value(telemetry_.enabled())
+      .key("slow_request_ms").value(std::uint64_t{telemetry_.slow_request_ms()})
+      .key("slow_requests").value(telemetry_.slow_requests())
+      .key("bytes_in").value(telemetry_.bytes_in())
+      .key("bytes_out").value(telemetry_.bytes_out())
+      .key("epoch_lag_seconds").value(telemetry_.epoch_lag_seconds())
       .end_object();
   w.key("metrics").raw(obs::Metrics::global().json());
   w.end_object();
   return http_response(200, "application/json", w.str(), keep_alive,
                        {{"X-Epoch", std::to_string(snap.epoch)}});
+}
+
+// ---- Telemetry exposition ---------------------------------------------------
+
+std::string Server::handle_metrics(const EpochSnapshot& snap, bool keep_alive) {
+  const auto load = [](const std::atomic<std::uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  const obs::WindowedMetrics& win = telemetry_.windowed();
+  // One consistent read instant for every windowed series in the scrape.
+  const std::int64_t now_s = win.now_seconds();
+  static constexpr struct { const char* label; std::size_t seconds; } kWindows[] = {
+      {"10s", 10}, {"1m", 60}, {"5m", 300}};
+  static constexpr struct { const char* label; double pct; } kQuantiles[] = {
+      {"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}};
+
+  std::size_t pending_requests = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    pending_requests = conn_queue_.size();
+  }
+  std::size_t pending_ingest = 0;
+  double ingest_oldest_age = 0;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    pending_ingest = ingest_queue_.size();
+    if (!ingest_queue_.empty()) {
+      ingest_oldest_age = seconds_since(ingest_queue_.front().enqueued);
+    }
+  }
+
+  obs::PromWriter w;
+  // -- process / daemon identity ---------------------------------------------
+  w.type("mrbc_serve_uptime_seconds", "gauge", "Seconds since the daemon started serving.");
+  w.sample("mrbc_serve_uptime_seconds", {}, seconds_since(start_time_));
+  w.type("mrbc_serve_resident_memory_bytes", "gauge", "Resident set size (statm).");
+  w.sample("mrbc_serve_resident_memory_bytes", {}, resident_bytes());
+  w.type("mrbc_serve_clock_seconds", "gauge",
+         "Current second on the windowed-metrics clock; external reconciliation "
+         "buckets its own samples on this timeline.");
+  w.sample("mrbc_serve_clock_seconds", {}, static_cast<double>(now_s));
+
+  // -- epochs -----------------------------------------------------------------
+  w.type("mrbc_serve_epoch", "gauge", "Epoch of the currently published snapshot.");
+  w.sample("mrbc_serve_epoch", {}, std::uint64_t{snap.epoch});
+  w.type("mrbc_serve_epoch_lag_seconds", "gauge", "Seconds since the last epoch publish.");
+  w.sample("mrbc_serve_epoch_lag_seconds", {}, telemetry_.epoch_lag_seconds());
+  w.type("mrbc_serve_epochs_published_total", "counter", "Epochs published since start.");
+  w.sample("mrbc_serve_epochs_published_total", {}, load(counters_.epochs_published));
+
+  // -- requests: cumulative ---------------------------------------------------
+  w.type("mrbc_serve_requests_total", "counter", "Requests answered (any status).");
+  w.sample("mrbc_serve_requests_total", {}, load(counters_.requests_served));
+  w.type("mrbc_serve_rejected_total", "counter", "429 responses by rejection point.");
+  w.sample("mrbc_serve_rejected_total", {{"reason", "admission"}},
+           load(counters_.rejected_requests));
+  w.sample("mrbc_serve_rejected_total", {{"reason", "ingest_backpressure"}},
+           load(counters_.rejected_ingest));
+  w.type("mrbc_serve_bad_requests_total", "counter", "4xx/5xx parse or handler failures.");
+  w.sample("mrbc_serve_bad_requests_total", {}, load(counters_.bad_requests));
+  w.type("mrbc_serve_slow_requests_total", "counter",
+         "Requests that crossed the slow-request threshold.");
+  w.sample("mrbc_serve_slow_requests_total", {}, telemetry_.slow_requests());
+  w.type("mrbc_serve_bytes_total", "counter", "Socket bytes by direction.");
+  w.sample("mrbc_serve_bytes_total", {{"direction", "in"}}, telemetry_.bytes_in());
+  w.sample("mrbc_serve_bytes_total", {{"direction", "out"}}, telemetry_.bytes_out());
+
+  // -- requests: per-endpoint cumulative latency histograms -------------------
+  w.type("mrbc_serve_request_duration_us", "histogram",
+         "Request wall latency by endpoint, microseconds (cumulative log2 buckets).");
+  for (std::size_t r = 0; r < kNumRoutes; ++r) {
+    const auto route = static_cast<Route>(r);
+    w.histogram("mrbc_serve_request_duration_us", {{"endpoint", route_label(route)}},
+                telemetry_.route_histogram(route));
+  }
+
+  // -- requests: windowed rates and tails -------------------------------------
+  w.type("mrbc_serve_window_qps", "gauge", "Requests per second over the trailing window.");
+  w.type("mrbc_serve_window_errors_per_second", "gauge",
+         "Non-429 4xx/5xx responses per second over the trailing window.");
+  w.type("mrbc_serve_window_rejected_per_second", "gauge",
+         "429 responses per second over the trailing window.");
+  w.type("mrbc_serve_window_bytes_per_second", "gauge",
+         "Socket bytes per second by direction over the trailing window.");
+  w.type("mrbc_serve_window_request_latency_us", "gauge",
+         "Windowed request-latency quantiles, microseconds.");
+  w.type("mrbc_serve_window_epochs_per_second", "gauge",
+         "Epoch publishes per second over the trailing window.");
+  for (const auto& win_def : kWindows) {
+    const double secs = static_cast<double>(win_def.seconds);
+    const obs::PromLabels wl = {{"window", win_def.label}};
+    w.sample("mrbc_serve_window_qps", wl,
+             static_cast<double>(win.counter_sum(kWinRequests, win_def.seconds, now_s)) / secs);
+    w.sample("mrbc_serve_window_errors_per_second", wl,
+             static_cast<double>(win.counter_sum(kWinErrors, win_def.seconds, now_s)) / secs);
+    w.sample("mrbc_serve_window_rejected_per_second", wl,
+             static_cast<double>(win.counter_sum(kWinRejected, win_def.seconds, now_s)) / secs);
+    w.sample("mrbc_serve_window_bytes_per_second",
+             {{"direction", "in"}, {"window", win_def.label}},
+             static_cast<double>(win.counter_sum(kWinBytesIn, win_def.seconds, now_s)) / secs);
+    w.sample("mrbc_serve_window_bytes_per_second",
+             {{"direction", "out"}, {"window", win_def.label}},
+             static_cast<double>(win.counter_sum(kWinBytesOut, win_def.seconds, now_s)) / secs);
+    const obs::WindowedMetrics::HistWindow lat =
+        win.hist_window(kWinRequestMicros, win_def.seconds, now_s);
+    for (const auto& q : kQuantiles) {
+      w.sample("mrbc_serve_window_request_latency_us",
+               {{"quantile", q.label}, {"window", win_def.label}}, lat.percentile(q.pct));
+    }
+    w.sample("mrbc_serve_window_epochs_per_second", wl,
+             static_cast<double>(win.counter_sum(kWinEpochs, win_def.seconds, now_s)) / secs);
+  }
+
+  // -- ingest pipeline --------------------------------------------------------
+  w.type("mrbc_serve_ingest_queue_depth", "gauge", "Batches queued, not yet applied.");
+  w.sample("mrbc_serve_ingest_queue_depth", {}, std::uint64_t{pending_ingest});
+  w.type("mrbc_serve_ingest_oldest_batch_age_seconds", "gauge",
+         "Age of the oldest queued batch; 0 when the queue is empty.");
+  w.sample("mrbc_serve_ingest_oldest_batch_age_seconds", {}, ingest_oldest_age);
+  w.type("mrbc_serve_pending_requests", "gauge", "Accepted connections awaiting a worker.");
+  w.sample("mrbc_serve_pending_requests", {}, std::uint64_t{pending_requests});
+  w.type("mrbc_serve_ingest_batches_total", "counter", "Batches admitted via POST /ingest.");
+  w.sample("mrbc_serve_ingest_batches_total", {}, load(counters_.batches_ingested));
+  w.type("mrbc_serve_ingest_ops_total", "counter", "Edge ops admitted via POST /ingest.");
+  w.sample("mrbc_serve_ingest_ops_total", {}, load(counters_.ops_ingested));
+  w.type("mrbc_serve_applies_total", "counter", "Coalesced apply passes (epoch transitions).");
+  w.sample("mrbc_serve_applies_total", {}, load(counters_.batches_applied));
+
+  // Coalescing factor: admitted batches per apply pass. >1 means bursty
+  // writers are amortizing recomputes, the whole point of the coalescing
+  // ingest design.
+  const std::uint64_t applied = load(counters_.batches_applied);
+  const std::uint64_t admitted = load(counters_.batches_ingested);
+  w.type("mrbc_serve_coalescing_factor", "gauge",
+         "Admitted ingest batches per apply pass (cumulative and windowed).");
+  w.sample("mrbc_serve_coalescing_factor", {{"window", "cumulative"}},
+           applied == 0 ? 0.0 : static_cast<double>(admitted) / static_cast<double>(applied));
+  for (const auto& win_def : kWindows) {
+    const std::uint64_t win_applies = win.counter_sum(kWinApplies, win_def.seconds, now_s);
+    const std::uint64_t win_batches = win.counter_sum(kWinIngestBatches, win_def.seconds, now_s);
+    w.sample("mrbc_serve_coalescing_factor", {{"window", win_def.label}},
+             win_applies == 0 ? 0.0
+                              : static_cast<double>(win_batches) /
+                                    static_cast<double>(win_applies));
+  }
+  w.type("mrbc_serve_window_apply_latency_us", "gauge",
+         "Windowed apply (coalesce+recompute+publish) latency quantiles, microseconds.");
+  for (const auto& win_def : kWindows) {
+    const obs::WindowedMetrics::HistWindow ap =
+        win.hist_window(kWinApplyMicros, win_def.seconds, now_s);
+    for (const auto& q : kQuantiles) {
+      w.sample("mrbc_serve_window_apply_latency_us",
+               {{"quantile", q.label}, {"window", win_def.label}}, ap.percentile(q.pct));
+    }
+  }
+
+  return http_response(200, "text/plain; version=0.0.4; charset=utf-8", w.take(), keep_alive,
+                       {{"X-Epoch", std::to_string(snap.epoch)}});
+}
+
+std::string Server::handle_debug_slow(bool keep_alive) {
+  const std::vector<SlowRequest> entries = telemetry_.slow_log();
+  util::JsonWriter w;
+  w.begin_object()
+      .key("threshold_ms").value(std::uint64_t{telemetry_.slow_request_ms()})
+      .key("capacity").value(std::uint64_t{telemetry_.slow_log_capacity()})
+      .key("total_slow").value(telemetry_.slow_requests())
+      .key("requests").begin_array();
+  for (const SlowRequest& e : entries) {
+    w.begin_object()
+        .key("id").value(e.id)
+        .key("unix_seconds").value(e.unix_seconds)
+        .key("method").value(e.method)
+        .key("target").value(e.target)
+        .key("status").value(std::int64_t{e.status})
+        .key("duration_ms").value(e.duration_ms)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return http_response(200, "application/json", w.str(), keep_alive);
+}
+
+std::string Server::handle_debug_trace(const HttpRequest& req, bool keep_alive) {
+  std::uint64_t seconds = 2;
+  const std::string param = req.query_param("seconds");
+  if (!param.empty() && (!parse_u64(param, seconds) || seconds == 0)) {
+    return error_response(400, "seconds must be a positive integer", keep_alive);
+  }
+  seconds = std::min<std::uint64_t>(seconds, 30);
+  if (!telemetry_.try_begin_trace_capture()) {
+    return error_response(409, "a trace capture is already running", keep_alive);
+  }
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::string json;
+  try {
+    tracer.enable(std::size_t{1} << 17);
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    tracer.disable();
+    // Let in-flight spans commit before snapshotting the ring; a capture
+    // races live request/ingest threads by design.
+    if (!tracer.quiesce(/*timeout_seconds=*/2.0)) {
+      MRBC_LOG_WARN << "serve: trace capture exported with spans still open";
+    }
+    json = tracer.chrome_json();
+  } catch (...) {
+    tracer.disable();
+    telemetry_.end_trace_capture();
+    throw;
+  }
+  telemetry_.end_trace_capture();
+  return http_response(200, "application/json", json, keep_alive,
+                       {{"X-Trace-Seconds", std::to_string(seconds)}});
 }
 
 // ---- Ingest -----------------------------------------------------------------
@@ -614,10 +920,11 @@ std::string Server::handle_ingest(const HttpRequest& req, bool keep_alive) {
       return error_response(429, "ingest queue full", keep_alive);
     }
     ticket = next_ticket_++;
-    ingest_queue_.push_back({std::move(batch), ticket});
+    ingest_queue_.push_back({std::move(batch), ticket, Clock::now()});
     depth = ingest_queue_.size();
     counters_.batches_ingested.fetch_add(1, std::memory_order_relaxed);
     counters_.ops_ingested.fetch_add(num_ops, std::memory_order_relaxed);
+    telemetry_.on_ingest_admitted(num_ops);
     if (wait) {
       ingest_cv_.notify_one();
       applied_cv_.wait(lock, [this, ticket] { return applied_ticket_ >= ticket; });
@@ -660,14 +967,21 @@ void Server::ingest_loop() {
                      std::make_move_iterator(ingest_queue_.end()));
       ingest_queue_.clear();
     }
+    if (opts_.debug_apply_delay_ms != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts_.debug_apply_delay_ms));
+    }
     stream::EdgeBatch merged;
     for (PendingBatch& p : pending) {
       merged.ops.insert(merged.ops.end(), p.batch.ops.begin(), p.batch.ops.end());
     }
     const Clock::time_point t0 = Clock::now();
-    engine_->apply(merged);
+    {
+      obs::Span span(obs::Category::kServe, "serve/apply");
+      engine_->apply(merged);
+    }
     publish_epoch(pending.size(), seconds_since(t0));
     counters_.batches_applied.fetch_add(1, std::memory_order_relaxed);
+    telemetry_.on_apply(seconds_since(t0) * 1e6);
     if (obs::metrics_enabled()) {
       obs::Metrics::global()
           .named("serve/coalesced_batches")

@@ -38,6 +38,7 @@
 // durable IncrementalBc snapshot when checkpoint_dir is set, then join.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,6 +50,7 @@
 
 #include "serve/epoch_store.h"
 #include "serve/http.h"
+#include "serve/telemetry.h"
 #include "stream/incremental_bc.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +86,20 @@ struct ServerOptions {
   /// Test hook: per-request handler delay (admission-control tests fill
   /// the pending queue deterministically). 0 in production.
   std::uint32_t debug_handler_delay_ms = 0;
+  /// Test hook: delay before each coalesced apply (queue-age tests keep
+  /// batches queued deterministically). 0 in production.
+  std::uint32_t debug_apply_delay_ms = 0;
+
+  /// Live telemetry plane: /metrics + /debug/slow exposition, windowed
+  /// qps/latency, per-request ids and tracer spans. Off = every recording
+  /// site is one relaxed load + branch (bench/micro_obs budget).
+  bool telemetry = true;
+  /// Requests at least this slow enter the bounded slow-request log
+  /// (GET /debug/slow). kSlowRequestMsUnset = MRBC_SLOW_REQUEST_MS env
+  /// override, else 250 ms.
+  std::uint32_t slow_request_ms = kSlowRequestMsUnset;
+  /// Bound on retained slow-log entries (oldest evicted).
+  std::size_t slow_log_capacity = 256;
 
   /// Engine configuration for the maintained BC (samples, hosts, policy).
   stream::IncrementalBcOptions bc;
@@ -127,8 +143,12 @@ class Server {
 
   const EpochStore& store() const { return store_; }
   const ServerCounters& counters() const { return counters_; }
+  const Telemetry& telemetry() const { return telemetry_; }
   /// Epoch of the engine (== last published snapshot's epoch).
   std::uint64_t engine_epoch() const;
+  /// Age of the oldest queued-but-unapplied ingest batch; 0 when empty.
+  /// Depth alone hides a stuck apply thread — age does not.
+  double ingest_oldest_age_seconds() const;
 
   static std::string checkpoint_path(const std::string& dir) { return dir + "/serve.ckpt"; }
 
@@ -136,6 +156,7 @@ class Server {
   struct PendingBatch {
     stream::EdgeBatch batch;
     std::uint64_t ticket = 0;
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   void accept_loop();
@@ -151,6 +172,9 @@ class Server {
                                    bool keep_alive, const std::string& metric);
   std::string handle_stats(const EpochSnapshot& snap, bool keep_alive);
   std::string handle_ingest(const HttpRequest& req, bool keep_alive);
+  std::string handle_metrics(const EpochSnapshot& snap, bool keep_alive);
+  std::string handle_debug_slow(bool keep_alive);
+  std::string handle_debug_trace(const HttpRequest& req, bool keep_alive);
   std::string error_response(int status, const std::string& message, bool keep_alive);
 
   /// Builds + publishes a snapshot from the engine's current state.
@@ -158,9 +182,11 @@ class Server {
   void maybe_checkpoint(bool force);
 
   ServerOptions opts_;
+  Telemetry telemetry_;
   std::unique_ptr<stream::IncrementalBc> engine_;  ///< ingest thread only (after init)
   EpochStore store_;
   ServerCounters counters_;
+  std::chrono::steady_clock::time_point start_time_{};
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -175,7 +201,7 @@ class Server {
   std::vector<int> active_fds_;      ///< connections being handled; guarded by conn_mu_
 
   // Pending ingest batches (request workers -> ingest thread).
-  std::mutex ingest_mu_;
+  mutable std::mutex ingest_mu_;
   std::condition_variable ingest_cv_;
   std::condition_variable applied_cv_;
   std::deque<PendingBatch> ingest_queue_;

@@ -1,0 +1,172 @@
+#include "serve/telemetry.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace mrbc::serve {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double unix_seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Route route_of(const std::string& path) {
+  if (path == "/healthz") return Route::kHealthz;
+  if (path == "/epoch") return Route::kEpoch;
+  if (path == "/bc") return Route::kBc;
+  if (path == "/topk") return Route::kTopk;
+  if (path == "/pagerank") return Route::kPagerank;
+  if (path == "/cc") return Route::kCc;
+  if (path == "/kcore") return Route::kKcore;
+  if (path == "/stats") return Route::kStats;
+  if (path == "/ingest") return Route::kIngest;
+  if (path == "/metrics") return Route::kMetrics;
+  if (path == "/debug/slow") return Route::kDebugSlow;
+  if (path == "/debug/trace") return Route::kDebugTrace;
+  return Route::kOther;
+}
+
+const char* route_label(Route r) {
+  switch (r) {
+    case Route::kHealthz: return "/healthz";
+    case Route::kEpoch: return "/epoch";
+    case Route::kBc: return "/bc";
+    case Route::kTopk: return "/topk";
+    case Route::kPagerank: return "/pagerank";
+    case Route::kCc: return "/cc";
+    case Route::kKcore: return "/kcore";
+    case Route::kStats: return "/stats";
+    case Route::kIngest: return "/ingest";
+    case Route::kMetrics: return "/metrics";
+    case Route::kDebugSlow: return "/debug/slow";
+    case Route::kDebugTrace: return "/debug/trace";
+    case Route::kOther: return "other";
+    case Route::kCount: break;
+  }
+  return "?";
+}
+
+const char* route_span_name(Route r) {
+  switch (r) {
+    case Route::kHealthz: return "GET /healthz";
+    case Route::kEpoch: return "GET /epoch";
+    case Route::kBc: return "GET /bc";
+    case Route::kTopk: return "GET /topk";
+    case Route::kPagerank: return "GET /pagerank";
+    case Route::kCc: return "GET /cc";
+    case Route::kKcore: return "GET /kcore";
+    case Route::kStats: return "GET /stats";
+    case Route::kIngest: return "POST /ingest";
+    case Route::kMetrics: return "GET /metrics";
+    case Route::kDebugSlow: return "GET /debug/slow";
+    case Route::kDebugTrace: return "GET /debug/trace";
+    case Route::kOther: return "request";
+    case Route::kCount: break;
+  }
+  return "?";
+}
+
+Telemetry::Telemetry(bool enabled, std::uint32_t slow_request_ms, std::size_t slow_log_capacity,
+                     obs::WindowedMetrics::ClockFn clock)
+    : enabled_(enabled),
+      slow_request_ms_(slow_request_ms),
+      slow_capacity_(std::max<std::size_t>(slow_log_capacity, 1)),
+      windowed_(kWinCounterCount, kWinHistCount, obs::WindowedMetrics::kDefaultRingSeconds,
+                clock) {
+  windowed_.set_enabled(enabled);
+}
+
+void Telemetry::on_request(Route route, int status, double duration_us,
+                           const std::string& method, const std::string& target,
+                           std::uint64_t request_id) {
+  if (!enabled()) return;
+  const auto us = static_cast<std::uint64_t>(duration_us < 0 ? 0 : duration_us);
+  windowed_.add_counter(kWinRequests);
+  if (status == 429) {
+    windowed_.add_counter(kWinRejected);
+  } else if (status >= 400) {
+    windowed_.add_counter(kWinErrors);
+  }
+  windowed_.record_value(kWinRequestMicros, us);
+  route_histogram(route).record(us);
+  if (duration_us >= static_cast<double>(slow_request_ms_) * 1000.0) {
+    slow_total_.fetch_add(1, std::memory_order_relaxed);
+    windowed_.add_counter(kWinSlow);
+    SlowRequest entry;
+    entry.id = request_id;
+    entry.unix_seconds = unix_seconds_now();
+    entry.method = method;
+    entry.target = target;
+    entry.status = status;
+    entry.duration_ms = duration_us / 1000.0;
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_log_.push_back(std::move(entry));
+    while (slow_log_.size() > slow_capacity_) slow_log_.pop_front();
+  }
+}
+
+void Telemetry::on_bytes_in(std::size_t n) {
+  if (!enabled()) return;
+  bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  windowed_.add_counter(kWinBytesIn, n);
+}
+
+void Telemetry::on_bytes_out(std::size_t n) {
+  if (!enabled()) return;
+  bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  windowed_.add_counter(kWinBytesOut, n);
+}
+
+void Telemetry::on_ingest_admitted(std::size_t ops) {
+  if (!enabled()) return;
+  windowed_.add_counter(kWinIngestBatches);
+  windowed_.add_counter(kWinIngestOps, ops);
+}
+
+void Telemetry::on_apply(double apply_us) {
+  if (!enabled()) return;
+  windowed_.add_counter(kWinApplies);
+  windowed_.record_value(kWinApplyMicros,
+                         static_cast<std::uint64_t>(apply_us < 0 ? 0 : apply_us));
+}
+
+void Telemetry::on_epoch_published() {
+  // The publish stamp also feeds epoch_lag_seconds when telemetry is off
+  // (/stats still reports it); the windowed counter is gated.
+  last_publish_ns_.store(steady_ns(), std::memory_order_release);
+  if (enabled()) windowed_.add_counter(kWinEpochs);
+}
+
+double Telemetry::epoch_lag_seconds() const {
+  const std::int64_t last = last_publish_ns_.load(std::memory_order_acquire);
+  if (last == 0) return 0;
+  return static_cast<double>(steady_ns() - last) * 1e-9;
+}
+
+std::vector<SlowRequest> Telemetry::slow_log() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_log_.rbegin(), slow_log_.rend()};  // newest first
+}
+
+std::uint32_t resolve_slow_request_ms(std::uint32_t option_ms, std::uint32_t fallback_ms) {
+  if (option_ms != kSlowRequestMsUnset) return option_ms;
+  if (const char* env = std::getenv("MRBC_SLOW_REQUEST_MS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint32_t>(v);
+  }
+  return fallback_ms;
+}
+
+}  // namespace mrbc::serve

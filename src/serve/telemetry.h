@@ -1,0 +1,161 @@
+#pragma once
+// Live telemetry plane for the BC daemon: per-request instrumentation
+// (request ids, per-endpoint cumulative latency histograms, windowed
+// rolling counters/histograms), a bounded structured slow-request log,
+// and the bookkeeping /metrics needs that the raw ServerCounters cannot
+// answer — rolling qps, windowed tail latency, bytes in/out, epoch lag,
+// and the ingest coalescing factor over a sliding window.
+//
+// Everything here is either lock-free (WindowedMetrics, atomics) or
+// slow-path-only (the slow-log mutex is taken once per *slow* request and
+// per /debug/slow scrape). When the plane is disabled (--no-telemetry)
+// every recording site reduces to one relaxed load + branch, inside the
+// same <2 ns budget bench/micro_obs enforces for tracer span sites.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/windowed.h"
+
+namespace mrbc::serve {
+
+/// Fixed route set; array-indexed so the request hot path never hashes.
+enum class Route : std::uint8_t {
+  kHealthz = 0,
+  kEpoch,
+  kBc,
+  kTopk,
+  kPagerank,
+  kCc,
+  kKcore,
+  kStats,
+  kIngest,
+  kMetrics,
+  kDebugSlow,
+  kDebugTrace,
+  kOther,
+  kCount,
+};
+inline constexpr std::size_t kNumRoutes = static_cast<std::size_t>(Route::kCount);
+
+Route route_of(const std::string& path);
+/// Endpoint label for /metrics series ("/bc", "other", ...).
+const char* route_label(Route r);
+/// Static-storage span name for the tracer ("GET /bc" etc).
+const char* route_span_name(Route r);
+
+/// Windowed counter ids (obs::WindowedMetrics slots).
+enum WinCounter : std::size_t {
+  kWinRequests = 0,   ///< responses sent (any status)
+  kWinErrors,         ///< 4xx/5xx responses other than 429
+  kWinRejected,       ///< 429 responses (admission + ingest backpressure)
+  kWinBytesIn,        ///< bytes read off request sockets
+  kWinBytesOut,       ///< response bytes written
+  kWinIngestOps,      ///< edge ops admitted via POST /ingest
+  kWinIngestBatches,  ///< batches admitted via POST /ingest
+  kWinApplies,        ///< coalesced apply passes (epoch transitions)
+  kWinEpochs,         ///< epochs published
+  kWinSlow,           ///< requests that landed in the slow log
+  kWinCounterCount,
+};
+
+/// Windowed histogram ids.
+enum WinHist : std::size_t {
+  kWinRequestMicros = 0,  ///< per-request wall latency
+  kWinApplyMicros,        ///< per-apply (coalesce + recompute + publish) wall time
+  kWinHistCount,
+};
+
+/// One slow-request record, newest kept. Exposed at GET /debug/slow.
+struct SlowRequest {
+  std::uint64_t id = 0;          ///< the X-Request-Id value
+  double unix_seconds = 0;       ///< wall-clock completion time
+  std::string method;
+  std::string target;            ///< raw request target, query included
+  int status = 0;
+  double duration_ms = 0;
+};
+
+class Telemetry {
+ public:
+  /// `slow_request_ms`: requests at least this slow enter the slow log.
+  /// `slow_log_capacity`: bound on retained entries (oldest evicted).
+  Telemetry(bool enabled, std::uint32_t slow_request_ms, std::size_t slow_log_capacity = 256,
+            obs::WindowedMetrics::ClockFn clock = nullptr);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  std::uint32_t slow_request_ms() const { return slow_request_ms_; }
+
+  std::uint64_t next_request_id() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Request completion: windowed counters + latency, per-endpoint
+  /// cumulative histogram, slow-log admission. `target` is copied only
+  /// when the request is slow.
+  void on_request(Route route, int status, double duration_us, const std::string& method,
+                  const std::string& target, std::uint64_t request_id);
+  void on_bytes_in(std::size_t n);
+  void on_bytes_out(std::size_t n);
+  void on_ingest_admitted(std::size_t ops);
+  void on_apply(double apply_us);
+  void on_epoch_published();
+
+  /// Seconds since the last epoch publish (what an operator calls "epoch
+  /// lag" under continuous churn); 0 before the first publish.
+  double epoch_lag_seconds() const;
+
+  obs::WindowedMetrics& windowed() { return windowed_; }
+  const obs::WindowedMetrics& windowed() const { return windowed_; }
+  obs::Histogram& route_histogram(Route r) {
+    return route_hist_[static_cast<std::size_t>(r)];
+  }
+  const obs::Histogram& route_histogram(Route r) const {
+    return route_hist_[static_cast<std::size_t>(r)];
+  }
+
+  std::uint64_t bytes_in() const { return bytes_in_.load(std::memory_order_relaxed); }
+  std::uint64_t bytes_out() const { return bytes_out_.load(std::memory_order_relaxed); }
+  std::uint64_t slow_requests() const { return slow_total_.load(std::memory_order_relaxed); }
+
+  /// Snapshot of the slow log, newest first.
+  std::vector<SlowRequest> slow_log() const;
+  std::size_t slow_log_capacity() const { return slow_capacity_; }
+
+  /// Serializes one /debug/trace capture at a time; returns false when a
+  /// capture is already running (the endpoint answers 409).
+  bool try_begin_trace_capture() { return !trace_busy_.exchange(true, std::memory_order_acq_rel); }
+  void end_trace_capture() { trace_busy_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> enabled_;
+  std::uint32_t slow_request_ms_;
+  std::size_t slow_capacity_;
+  obs::WindowedMetrics windowed_;
+  obs::Histogram route_hist_[kNumRoutes];  ///< cumulative latency µs per endpoint
+
+  std::atomic<std::uint64_t> next_request_id_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> slow_total_{0};
+  std::atomic<std::int64_t> last_publish_ns_{0};
+  std::atomic<bool> trace_busy_{false};
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowRequest> slow_log_;  ///< oldest front, newest back
+};
+
+/// Resolves the effective slow-request threshold: an explicit option wins,
+/// else the MRBC_SLOW_REQUEST_MS environment override, else `fallback_ms`.
+/// (Same layering as MRBC_THREADS in util::ThreadPool.)
+std::uint32_t resolve_slow_request_ms(std::uint32_t option_ms, std::uint32_t fallback_ms);
+
+/// Sentinel for "not set on the command line".
+inline constexpr std::uint32_t kSlowRequestMsUnset = UINT32_MAX;
+
+}  // namespace mrbc::serve

@@ -15,7 +15,9 @@
 #include "engine/cluster.h"
 #include "engine/fault.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 
 namespace mrbc {
 namespace {
@@ -316,6 +318,184 @@ TEST(Metrics, JsonSchemaAndNamedHistograms) {
   }
   // Untouched built-ins stay out of the export.
   EXPECT_EQ(json.find("\"stream/ingest_batch_ops\""), std::string::npos);
+}
+
+// ---- WindowedMetrics --------------------------------------------------------
+// All rotation tests use the _at variants with explicit fake timestamps so
+// rotation, idle gaps, clock steps, and ring wrap are driven deterministically.
+
+TEST(WindowedMetrics, ValueBucketBoundsBracketTheirValues) {
+  using W = obs::WindowedMetrics;
+  // 0..7 are exact buckets.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(W::value_bucket(v), v);
+    EXPECT_EQ(W::bucket_lower(v), v);
+    EXPECT_EQ(W::bucket_upper(v), v);
+  }
+  // Every log-linear bucket's bounds map back into it, and buckets tile
+  // the value axis with no gaps: upper(i) + 1 == lower(i + 1).
+  for (std::size_t i = 8; i < W::kValueBuckets; ++i) {
+    EXPECT_EQ(W::value_bucket(W::bucket_lower(i)), i) << "lower of bucket " << i;
+    EXPECT_EQ(W::value_bucket(W::bucket_upper(i)), i) << "upper of bucket " << i;
+    EXPECT_EQ(W::bucket_upper(i - 1) + 1, W::bucket_lower(i)) << "gap before bucket " << i;
+    if (i == W::kValueBuckets - 1) continue;  // last bucket is the clamp catch-all
+    // Sub-bucket width bounds relative quantile error at 1/8.
+    const double width = static_cast<double>(W::bucket_upper(i) - W::bucket_lower(i) + 1);
+    EXPECT_LE(width / static_cast<double>(W::bucket_lower(i)), 0.1251) << "bucket " << i;
+  }
+  // Values beyond the last bucket clamp instead of indexing out of range.
+  EXPECT_EQ(W::value_bucket(UINT64_MAX), W::kValueBuckets - 1);
+}
+
+TEST(WindowedMetrics, WindowExcludesCurrentPartialSecond) {
+  obs::WindowedMetrics win(1, 0, /*ring_seconds=*/16);
+  win.add_counter_at(0, 5, /*now_s=*/100);
+  // Second 100 is still in progress at now=100: invisible.
+  EXPECT_EQ(win.counter_sum(0, 10, /*now_s=*/100), 0u);
+  // One tick later it is a complete second inside [91, 100].
+  EXPECT_EQ(win.counter_sum(0, 10, /*now_s=*/101), 5u);
+  // A 1s window at now=101 covers exactly second 100.
+  EXPECT_EQ(win.counter_sum(0, 1, /*now_s=*/101), 5u);
+  // Once the window slides past, the count ages out.
+  EXPECT_EQ(win.counter_sum(0, 10, /*now_s=*/111), 0u);
+}
+
+TEST(WindowedMetrics, IdleGapLeavesStaleBucketsOutOfTheWindow) {
+  obs::WindowedMetrics win(1, 0, /*ring_seconds=*/16);
+  win.add_counter_at(0, 7, 100);
+  // A long idle gap (no recordings, so no rotation happened): the slot
+  // still holds second 100's stamp, and a read far in the future must not
+  // resurrect it even though the slot index aliases (116 ≡ 100 mod 16).
+  EXPECT_EQ(win.counter_sum(0, 10, /*now_s=*/500), 0u);
+  // Writing after the gap recycles the slot rather than accumulating.
+  win.add_counter_at(0, 3, 500);
+  EXPECT_EQ(win.counter_sum(0, 10, 501), 3u);
+}
+
+TEST(WindowedMetrics, BackwardClockStepDropsTheSample) {
+  obs::WindowedMetrics win(1, 0, /*ring_seconds=*/16);
+  win.add_counter_at(0, 1, 200);
+  // Slot for 200 is stamped; a recorder whose clock reads an older second
+  // that aliases to the same slot (184 ≡ 200 mod 16) must drop, not smear
+  // its delta into second 200.
+  win.add_counter_at(0, 99, 184);
+  EXPECT_EQ(win.counter_sum(0, 1, 201), 1u);
+  // A mild step backward onto a *different* slot still records normally.
+  win.add_counter_at(0, 4, 199);
+  EXPECT_EQ(win.counter_sum(0, 10, 201), 5u);
+}
+
+TEST(WindowedMetrics, RingWrapRecyclesSlots) {
+  obs::WindowedMetrics win(1, 0, /*ring_seconds=*/4);
+  for (std::int64_t s = 0; s < 12; ++s) win.add_counter_at(0, 1, s);
+  // Only the last 4 slots survive three full wraps; a 3s window at now=12
+  // sees seconds 9..11.
+  EXPECT_EQ(win.counter_sum(0, 3, 12), 3u);
+  // Window wider than the ring is capped at ring-1 complete seconds (the
+  // current second's slot can't be trusted to be complete).
+  EXPECT_EQ(win.counter_sum(0, 300, 12), 3u);
+}
+
+TEST(WindowedMetrics, HistWindowMergesAndInterpolates) {
+  obs::WindowedMetrics win(0, 1, /*ring_seconds=*/32);
+  // 100 values 1..100 spread across two seconds.
+  for (std::uint64_t v = 1; v <= 50; ++v) win.record_value_at(0, v, 10);
+  for (std::uint64_t v = 51; v <= 100; ++v) win.record_value_at(0, v, 11);
+  const auto w = win.hist_window(0, 10, /*now_s=*/12);
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_EQ(w.sum, 5050u);
+  EXPECT_DOUBLE_EQ(w.mean(), 50.5);
+  // Log-linear interpolation keeps quantiles within the 12.5% sub-bucket
+  // bound of the exact answers (50, 90, 99).
+  EXPECT_NEAR(w.percentile(50), 50.0, 50.0 * 0.125 + 1.0);
+  EXPECT_NEAR(w.percentile(90), 90.0, 90.0 * 0.125 + 1.0);
+  EXPECT_NEAR(w.percentile(99), 99.0, 99.0 * 0.125 + 1.0);
+  EXPECT_LE(w.percentile(50), w.percentile(90));
+  EXPECT_LE(w.percentile(90), w.percentile(99));
+  // Sliding the window past second 10 drops its half.
+  const auto tail = win.hist_window(0, 10, /*now_s=*/21);
+  EXPECT_EQ(tail.count, 50u);
+}
+
+TEST(WindowedMetrics, DisabledSitesRecordNothing) {
+  obs::WindowedMetrics win(1, 1, /*ring_seconds=*/16);
+  win.set_enabled(false);
+  win.add_counter(0, 5);
+  win.record_value(0, 42);
+  win.set_enabled(true);
+  EXPECT_EQ(win.counter_sum(0, 300), 0u);
+  EXPECT_EQ(win.hist_window(0, 300).count, 0u);
+}
+
+// ---- Prometheus exposition --------------------------------------------------
+
+TEST(Prometheus, GoldenRender) {
+  obs::PromWriter w;
+  w.type("up", "gauge", "Is the daemon up");
+  w.sample("up", {}, std::uint64_t{1});
+  w.type("mrbc_requests_total", "counter", "Requests served");
+  w.sample("mrbc_requests_total", {{"endpoint", "/bc"}, {"code", "200"}}, std::uint64_t{17});
+  const std::string expect =
+      "# HELP up Is the daemon up\n"
+      "# TYPE up gauge\n"
+      "up 1\n"
+      "# HELP mrbc_requests_total Requests served\n"
+      "# TYPE mrbc_requests_total counter\n"
+      "mrbc_requests_total{endpoint=\"/bc\",code=\"200\"} 17\n";
+  EXPECT_EQ(w.str(), expect);
+}
+
+TEST(Prometheus, RenderParseRoundTrip) {
+  obs::PromWriter w;
+  w.type("latency_us", "histogram", "request latency");
+  Histogram h;
+  for (std::uint64_t v : {3u, 9u, 9u, 300u}) h.record(v);
+  w.histogram("latency_us", {{"endpoint", "/bc"}}, h);
+  w.type("qps", "gauge", "rate");
+  w.sample("qps", {{"window", "10s"}}, 12345.5);
+  w.type("weird", "gauge", "label escaping");
+  w.sample("weird", {{"v", "a\\b\"c\nd"}}, 1.0);
+
+  const auto samples = obs::prom_parse(w.str());
+  // Histogram renders _bucket series + +Inf + _sum + _count.
+  const auto* inf = obs::prom_find(samples, "latency_us_bucket", {{"le", "+Inf"}});
+  ASSERT_NE(inf, nullptr);
+  EXPECT_DOUBLE_EQ(inf->value, 4.0);
+  const auto* sum = obs::prom_find(samples, "latency_us_sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(sum->value, 321.0);
+  const auto* count = obs::prom_find(samples, "latency_us_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 4.0);
+  // Bucket counts are cumulative and monotone in le.
+  double prev = 0;
+  for (const auto& s : samples) {
+    if (s.name != "latency_us_bucket") continue;
+    EXPECT_GE(s.value, prev);
+    prev = s.value;
+  }
+  const auto* qps = obs::prom_find(samples, "qps", {{"window", "10s"}});
+  ASSERT_NE(qps, nullptr);
+  EXPECT_DOUBLE_EQ(qps->value, 12345.5);
+  // Escaped label value survives the round trip verbatim.
+  const auto* weird = obs::prom_find(samples, "weird");
+  ASSERT_NE(weird, nullptr);
+  EXPECT_EQ(weird->labels.at("v"), "a\\b\"c\nd");
+}
+
+TEST(Prometheus, StrictParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::prom_parse("up nan\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("up +Inf\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("1bad_name 1\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("up{label=unquoted} 1\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("up{label=\"open} 1\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("up\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("up notanumber\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("# FROB up gauge\n"), obs::PromParseError);
+  EXPECT_THROW(obs::prom_parse("# TYPE up gauge\n# TYPE up gauge\nup 1\n"),
+               obs::PromParseError);
+  // And accepts the things it should.
+  EXPECT_NO_THROW(obs::prom_parse("# HELP up ok\n# TYPE up gauge\nup 1\nup2 -3.5e2\n"));
 }
 
 // ---- BspLoop reconciliation -------------------------------------------------

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/prometheus.h"
 #include "serve/epoch_store.h"
+#include "serve/telemetry.h"
 #include "serve/http.h"
 #include "serve/server.h"
 #include "stream/incremental_bc.h"
@@ -552,6 +554,229 @@ TEST(ServeDaemon, RestartFromCheckpointServesIdenticalScores) {
     EXPECT_EQ(resp.body, before_drain);
     server.stop();
   }
+}
+
+// ---- Telemetry plane --------------------------------------------------------
+
+TEST(ServeTelemetry, MetricsEndpointIsStrictlyParseable) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  Server server(graph::complete(8), opts);
+  server.start();
+  HttpClient c(server.port(), /*keep_alive=*/true);
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(c.get("/bc?vertex=1").status, 200);
+  ASSERT_EQ(c.post("/ingest?wait=1", ingest_body({{'+', 1, 2}})).status, 200);
+  c.get("/nope");  // one 404 so error series have traffic
+
+  const auto resp = c.get("/metrics");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.headers.at("content-type").find("version=0.0.4"), std::string::npos);
+  // The strict parser is the whole point: "it rendered" must imply "a real
+  // scraper would accept it".
+  std::vector<obs::PromSample> samples;
+  ASSERT_NO_THROW(samples = obs::prom_parse(resp.body)) << resp.body;
+  for (const char* name : {
+           "mrbc_serve_uptime_seconds", "mrbc_serve_resident_memory_bytes",
+           "mrbc_serve_clock_seconds", "mrbc_serve_epoch", "mrbc_serve_epoch_lag_seconds",
+           "mrbc_serve_requests_total", "mrbc_serve_bad_requests_total",
+           "mrbc_serve_bytes_total", "mrbc_serve_window_qps",
+           "mrbc_serve_window_request_latency_us", "mrbc_serve_ingest_queue_depth",
+           "mrbc_serve_ingest_oldest_batch_age_seconds", "mrbc_serve_coalescing_factor",
+       }) {
+    EXPECT_NE(obs::prom_find(samples, name), nullptr) << name;
+  }
+  EXPECT_NE(obs::prom_find(samples, "mrbc_serve_rejected_total", {{"reason", "admission"}}),
+            nullptr);
+  // All three windows render for every windowed series.
+  for (const char* window : {"10s", "1m", "5m"}) {
+    EXPECT_NE(obs::prom_find(samples, "mrbc_serve_window_qps", {{"window", window}}), nullptr)
+        << window;
+  }
+  // Per-endpoint cumulative latency histogram carries the /bc traffic.
+  const auto* bc_count =
+      obs::prom_find(samples, "mrbc_serve_request_duration_us_count", {{"endpoint", "/bc"}});
+  ASSERT_NE(bc_count, nullptr);
+  EXPECT_GE(bc_count->value, 5.0);
+  const auto* epoch = obs::prom_find(samples, "mrbc_serve_epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_GE(epoch->value, 1.0);  // the wait=1 ingest published
+  server.stop();
+}
+
+TEST(ServeTelemetry, RequestIdsEchoAndIncrease) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  Server server(graph::complete(8), opts);
+  server.start();
+  HttpClient c(server.port(), /*keep_alive=*/true);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto resp = c.get("/healthz");
+    ASSERT_EQ(resp.status, 200);
+    const auto it = resp.headers.find("x-request-id");
+    ASSERT_NE(it, resp.headers.end());
+    const std::uint64_t id = std::stoull(it->second);
+    EXPECT_GT(id, prev) << "request ids must increase";
+    prev = id;
+    // The echoed handler time is a parseable non-negative integer.
+    ASSERT_NE(resp.headers.find("x-request-us"), resp.headers.end());
+    EXPECT_GE(std::stoll(resp.headers.at("x-request-us")), 0);
+  }
+  server.stop();
+}
+
+TEST(ServeTelemetry, SlowLogIsBoundedAndNewestFirst) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  opts.slow_request_ms = 1;
+  opts.slow_log_capacity = 3;
+  opts.debug_handler_delay_ms = 5;  // every request crosses the 1ms bar
+  Server server(graph::complete(8), opts);
+  server.start();
+  HttpClient c(server.port(), /*keep_alive=*/true);
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(c.get("/healthz").status, 200);
+
+  const auto resp = c.get("/debug/slow");
+  ASSERT_EQ(resp.status, 200);
+  const JsonValue doc = util::json_parse(resp.body);
+  EXPECT_EQ(doc.at("threshold_ms").as_u64(), 1u);
+  EXPECT_EQ(doc.at("capacity").as_u64(), 3u);
+  EXPECT_GE(doc.at("total_slow").as_u64(), 8u);
+  const auto& entries = doc.at("requests").as_array();
+  // Bounded at capacity despite 8+ slow requests, newest first.
+  ASSERT_EQ(entries.size(), 3u);
+  std::uint64_t prev_id = UINT64_MAX;
+  for (const JsonValue& e : entries) {
+    const std::uint64_t id = e.at("id").as_u64();
+    EXPECT_LT(id, prev_id) << "slow log must be newest-first";
+    prev_id = id;
+    EXPECT_EQ(e.at("method").as_string(), "GET");
+    EXPECT_EQ(e.at("status").as_u64(), 200u);
+    EXPECT_GE(e.at("duration_ms").as_double(), 1.0);
+    EXPECT_GT(e.at("unix_seconds").as_double(), 0.0);
+  }
+  server.stop();
+}
+
+TEST(ServeTelemetry, DebugTraceYieldsChromeJsonUnderChurn) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  Server server(graph::complete(10), opts);
+  server.start();
+
+  // Keep queries and ingest flowing for the whole capture window so the
+  // trace must contain request spans and apply/publish spans.
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    HttpClient cc(server.port(), /*keep_alive=*/true);
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      cc.get("/bc?vertex=1");
+      cc.post("/ingest", ingest_body({{'+', i % 9, (i + 1) % 9}}));
+      ++i;
+    }
+  });
+
+  HttpClient c(server.port());
+  const auto resp = c.get("/debug/trace?seconds=1");
+  stop.store(true, std::memory_order_release);
+  churn.join();
+  ASSERT_EQ(resp.status, 200);
+  // Chrome's about:tracing loads JSON: parse it with the strict parser and
+  // check the spans a human would look for are present.
+  const JsonValue doc = util::json_parse(resp.body);
+  const auto& events = doc.at("traceEvents").as_array();
+  EXPECT_GT(events.size(), 0u);
+  bool saw_request = false, saw_apply = false;
+  for (const JsonValue& e : events) {
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    if (name->as_string() == "GET /bc" || name->as_string() == "POST /ingest") {
+      saw_request = true;
+    }
+    if (name->as_string() == "serve/apply") saw_apply = true;
+  }
+  EXPECT_TRUE(saw_request) << "no request spans captured";
+  EXPECT_TRUE(saw_apply) << "no ingest apply spans captured";
+
+  // Malformed seconds is a client error, not a capture.
+  EXPECT_EQ(c.get("/debug/trace?seconds=banana").status, 400);
+  server.stop();
+}
+
+TEST(ServeTelemetry, ConcurrentTraceCaptureIsRejected) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  Server server(graph::complete(8), opts);
+  server.start();
+
+  std::thread first([&] {
+    HttpClient a(server.port());
+    EXPECT_EQ(a.get("/debug/trace?seconds=1").status, 200);
+  });
+  // Land well inside the first capture's window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  HttpClient b(server.port());
+  EXPECT_EQ(b.get("/debug/trace?seconds=1").status, 409);
+  first.join();
+  server.stop();
+}
+
+TEST(ServeTelemetry, StatsReportsIngestQueueAge) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  opts.debug_apply_delay_ms = 400;  // hold the ingest thread mid-pass
+  Server server(graph::complete(6), opts);
+  server.start();
+  HttpClient c(server.port(), /*keep_alive=*/true);
+
+  ASSERT_EQ(c.post("/ingest", ingest_body({{'+', 1, 2}})).status, 202);
+  // Wait for the ingest thread to take the first batch (queue drains to 0
+  // and the thread starts its 400ms delay).
+  for (int i = 0; i < 100; ++i) {
+    const JsonValue s = util::json_parse(c.get("/stats").body);
+    if (s.at("queues").at("pending_ingest").as_u64() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // This batch now queues behind the in-flight pass and ages visibly.
+  ASSERT_EQ(c.post("/ingest", ingest_body({{'+', 2, 3}})).status, 202);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const JsonValue stats = util::json_parse(c.get("/stats").body);
+  EXPECT_GE(stats.at("queues").at("pending_ingest").as_u64(), 1u);
+  EXPECT_GE(stats.at("queues").at("ingest_oldest_age_seconds").as_double(), 0.05);
+  EXPECT_TRUE(stats.at("telemetry").at("enabled").as_bool());
+  server.stop();
+}
+
+TEST(ServeTelemetry, NoTelemetryDisablesPlane) {
+  ServerOptions opts = small_options();
+  opts.run_analytics = false;
+  opts.telemetry = false;
+  Server server(graph::complete(8), opts);
+  server.start();
+  HttpClient c(server.port(), /*keep_alive=*/true);
+
+  const auto health = c.get("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.headers.count("x-request-id"), 0u);
+  EXPECT_EQ(health.headers.count("x-request-us"), 0u);
+  EXPECT_EQ(c.get("/metrics").status, 404);
+  EXPECT_EQ(c.get("/debug/slow").status, 404);
+  const JsonValue stats = util::json_parse(c.get("/stats").body);
+  EXPECT_FALSE(stats.at("telemetry").at("enabled").as_bool());
+  server.stop();
+}
+
+TEST(ServeTelemetry, SlowThresholdResolutionLayers) {
+  unsetenv("MRBC_SLOW_REQUEST_MS");
+  EXPECT_EQ(serve::resolve_slow_request_ms(serve::kSlowRequestMsUnset, 250), 250u);
+  EXPECT_EQ(serve::resolve_slow_request_ms(42, 250), 42u);
+  setenv("MRBC_SLOW_REQUEST_MS", "77", 1);
+  EXPECT_EQ(serve::resolve_slow_request_ms(serve::kSlowRequestMsUnset, 250), 77u);
+  EXPECT_EQ(serve::resolve_slow_request_ms(42, 250), 42u);  // explicit flag wins
+  setenv("MRBC_SLOW_REQUEST_MS", "not-a-number", 1);
+  EXPECT_EQ(serve::resolve_slow_request_ms(serve::kSlowRequestMsUnset, 250), 250u);
+  unsetenv("MRBC_SLOW_REQUEST_MS");
 }
 
 TEST(ServeDaemon, KeepAliveServesManyRequestsOnOneConnection) {
