@@ -5,6 +5,7 @@
 //
 //   compare_bench <baseline.json> <fresh.json> [--threshold 0.10] [--warn-only]
 //                 [--deterministic-only]
+//   compare_bench --micro <baseline.csv> <fresh.csv> [--threshold 0.10] [--warn-only]
 //   compare_bench --check-metrics <exposition.txt>
 //
 // Gated keys and their directions:
@@ -19,6 +20,15 @@
 // machine-independent (fixed graph, fixed seeds, modeled network), so they
 // can hard-fail on any runner, while the throughput keys only gate
 // meaningfully on hardware matching the committed baseline's.
+//
+// --micro mode gates the CSVs the micro benchmarks write
+// (micro_threading.csv, micro_datastructures.csv, micro_kernels.csv). The
+// schema is recognized from the header: rows are matched on their identity
+// columns, the measured ratio column (advantage / speedup) gates
+// higher-is-better under the same relative threshold, and deterministic
+// columns (micro_kernels' pull_rounds — a bit-exact round count) must match
+// EXACTLY and fail the run even under --warn-only: timing noise is warnable,
+// a direction-heuristic behavior change is not.
 //
 // A key present in only one record is reported and skipped, not failed —
 // the first run after a schema extension gates on whatever overlaps, and
@@ -111,6 +121,146 @@ void gate(const char* label, const util::JsonValue& base, const util::JsonValue&
   if (fail) ++r.regressed;
 }
 
+// ---- --micro: CSV gate for the micro benchmark suites ----------------------
+
+struct Csv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  int col(const std::string& name) const {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Parses the comma-separated format util::CsvWriter emits (no quoting —
+/// none of our writers produce quoted fields).
+Csv parse_csv(const std::string& text) {
+  Csv out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', pos);
+      fields.push_back(line.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                   : comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (out.header.empty()) {
+      out.header = std::move(fields);
+    } else {
+      out.rows.push_back(std::move(fields));
+    }
+  }
+  return out;
+}
+
+/// Identity / gated / deterministic columns per recognized micro CSV schema.
+struct MicroSchema {
+  const char* name;
+  std::vector<std::string> key_cols;   ///< row identity (must match to compare)
+  std::string ratio_col;               ///< gated, higher is better
+  std::vector<std::string> det_cols;   ///< must match exactly, even --warn-only
+};
+
+const MicroSchema* recognize(const Csv& csv) {
+  static const MicroSchema kSchemas[] = {
+      {"micro_kernels", {"workload", "engine", "batch"}, "speedup", {"pull_rounds"}},
+      {"micro_datastructures", {"kernel", "bits"}, "speedup", {}},
+      {"micro_threading", {"hosts"}, "advantage", {}},
+  };
+  for (const MicroSchema& s : kSchemas) {
+    bool ok = csv.col(s.ratio_col) >= 0;
+    for (const std::string& k : s.key_cols) ok = ok && csv.col(k) >= 0;
+    if (ok) return &s;
+  }
+  return nullptr;
+}
+
+int micro_gate(const std::string& base_path, const std::string& fresh_path, double threshold,
+               bool warn_only) {
+  const Csv base = parse_csv(read_file(base_path));
+  const Csv fresh = parse_csv(read_file(fresh_path));
+  const MicroSchema* schema = recognize(fresh);
+  if (schema == nullptr) {
+    std::fprintf(stderr, "compare_bench: unrecognized micro CSV header in %s\n",
+                 fresh_path.c_str());
+    return 2;
+  }
+  std::printf("compare_bench --micro [%s]: %s vs %s (threshold %.0f%%)\n", schema->name,
+              base_path.c_str(), fresh_path.c_str(), threshold * 100.0);
+
+  const auto key_of = [&](const Csv& csv, const std::vector<std::string>& row) {
+    std::string key;
+    for (const std::string& k : schema->key_cols) {
+      const int c = csv.col(k);
+      key += (c >= 0 && static_cast<std::size_t>(c) < row.size() ? row[c] : "?");
+      key += '|';
+    }
+    return key;
+  };
+
+  GateResult r;
+  int det_failures = 0;
+  for (const std::vector<std::string>& frow : fresh.rows) {
+    const std::string key = key_of(fresh, frow);
+    const std::vector<std::string>* brow = nullptr;
+    for (const std::vector<std::string>& cand : base.rows) {
+      if (key_of(base, cand) == key) {
+        brow = &cand;
+        break;
+      }
+    }
+    if (brow == nullptr) {
+      std::printf("  skip  %-46s (absent in baseline)\n", key.c_str());
+      ++r.skipped;
+      continue;
+    }
+    const int bc = base.col(schema->ratio_col);
+    const int fc = fresh.col(schema->ratio_col);
+    if (bc >= 0 && fc >= 0) {
+      ++r.compared;
+      const double b = std::atof((*brow)[bc].c_str());
+      const double f = std::atof(frow[fc].c_str());
+      const double rel = b != 0 ? (f - b) / std::fabs(b) : 0;
+      const bool fail = -rel > threshold;  // ratio columns are higher-better
+      std::printf("  %s %-46s base=%-12.4g fresh=%-12.4g delta=%+.1f%%\n",
+                  fail ? "FAIL " : "ok   ", (key + schema->ratio_col).c_str(), b, f,
+                  rel * 100.0);
+      if (fail) ++r.regressed;
+    }
+    for (const std::string& det : schema->det_cols) {
+      const int bd = base.col(det);
+      const int fd = fresh.col(det);
+      if (bd < 0 || fd < 0) continue;
+      ++r.compared;
+      const bool fail = (*brow)[bd] != frow[fd];
+      std::printf("  %s %-46s base=%-12s fresh=%-12s (deterministic)\n",
+                  fail ? "FAIL " : "ok   ", (key + det).c_str(), (*brow)[bd].c_str(),
+                  frow[fd].c_str());
+      if (fail) ++det_failures;
+    }
+  }
+  std::printf("compared %d, regressed %d, deterministic mismatches %d, skipped %d\n",
+              r.compared, r.regressed, det_failures, r.skipped);
+  if (det_failures > 0) {
+    std::printf("deterministic columns drifted: failing even under --warn-only\n");
+    return 1;
+  }
+  if (r.regressed > 0 && warn_only) {
+    std::printf("warn-only mode: regressions reported, exit 0\n");
+    return 0;
+  }
+  return r.regressed > 0 ? 1 : 0;
+}
+
 int check_metrics(const std::string& path) {
   const std::string body = read_file(path);
   std::vector<obs::PromSample> samples;
@@ -150,10 +300,17 @@ int check_metrics(const std::string& path) {
 int run(int argc, char** argv) {
   if (argc >= 3 && !std::strcmp(argv[1], "--check-metrics")) return check_metrics(argv[2]);
 
+  const bool micro = argc >= 2 && !std::strcmp(argv[1], "--micro");
+  if (micro) {
+    --argc;
+    ++argv;  // shift: argv[1]/argv[2] are the CSV paths below
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: compare_bench <baseline.json> <fresh.json> [--threshold 0.10] "
                  "[--warn-only] [--deterministic-only]\n"
+                 "       compare_bench --micro <baseline.csv> <fresh.csv> [--threshold 0.10] "
+                 "[--warn-only]\n"
                  "       compare_bench --check-metrics <exposition.txt>\n");
     return 2;
   }
@@ -174,6 +331,7 @@ int run(int argc, char** argv) {
       return 2;
     }
   }
+  if (micro) return micro_gate(argv[1], argv[2], threshold, warn_only);
 
   const util::JsonValue base = util::json_parse(read_file(argv[1]));
   const util::JsonValue fresh = util::json_parse(read_file(argv[2]));

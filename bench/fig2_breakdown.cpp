@@ -20,9 +20,16 @@ namespace mrbc::bench {
 namespace {
 
 void run() {
+  // fwd_compute_s / bwd_compute_s split compute_s by phase (appended
+  // columns, so existing fig2 consumers keep working): the forward APSP is
+  // where the direction-optimized drain acts, the backward accumulation is
+  // push-only — publishing the split is what lets the obs plane and the
+  // micro gates attribute a forward-phase win without re-running anything.
   Report report("Figure 2: computation vs non-overlapped communication (+ comm volume)",
                 "fig2_breakdown.csv",
-                {"input", "hosts", "algo", "compute_s", "comm_s", "volume", "msgs"}, 13);
+                {"input", "hosts", "algo", "compute_s", "comm_s", "volume", "msgs",
+                 "fwd_compute_s", "bwd_compute_s"},
+                13);
   std::vector<double> comm_ratios;
   for (const Workload& w : all_workloads()) {
     const auto hosts = static_cast<partition::HostId>(w.large ? 32 : 4);
@@ -46,10 +53,12 @@ void run() {
     const auto mt = mrbc.total();
     report.add({w.name, std::to_string(hosts), "SBBC", util::fmt(st.phases.compute_seconds, 4),
                 util::fmt(st.phases.comm_seconds, 4), util::fmt_bytes(st.bytes),
-                std::to_string(st.messages)});
+                std::to_string(st.messages), util::fmt(sbbc.forward.phases.compute_seconds, 4),
+                util::fmt(sbbc.backward.phases.compute_seconds, 4)});
     report.add({w.name, std::to_string(hosts), "MRBC", util::fmt(mt.phases.compute_seconds, 4),
                 util::fmt(mt.phases.comm_seconds, 4), util::fmt_bytes(mt.bytes),
-                std::to_string(mt.messages)});
+                std::to_string(mt.messages), util::fmt(mrbc.forward.phases.compute_seconds, 4),
+                util::fmt(mrbc.backward.phases.compute_seconds, 4)});
     comm_ratios.push_back(st.phases.comm_seconds / mt.phases.comm_seconds);
   }
   report.finish();

@@ -97,11 +97,20 @@ class SourceRunner final : public sim::Checkpointable {
     self_sched_.resize(H);
     in_frontier_.resize(H);
     masters_by_level_.resize(H);
+    pull_frontier_.resize(H);
+    pull_ord_.resize(H);
+    last_pull_.assign(H, 0);
+    local_edges_.assign(H, 0);
+    pull_rounds_.assign(H, 0);
+    scratch_.resize(H);
     for (HostId h = 0; h < H; ++h) {
       const auto np = part.host(h).num_proxies();
       labels_[h].assign(np, {});
       delta_[h].assign(np, 0.0);
       in_frontier_[h].resize(np);
+      pull_frontier_[h].resize(np);
+      pull_ord_[h].assign(np, 0);
+      local_edges_[h] = part.host(h).local.num_edges();
     }
   }
 
@@ -190,8 +199,19 @@ class SourceRunner final : public sim::Checkpointable {
       const auto levels = buf.read<std::uint64_t>();
       masters_by_level_[h].assign(levels, {});
       for (auto& level : masters_by_level_[h]) level = buf.read_vector<VertexId>();
+      // Derived round-local state: the pull frontier is empty between
+      // rounds, which is when checkpoints are taken. Snapshot bytes are
+      // untouched by the direction machinery.
+      pull_frontier_[h].reset_all();
     }
     max_level_ = buf.read<std::uint32_t>();
+  }
+
+  /// Host-rounds the forward phase drained in pull mode (diagnostic).
+  std::size_t pull_rounds() const {
+    std::size_t total = 0;
+    for (std::size_t p : pull_rounds_) total += p;
+    return total;
   }
 
   void harvest(BcResult& out, std::size_t source_idx) const {
@@ -242,6 +262,75 @@ class SourceRunner final : public sim::Checkpointable {
     combine_forward_impl(h, lid, d, sigma, nullptr, 0);
   }
 
+  /// Pull drain of one staged forward round. Same bit-identity argument as
+  /// the MRBC pull (design comment in core/mrbc.cpp), with one SBBC twist:
+  /// there is no finality plane, so targets are skipped by the stale test
+  /// instead — a target with dist < dmin + 1 (dmin = the frontier's minimum
+  /// level) can only receive strictly stale pushes, which the push drain
+  /// discards with zero side effects. Every other target gets its full
+  /// frontier-neighbor push sequence, replayed in (drain ordinal, target)
+  /// order = push's order. Generation and replay are separated by a barrier
+  /// so pushed values read pre-replay labels, exactly like push's Phase-A
+  /// snapshots.
+  sim::HostWork compute_forward_pull(HostId h, const std::vector<VertexId>& wl,
+                                     const std::vector<VertexId>& ss, std::uint64_t fdeg) {
+    const auto& hg = part_.host(h);
+    const std::size_t total = wl.size() + ss.size();
+    util::DynamicBitset& frontier = pull_frontier_[h];
+    std::vector<std::uint32_t>& ford = pull_ord_[h];
+    std::uint32_t dmin = kInfDist;
+    for (std::size_t ei = 0; ei < total; ++ei) {
+      const VertexId lid = ei < wl.size() ? wl[ei] : ss[ei - wl.size()];
+      if (!frontier.test(lid)) {
+        frontier.set(lid);
+        ford[lid] = static_cast<std::uint32_t>(ei);
+      }
+      dmin = std::min(dmin, labels_[h][lid].dist);
+    }
+    const std::size_t num_ranges = core::num_drain_ranges(hg.num_proxies());
+    core::DrainScratch& sc = scratch_[h];
+    if (sc.range_recs.size() < num_ranges) sc.range_recs.resize(num_ranges);
+    util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
+      std::vector<core::PushRec>& recs = sc.range_recs[r];
+      recs.clear();
+      const auto tb = static_cast<VertexId>(r << core::kRangeShift);
+      const auto te = static_cast<VertexId>(
+          std::min<std::size_t>(hg.num_proxies(), (r + 1) << core::kRangeShift));
+      for (VertexId t = tb; t < te; ++t) {
+        const std::uint32_t td = labels_[h][t].dist;
+        if (td != kInfDist && td < dmin + 1) continue;  // live target: only stale pushes
+        for (VertexId wv : hg.local.in_neighbors(t)) {
+          if (!frontier.test(wv)) continue;
+          const DistSigma& sw = labels_[h][wv];
+          recs.push_back(core::PushRec{t, 0, sw.dist + 1, sw.sigma, ford[wv]});
+        }
+      }
+      std::sort(recs.begin(), recs.end(), [](const core::PushRec& x, const core::PushRec& y) {
+        return x.ord != y.ord ? x.ord < y.ord : x.target < y.target;
+      });
+    });
+    // Barrier passed: every rec's value snapshot is pre-replay. Replay.
+    std::vector<std::vector<core::OrdLid>> range_staged(num_ranges);
+    util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
+      for (const core::PushRec& p : sc.range_recs[r]) {
+        combine_forward_impl(h, p.target, p.dist, p.value, &range_staged[r],
+                             (static_cast<std::uint64_t>(p.ord) << 32) | p.target);
+      }
+    });
+    std::vector<core::OrdLid> all;
+    for (const auto& v : range_staged) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    for (const auto& [ord, lid] : all) self_sched_[h].push_back(lid);
+    for (std::size_t ei = 0; ei < total; ++ei) {
+      frontier.reset(ei < wl.size() ? wl[ei] : ss[ei - wl.size()]);
+    }
+    ++pull_rounds_[h];
+    sim::HostWork w;
+    w.work_items = fdeg;
+    w.active = false;
+    return w;
+  }
+
   sim::HostWork compute_forward(HostId h) {
     const auto& hg = part_.host(h);
     sim::HostWork w;
@@ -254,16 +343,53 @@ class SourceRunner final : public sim::Checkpointable {
     const std::size_t total = wl.size() + ss.size();
     const std::size_t grain = std::max<std::size_t>(opts_.drain_grain, 1);
     if (total > grain) {
+      // Direction decision: deterministic density heuristic over integer
+      // inputs (see MrbcOptions::direction / choose_pull in core/mrbc.cpp).
+      bool pull = false;
+      std::uint64_t fdeg = 0;
+      auto frontier_degree = [&] {
+        return util::ThreadPool::global().parallel_reduce(
+            0, total, grain, std::uint64_t{0},
+            [&](std::size_t ei) {
+              const VertexId lid = ei < wl.size() ? wl[ei] : ss[ei - wl.size()];
+              return static_cast<std::uint64_t>(hg.local.out_degree(lid));
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      };
+      switch (opts_.direction) {
+        case core::Direction::kPush:
+          break;
+        case core::Direction::kPull:
+          fdeg = frontier_degree();
+          pull = true;
+          break;
+        case core::Direction::kAuto: {
+          if (local_edges_[h] == 0) break;
+          fdeg = frontier_degree();
+          const double scan = static_cast<double>(local_edges_[h]);
+          const double threshold =
+              last_pull_[h] ? scan / opts_.pull_beta : scan / opts_.pull_alpha;
+          pull = static_cast<double>(fdeg) >= threshold;
+          break;
+        }
+      }
+      last_pull_[h] = pull ? 1 : 0;
+      if (pull) return compute_forward_pull(h, wl, ss, fdeg);
       // Two-phase staged drain (core/staged_drain.h; design comment in
       // core/mrbc.cpp). Snapshot-safe: a level-d frontier only produces
       // level d+1 labels, which a same-frontier entry's stale check
       // discards, so no drained entry's label changes mid-drain.
       const std::size_t num_ranges = core::num_drain_ranges(hg.num_proxies());
-      std::vector<core::ChunkRecs> chunks(util::ThreadPool::chunk_count(total, grain));
+      core::DrainScratch& sc = scratch_[h];
+      const std::size_t num_chunks = util::ThreadPool::chunk_count(total, grain);
+      if (sc.chunks.size() < num_chunks) sc.chunks.resize(num_chunks);
+      if (sc.raw.size() < num_chunks) sc.raw.resize(num_chunks);
       util::ThreadPool::global().parallel_for_chunks(
           0, total, grain, [&](std::size_t c, std::size_t b, std::size_t e) {
-            core::ChunkRecs& ch = chunks[c];
-            std::vector<core::PushRec> recs;
+            core::ChunkRecs& ch = sc.chunks[c];
+            ch.work_items = 0;
+            std::vector<core::PushRec>& recs = sc.raw[c];
+            recs.clear();
             for (std::size_t ei = b; ei < e; ++ei) {
               const VertexId lid = ei < wl.size() ? wl[ei] : ss[ei - wl.size()];
               const DistSigma s = labels_[h][lid];
@@ -273,12 +399,12 @@ class SourceRunner final : public sim::Checkpointable {
                 ++ch.work_items;
               }
             }
-            ch.bucket_by_range(std::move(recs), num_ranges);
+            ch.bucket_by_range(recs, num_ranges);
           });
       std::vector<std::vector<core::OrdLid>> range_staged(num_ranges);
       util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
-        for (std::size_t c = 0; c < chunks.size(); ++c) {
-          const core::ChunkRecs& ch = chunks[c];
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+          const core::ChunkRecs& ch = sc.chunks[c];
           for (std::uint32_t i = ch.starts[r]; i < ch.starts[r + 1]; ++i) {
             const core::PushRec& p = ch.sorted[i];
             combine_forward_impl(h, p.target, p.dist, p.value, &range_staged[r],
@@ -286,7 +412,7 @@ class SourceRunner final : public sim::Checkpointable {
           }
         }
       });
-      for (const core::ChunkRecs& ch : chunks) w.work_items += ch.work_items;
+      for (std::size_t c = 0; c < num_chunks; ++c) w.work_items += sc.chunks[c].work_items;
       std::vector<core::OrdLid> all;
       for (const auto& v : range_staged) all.insert(all.end(), v.begin(), v.end());
       std::sort(all.begin(), all.end());
@@ -329,11 +455,16 @@ class SourceRunner final : public sim::Checkpointable {
       // list is all level d, so Phase-A snapshots (including the delta read
       // in m) match the sequential interleaving exactly.
       const std::size_t num_ranges = core::num_drain_ranges(hg.num_proxies());
-      std::vector<core::ChunkRecs> chunks(util::ThreadPool::chunk_count(total, grain));
+      core::DrainScratch& sc = scratch_[h];
+      const std::size_t num_chunks = util::ThreadPool::chunk_count(total, grain);
+      if (sc.chunks.size() < num_chunks) sc.chunks.resize(num_chunks);
+      if (sc.raw.size() < num_chunks) sc.raw.resize(num_chunks);
       util::ThreadPool::global().parallel_for_chunks(
           0, total, grain, [&](std::size_t c, std::size_t b, std::size_t e) {
-            core::ChunkRecs& ch = chunks[c];
-            std::vector<core::PushRec> recs;
+            core::ChunkRecs& ch = sc.chunks[c];
+            ch.work_items = 0;
+            std::vector<core::PushRec>& recs = sc.raw[c];
+            recs.clear();
             for (std::size_t ei = b; ei < e; ++ei) {
               const VertexId lid = ei < worklist_[h].size()
                                        ? worklist_[h][ei]
@@ -350,10 +481,11 @@ class SourceRunner final : public sim::Checkpointable {
                 ++ch.work_items;
               }
             }
-            ch.bucket_by_range(std::move(recs), num_ranges);
+            ch.bucket_by_range(recs, num_ranges);
           });
       util::ThreadPool::global().parallel_for(0, num_ranges, 1, [&](std::size_t r) {
-        for (const core::ChunkRecs& ch : chunks) {
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+          const core::ChunkRecs& ch = sc.chunks[c];
           for (std::uint32_t i = ch.starts[r]; i < ch.starts[r + 1]; ++i) {
             const core::PushRec& p = ch.sorted[i];
             delta_[h][p.target] += p.value;
@@ -361,7 +493,7 @@ class SourceRunner final : public sim::Checkpointable {
           }
         }
       });
-      for (const core::ChunkRecs& ch : chunks) w.work_items += ch.work_items;
+      for (std::size_t c = 0; c < num_chunks; ++c) w.work_items += sc.chunks[c].work_items;
     } else {
       auto drain = [&](const std::vector<VertexId>& list) {
         for (VertexId lid : list) {
@@ -425,6 +557,13 @@ class SourceRunner final : public sim::Checkpointable {
   std::vector<std::vector<VertexId>> self_sched_;
   std::vector<util::DynamicBitset> in_frontier_;
   std::vector<std::vector<std::vector<VertexId>>> masters_by_level_;
+  // Direction-optimization state (derived, round-local; never serialized).
+  std::vector<util::DynamicBitset> pull_frontier_;
+  std::vector<std::vector<std::uint32_t>> pull_ord_;  ///< drain ordinal per frontier lid
+  std::vector<std::uint8_t> last_pull_;               ///< per-host hysteresis bit
+  std::vector<std::uint64_t> local_edges_;
+  std::vector<std::size_t> pull_rounds_;
+  std::vector<core::DrainScratch> scratch_;
   std::uint32_t max_level_ = 0;
 };
 
@@ -525,6 +664,7 @@ SbbcRun sbbc_bc(const Partition& part, const std::vector<VertexId>& sources,
     SourceRunner runner(part, sources[i], options);
     run.forward += runner.run_forward();
     run.backward += runner.run_backward();
+    run.forward_pull_rounds += runner.pull_rounds();
     runner.harvest(run.result, i);
     if (durable) {
       sim::SnapshotWriter w;

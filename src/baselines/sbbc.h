@@ -28,6 +28,20 @@ struct SbbcOptions {
   /// Frontier entries per chunk for the intra-host parallel drain; same
   /// semantics as MrbcOptions::drain_grain.
   std::size_t drain_grain = 64;
+  /// Forward drain direction policy, with the same contract as
+  /// MrbcOptions::direction: staged rounds may pull (scan live-label
+  /// targets, gather from frontier in-neighbors via the frontier bitset),
+  /// with results, stats, and wire traffic bit-identical to push.
+  core::Direction direction = core::Direction::kAuto;
+  /// kAuto thresholds: enter pull at frontier out-degree >= local_edges /
+  /// pull_alpha, leave below local_edges / pull_beta. Unlike MrbcOptions
+  /// (which tracks the live in-degree exactly off its finality plane), SBBC
+  /// uses the static local edge count: settledness here is distance-based
+  /// (the pull skips targets below the frontier level), so the dense
+  /// mid-BFS levels are simply the rounds whose frontier degree is a large
+  /// fraction of the local graph.
+  double pull_alpha = 2.0;
+  double pull_beta = 4.0;
   sim::ClusterOptions cluster;
 
   /// Durable restart-from-disk checkpoints, persisted to
@@ -51,6 +65,9 @@ struct SbbcRun {
   BcResult result;
   sim::RunStats forward;
   sim::RunStats backward;
+  /// Host-rounds the forward phase drained in pull mode (direction
+  /// optimization diagnostic; in-process only, not persisted).
+  std::size_t forward_pull_rounds = 0;
   /// True when the run stopped early via halt_after_checkpoints.
   bool halted = false;
 

@@ -28,6 +28,15 @@
 
 namespace mrbc::core {
 
+/// Forward-phase drain direction. kAuto switches per host per round between
+/// the push drain (iterate the frontier, relax out-edges) and the pull drain
+/// (scan vertices with live labels, gather from frontier in-neighbors via
+/// the bitset planes) on a deterministic frontier-density heuristic — the
+/// Beamer-style direction optimization, restated so the pull rounds replay
+/// contributions in the exact push order and stay bit-identical. Shared by
+/// MRBC and the SBBC baseline.
+enum class Direction : std::uint8_t { kAuto, kPush, kPull };
+
 struct MrbcOptions {
   partition::HostId num_hosts = 4;
   partition::Policy policy = partition::Policy::kCartesianVertexCut;
@@ -47,6 +56,24 @@ struct MrbcOptions {
   /// for any thread count at a fixed grain, but changing the grain changes
   /// which path small rounds take.
   std::size_t drain_grain = 64;
+  /// Forward drain direction policy. Only staged rounds (drains larger than
+  /// drain_grain) consider pulling; sub-grain rounds always use the inline
+  /// push drain. Results, stats, and checkpoint bytes are identical for all
+  /// three settings on valid runs — the knob trades scan work for push work.
+  Direction direction = Direction::kAuto;
+  /// kAuto enters pull when the frontier's out-degree sum reaches
+  /// live_indeg / pull_alpha, where live_indeg is the in-degree sum of local
+  /// vertices with at least one non-final source — the exact cost of a pull
+  /// scan, since fully-final vertices are skipped in O(1) off their zero
+  /// avail word. A pulling host stays in pull until the frontier falls below
+  /// live_indeg / pull_beta — Beamer-style alpha/beta hysteresis, evaluated
+  /// per host from thread-count-independent integer inputs. Pull pays off
+  /// when live_indeg shrinks well below the frontier degree, which happens
+  /// at small batch sizes (batching pipelines a vertex's per-source sends
+  /// across rounds, so larger batches thin each round's frontier while
+  /// keeping most vertices live — kAuto correctly stays in push there).
+  double pull_alpha = 1.0;
+  double pull_beta = 2.0;
   sim::ClusterOptions cluster;
 
   // ---- Durable restart-from-disk checkpoints ------------------------------
@@ -80,6 +107,10 @@ struct MrbcRun {
   sim::RunStats backward;  ///< summed over batches
   std::size_t num_batches = 0;
   std::size_t anomalies = 0;  ///< pipelining-invariant violations (must be 0)
+  /// Host-rounds the forward phase drained in pull mode (direction
+  /// optimization diagnostic). In-process only — not persisted in durable
+  /// snapshots, so a resumed run counts post-resume rounds only.
+  std::size_t forward_pull_rounds = 0;
   double replication_factor = 0.0;
   /// True when the run stopped early via halt_after_checkpoints (the
   /// durable snapshot on disk is the state to resume from).

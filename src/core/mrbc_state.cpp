@@ -1,20 +1,49 @@
 #include "core/mrbc_state.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "core/staged_drain.h"
+#include "util/thread_pool.h"
 
 namespace mrbc::core {
 
 HostState::HostState(VertexId num_proxies, std::uint32_t num_sources)
     : num_proxies_(num_proxies), k_(num_sources) {
-  slots_.resize(static_cast<std::size_t>(num_proxies) * k_);
+  layout();
+  first_touch_init();
   dist_map_.resize(num_proxies);
-  entry_counts_.assign(num_proxies, 0);
-  dirty_flags_.resize(num_proxies);
-  for (auto& flags : dirty_flags_) flags.resize(k_);
   dirty_.resize(num_proxies);
-  fwd_sent.assign(num_proxies, 0);
-  acc_sent.assign(num_proxies, 0);
   to_broadcast.resize(num_proxies);
+}
+
+void HostState::layout() {
+  const std::size_t np = num_proxies_;
+  kw_ = (k_ + 63) / 64;
+  using util::Arena;
+  arena_.reserve(Arena::bytes_for<SourceSlot>(np * k_) + Arena::bytes_for<std::size_t>(np) +
+                 2 * Arena::bytes_for<std::uint32_t>(np) + Arena::bytes_for<Word>(np * kw_));
+  slots_ = arena_.alloc<SourceSlot>(np * k_);
+  entry_counts_ = arena_.alloc<std::size_t>(np);
+  fwd_sent = arena_.alloc<std::uint32_t>(np);
+  acc_sent = arena_.alloc<std::uint32_t>(np);
+  dirty_words_ = arena_.alloc<Word>(np * kw_);
+}
+
+void HostState::first_touch_init() {
+  // 64-lid chunks: the exact decomposition the staged replay buckets by
+  // (kRangeShift), so under the pool's stable deal each worker faults in
+  // the arena pages its replay ranges will re-touch every round.
+  const std::size_t grain = std::size_t{1} << kRangeShift;
+  util::ThreadPool::global().parallel_for_chunks(
+      0, static_cast<std::size_t>(num_proxies_), grain,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::fill(slots_.begin() + b * k_, slots_.begin() + e * k_, SourceSlot{});
+        std::fill(entry_counts_.begin() + b, entry_counts_.begin() + e, std::size_t{0});
+        std::fill(fwd_sent.begin() + b, fwd_sent.begin() + e, 0u);
+        std::fill(acc_sent.begin() + b, acc_sent.begin() + e, 0u);
+        std::fill(dirty_words_.begin() + b * kw_, dirty_words_.begin() + e * kw_, Word{0});
+      });
 }
 
 void HostState::update_distance(VertexId lid, std::uint32_t sidx, std::uint32_t new_dist) {
@@ -83,24 +112,28 @@ std::size_t HostState::position(VertexId lid, std::uint32_t dist, std::uint32_t 
 }
 
 bool HostState::mark_dirty(VertexId lid, std::uint32_t sidx) {
-  if (dirty_flags_[lid].test(sidx)) return false;
-  dirty_flags_[lid].set(sidx);
+  Word& w = dirty_words_[static_cast<std::size_t>(lid) * kw_ + sidx / 64];
+  const Word bit = Word{1} << (sidx % 64);
+  if (w & bit) return false;
+  w |= bit;
   dirty_[lid].push_back(sidx);
   return true;
 }
 
 void HostState::clear_dirty(VertexId lid) {
-  for (std::uint32_t sidx : dirty_[lid]) dirty_flags_[lid].reset(sidx);
+  for (std::uint32_t sidx : dirty_[lid]) {
+    dirty_words_[static_cast<std::size_t>(lid) * kw_ + sidx / 64] &= ~(Word{1} << (sidx % 64));
+  }
   dirty_[lid].clear();
 }
 
 void HostState::save(util::SendBuffer& buf) const {
   buf.write<std::uint32_t>(k_);
   buf.write<VertexId>(num_proxies_);
-  buf.write_vector(slots_);
+  buf.write_array(slots_.data(), slots_.size());
   for (VertexId lid = 0; lid < num_proxies_; ++lid) buf.write_vector(dirty_[lid]);
-  buf.write_vector(fwd_sent);
-  buf.write_vector(acc_sent);
+  buf.write_array(fwd_sent.data(), fwd_sent.size());
+  buf.write_array(acc_sent.data(), acc_sent.size());
   // std::pair is not guaranteed trivially copyable; serialize elementwise.
   for (VertexId lid = 0; lid < num_proxies_; ++lid) {
     buf.write<std::uint64_t>(to_broadcast[lid].size());
@@ -112,13 +145,21 @@ void HostState::save(util::SendBuffer& buf) const {
 }
 
 void HostState::restore(util::RecvBuffer& buf) {
-  k_ = buf.read<std::uint32_t>();
-  num_proxies_ = buf.read<VertexId>();
-  slots_ = buf.read_vector<SourceSlot>();
+  const auto k = buf.read<std::uint32_t>();
+  const auto np = buf.read<VertexId>();
+  if (k != k_ || np != num_proxies_ || arena_.capacity() == 0) {
+    // Foreign dimensions (or a moved-from shell): re-carve the arena. The
+    // common in-place restore keeps the existing block and its page homes.
+    k_ = k;
+    num_proxies_ = np;
+    layout();
+    first_touch_init();
+  }
+  buf.read_array(slots_.data(), slots_.size());
   dirty_.assign(num_proxies_, {});
   for (VertexId lid = 0; lid < num_proxies_; ++lid) dirty_[lid] = buf.read_vector<std::uint32_t>();
-  fwd_sent = buf.read_vector<std::uint32_t>();
-  acc_sent = buf.read_vector<std::uint32_t>();
+  buf.read_array(fwd_sent.data(), fwd_sent.size());
+  buf.read_array(acc_sent.data(), acc_sent.size());
   to_broadcast.assign(num_proxies_, {});
   for (VertexId lid = 0; lid < num_proxies_; ++lid) {
     const auto n = buf.read<std::uint64_t>();
@@ -129,11 +170,11 @@ void HostState::restore(util::RecvBuffer& buf) {
       to_broadcast[lid].emplace_back(sidx, is_final);
     }
   }
-  // Rebuild the derived structures: M_v / entry counts from A_v, dirty
-  // bitsets from the dirty lists.
+  // Rebuild the derived structures: M_v / entry counts from A_v, the dirty
+  // word plane from the dirty lists.
   dist_map_.assign(num_proxies_, {});
-  entry_counts_.assign(num_proxies_, 0);
-  dirty_flags_.assign(num_proxies_, util::DynamicBitset(k_));
+  std::fill(entry_counts_.begin(), entry_counts_.end(), std::size_t{0});
+  std::fill(dirty_words_.begin(), dirty_words_.end(), Word{0});
   for (VertexId lid = 0; lid < num_proxies_; ++lid) {
     auto& map = dist_map_[lid];
     for (std::uint32_t sidx = 0; sidx < k_; ++sidx) {
@@ -144,7 +185,9 @@ void HostState::restore(util::RecvBuffer& buf) {
       it->second.set(sidx);
       ++entry_counts_[lid];
     }
-    for (std::uint32_t sidx : dirty_[lid]) dirty_flags_[lid].set(sidx);
+    for (std::uint32_t sidx : dirty_[lid]) {
+      dirty_words_[static_cast<std::size_t>(lid) * kw_ + sidx / 64] |= Word{1} << (sidx % 64);
+    }
   }
 }
 

@@ -7,12 +7,23 @@
 //         batch's sources, allowing iteration of the (dist, source) pairs
 //         in lexicographic order (the list L_v of Algorithm 3) and rank
 //         queries for the pipelined send rounds.
+//
+// Everything the per-round drains touch per vertex — the slot row, the
+// pipelining cursors, the entry count, and the dirty-flag words — lives in
+// ONE flat arena allocation (util/arena.h), lid-major, instead of a
+// per-vertex constellation of heap vectors/bitsets. The staged replay
+// walks target lids in ascending order within 64-lid ranges, so the
+// physical memory order now matches the access order, and the arena pages
+// are first-touched through the thread pool with the same chunk deal the
+// replay uses (see the locality contract in util/thread_pool.h).
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "util/flat_map.h"
 #include "util/serialize.h"
@@ -29,12 +40,20 @@ struct SourceSlot {
 };
 
 /// All MRBC labels of one simulated host for a batch of k sources.
+/// Move-only: the arena owns the backing block, the spans point into it.
 class HostState {
  public:
+  using Word = util::bitwords::Word;
+
   HostState(VertexId num_proxies, std::uint32_t num_sources);
+  HostState(HostState&&) noexcept = default;
+  HostState& operator=(HostState&&) noexcept = default;
 
   std::uint32_t num_sources() const { return k_; }
   VertexId num_proxies() const { return num_proxies_; }
+  /// 64-bit words per lid in the per-source flag planes (ceil(k / 64)) —
+  /// the row stride shared with the runner's frontier/availability planes.
+  std::uint32_t source_words() const { return kw_; }
 
   SourceSlot& slot(VertexId lid, std::uint32_t sidx) {
     return slots_[static_cast<std::size_t>(lid) * k_ + sidx];
@@ -71,9 +90,9 @@ class HostState {
 
   // --- Per-vertex pipelining cursors -------------------------------------
   // Forward phase: number of leading L_v entries already broadcast.
-  std::vector<std::uint32_t> fwd_sent;
+  std::span<std::uint32_t> fwd_sent;
   // Accumulation phase: number of trailing entries already fired.
-  std::vector<std::uint32_t> acc_sent;
+  std::span<std::uint32_t> acc_sent;
   // Broadcast staging: (sidx, is_final) pairs serialized at the next
   // broadcast; non-final entries model eager synchronization traffic for
   // the delayed-sync ablation.
@@ -83,16 +102,28 @@ class HostState {
   // Serializes / restores the complete label state for crash recovery.
   // M_v and the entry counts are derivable from A_v, so only the slots and
   // round-local cursors/queues go on the wire; restore() rebuilds the index.
+  // The wire layout is byte-identical to the historical per-vector format
+  // (u64 count + packed elements), so checkpoint sizes are unchanged by the
+  // arena refactor.
   void save(util::SendBuffer& buf) const;
   void restore(util::RecvBuffer& buf);
 
  private:
-  VertexId num_proxies_;
-  std::uint32_t k_;
-  std::vector<SourceSlot> slots_;
+  /// Carves the arena into the lid-major spans for the current (np, k).
+  void layout();
+  /// Zero/identity-fills the arena through the pool's 64-lid chunk deal —
+  /// the same decomposition the staged replay ranges use, so pages are
+  /// first-touched by the worker whose ranges live in them.
+  void first_touch_init();
+
+  VertexId num_proxies_ = 0;
+  std::uint32_t k_ = 0;
+  std::uint32_t kw_ = 0;  ///< ceil(k / 64): words per lid in dirty_words_
+  util::Arena arena_;
+  std::span<SourceSlot> slots_;
+  std::span<std::size_t> entry_counts_;
+  std::span<Word> dirty_words_;  ///< np x kw_ idempotency bits for mark_dirty
   std::vector<util::FlatMap<std::uint32_t, util::DynamicBitset>> dist_map_;
-  std::vector<std::size_t> entry_counts_;
-  std::vector<util::DynamicBitset> dirty_flags_;
   std::vector<std::vector<std::uint32_t>> dirty_;
 };
 

@@ -33,20 +33,39 @@ struct PushRec {
 };
 
 /// Phase-A output of one entry chunk: pushes counting-sorted (stably) into
-/// contiguous per-range segments.
+/// contiguous per-range segments. Instances are pooled in a DrainScratch and
+/// reused round after round — bucket_by_range recycles every internal buffer.
 struct ChunkRecs {
   std::vector<PushRec> sorted;
   std::vector<std::uint32_t> starts;  ///< num_ranges + 1 offsets into sorted
   std::uint64_t work_items = 0;
 
-  void bucket_by_range(std::vector<PushRec>&& recs, std::size_t num_ranges) {
+  void bucket_by_range(const std::vector<PushRec>& recs, std::size_t num_ranges) {
     starts.assign(num_ranges + 1, 0);
     for (const PushRec& r : recs) ++starts[(r.target >> kRangeShift) + 1];
     for (std::size_t i = 1; i <= num_ranges; ++i) starts[i] += starts[i - 1];
     sorted.resize(recs.size());
-    std::vector<std::uint32_t> cursor(starts.begin(), starts.end() - 1);
-    for (const PushRec& r : recs) sorted[cursor[r.target >> kRangeShift]++] = r;
+    cursor_.assign(starts.begin(), starts.end() - 1);
+    for (const PushRec& r : recs) sorted[cursor_[r.target >> kRangeShift]++] = r;
   }
+
+ private:
+  std::vector<std::uint32_t> cursor_;  ///< scratch for the counting sort
+};
+
+/// Per-host reusable buffers for the staged drains. The per-round record
+/// traffic (one PushRec per edge relaxation) previously churned fresh
+/// vectors every round; pooling them keeps the allocations warm across the
+/// whole phase. Capacities only grow; clear() is what resets contents.
+struct DrainScratch {
+  std::vector<ChunkRecs> chunks;             ///< Phase-A output, per entry chunk
+  std::vector<std::vector<PushRec>> raw;     ///< Phase-A record buffer, per chunk
+  std::vector<std::vector<PushRec>> range_recs;  ///< SBBC pull-mode buffer, per range
+  /// MRBC pull-mode buffer, per range: packed (drain ordinal << 32 | target)
+  /// keys. The full record is reconstructed at replay time — the frontier
+  /// slots a pull reads are frozen for the whole fused pass, so deferring
+  /// the (dist, sigma) loads is exact and the sort works on bare u64s.
+  std::vector<std::vector<std::uint64_t>> range_keys;
 };
 
 /// Side-list append captured during replay: (global push ordinal, lid).

@@ -90,6 +90,12 @@ Tracer& Tracer::global() {
 
 void Tracer::enable(std::size_t capacity) {
   detail::g_tracing.store(false, std::memory_order_relaxed);
+  // Spans that loaded g_tracing before the store above are still reading
+  // the ring and epoch; drain them before mutating either (same contract
+  // as snapshotting — see quiesce()). On timeout proceed anyway: a hung
+  // span only risks one stale-epoch timestamp, not corruption, and the
+  // capture endpoint's busy guard already serializes re-arms.
+  quiesce(0.25);
   capacity = std::max<std::size_t>(capacity, 1);
   if (ring_.size() != capacity) ring_.assign(capacity, SpanRecord{});
   next_.store(0, std::memory_order_relaxed);
@@ -124,7 +130,14 @@ void Tracer::emit(Category cat, const char* name, std::uint32_t host, std::uint3
 
 void Tracer::emit_modeled(Category cat, const char* name, std::uint32_t host, std::uint32_t round,
                           double modeled_seconds) {
-  emit(cat, name, host, round, now_us(), modeled_seconds * 1e6, /*modeled=*/true);
+  // Same inc-recheck-backout protocol as Span::begin: callers gate on
+  // tracing_enabled() without holding active_, so a concurrent enable()
+  // re-arm could otherwise mutate the ring under this write.
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  if (tracing_enabled()) {
+    emit(cat, name, host, round, now_us(), modeled_seconds * 1e6, /*modeled=*/true);
+  }
+  active_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 std::size_t Tracer::size() const {

@@ -69,9 +69,11 @@ namespace detail {
 inline std::atomic<bool> g_tracing{false};
 }  // namespace detail
 
-/// The branch every span site takes; relaxed load, no fence.
+/// The branch every span site takes. Acquire pairs with the release store
+/// at the end of Tracer::enable(): a site that observes true also observes
+/// the re-armed ring and epoch (free on x86 — plain load either way).
 inline bool tracing_enabled() {
-  return detail::g_tracing.load(std::memory_order_relaxed);
+  return detail::g_tracing.load(std::memory_order_acquire);
 }
 
 /// Thread-local execution context stamped onto context-constructed spans.

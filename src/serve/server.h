@@ -188,7 +188,10 @@ class Server {
   ServerCounters counters_;
   std::chrono::steady_clock::time_point start_time_{};
 
-  int listen_fd_ = -1;
+  /// Atomic: stop() closes and resets it to -1 while accept_loop() is
+  /// still polling it; the loop tolerates the stale/-1 fd (poll/accept
+  /// fail benignly) and exits on the next draining_ check.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};

@@ -1,0 +1,89 @@
+#pragma once
+// Flat bump arena for hot per-host state: one cache-line-aligned block,
+// carved into typed spans at construction time. Replaces the
+// one-heap-allocation-per-vertex layouts (e.g. a DynamicBitset per lid for
+// dirty tracking) that made the staged drains pointer-chase: everything a
+// drain touches for a vertex now lives at a fixed offset in one
+// contiguous allocation, so the lid-major access pattern of the replay
+// ranges is also the physical memory order.
+//
+// First-touch contract: alloc() does NOT initialize the returned span. The
+// owner initializes it through ThreadPool::parallel_for_chunks over the
+// same index space the hot loops use — the pool's chunk deal is a pure
+// function of (chunks, parallelism) (see thread_pool.h), so the worker
+// that first touches a page is the worker whose replay ranges live there,
+// which is what makes the pages land NUMA- and cache-local to their user.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+
+namespace mrbc::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kAlign = 64;  // one x86 cache line
+
+  Arena() = default;
+  explicit Arena(std::size_t bytes) { reserve(bytes); }
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Replaces the block with a fresh uninitialized allocation of `bytes`
+  /// capacity (rounded up to kAlign). Previously carved spans are invalid.
+  void reserve(std::size_t bytes) {
+    bytes = pad(bytes);
+    block_.reset(bytes == 0 ? nullptr
+                            : static_cast<std::byte*>(
+                                  ::operator new(bytes, std::align_val_t{kAlign})));
+    capacity_ = bytes;
+    used_ = 0;
+  }
+
+  /// Carves an uninitialized span of `count` elements; every span starts on
+  /// a kAlign boundary. Throws std::bad_alloc when the block is exhausted —
+  /// owners size the block with bytes_for() so this only fires on a
+  /// bookkeeping bug.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                  "Arena holds plain data only");
+    static_assert(alignof(T) <= kAlign);
+    const std::size_t bytes = pad(count * sizeof(T));
+    if (used_ + bytes > capacity_) throw std::bad_alloc();
+    T* p = reinterpret_cast<T*>(block_.get() + used_);
+    used_ += bytes;
+    return {p, count};
+  }
+
+  /// Bytes alloc<T>(count) will consume: padded to the next kAlign multiple.
+  template <typename T>
+  static constexpr std::size_t bytes_for(std::size_t count) {
+    return pad(count * sizeof(T));
+  }
+
+  static constexpr std::size_t pad(std::size_t bytes) {
+    return (bytes + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  /// Forgets all carved spans, keeping the block for re-carving.
+  void rewind() { used_ = 0; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+ private:
+  struct Deleter {
+    void operator()(std::byte* p) const { ::operator delete(p, std::align_val_t{kAlign}); }
+  };
+
+  std::unique_ptr<std::byte, Deleter> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace mrbc::util

@@ -48,6 +48,20 @@ class SendBuffer {
     raw_bytes_ += values.size() * sizeof(T);
   }
 
+  /// write_vector framing (u64 count + packed elements) for data that is
+  /// not owned by a std::vector — arena-carved spans checkpoint through
+  /// this so the wire bytes stay identical to the historical vector layout.
+  template <typename T>
+  void write_array(const T* values, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>, "write_array requires POD elements");
+    reserve(bytes_.size() + sizeof(std::uint64_t) + count * sizeof(T));
+    write<std::uint64_t>(count);
+    const std::size_t offset = bytes_.size();
+    bytes_.resize(offset + count * sizeof(T));
+    if (count > 0) std::memcpy(bytes_.data() + offset, values, count * sizeof(T));
+    raw_bytes_ += count * sizeof(T);
+  }
+
   /// Appends `v` as a LEB128 varint. `raw_equivalent` is the fixed-width
   /// size the value would have occupied without the codec (e.g. sizeof a
   /// uint32 field); it feeds the raw-vs-encoded accounting, not the wire.
@@ -164,6 +178,24 @@ class RecvBuffer {
       cursor_ += n * sizeof(T);
     }
     return values;
+  }
+
+  /// Mirror of write_array: reads a write_vector-framed array into an
+  /// existing span of exactly `count` elements. A length-prefix mismatch is
+  /// a corrupted or foreign snapshot, reported like a truncation.
+  template <typename T>
+  void read_array(T* values, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>, "read_array requires POD elements");
+    const auto n = read<std::uint64_t>();
+    if (n != count) {
+      throw std::out_of_range("RecvBuffer: array length " + std::to_string(n) +
+                              " does not match expected " + std::to_string(count));
+    }
+    require(count * sizeof(T));
+    if (count > 0) {
+      std::memcpy(values, data_ + cursor_, count * sizeof(T));
+      cursor_ += count * sizeof(T);
+    }
   }
 
   /// Reads one LEB128 varint; throws std::out_of_range on truncation or an

@@ -32,11 +32,13 @@ void ThreadPool::run_pooled(void (*run)(void*, std::size_t), void* ctx, std::siz
   job.ctx = ctx;
   job.num_chunks = chunks;
   // Deal the chunks to contiguous per-participant shards; a participant's
-  // own shard is its local queue, the rest are steal targets.
+  // own shard is its local queue, the rest are steal targets. The deal is
+  // shard_begin(): pure in (chunks, p), which is what the first-touch
+  // locality contract in the header promises.
   const std::size_t p = num_shards_;
   for (std::size_t s = 0; s < p; ++s) {
-    shards_[s].next.store(chunks * s / p, std::memory_order_relaxed);
-    shards_[s].end = chunks * (s + 1) / p;
+    shards_[s].next.store(shard_begin(chunks, s, p), std::memory_order_relaxed);
+    shards_[s].end = shard_begin(chunks, s + 1, p);
   }
   {
     std::lock_guard<std::mutex> lk(mu_);

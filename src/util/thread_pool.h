@@ -30,6 +30,17 @@
 // Callers that need full sequential equivalence (not just thread-count
 // independence) stage per-chunk side effects and merge them in chunk order
 // — see the drain kernels in core/mrbc.cpp for the pattern.
+//
+// Locality contract: the chunk deal is a pure function of (chunk count,
+// parallelism) — shard s owns chunks [shard_begin(n, s, p),
+// shard_begin(n, s+1, p)), and participant identities are stable (worker i
+// always enters as shard i, the caller as shard 0). Two jobs over the same
+// index space therefore hand the same chunks to the same threads, and a
+// participant that runs dry steals from its cyclic successor first, so
+// spill stays adjacent. Arena-backed state (util/arena.h) exploits this as
+// a first-touch NUMA/cache-affinity mechanism: initialize the arena pages
+// through parallel_for_chunks with the same (count, grain) as the hot
+// loops, and every round's worker re-touches the pages it faulted in.
 
 #include <atomic>
 #include <condition_variable>
@@ -61,6 +72,16 @@ class ThreadPool {
   static std::size_t chunk_count(std::size_t count, std::size_t grain) {
     grain = grain ? grain : 1;
     return (count + grain - 1) / grain;
+  }
+
+  /// First chunk index dealt to shard `shard` of `parallelism` for an
+  /// n-chunk job (shard `parallelism` gives the exclusive end of the last
+  /// shard). The contiguous proportional deal behind the locality contract
+  /// above; exposed so first-touch initializers can reason about (or
+  /// pre-compute) chunk ownership.
+  static std::size_t shard_begin(std::size_t chunks, std::size_t shard,
+                                 std::size_t parallelism) {
+    return chunks * shard / parallelism;
   }
 
   /// Invokes fn(chunk_index, chunk_begin, chunk_end) once per chunk.
