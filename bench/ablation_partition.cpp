@@ -1,11 +1,32 @@
 // Ablation of the partitioning policy (Section 5.2 configures the
 // Cartesian vertex-cut "which performs well at scale"): replication factor,
 // edge balance, communication volume and modeled time for MRBC under each
-// Gluon partitioning policy.
+// Gluon partitioning policy, plus the matrix backend's replicated 2.5D-style
+// grid (engine "mfbc", policy "grid-2.5d") swept over c in {1, 2, 4}.
+//
+// Cartesian-vertex-cut-aware cost columns:
+//   - bcast_bound: the analytic worst-case broadcast partner count per
+//     master. A Cartesian cut confines a vertex's proxies to one grid row
+//     plus one grid column, so the bound is pr + pc - 2; every other policy
+//     can scatter mirrors anywhere, so its bound is H - 1. For the MFBC
+//     grid the per-step partner set is the (pr - 1) other rows plus the
+//     (c - 1) replica-group peers.
+//   - repl: measured average proxies per vertex for MRBC partitions; for
+//     the MFBC rows it is the replication knob c itself — the grid stores
+//     each row-block table once per group member, so table memory is an
+//     exact c-fold multiple of the c = 1 layout (docs/ARCHITECTURE.md).
+//   - edge_bal: max/mean edges per host. MFBC's contiguous row blocks are
+//     balanced by vertex count, not degree, so skewed inputs show the
+//     imbalance the 2D sweep inherits (the columns make that visible
+//     instead of hiding it behind the policy label).
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "baselines/mfbc.h"
 #include "core/mrbc.h"
+#include "matrix/grid.h"
 #include "report.h"
 #include "util/stats.h"
 #include "workloads.h"
@@ -13,23 +34,59 @@
 namespace mrbc::bench {
 namespace {
 
+constexpr std::uint32_t kHosts = 16;
+
+/// max/mean out-edges over the grid's contiguous row blocks (the unit an
+/// MFBC sweep iterates), mirroring Partition::edge_balance for MRBC rows.
+double grid_edge_balance(const graph::Graph& g, const matrix::ProcessGrid& grid) {
+  std::vector<double> edges(grid.rows, 0.0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    edges[grid.vertex_row(v, g.num_vertices())] += static_cast<double>(g.out_degree(v));
+  }
+  const double total = static_cast<double>(g.num_edges());
+  if (total == 0 || grid.rows == 0) return 1.0;
+  const double mean = total / static_cast<double>(grid.rows);
+  return *std::max_element(edges.begin(), edges.end()) / mean;
+}
+
 void run() {
-  Report report("Ablation: partitioning policy (MRBC, 16 sim hosts)",
+  Report report("Ablation: partitioning policy x replication (16 sim hosts)",
                 "ablation_partition.csv",
-                {"input", "policy", "replication", "edge_bal", "volume", "exec_s"}, 17);
+                {"input", "engine", "policy", "c", "repl", "edge_bal", "bcast_bound", "volume",
+                 "net_s", "exec_s"},
+                12);
   const partition::Policy policies[] = {
       partition::Policy::kEdgeCutSrc, partition::Policy::kEdgeCutDst,
       partition::Policy::kCartesianVertexCut, partition::Policy::kGeneralVertexCut,
       partition::Policy::kRandomEdge};
+  const auto [pr, pc] = partition::cartesian_grid(kHosts);
   for (const Workload& w : large_workloads()) {
     for (partition::Policy policy : policies) {
-      partition::Partition part(w.graph, 16, policy);
+      partition::Partition part(w.graph, kHosts, policy);
       core::MrbcOptions opts;
       opts.batch_size = 16;
       auto run = core::mrbc_bc(part, w.sources, opts);
-      report.add({w.name, partition::to_string(policy),
+      const std::uint32_t bound =
+          policy == partition::Policy::kCartesianVertexCut ? pr + pc - 2 : kHosts - 1;
+      report.add({w.name, "mrbc", partition::to_string(policy), "1",
                   util::fmt(part.replication_factor(), 2), util::fmt(part.edge_balance(), 2),
+                  std::to_string(bound), util::fmt_bytes(run.total().bytes),
+                  util::fmt(run.total().network_seconds, 4),
+                  util::fmt(run.total().total_seconds(), 4)});
+    }
+    for (std::uint32_t c : {1u, 2u, 4u}) {
+      baselines::MfbcOptions opts;
+      opts.num_hosts = kHosts;
+      opts.replication = c;
+      opts.batch_size = 16;
+      opts.parallel_hosts = true;
+      auto run = baselines::mfbc_bc(w.graph, w.sources, opts);
+      const matrix::ProcessGrid grid = matrix::ProcessGrid::make(kHosts, c);
+      report.add({w.name, "mfbc", "grid-2.5d", std::to_string(c), util::fmt(c, 2),
+                  util::fmt(grid_edge_balance(w.graph, grid), 2),
+                  std::to_string((grid.rows - 1) + (grid.layers - 1)),
                   util::fmt_bytes(run.total().bytes),
+                  util::fmt(run.total().network_seconds, 4),
                   util::fmt(run.total().total_seconds(), 4)});
     }
   }

@@ -6,6 +6,7 @@
 //   compare_bench <baseline.json> <fresh.json> [--threshold 0.10] [--warn-only]
 //                 [--deterministic-only]
 //   compare_bench --micro <baseline.csv> <fresh.csv> [--threshold 0.10] [--warn-only]
+//   compare_bench --trajectory <BENCH_a.json> <BENCH_b.json> [...]
 //   compare_bench --check-metrics <exposition.txt>
 //
 // Gated keys and their directions:
@@ -21,8 +22,14 @@
 // can hard-fail on any runner, while the throughput keys only gate
 // meaningfully on hardware matching the committed baseline's.
 //
+// --trajectory mode renders several committed BENCH_*.json records as one
+// table — a column per record, a row per metric, and the first-to-last
+// relative change — so perf history reads off the repo without spelunking
+// git log. Informational only: it always exits 0.
+//
 // --micro mode gates the CSVs the micro benchmarks write
-// (micro_threading.csv, micro_datastructures.csv, micro_kernels.csv). The
+// (micro_threading.csv, micro_datastructures.csv, micro_kernels.csv,
+// micro_spmm.csv). The
 // schema is recognized from the header: rows are matched on their identity
 // columns, the measured ratio column (advantage / speedup) gates
 // higher-is-better under the same relative threshold, and deterministic
@@ -43,6 +50,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -173,6 +181,10 @@ struct MicroSchema {
 const MicroSchema* recognize(const Csv& csv) {
   static const MicroSchema kSchemas[] = {
       {"micro_kernels", {"workload", "engine", "batch"}, "speedup", {"pull_rounds"}},
+      // micro_spmm: the replication byte win gates like a speedup; rounds and
+      // encoded bytes are bit-deterministic, so any drift is a protocol change.
+      {"micro_spmm", {"workload", "hosts", "c"}, "bytes_reduction",
+       {"rounds", "encoded_bytes"}},
       {"micro_datastructures", {"kernel", "bits"}, "speedup", {}},
       {"micro_threading", {"hosts"}, "advantage", {}},
   };
@@ -261,6 +273,105 @@ int micro_gate(const std::string& base_path, const std::string& fresh_path, doub
   return r.regressed > 0 ? 1 : 0;
 }
 
+// ---- --trajectory: cross-record table over committed BENCH_*.json ----------
+
+/// Prints one column per record (chronological when the files carry dated
+/// names, e.g. BENCH_2026-08-08.json) for every throughput and
+/// batch-pipeline metric present anywhere, plus the first-to-last relative
+/// change. Purely informational — trends are for humans; regressions are
+/// the two-record gate's job.
+int trajectory(const std::vector<std::string>& paths) {
+  std::vector<util::JsonValue> records;
+  records.reserve(paths.size());
+  for (const std::string& p : paths) records.push_back(util::json_parse(read_file(p)));
+
+  const auto basename = [](const std::string& p) {
+    const std::size_t slash = p.find_last_of('/');
+    return slash == std::string::npos ? p : p.substr(slash + 1);
+  };
+  std::printf("%-44s", "metric");
+  for (const std::string& p : paths) {
+    std::string name = basename(p);
+    if (name.size() > 14) name = name.substr(name.size() - 14);
+    std::printf(" %14s", name.c_str());
+  }
+  std::printf(" %9s\n", "change");
+
+  std::vector<std::pair<std::string, std::string>> keys = {
+      {"queries_per_second", "queries_per_second"},
+      {"latency_us.p99", "latency_us.p99"},
+      {"ingest.epochs_per_second", "ingest.epochs_per_second"},
+  };
+  // Union of batch_pipeline entry names across all records, in first-seen
+  // order; each contributes its deterministic keys.
+  std::vector<std::string> pipelines;
+  for (const util::JsonValue& rec : records) {
+    if (!rec.is_object()) continue;
+    const util::JsonValue* arr = rec.find("batch_pipeline");
+    if (arr == nullptr || !arr->is_array()) continue;
+    for (const util::JsonValue& e : arr->as_array()) {
+      const util::JsonValue* n = e.is_object() ? e.find("name") : nullptr;
+      if (n == nullptr) continue;
+      bool seen = false;
+      for (const std::string& p : pipelines) seen = seen || p == n->as_string();
+      if (!seen) pipelines.push_back(n->as_string());
+    }
+  }
+
+  const auto pipeline_value = [](const util::JsonValue& rec, const std::string& name,
+                                 const char* key, double& out) {
+    if (!rec.is_object()) return false;
+    const util::JsonValue* arr = rec.find("batch_pipeline");
+    if (arr == nullptr || !arr->is_array()) return false;
+    for (const util::JsonValue& e : arr->as_array()) {
+      if (!e.is_object()) continue;
+      const util::JsonValue* n = e.find("name");
+      if (n == nullptr || n->as_string() != name) continue;
+      return lookup(e, key, out);
+    }
+    return false;
+  };
+
+  const auto print_row = [&](const std::string& label,
+                             const std::function<bool(const util::JsonValue&, double&)>& get) {
+    std::printf("%-44s", label.c_str());
+    double first = 0, last = 0;
+    bool have_first = false, have_last = false;
+    for (const util::JsonValue& rec : records) {
+      double v = 0;
+      if (get(rec, v)) {
+        std::printf(" %14.6g", v);
+        if (!have_first) {
+          first = v;
+          have_first = true;
+        }
+        last = v;
+        have_last = true;
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    if (have_first && have_last && first != 0) {
+      std::printf(" %+8.1f%%\n", (last - first) / std::fabs(first) * 100.0);
+    } else {
+      std::printf(" %9s\n", "-");
+    }
+  };
+
+  for (const auto& [label, dotted] : keys) {
+    print_row(label, [&](const util::JsonValue& rec, double& v) { return lookup(rec, dotted, v); });
+  }
+  for (const std::string& name : pipelines) {
+    for (const char* key : {"rounds", "encoded_bytes", "modeled_network_seconds"}) {
+      print_row("batch_pipeline[" + name + "]." + key,
+                [&](const util::JsonValue& rec, double& v) {
+                  return pipeline_value(rec, name, key, v);
+                });
+    }
+  }
+  return 0;
+}
+
 int check_metrics(const std::string& path) {
   const std::string body = read_file(path);
   std::vector<obs::PromSample> samples;
@@ -299,6 +410,9 @@ int check_metrics(const std::string& path) {
 
 int run(int argc, char** argv) {
   if (argc >= 3 && !std::strcmp(argv[1], "--check-metrics")) return check_metrics(argv[2]);
+  if (argc >= 3 && !std::strcmp(argv[1], "--trajectory")) {
+    return trajectory(std::vector<std::string>(argv + 2, argv + argc));
+  }
 
   const bool micro = argc >= 2 && !std::strcmp(argv[1], "--micro");
   if (micro) {
@@ -311,6 +425,7 @@ int run(int argc, char** argv) {
                  "[--warn-only] [--deterministic-only]\n"
                  "       compare_bench --micro <baseline.csv> <fresh.csv> [--threshold 0.10] "
                  "[--warn-only]\n"
+                 "       compare_bench --trajectory <BENCH_a.json> <BENCH_b.json> [...]\n"
                  "       compare_bench --check-metrics <exposition.txt>\n");
     return 2;
   }

@@ -1,0 +1,168 @@
+// Communication-avoidance budget for the replicated MFBC backend, enforced:
+// at 8 simulated hosts on power-law inputs, replication c = 2 must cut both
+// the modeled network seconds and the encoded reduce/broadcast bytes by a
+// >= 1.3x geomean versus c = 1. The win is structural, not statistical —
+// every gated quantity here (wire bytes under the kFull codec, message
+// counts, NetworkModel round charges) is bit-deterministic, so a single run
+// per configuration suffices and any regression is a real protocol change.
+//
+// The network gate models a 10 Gbps commodity fabric (beta = 1.25e9 B/s)
+// rather than the default Omni-Path-class 100 Gbps: replication is a
+// bandwidth optimization, and on a fabric fast enough that per-round
+// barrier latency dominates there is little network time left to avoid.
+// The byte gate is fabric-independent.
+//
+// The bench additionally hard-fails if BC scores or round counts drift by a
+// single bit across c in {1, 2, 4} or across sequential/parallel host
+// execution: the replication knob must be a pure communication/memory
+// trade-off, invisible in the output (dist_engine.h's panel reduction tree
+// is what makes that possible for the backward FP sums).
+//
+// The road-grid row is informational (budget blank): near-planar diameters
+// give MFBC thin frontiers where the broadcast already dominates and
+// replication has little traffic to avoid; it is excluded from the geomean.
+//
+// Writes micro_spmm.csv; compare_bench --micro gates the CSV against the
+// committed baseline (bench/baselines/micro_spmm.csv).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/mfbc.h"
+#include "comm/codec.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace mrbc::bench {
+namespace {
+
+constexpr std::uint32_t kHosts = 8;
+constexpr double kBudget = 1.3;  ///< min geomean reduction at c = 2
+
+struct Case {
+  std::string workload;
+  graph::Graph graph;
+  bool gated = false;  ///< power-law rows feed the geomean gate
+};
+
+struct Run {
+  std::vector<double> bc;
+  std::size_t rounds = 0;
+  std::size_t encoded_bytes = 0;
+  double network_s = 0.0;
+};
+
+Run run_mfbc(const graph::Graph& g, const std::vector<graph::VertexId>& sources,
+             std::uint32_t c, bool parallel_hosts) {
+  baselines::MfbcOptions opts;
+  opts.num_hosts = kHosts;
+  opts.batch_size = 16;
+  opts.replication = c;
+  opts.parallel_hosts = parallel_hosts;
+  opts.codec = comm::CodecMode::kFull;
+  opts.network.beta_bytes_per_sec = 1.25e9;  // 10 Gbps commodity fabric
+  const baselines::MfbcRun run = baselines::mfbc_bc(g, sources, opts);
+  const sim::RunStats total = run.total();
+  return {run.result.bc, run.forward.rounds + run.backward.rounds, total.bytes,
+          total.network_seconds};
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+int run() {
+  int failures = 0;
+  util::CsvWriter csv("micro_spmm.csv",
+                      {"workload", "hosts", "c", "rounds", "encoded_bytes", "network_s",
+                       "bytes_reduction", "net_reduction", "budget"});
+
+  std::vector<Case> cases;
+  {
+    graph::RmatParams p;
+    p.scale = 13;
+    p.edge_factor = 8.0;
+    p.seed = 9;
+    cases.push_back({"rmat13", graph::rmat(p), true});
+    p.scale = 14;
+    p.edge_factor = 6.0;
+    p.seed = 17;
+    cases.push_back({"rmat14", graph::rmat(p), true});
+  }
+  cases.push_back({"road64x64", graph::road_grid(64, 64, 0.05, 9), false});
+
+  std::vector<double> byte_reductions;  // gated rows, c = 2 vs c = 1
+  std::vector<double> net_reductions;
+
+  for (const Case& c : cases) {
+    const auto sources = graph::sample_sources(c.graph, 32, 13);
+    Run base;  // c = 1 row of this workload
+    for (std::uint32_t repl : {1u, 2u, 4u}) {
+      const Run run = run_mfbc(c.graph, sources, repl, false);
+
+      // Bit-identity gate: scores and round counts must match c = 1 exactly,
+      // sequential and parallel alike.
+      if (repl == 1) {
+        base = run;
+      } else if (!bits_equal(base.bc, run.bc) || base.rounds != run.rounds) {
+        std::printf("FAIL: %s c=%u output drifted from c=1 (rounds %zu vs %zu)\n",
+                    c.workload.c_str(), repl, run.rounds, base.rounds);
+        ++failures;
+      }
+      const Run par = run_mfbc(c.graph, sources, repl, true);
+      if (!bits_equal(run.bc, par.bc) || run.rounds != par.rounds) {
+        std::printf("FAIL: %s c=%u parallel_hosts output drifted from sequential\n",
+                    c.workload.c_str(), repl);
+        ++failures;
+      }
+
+      const double bytes_red =
+          run.encoded_bytes > 0 ? static_cast<double>(base.encoded_bytes) / run.encoded_bytes
+                                : 1.0;
+      const double net_red = run.network_s > 0 ? base.network_s / run.network_s : 1.0;
+      if (c.gated && repl == 2) {
+        byte_reductions.push_back(bytes_red);
+        net_reductions.push_back(net_red);
+      }
+      std::printf("%-10s hosts %u c %u  rounds %3zu  bytes %9zu (%5.2fx)  "
+                  "network %8.5f s (%5.2fx)\n",
+                  c.workload.c_str(), kHosts, repl, run.rounds, run.encoded_bytes, bytes_red,
+                  run.network_s, net_red);
+
+      char net_buf[32], bred_buf[32], nred_buf[32], budget_buf[32];
+      std::snprintf(net_buf, sizeof(net_buf), "%.6f", run.network_s);
+      std::snprintf(bred_buf, sizeof(bred_buf), "%.2f", bytes_red);
+      std::snprintf(nred_buf, sizeof(nred_buf), "%.2f", net_red);
+      std::snprintf(budget_buf, sizeof(budget_buf), "%.1f", kBudget);
+      csv.add_row({c.workload, std::to_string(kHosts), std::to_string(repl),
+                   std::to_string(run.rounds), std::to_string(run.encoded_bytes), net_buf,
+                   bred_buf, nred_buf, (c.gated && repl == 2) ? budget_buf : ""});
+    }
+  }
+
+  const double bytes_geomean = util::geomean_of(byte_reductions);
+  const double net_geomean = util::geomean_of(net_reductions);
+  std::printf("c=2 geomean over power-law workloads: bytes %.2fx  network %.2fx  "
+              "(budget >= %.1fx each)\n",
+              bytes_geomean, net_geomean, kBudget);
+  if (bytes_geomean < kBudget) {
+    std::printf("FAIL: c=2 encoded-byte reduction geomean under %.1fx\n", kBudget);
+    ++failures;
+  }
+  if (net_geomean < kBudget) {
+    std::printf("FAIL: c=2 modeled-network reduction geomean under %.1fx\n", kBudget);
+    ++failures;
+  }
+  std::printf("wrote micro_spmm.csv\n");
+  return failures;
+}
+
+}  // namespace
+}  // namespace mrbc::bench
+
+int main() { return mrbc::bench::run(); }

@@ -52,6 +52,7 @@ struct Args {
   std::uint32_t threads = 0;  // 0 = MRBC_THREADS env or hardware threads
   std::uint32_t sources = 32;
   std::uint32_t batch = 32;
+  std::uint32_t replication = 1;  // MFBC process-grid replication factor c
   std::uint64_t seed = 1;
   std::string policy = "cvc";  // cvc | ec-src | ec-dst | gvc | random
   std::string codec = "raw";   // raw | metadata | full
@@ -98,6 +99,9 @@ void usage(const char* prog) {
       "                        sequential; results are identical either way)\n"
       "  --sources <k>         sampled sources, 0 = all vertices (default 32)\n"
       "  --batch <k>           MRBC/MFBC batch size (default 32)\n"
+      "  --replication <c>     MFBC process-grid replication factor (default 1;\n"
+      "                        must divide --hosts, be a power of two, and be\n"
+      "                        <= 8; scores are bit-identical across values)\n"
       "  --policy <cvc|ec-src|ec-dst|gvc|random>  partition policy\n"
       "  --codec <raw|metadata|full>  wire compression (default raw; full =\n"
       "                        varint/delta/frame-of-reference, bit-identical results)\n"
@@ -153,6 +157,7 @@ bool parse(int argc, char** argv, Args& args) {
     else if (!std::strcmp(argv[i], "--threads")) args.threads = static_cast<std::uint32_t>(std::atoi(next("--threads")));
     else if (!std::strcmp(argv[i], "--sources")) args.sources = static_cast<std::uint32_t>(std::atoi(next("--sources")));
     else if (!std::strcmp(argv[i], "--batch")) args.batch = static_cast<std::uint32_t>(std::atoi(next("--batch")));
+    else if (!std::strcmp(argv[i], "--replication")) args.replication = static_cast<std::uint32_t>(std::atoi(next("--replication")));
     else if (!std::strcmp(argv[i], "--policy")) args.policy = next("--policy");
     else if (!std::strcmp(argv[i], "--codec")) args.codec = next("--codec");
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::strtoull(next("--seed"), nullptr, 10);
@@ -437,6 +442,7 @@ static int run_tool(int argc, char** argv) {
     opts.batch_size = args.batch;
     opts.parallel_hosts = parallel;
     opts.codec = codec;
+    opts.replication = args.replication;
     auto run = baselines::mfbc_bc(g, sources, opts);
     print_profile("forward", run.forward);
     print_profile("backward", run.backward);
@@ -481,6 +487,10 @@ int main(int argc, char** argv) {
     return run_tool(argc, argv);
   } catch (const mrbc::sim::SnapshotError& e) {
     std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    // e.g. an illegal --replication / --hosts combination (matrix/grid.h).
+    std::fprintf(stderr, "invalid option: %s\n", e.what());
     return 1;
   }
 }

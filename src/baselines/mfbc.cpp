@@ -2,274 +2,58 @@
 
 #include <algorithm>
 
-#include "graph/algorithms.h"
-#include "graph/builder.h"
-#include "matrix/csr_matrix.h"
-#include "matrix/semiring.h"
+#include "matrix/dist_engine.h"
 #include "obs/trace.h"
-#include "partition/partition.h"
-#include "util/threading.h"
-#include "util/timer.h"
+#include "util/stats.h"
 
 namespace mrbc::baselines {
 
 using graph::kInfDist;
-using matrix::DistSigma;
 
 namespace {
 
-/// Fixed-width wire size of one frontier entry in the allgather (vertex,
-/// source, dist, value) — what CTF would ship per nonzero without a codec.
-constexpr std::size_t kFwdEntryBytes = 4 + 4 + 4 + 8;
-constexpr std::size_t kBwdEntryBytes = 4 + 4 + 4 + 8;
-
-/// Encoded size of one forward entry under the configured codec: the three
-/// small integers varint-pack and sigma uses the tagged-integral double
-/// (comm/codec.h). Matches what a serialized wire would produce per entry.
-std::size_t fwd_entry_bytes(VertexId v, std::uint32_t sidx, const DistSigma& val,
-                            comm::CodecMode mode) {
-  return comm::encoded_value_u32_size(v, mode) + comm::encoded_value_u32_size(sidx, mode) +
-         comm::encoded_value_u32_size(val.dist, mode) + comm::encoded_f64_size(val.sigma, mode);
+/// Folds one engine step into the phase RunStats: measured sweep/merge
+/// seconds, measured wire traffic, and one modeled BSP round. The
+/// message-count floor — (c-1) replica-group peers plus (pr-1) layer
+/// peers — models the control-plane ping every member exchanges even in a
+/// round that moved no payload; at c = 1 it reproduces the historical
+/// (H-1)-message allgather charge exactly, so replication = 1 is
+/// byte-for-byte and second-for-second the old analytic model.
+void account_step(sim::RunStats& stats, const sim::NetworkModel& net,
+                  const matrix::DistBcStep& step, const matrix::ProcessGrid& grid) {
+  const std::uint32_t H = grid.hosts;
+  double max_seconds = 0.0;
+  stats.per_host_compute_seconds.resize(H, 0.0);
+  for (std::uint32_t h = 0; h < H; ++h) {
+    max_seconds = std::max(max_seconds, step.host_seconds[h]);
+    stats.per_host_compute_seconds[h] += step.host_seconds[h];
+  }
+  stats.compute_seconds += max_seconds;
+  stats.imbalance_sum += util::imbalance(step.host_work);
+  stats.messages += step.comm.messages;
+  stats.bytes += step.comm.bytes;
+  stats.raw_bytes += step.comm.raw_bytes;
+  std::size_t max_msgs = static_cast<std::size_t>(grid.layers - 1) + (grid.rows - 1);
+  std::size_t max_bytes = 0;
+  for (std::uint32_t h = 0; h < H; ++h) {
+    max_msgs = std::max(max_msgs, step.comm.msgs_per_host[h]);
+    max_bytes = std::max(max_bytes, step.comm.bytes_per_host[h]);
+  }
+  stats.network_seconds += net.round_seconds(H > 1 ? max_msgs : 0, max_bytes);
+  // Fault-injection counters and modeled recovery time (zero on a clean
+  // wire, so the historical accounting is unchanged without faults).
+  stats.faults.drops += step.comm.drops;
+  stats.faults.duplicates += step.comm.duplicates;
+  stats.faults.duplicates_suppressed += step.comm.duplicates_suppressed;
+  stats.faults.corruptions_detected += step.comm.corruptions_detected;
+  stats.faults.retransmits += step.comm.retransmits;
+  stats.faults.retransmit_bytes += step.comm.retransmit_bytes;
+  stats.faults.forced_deliveries += step.comm.forced_deliveries;
+  const double recovery =
+      net.retransmit_seconds(step.comm.backoff_steps, step.comm.retransmit_bytes);
+  stats.faults.retransmit_seconds += recovery;
+  stats.network_seconds += recovery;
 }
-
-std::size_t bwd_entry_bytes(VertexId v, std::uint32_t sidx, std::uint32_t dist, double m,
-                            comm::CodecMode mode) {
-  return comm::encoded_value_u32_size(v, mode) + comm::encoded_value_u32_size(sidx, mode) +
-         comm::encoded_value_u32_size(dist, mode) + comm::encoded_f64_size(m, mode);
-}
-
-struct FwdEntry {
-  VertexId v;
-  std::uint32_t sidx;
-  DistSigma val;
-};
-
-struct BwdEntry {
-  VertexId v;
-  std::uint32_t sidx;
-  std::uint32_t dist;
-  double m;  // (1 + delta)/sigma of the firing vertex
-};
-
-/// Accounts one allgather iteration: every host ships its produced frontier
-/// part to every other host.
-void account_allgather(sim::RunStats& stats, const sim::NetworkModel& net,
-                       const std::vector<std::size_t>& part_bytes,
-                       const std::vector<std::size_t>& part_raw_bytes, std::uint32_t H) {
-  std::size_t max_egress = 0;
-  std::size_t total = 0;
-  for (std::size_t b : part_bytes) {
-    const std::size_t egress = b * (H - 1);
-    max_egress = std::max(max_egress, egress);
-    total += egress;
-  }
-  std::size_t raw_total = 0;
-  for (std::size_t b : part_raw_bytes) raw_total += b * (H - 1);
-  if (H > 1) stats.messages += static_cast<std::size_t>(H) * (H - 1);
-  stats.bytes += total;
-  stats.raw_bytes += raw_total;
-  // Hosts ship their frontier parts concurrently: the round is paced by
-  // the busiest host's (H-1) peer messages and its egress bytes.
-  stats.network_seconds += net.round_seconds(H > 1 ? H - 1 : 0, max_egress);
-}
-
-class MfbcRunner {
- public:
-  MfbcRunner(const Graph& g, const MfbcOptions& opts) : g_(g), opts_(opts) {
-    H_ = std::max<std::uint32_t>(opts.num_hosts, 1);
-    // 1D row partition: host h owns destination rows in its block; build
-    // per-host sub-adjacency (each edge appears in exactly one sub-graph).
-    std::vector<std::vector<graph::Edge>> per_host(H_);
-    for (VertexId u = 0; u < g.num_vertices(); ++u) {
-      for (VertexId w : g.out_neighbors(u)) {
-        per_host[partition::block_owner(w, g.num_vertices(), H_)].push_back({u, w});
-      }
-    }
-    sub_.reserve(H_);
-    for (std::uint32_t h = 0; h < H_; ++h) {
-      sub_.push_back(graph::build_graph(g.num_vertices(), std::move(per_host[h])));
-    }
-  }
-
-  void run_batch(const std::vector<VertexId>& batch, MfbcRun& run, std::size_t base) {
-    const std::size_t k = batch.size();
-    k_ = k;
-    const VertexId n = g_.num_vertices();
-    table_.assign(static_cast<std::size_t>(n) * k, DistSigma{});
-    delta_.assign(static_cast<std::size_t>(n) * k, 0.0);
-
-    // ---- Forward: Bellman-Ford with maximal frontiers -----------------
-    std::vector<FwdEntry> frontier;
-    for (std::size_t sidx = 0; sidx < k; ++sidx) {
-      at(batch[sidx], sidx) = {0, 1.0};
-      frontier.push_back({batch[sidx], static_cast<std::uint32_t>(sidx), {0, 1.0}});
-    }
-    std::uint32_t max_level = 0;
-    // changed_mark_ tracks (vertex, source) cells already queued for the
-    // next frontier this iteration, so sigma merges update in place.
-    changed_mark_.assign(static_cast<std::size_t>(n) * k, 0);
-    obs::Span fwd_span(obs::Category::kAlgo, "forward");
-    while (!frontier.empty()) {
-      ++run.forward.rounds;
-      std::vector<std::size_t> part_bytes(H_, 0);
-      std::vector<double> host_work(H_, 0.0);
-      // Host h's product writes only rows it owns (block_owner(w) == h), so
-      // the per-host sweeps are write-disjoint; per-host changed lists are
-      // concatenated in host order, matching the sequential sweep exactly.
-      std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> host_changed(H_);
-      std::vector<double> host_seconds(H_, 0.0);
-      run.forward.per_host_compute_seconds.resize(H_, 0.0);
-      util::for_each_index(H_, opts_.parallel_hosts, [&](std::size_t h) {
-        util::Timer timer;
-        // A^T (x) frontier restricted to rows owned by h.
-        for (const FwdEntry& e : frontier) {
-          for (VertexId w : sub_[h].out_neighbors(e.v)) {
-            DistSigma& cur = at(w, e.sidx);
-            const DistSigma cand{e.val.dist + 1, e.val.sigma};
-            host_work[h] += 1.0;
-            if (cand.dist < cur.dist) {
-              cur = cand;
-            } else if (cand.dist == cur.dist) {
-              cur.sigma += cand.sigma;
-            } else {
-              continue;
-            }
-            std::uint8_t& mark = changed_mark_[static_cast<std::size_t>(w) * k + e.sidx];
-            if (!mark) {
-              mark = 1;
-              host_changed[h].emplace_back(w, e.sidx);
-            }
-          }
-        }
-        host_seconds[h] = timer.seconds();
-      });
-      double max_host_seconds = 0.0;
-      for (std::uint32_t h = 0; h < H_; ++h) {
-        max_host_seconds = std::max(max_host_seconds, host_seconds[h]);
-        run.forward.per_host_compute_seconds[h] += host_seconds[h];
-      }
-      std::vector<FwdEntry> next;
-      std::vector<std::size_t> part_raw_bytes(H_, 0);
-      for (const auto& changed : host_changed) {
-        for (const auto& [w, sidx] : changed) {
-          changed_mark_[static_cast<std::size_t>(w) * k + sidx] = 0;
-          const DistSigma& cell = at(w, sidx);
-          next.push_back({w, sidx, cell});
-          const std::size_t owner = partition::block_owner(w, n, H_);
-          part_bytes[owner] += fwd_entry_bytes(w, sidx, cell, opts_.codec);
-          part_raw_bytes[owner] += kFwdEntryBytes;
-          max_level = std::max(max_level, cell.dist);
-        }
-      }
-      run.forward.compute_seconds += max_host_seconds;
-      run.forward.imbalance_sum += util::imbalance(host_work);
-      account_allgather(run.forward, opts_.network, part_bytes, part_raw_bytes, H_);
-      frontier = std::move(next);
-    }
-
-    fwd_span.close();
-
-    // ---- Backward: dependency products by decreasing level -------------
-    obs::Span bwd_span(obs::Category::kAlgo, "backward");
-    for (std::uint32_t level = max_level; level >= 1; --level) {
-      ++run.backward.rounds;
-      std::vector<BwdEntry> frontier_b;
-      for (VertexId v = 0; v < n; ++v) {
-        for (std::size_t sidx = 0; sidx < k; ++sidx) {
-          const DistSigma& t = at(v, sidx);
-          if (t.dist == level) {
-            frontier_b.push_back({v, static_cast<std::uint32_t>(sidx), t.dist,
-                                  (1.0 + d_at(v, sidx)) / t.sigma});
-          }
-        }
-      }
-      std::vector<std::size_t> part_bytes(H_, 0);
-      std::vector<std::size_t> part_raw_bytes(H_, 0);
-      for (const BwdEntry& e : frontier_b) {
-        const std::size_t owner = partition::block_owner(e.v, n, H_);
-        part_bytes[owner] += bwd_entry_bytes(e.v, e.sidx, e.dist, e.m, opts_.codec);
-        part_raw_bytes[owner] += kBwdEntryBytes;
-      }
-      std::vector<double> host_work(H_, 0.0);
-      std::vector<double> host_seconds(H_, 0.0);
-      run.backward.per_host_compute_seconds.resize(H_, 0.0);
-      sub_in(0);  // materialize the reversed sub-graphs before the parallel sweep
-      util::for_each_index(H_, opts_.parallel_hosts, [&](std::size_t h) {
-        util::Timer timer;
-        // A (x) frontier: contributions flow to in-neighbors owned by h
-        // (write-disjoint: sub_in(h) rows are the vertices h owns).
-        for (const BwdEntry& e : frontier_b) {
-          for (VertexId v : sub_in(h).out_neighbors(e.v)) {
-            host_work[h] += 1.0;
-            const DistSigma& tv = at(v, e.sidx);
-            if (tv.dist != kInfDist && tv.dist + 1 == e.dist) {
-              d_at(v, e.sidx) += tv.sigma * e.m;
-            }
-          }
-        }
-        host_seconds[h] = timer.seconds();
-      });
-      double max_host_seconds = 0.0;
-      for (std::uint32_t h = 0; h < H_; ++h) {
-        max_host_seconds = std::max(max_host_seconds, host_seconds[h]);
-        run.backward.per_host_compute_seconds[h] += host_seconds[h];
-      }
-      run.backward.compute_seconds += max_host_seconds;
-      run.backward.imbalance_sum += util::imbalance(host_work);
-      account_allgather(run.backward, opts_.network, part_bytes, part_raw_bytes, H_);
-    }
-
-    // ---- Fold into the result ------------------------------------------
-    for (VertexId v = 0; v < n; ++v) {
-      for (std::size_t sidx = 0; sidx < k; ++sidx) {
-        if (batch[sidx] != v && at(v, sidx).dist != kInfDist) {
-          run.result.bc[v] += d_at(v, sidx);
-        }
-        if (opts_.collect_tables) {
-          run.result.dist[base + sidx][v] = at(v, sidx).dist;
-          run.result.sigma[base + sidx][v] = at(v, sidx).sigma;
-          run.result.delta[base + sidx][v] = d_at(v, sidx);
-        }
-      }
-    }
-  }
-
- private:
-  DistSigma& at(VertexId v, std::size_t sidx) {
-    return table_[static_cast<std::size_t>(v) * k_ + sidx];
-  }
-  double& d_at(VertexId v, std::size_t sidx) {
-    return delta_[static_cast<std::size_t>(v) * k_ + sidx];
-  }
-
-  /// Per-host graph of reversed edges, built lazily for the backward phase:
-  /// edge (w, v) of sub_in(h) exists when (v, w) in E and owner(v) == h.
-  const Graph& sub_in(std::uint32_t h) {
-    if (sub_in_.empty()) {
-      std::vector<std::vector<graph::Edge>> per_host(H_);
-      for (VertexId u = 0; u < g_.num_vertices(); ++u) {
-        for (VertexId w : g_.out_neighbors(u)) {
-          per_host[partition::block_owner(u, g_.num_vertices(), H_)].push_back({w, u});
-        }
-      }
-      sub_in_.reserve(H_);
-      for (std::uint32_t i = 0; i < H_; ++i) {
-        sub_in_.push_back(graph::build_graph(g_.num_vertices(), std::move(per_host[i])));
-      }
-    }
-    return sub_in_[h];
-  }
-
-  const Graph& g_;
-  MfbcOptions opts_;
-  std::uint32_t H_ = 1;
-  std::vector<Graph> sub_;      // forward: edges grouped by destination owner
-  std::vector<Graph> sub_in_;   // backward: reversed edges grouped by source owner
-  std::vector<DistSigma> table_;
-  std::vector<double> delta_;
-  std::vector<std::uint8_t> changed_mark_;
-  std::size_t k_ = 0;
-};
 
 }  // namespace
 
@@ -284,12 +68,52 @@ MfbcRun mfbc_bc(const Graph& g, const std::vector<VertexId>& sources, const Mfbc
     run.result.delta.assign(sources.size(), std::vector<double>(g.num_vertices(), 0.0));
   }
   if (g.num_vertices() == 0 || sources.empty()) return run;
-  MfbcRunner runner(g, options);
+
+  matrix::DistBcOptions eopts;
+  eopts.num_hosts = std::max<std::uint32_t>(options.num_hosts, 1);
+  eopts.replication = std::max<std::uint32_t>(options.replication, 1);
+  eopts.parallel_hosts = options.parallel_hosts;
+  eopts.delivery = options.delivery;
+  eopts.delivery.codec = options.codec;
+  matrix::DistBcEngine engine(g, eopts);
+  const matrix::ProcessGrid& grid = engine.grid();
+
   const std::uint32_t k = std::max<std::uint32_t>(options.batch_size, 1);
+  const VertexId n = g.num_vertices();
   for (std::size_t begin = 0; begin < sources.size(); begin += k) {
     const std::size_t end = std::min(sources.size(), begin + k);
     std::vector<VertexId> batch(sources.begin() + begin, sources.begin() + end);
-    runner.run_batch(batch, run, begin);
+    engine.begin_batch(batch);
+
+    obs::Span fwd_span(obs::Category::kAlgo, "forward");
+    while (!engine.forward_done()) {
+      ++run.forward.rounds;
+      const matrix::DistBcStep step = engine.forward_step();
+      account_step(run.forward, options.network, step, grid);
+    }
+    fwd_span.close();
+
+    obs::Span bwd_span(obs::Category::kAlgo, "backward");
+    for (std::uint32_t level = engine.max_level(); level >= 1; --level) {
+      ++run.backward.rounds;
+      const matrix::DistBcStep step = engine.backward_level(level);
+      account_step(run.backward, options.network, step, grid);
+    }
+    bwd_span.close();
+
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::size_t sidx = 0; sidx < batch.size(); ++sidx) {
+        const matrix::DistSigma& cell = engine.table_at(v, sidx);
+        if (batch[sidx] != v && cell.dist != kInfDist) {
+          run.result.bc[v] += engine.delta_at(v, sidx);
+        }
+        if (options.collect_tables) {
+          run.result.dist[begin + sidx][v] = cell.dist;
+          run.result.sigma[begin + sidx][v] = cell.sigma;
+          run.result.delta[begin + sidx][v] = engine.delta_at(v, sidx);
+        }
+      }
+    }
   }
   return run;
 }

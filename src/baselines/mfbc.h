@@ -4,9 +4,12 @@
 // semiring, with Bellman-Ford shortest paths — the "maximal frontier"
 // carries only entries that changed in the previous iteration. The paper's
 // implementation runs on the Cyclops Tensor Framework; ours runs the same
-// algorithm over the matrix/ semiring layer with a 1D row-partitioned
-// distributed product whose frontier allgather is what makes MFBC
-// communication-heavy relative to MRBC/SBBC (Table 2).
+// algorithm over the matrix/ distributed sparse-matrix backend
+// (matrix/dist_engine.h): a replicated 2.5D-style process grid whose
+// replication knob trades memory for a c-fold cut in the frontier traffic
+// that makes MFBC communication-heavy relative to MRBC/SBBC (Table 2). At
+// the default replication = 1 the backend degenerates to the historical 1D
+// row-partitioned product with its per-iteration frontier allgather.
 
 #include <vector>
 
@@ -31,12 +34,24 @@ struct MfbcOptions {
   /// partition makes the products write-disjoint; per-host changed lists are
   /// merged in host order, so results match the sequential sweep exactly.
   bool parallel_hosts = false;
+  /// Replication factor c of the 2.5D-style process grid (matrix/grid.h):
+  /// hosts arrange as (num_hosts / c) rows x c layers, each grid row's c
+  /// members replicate that row-block of the tables and split the frontier
+  /// by column layer. 1 reproduces the historical 1D row partition byte for
+  /// byte. Must divide num_hosts, be a power of two, and not exceed
+  /// matrix::ProcessGrid::kColumnPanels; mfbc_bc throws
+  /// std::invalid_argument otherwise. BC scores and round counts are
+  /// bit-identical across every legal c.
+  std::uint32_t replication = 1;
   sim::NetworkModel network;
-  /// Wire codec for the frontier allgather accounting. MFBC's traffic is
-  /// modeled analytically (no substrate), so the codec contributes exact
-  /// per-entry encoded sizes rather than serialized buffers; results are
-  /// unaffected, only the modeled byte counts shrink.
+  /// Wire codec for the backend's frontier and partial-product traffic. All
+  /// MFBC bytes flow through serialized comm::Substrate scatter messages;
+  /// decoded values are bit-identical across modes, only the wire shrinks.
   comm::CodecMode codec = comm::CodecMode::kRaw;
+  /// Delivery layer for the backend's traffic (framing, fault injection,
+  /// reliable retransmission — comm/substrate.h). The `codec` field above
+  /// overrides DeliveryOptions::codec.
+  comm::DeliveryOptions delivery;
 };
 
 struct MfbcRun {

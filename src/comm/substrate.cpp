@@ -42,6 +42,12 @@ Substrate::Substrate(const Partition& part) : part_(&part), H_(part.num_hosts())
   pair_bufs_.resize(static_cast<std::size_t>(H_) * H_);
 }
 
+Substrate::Substrate(HostId num_hosts) : part_(nullptr), H_(num_hosts) {
+  reduce_flags_.resize(H_);
+  broadcast_flags_.resize(H_);
+  pair_bufs_.resize(static_cast<std::size_t>(H_) * H_);
+}
+
 void Substrate::set_delivery(const DeliveryOptions& options) {
   delivery_ = options;
   framed_ = options.framing || options.reliable || options.faults != nullptr;

@@ -208,6 +208,13 @@ class Substrate {
  public:
   explicit Substrate(const Partition& part);
 
+  /// Partition-free substrate for pure point-to-point use (scatter): the
+  /// distributed matrix backend routes all of its traffic this way and has
+  /// no proxy exchange lists. reduce/broadcast must not be called on a
+  /// substrate built like this; scatter, delivery configuration, placement,
+  /// and save/restore work identically (flags serialize as empty sets).
+  explicit Substrate(HostId num_hosts);
+
   const Partition& partition() const { return *part_; }
 
   /// Installs a delivery configuration (resets sequence-number state).

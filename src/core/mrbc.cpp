@@ -109,6 +109,24 @@ void read_pairs(util::RecvBuffer& buf,
   }
 }
 
+/// Packed gather CSR (MrbcOptions::packed_gather): a host-local copy of the
+/// in-adjacency with 32-bit offsets instead of the master CSR's 64-bit
+/// EdgeId keys — half the offset footprint on the pull scan, which keeps
+/// more of the frontier plane cache-resident during the gather. Neighbor
+/// order is copied verbatim from Graph::in_neighbors, so pull replays visit
+/// sources in the identical order and results stay bit-identical. Built
+/// lazily on a host's first pull round; push-only runs never pay for it.
+struct PackedIn {
+  std::vector<std::uint32_t> offsets;     ///< num_proxies + 1
+  std::vector<graph::VertexId> sources;
+  bool built = false;
+
+  std::span<const graph::VertexId> neighbors(graph::VertexId t) const {
+    return {sources.data() + offsets[t],
+            static_cast<std::size_t>(offsets[t + 1] - offsets[t])};
+  }
+};
+
 /// One batch's distributed execution: forward APSP then accumulation.
 /// Checkpointable so that BspLoop can snapshot/roll back the whole batch
 /// state (labels + round-local queues + substrate flags) for crash recovery.
@@ -142,6 +160,7 @@ class BatchRunner final : public sim::Checkpointable {
     final_count_.resize(H);
     pull_rounds_.assign(H, 0);
     scratch_.resize(H);
+    packed_in_.resize(H);
     for (HostId h = 0; h < H; ++h) {
       const auto& hg = part_.host(h);
       state_.emplace_back(hg.num_proxies(), k);
@@ -577,6 +596,28 @@ class BatchRunner final : public sim::Checkpointable {
     return pull;
   }
 
+  /// Packed gather CSR for host h, built on first use. Returns nullptr when
+  /// the option is off or the local edge count overflows 32-bit offsets
+  /// (the gather then walks the master CSR — same order, same bits).
+  const PackedIn* packed_in(HostId h) {
+    if (!opts_.packed_gather) return nullptr;
+    const auto& local = part_.host(h).local;
+    if (local.num_edges() > 0xFFFFFFFFull) return nullptr;
+    PackedIn& p = packed_in_[h];
+    if (!p.built) {
+      const graph::VertexId np = local.num_vertices();
+      p.offsets.assign(static_cast<std::size_t>(np) + 1, 0);
+      p.sources.reserve(static_cast<std::size_t>(local.num_edges()));
+      for (graph::VertexId t = 0; t < np; ++t) {
+        const auto in = local.in_neighbors(t);
+        p.sources.insert(p.sources.end(), in.begin(), in.end());
+        p.offsets[t + 1] = static_cast<std::uint32_t>(p.sources.size());
+      }
+      p.built = true;
+    }
+    return &p;
+  }
+
   /// Pull drain of one staged forward round; see the direction-optimization
   /// design comment above for why the replay is bit-identical to push.
   sim::HostWork compute_forward_pull(HostId h, std::size_t total, std::size_t grain,
@@ -609,6 +650,7 @@ class BatchRunner final : public sim::Checkpointable {
     // and the hot sort runs over 8-byte keys instead of full records.
     const std::size_t num_ranges = num_replay_ranges(h);
     const bool eager = !opts_.delayed_sync;
+    const PackedIn* pk = packed_in(h);  // built here, before ranges fan out
     DrainScratch& sc = scratch_[h];
     if (sc.range_keys.size() < num_ranges) sc.range_keys.resize(num_ranges);
     std::vector<std::size_t> range_anoms(num_ranges, 0);
@@ -626,7 +668,9 @@ class BatchRunner final : public sim::Checkpointable {
           // intersection inline instead of a per-edge kernel call.
           const Word a = av[0];
           if (a == 0) continue;
-          for (graph::VertexId wv : hg.local.in_neighbors(t)) {
+          const std::span<const graph::VertexId> in =
+              pk != nullptr ? pk->neighbors(t) : hg.local.in_neighbors(t);
+          for (const graph::VertexId wv : in) {
             Word m = frontier[wv] & a;
             while (m != 0) {
               const auto sidx = static_cast<std::uint32_t>(__builtin_ctzll(m));
@@ -637,7 +681,9 @@ class BatchRunner final : public sim::Checkpointable {
           }
         } else {
           if (util::bitwords::find_nonzero(av, kw, 0) == kw) continue;
-          for (graph::VertexId wv : hg.local.in_neighbors(t)) {
+          const std::span<const graph::VertexId> in =
+              pk != nullptr ? pk->neighbors(t) : hg.local.in_neighbors(t);
+          for (const graph::VertexId wv : in) {
             const Word* fr = frontier.data() + static_cast<std::size_t>(wv) * kw;
             if (!util::bitwords::any_intersect(fr, av, kw)) continue;
             for (std::uint32_t j = 0; j < kw; ++j) {
@@ -1018,6 +1064,7 @@ class BatchRunner final : public sim::Checkpointable {
   std::vector<std::vector<std::uint32_t>> final_count_;  ///< finalized sources per lid
   std::vector<std::size_t> pull_rounds_;       ///< diagnostic counter, per host
   std::vector<DrainScratch> scratch_;          ///< pooled drain buffers, per host
+  std::vector<PackedIn> packed_in_;            ///< lazy packed gather CSR, per host
   std::uint32_t forward_rounds_ = 0;
   std::uint32_t current_round_ = 0;
 };

@@ -74,6 +74,13 @@ struct MrbcOptions {
   /// keeping most vertices live — kAuto correctly stays in push there).
   double pull_alpha = 1.0;
   double pull_beta = 2.0;
+  /// Gather pull rounds through a packed copy of the host's in-adjacency
+  /// with 32-bit offsets (the master CSR keys edges with 64-bit EdgeId),
+  /// halving the offset footprint the gather streams through. Built lazily
+  /// on the first pull round, so push-only runs never pay for it. Pure
+  /// memory-layout optimization — neighbor order is preserved, so results
+  /// are bit-identical with it on or off (micro_kernels has the A/B row).
+  bool packed_gather = true;
   sim::ClusterOptions cluster;
 
   // ---- Durable restart-from-disk checkpoints ------------------------------

@@ -1,0 +1,39 @@
+#include "matrix/dist_matrix.h"
+
+#include "graph/builder.h"
+
+namespace mrbc::matrix {
+
+DistMatrix::DistMatrix(const Graph& g, const ProcessGrid& grid)
+    : g_(&g), grid_(grid), n_(g.num_vertices()) {
+  std::vector<std::vector<graph::Edge>> per_host(grid_.hosts);
+  for (VertexId u = 0; u < n_; ++u) {
+    const HostId l = grid_.vertex_layer(u, n_);
+    for (VertexId w : g.out_neighbors(u)) {
+      per_host[grid_.host_at(grid_.vertex_row(w, n_), l)].push_back({u, w});
+    }
+  }
+  forward_.reserve(grid_.hosts);
+  for (HostId h = 0; h < grid_.hosts; ++h) {
+    forward_.push_back(graph::build_graph(n_, std::move(per_host[h])));
+  }
+}
+
+const Graph& DistMatrix::backward_tile(HostId h) {
+  if (backward_.empty()) {
+    std::vector<std::vector<graph::Edge>> per_host(grid_.hosts);
+    for (VertexId u = 0; u < n_; ++u) {
+      const HostId r = grid_.vertex_row(u, n_);
+      for (VertexId w : g_->out_neighbors(u)) {
+        per_host[grid_.host_at(r, grid_.vertex_layer(w, n_))].push_back({w, u});
+      }
+    }
+    backward_.reserve(grid_.hosts);
+    for (HostId i = 0; i < grid_.hosts; ++i) {
+      backward_.push_back(graph::build_graph(n_, std::move(per_host[i])));
+    }
+  }
+  return backward_[h];
+}
+
+}  // namespace mrbc::matrix

@@ -1,0 +1,49 @@
+#include "matrix/grid.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mrbc::matrix {
+
+namespace {
+
+bool is_power_of_two(HostId v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+ProcessGrid ProcessGrid::make(HostId hosts, HostId replication) {
+  if (hosts == 0) throw std::invalid_argument("process grid: need at least one host");
+  if (replication == 0) {
+    throw std::invalid_argument("process grid: replication factor must be >= 1");
+  }
+  if (hosts % replication != 0) {
+    throw std::invalid_argument("process grid: replication factor " +
+                                std::to_string(replication) + " does not divide " +
+                                std::to_string(hosts) + " hosts");
+  }
+  if (!is_power_of_two(replication)) {
+    throw std::invalid_argument("process grid: replication factor " +
+                                std::to_string(replication) +
+                                " must be a power of two (column panels split evenly)");
+  }
+  if (replication > kColumnPanels) {
+    throw std::invalid_argument("process grid: replication factor " +
+                                std::to_string(replication) + " exceeds the " +
+                                std::to_string(kColumnPanels) + " column panels");
+  }
+  ProcessGrid g;
+  g.hosts = hosts;
+  g.layers = replication;
+  g.rows = hosts / replication;
+  return g;
+}
+
+VertexId ProcessGrid::block_start(VertexId block, VertexId n, HostId parts) {
+  // Mirrors partition::block_owner: the first n % parts blocks get one extra
+  // vertex.
+  const VertexId base = n / parts;
+  const VertexId extra = n % parts;
+  return block * base + (block < extra ? block : extra);
+}
+
+}  // namespace mrbc::matrix

@@ -1,0 +1,88 @@
+#pragma once
+// 2D Cartesian process grid with a replication knob, in the spirit of the
+// 2.5D / communication-avoiding SpMM layouts MFBC is built on (Solomonik et
+// al., SC'17). H hosts are arranged as (H/c) rows x c layers:
+//
+//               layer 0   layer 1  ...  layer c-1
+//   row 0     [ host 0 ] [ host pr] ... [ ... ]        pr = H / c
+//   row 1     [ host 1 ] [ ... ]
+//   ...
+//   row pr-1  [ host pr-1 ]              [ host H-1 ]
+//
+// host id = layer * pr + row. One *row* of the grid is a replica group: its
+// c members all hold the full row-block of the distributed table (the c-fold
+// memory cost of replication) but each member only sweeps the columns of its
+// own layer, so per-iteration frontier traffic drops from an (H-1)-way
+// allgather to a (c-1)-way all-reduce inside the group plus a (pr-1)-way
+// broadcast along the layer. c = 1 degenerates to the historical 1D row
+// partition byte-for-byte.
+//
+// Columns are assigned to layers through kColumnPanels fixed vertex panels
+// rather than directly, so that the *backward* dependency accumulation can
+// be defined as a balanced pairwise reduction tree over the panels: each
+// layer owns a complete aligned subtree of panels, which is what keeps
+// floating-point delta sums bit-identical across every replication factor
+// (see dist_engine.h). This is why c must be a power of two dividing
+// kColumnPanels.
+
+#include <cstdint>
+
+#include "partition/partition.h"
+
+namespace mrbc::matrix {
+
+using partition::HostId;
+using partition::VertexId;
+
+struct ProcessGrid {
+  /// Fixed number of column panels; the leaves of the canonical backward
+  /// reduction tree. Every legal replication factor owns 8/c aligned panels.
+  static constexpr std::uint32_t kColumnPanels = 8;
+
+  HostId hosts = 1;   ///< H
+  HostId rows = 1;    ///< pr = H / c (replica groups)
+  HostId layers = 1;  ///< c  (replicas per group)
+
+  /// Validates and builds the grid. Throws std::invalid_argument with a
+  /// descriptive message when `replication` does not divide `hosts`, is not
+  /// a power of two, or exceeds kColumnPanels.
+  static ProcessGrid make(HostId hosts, HostId replication);
+
+  // ---- host <-> (row, layer) ------------------------------------------
+  HostId row_of(HostId h) const { return h % rows; }
+  HostId layer_of(HostId h) const { return h / rows; }
+  HostId host_at(HostId row, HostId layer) const { return layer * rows + row; }
+  /// The layer-0 member of `row`'s replica group; the simulator's designated
+  /// receiver for intra-group all-reduce traffic.
+  HostId group_leader(HostId row) const { return row; }
+
+  // ---- vertex -> grid coordinates -------------------------------------
+  /// Row (replica group) owning vertex v's table block.
+  HostId vertex_row(VertexId v, VertexId n) const {
+    return partition::block_owner(v, n, rows);
+  }
+  /// Fixed column panel of v (independent of the grid shape).
+  static std::uint32_t panel_of(VertexId v, VertexId n) {
+    return partition::block_owner(v, n, kColumnPanels);
+  }
+  std::uint32_t panels_per_layer() const { return kColumnPanels / layers; }
+  /// Layer sweeping panel p's columns.
+  HostId panel_layer(std::uint32_t panel) const {
+    return static_cast<HostId>(panel / panels_per_layer());
+  }
+  /// Layer sweeping vertex v's column. Monotone non-decreasing in v (panels
+  /// are contiguous vertex blocks), so a (v, source)-sorted frontier has
+  /// contiguous per-layer slices.
+  HostId vertex_layer(VertexId v, VertexId n) const {
+    return panel_layer(panel_of(v, n));
+  }
+
+  /// First vertex of row-block r (partition::block_owner boundaries).
+  static VertexId block_start(VertexId block, VertexId n, HostId parts);
+  VertexId row_start(HostId row, VertexId n) const { return block_start(row, n, rows); }
+  VertexId row_size(HostId row, VertexId n) const {
+    return block_start(row + 1, n, rows) - block_start(row, n, rows);
+  }
+};
+
+}  // namespace mrbc::matrix

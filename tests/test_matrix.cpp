@@ -1,13 +1,28 @@
 // Tests for the semiring sparse-matrix layer used by MFBC: monoid laws,
-// SpMSpV against dense reference products, and the (min,+,sigma) semantics.
+// SpMSpV against dense reference products, the (min,+,sigma) semantics, the
+// 2.5D process grid, and the replicated distributed backend (grid-structured
+// products vs scalar references; bit-identity of BC scores across
+// replication factors, thread counts, fault injection, and crash/rollback).
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "baselines/brandes_seq.h"
+#include "baselines/mfbc.h"
+#include "engine/fault.h"
 #include "graph/algorithms.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "matrix/csr_matrix.h"
+#include "matrix/dist_engine.h"
+#include "matrix/dist_matrix.h"
+#include "matrix/grid.h"
 #include "matrix/semiring.h"
+#include "test_helpers.h"
+#include "util/serialize.h"
 
 namespace mrbc::matrix {
 namespace {
@@ -112,6 +127,236 @@ TEST(SpMSpV, IteratedProductComputesBfs) {
       EXPECT_DOUBLE_EQ(state[v].sigma, golden.sigma[v]) << v;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// ProcessGrid layout and legality.
+
+TEST(ProcessGrid, ShapesCoverReplicationRange) {
+  const ProcessGrid g1 = ProcessGrid::make(8, 1);
+  EXPECT_EQ(g1.rows, 8u);
+  EXPECT_EQ(g1.layers, 1u);
+
+  const ProcessGrid g2 = ProcessGrid::make(8, 2);
+  EXPECT_EQ(g2.rows, 4u);
+  EXPECT_EQ(g2.layers, 2u);
+  EXPECT_EQ(g2.panels_per_layer(), ProcessGrid::kColumnPanels / 2);
+
+  // Host counts need not be perfect squares: 6 hosts at c = 2 is a 3 x 2 grid.
+  const ProcessGrid g3 = ProcessGrid::make(6, 2);
+  EXPECT_EQ(g3.rows, 3u);
+  EXPECT_EQ(g3.layers, 2u);
+
+  const ProcessGrid g4 = ProcessGrid::make(8, 8);
+  EXPECT_EQ(g4.rows, 1u);
+  EXPECT_EQ(g4.layers, 8u);
+  EXPECT_EQ(g4.panels_per_layer(), 1u);
+}
+
+TEST(ProcessGrid, HostIndexingRoundTrips) {
+  const ProcessGrid grid = ProcessGrid::make(12, 4);
+  ASSERT_EQ(grid.rows, 3u);
+  for (HostId h = 0; h < grid.hosts; ++h) {
+    EXPECT_EQ(grid.host_at(grid.row_of(h), grid.layer_of(h)), h);
+  }
+  for (HostId r = 0; r < grid.rows; ++r) {
+    EXPECT_EQ(grid.row_of(grid.group_leader(r)), r);
+    EXPECT_EQ(grid.layer_of(grid.group_leader(r)), 0u);
+  }
+}
+
+TEST(ProcessGrid, VertexBlocksAreContiguousAndPanelAligned) {
+  const ProcessGrid grid = ProcessGrid::make(6, 2);
+  const VertexId n = 103;  // deliberately not divisible by rows or panels
+  VertexId covered = 0;
+  for (HostId r = 0; r < grid.rows; ++r) {
+    const VertexId start = grid.row_start(r, n);
+    const VertexId size = grid.row_size(r, n);
+    EXPECT_EQ(start, covered);
+    for (VertexId v = start; v < start + size; ++v) {
+      EXPECT_EQ(grid.vertex_row(v, n), r);
+    }
+    covered += size;
+  }
+  EXPECT_EQ(covered, n);
+  for (VertexId v = 0; v < n; ++v) {
+    // Every layer owns a contiguous aligned run of column panels.
+    EXPECT_EQ(grid.panel_layer(ProcessGrid::panel_of(v, n)), grid.vertex_layer(v, n));
+  }
+}
+
+void expect_make_throws(HostId hosts, HostId c, const std::string& needle) {
+  try {
+    ProcessGrid::make(hosts, c);
+    FAIL() << "make(" << hosts << ", " << c << ") did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message: " << e.what();
+  }
+}
+
+TEST(ProcessGrid, RejectsIllegalReplicationWithClearErrors) {
+  expect_make_throws(8, 3, "divide");       // 3 does not divide 8
+  expect_make_throws(6, 3, "power of two");  // divides, but panels cannot split
+  expect_make_throws(16, 16, "panel");       // exceeds the 8 column panels
+  expect_make_throws(0, 1, "host");
+  expect_make_throws(8, 0, "replication");
+}
+
+// ---------------------------------------------------------------------------
+// Grid-structured products vs the scalar reference kernels.
+
+TEST(DistMatrix, SpmspvMatchesScalarReferenceAcrossGrids) {
+  const Graph g = graph::erdos_renyi(60, 0.08, 17);
+  SparseVector<DistSigma> x;
+  for (VertexId v : {1u, 9u, 23u, 41u, 58u}) x.emplace_back(v, DistSigma{v % 5, 1.0 + v});
+  std::vector<DistSigma> scratch;
+  std::vector<std::uint8_t> touched;
+  auto ref = spmspv_out<MinPlusSigma>(g, x, MinPlusSigma::extend, scratch, touched);
+  std::vector<DistSigma> ref_dense(g.num_vertices(), MinPlusSigma::identity());
+  for (const auto& [v, val] : ref) ref_dense[v] = val;
+
+  for (const auto& [hosts, c] : std::vector<std::pair<HostId, HostId>>{
+           {1, 1}, {6, 2}, {8, 4}, {8, 8}}) {
+    DistMatrix A(g, ProcessGrid::make(hosts, c));
+    auto y = dist_spmspv<MinPlusSigma>(A, x, MinPlusSigma::extend);
+    EXPECT_EQ(y.size(), ref.size()) << hosts << "x" << c;
+    for (const auto& [v, val] : y) {
+      EXPECT_EQ(val, ref_dense[v]) << "v=" << v << " grid " << hosts << "/" << c;
+    }
+  }
+}
+
+TEST(DistMatrix, SpmmMatchesPerColumnDenseProducts) {
+  const Graph g = graph::rmat({.scale = 6, .edge_factor = 4.0, .seed = 7});
+  const VertexId n = g.num_vertices();
+  const std::size_t k = 3;
+  std::vector<DistSigma> x(static_cast<std::size_t>(n) * k, MinPlusSigma::identity());
+  for (VertexId v = 0; v < n; v += 5) {
+    x[static_cast<std::size_t>(v) * k + (v / 5) % k] = {v % 3, 2.0 + v};
+  }
+  DistMatrix A(g, ProcessGrid::make(6, 2));
+  auto y = dist_spmm<MinPlusSigma>(A, x, k, MinPlusSigma::extend);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<DistSigma> col(n, MinPlusSigma::identity());
+    for (VertexId v = 0; v < n; ++v) col[v] = x[static_cast<std::size_t>(v) * k + j];
+    auto ref = spmv_dense_out<MinPlusSigma>(g, col, MinPlusSigma::extend);
+    for (VertexId w = 0; w < n; ++w) {
+      EXPECT_EQ(y[static_cast<std::size_t>(w) * k + j], ref[w]) << "w=" << w << " j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated backend: bit-identity of MFBC output across replication,
+// thread counts, fault injection, and crash/rollback.
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+baselines::MfbcRun run_replicated(const Graph& g, const std::vector<VertexId>& sources,
+                                  std::uint32_t c, bool parallel_hosts,
+                                  const comm::DeliveryOptions* delivery = nullptr) {
+  baselines::MfbcOptions opts;
+  opts.num_hosts = 8;
+  opts.batch_size = 4;
+  opts.replication = c;
+  opts.parallel_hosts = parallel_hosts;
+  if (delivery != nullptr) opts.delivery = *delivery;
+  return baselines::mfbc_bc(g, sources, opts);
+}
+
+TEST(DistEngine, ScoresBitIdenticalAcrossReplicationAndThreads) {
+  const Graph g = graph::rmat({.scale = 8, .edge_factor = 6.0, .seed = 31});
+  const auto sources = graph::sample_sources(g, 8, 13);
+  const baselines::MfbcRun base = run_replicated(g, sources, 1, false);
+  mrbc::testing::expect_bc_equal(baselines::brandes_bc_sources(g, sources).bc,
+                                 base.result.bc, "mfbc c=1 vs brandes");
+  for (std::uint32_t c : {1u, 2u, 4u}) {
+    for (bool parallel : {false, true}) {
+      if (c == 1 && !parallel) continue;
+      const baselines::MfbcRun run = run_replicated(g, sources, c, parallel);
+      EXPECT_TRUE(bits_equal(base.result.bc, run.result.bc))
+          << "c=" << c << " parallel=" << parallel;
+      EXPECT_EQ(base.forward.rounds, run.forward.rounds) << "c=" << c;
+      EXPECT_EQ(base.backward.rounds, run.backward.rounds) << "c=" << c;
+    }
+  }
+}
+
+TEST(DistEngine, ReplicatedScoresSurviveFaultInjection) {
+  const Graph g = graph::rmat({.scale = 7, .edge_factor = 5.0, .seed = 9});
+  const auto sources = graph::sample_sources(g, 6, 21);
+  const baselines::MfbcRun clean = run_replicated(g, sources, 2, false);
+
+  sim::FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.03;
+  plan.corrupt_rate = 0.02;
+  sim::FaultInjector injector(plan, 8);
+  comm::DeliveryOptions delivery;
+  delivery.reliable = true;
+  delivery.faults = &injector;
+  const baselines::MfbcRun faulty = run_replicated(g, sources, 2, false, &delivery);
+
+  EXPECT_TRUE(bits_equal(clean.result.bc, faulty.result.bc));
+  const sim::RunStats total = faulty.total();
+  EXPECT_GT(total.faults.drops + total.faults.duplicates + total.faults.corruptions_detected,
+            0u)
+      << "fault schedule never fired; the test is vacuous";
+  EXPECT_GT(total.faults.retransmits, 0u);
+}
+
+TEST(DistEngine, CrashRollbackRestoresMidBatchBitExactly) {
+  const Graph g = graph::rmat({.scale = 7, .edge_factor = 5.0, .seed = 3});
+  const auto batch = graph::sample_sources(g, 4, 27);
+  const VertexId n = g.num_vertices();
+  DistBcOptions opts;
+  opts.num_hosts = 8;
+  opts.replication = 2;
+
+  // Reference run: checkpoint after two forward rounds, then finish.
+  DistBcEngine ref(g, opts);
+  ref.begin_batch(batch);
+  ref.forward_step();
+  ref.forward_step();
+  util::SendBuffer checkpoint;
+  ref.save_state(checkpoint);
+  while (!ref.forward_done()) ref.forward_step();
+  for (std::uint32_t level = ref.max_level(); level >= 1; --level) ref.backward_level(level);
+
+  // Crashed replica: fresh engine, roll back to the checkpoint, replay.
+  DistBcEngine replay(g, opts);
+  util::RecvBuffer rollback(checkpoint);
+  replay.restore_state(rollback);
+  while (!replay.forward_done()) replay.forward_step();
+  EXPECT_EQ(ref.max_level(), replay.max_level());
+  for (std::uint32_t level = replay.max_level(); level >= 1; --level) {
+    replay.backward_level(level);
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::size_t sidx = 0; sidx < batch.size(); ++sidx) {
+      EXPECT_EQ(ref.table_at(v, sidx), replay.table_at(v, sidx)) << v;
+      const double a = ref.delta_at(v, sidx);
+      const double b = replay.delta_at(v, sidx);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0) << "v=" << v << " sidx=" << sidx;
+    }
+  }
+}
+
+TEST(DistEngine, MfbcRejectsIllegalReplication) {
+  const Graph g = graph::path(10);
+  baselines::MfbcOptions opts;
+  opts.num_hosts = 8;
+  opts.replication = 3;
+  EXPECT_THROW(baselines::mfbc_bc(g, {0}, opts), std::invalid_argument);
+  opts.num_hosts = 6;
+  opts.replication = 6;  // divides, but not a power of two
+  EXPECT_THROW(baselines::mfbc_bc(g, {0}, opts), std::invalid_argument);
 }
 
 }  // namespace
