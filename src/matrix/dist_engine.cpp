@@ -1,6 +1,8 @@
 #include "matrix/dist_engine.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "util/threading.h"
 #include "util/timer.h"
@@ -362,6 +364,9 @@ DistBcStep DistBcEngine::backward_level(std::uint32_t level) {
   // ---- 2. per-host dependency sweeps into per-panel partials ------------
   const std::vector<std::size_t> slice = layer_slices(used_frontier_.data(), used_frontier_.size());
   const std::uint32_t ppl = grid_.panels_per_layer();
+  // Warm the lazy backward tiles outside the timed parallel sweep so the
+  // one-time build is not charged to whichever host's sweep triggers it.
+  mat_.backward_tile(0);
   util::for_each_index(H, opts_.parallel_hosts, [&](std::size_t h) {
     util::Timer timer;
     const HostId r = grid_.row_of(static_cast<HostId>(h));
@@ -473,26 +478,83 @@ DistBcStep DistBcEngine::backward_level(std::uint32_t level) {
   return step;
 }
 
+// DistSigma and Entry carry alignment padding between dist and sigma, so
+// they are checkpointed field-by-field — a struct memcpy would leak
+// indeterminate padding bytes into the stream and break checkpoint byte
+// determinism (digests, dedup, MSan).
+namespace {
+
+constexpr std::size_t kDistSigmaWire = sizeof(std::uint32_t) + sizeof(double);
+constexpr std::size_t kEntryWire = 2 * sizeof(std::uint32_t) + kDistSigmaWire;
+
+void write_dist_sigma(util::SendBuffer& buf, const DistSigma& t) {
+  buf.write<std::uint32_t>(t.dist);
+  buf.write<double>(t.sigma);
+}
+
+DistSigma read_dist_sigma(util::RecvBuffer& buf) {
+  DistSigma t;
+  t.dist = buf.read<std::uint32_t>();
+  t.sigma = buf.read<double>();
+  return t;
+}
+
+}  // namespace
+
 void DistBcEngine::save_state(util::SendBuffer& buf) const {
   buf.write<std::uint64_t>(k_);
   buf.write_vector(batch_);
-  buf.write_vector(table_);
+  buf.reserve(buf.size() + table_.size() * kDistSigmaWire + delta_.size() * sizeof(double) +
+              frontier_.size() * kEntryWire + 4 * sizeof(std::uint64_t));
+  buf.write<std::uint64_t>(table_.size());
+  for (const DistSigma& t : table_) write_dist_sigma(buf, t);
   buf.write_vector(delta_);
   buf.write<std::uint32_t>(max_level_);
-  buf.write_vector(frontier_);
+  buf.write<std::uint64_t>(frontier_.size());
+  for (const Entry& e : frontier_) {
+    buf.write<std::uint32_t>(e.v);
+    buf.write<std::uint32_t>(e.sidx);
+    write_dist_sigma(buf, e.val);
+  }
   net_.save_state(buf);
 }
 
 void DistBcEngine::restore_state(util::RecvBuffer& buf) {
-  const std::size_t k = static_cast<std::size_t>(buf.read<std::uint64_t>());
+  const std::uint64_t k = buf.read<std::uint64_t>();
   std::vector<VertexId> batch = buf.read_vector<VertexId>();
+  if (k != batch.size()) {
+    throw std::out_of_range("DistBcEngine: checkpoint batch width " + std::to_string(k) +
+                            " does not match batch list size " + std::to_string(batch.size()));
+  }
   // Reuse begin_batch for scratch sizing, then overwrite the live state.
   begin_batch(batch);
-  (void)k;
-  table_ = buf.read_vector<DistSigma>();
+  const std::size_t cells = static_cast<std::size_t>(n_) * k_;
+  const std::uint64_t table_cells = buf.read<std::uint64_t>();
+  if (table_cells != cells) {
+    throw std::out_of_range("DistBcEngine: checkpoint table has " + std::to_string(table_cells) +
+                            " cells, expected " + std::to_string(cells));
+  }
+  for (DistSigma& t : table_) t = read_dist_sigma(buf);
   delta_ = buf.read_vector<double>();
+  if (delta_.size() != cells) {
+    throw std::out_of_range("DistBcEngine: checkpoint delta has " + std::to_string(delta_.size()) +
+                            " cells, expected " + std::to_string(cells));
+  }
   max_level_ = buf.read<std::uint32_t>();
-  frontier_ = buf.read_vector<Entry>();
+  const std::uint64_t fn = buf.read<std::uint64_t>();
+  if (fn > buf.remaining() / kEntryWire) {
+    throw std::out_of_range("DistBcEngine: checkpoint frontier length " + std::to_string(fn) +
+                            " exceeds " + std::to_string(buf.remaining()) + " remaining bytes");
+  }
+  frontier_.clear();
+  frontier_.reserve(fn);
+  for (std::uint64_t i = 0; i < fn; ++i) {
+    Entry e;
+    e.v = buf.read<std::uint32_t>();
+    e.sidx = buf.read<std::uint32_t>();
+    e.val = read_dist_sigma(buf);
+    frontier_.push_back(e);
+  }
   net_.restore_state(buf);
 }
 

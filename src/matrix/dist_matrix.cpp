@@ -20,20 +20,22 @@ DistMatrix::DistMatrix(const Graph& g, const ProcessGrid& grid)
 }
 
 const Graph& DistMatrix::backward_tile(HostId h) {
-  if (backward_.empty()) {
-    std::vector<std::vector<graph::Edge>> per_host(grid_.hosts);
-    for (VertexId u = 0; u < n_; ++u) {
-      const HostId r = grid_.vertex_row(u, n_);
-      for (VertexId w : g_->out_neighbors(u)) {
-        per_host[grid_.host_at(r, grid_.vertex_layer(w, n_))].push_back({w, u});
-      }
-    }
-    backward_.reserve(grid_.hosts);
-    for (HostId i = 0; i < grid_.hosts; ++i) {
-      backward_.push_back(graph::build_graph(n_, std::move(per_host[i])));
+  std::call_once(backward_once_, [this] { build_backward(); });
+  return backward_[h];
+}
+
+void DistMatrix::build_backward() {
+  std::vector<std::vector<graph::Edge>> per_host(grid_.hosts);
+  for (VertexId u = 0; u < n_; ++u) {
+    const HostId r = grid_.vertex_row(u, n_);
+    for (VertexId w : g_->out_neighbors(u)) {
+      per_host[grid_.host_at(r, grid_.vertex_layer(w, n_))].push_back({w, u});
     }
   }
-  return backward_[h];
+  backward_.reserve(grid_.hosts);
+  for (HostId i = 0; i < grid_.hosts; ++i) {
+    backward_.push_back(graph::build_graph(n_, std::move(per_host[i])));
+  }
 }
 
 }  // namespace mrbc::matrix

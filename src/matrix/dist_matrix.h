@@ -18,6 +18,7 @@
 // floating-point reduction tree — lives in dist_engine.h.
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.h"
@@ -33,7 +34,9 @@ class DistMatrix {
  public:
   /// Builds forward tiles; backward (reversed-edge) tiles are built on
   /// first use (the forward-only tests and forward phase never pay for
-  /// them).
+  /// them). The lazy build is call_once-guarded, so concurrent first
+  /// backward_tile calls are safe — but callers that time per-host work
+  /// should still warm it serially so one host doesn't absorb the build.
   DistMatrix(const Graph& g, const ProcessGrid& grid);
 
   const ProcessGrid& grid() const { return grid_; }
@@ -49,11 +52,14 @@ class DistMatrix {
   const Graph& backward_tile(HostId h);
 
  private:
+  void build_backward();
+
   const Graph* g_;
   ProcessGrid grid_;
   VertexId n_;
   std::vector<Graph> forward_;
-  std::vector<Graph> backward_;  // lazy
+  std::vector<Graph> backward_;  // lazy, built under backward_once_
+  std::once_flag backward_once_;
 };
 
 /// Grid-structured y = A^T x over an exact monoid: each host combines
